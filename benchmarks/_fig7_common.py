@@ -1,0 +1,122 @@
+"""Shared measurement code for the Fig. 7 error-comparison benchmarks.
+
+For each query template the paper reports the *statistical error at 95%
+confidence* achieved within a fixed time budget by three sample sets built
+under the same storage constraint (multi-dimensional stratified, single-column
+stratified, uniform).  Here the time budget is expressed as a row budget on
+the in-memory substrate, and the error of one query is summarised as the mean
+per-group relative error against the exact answer's groups, where a group the
+sample missed entirely (subset error) or whose error cannot be bounded is
+charged the cap of 100%.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.baselines.strategies import SamplingStrategy
+from repro.engine.executor import execute_exact
+from repro.engine.result import QueryResult
+from repro.sql.parser import parse_query
+from repro.sql.templates import QueryTemplate
+from repro.storage.table import Table
+
+#: Per-group relative error charged for missing/unbounded groups.
+ERROR_CAP = 1.0
+
+
+def template_queries(
+    template: QueryTemplate,
+    table: Table,
+    measure: str,
+    predicate_values: int = 2,
+) -> list[str]:
+    """Concrete queries for one template: a full group-by plus filtered variants.
+
+    The filtered variants pick frequent values of the first template column
+    (frequent values dominate real traces) and group by the remaining
+    column(s).
+    """
+    columns = list(template.columns)
+    queries = []
+    # The all-columns GROUP BY is only informative when its group count is
+    # moderate; at in-memory scale a 3-column group-by can have thousands of
+    # single-row groups that no sampling strategy can estimate.
+    if table.distinct_count(columns) <= 300:
+        queries.append(
+            f"SELECT AVG({measure}) FROM {template.table} GROUP BY {', '.join(columns)}"
+        )
+    if len(columns) >= 2:
+        # Filtered variants: equality predicates on all but the last template
+        # column (constants drawn from the head of the distribution, as in
+        # real traces), grouped by the remaining column.
+        filter_columns = columns[:-1]
+        group_column = columns[-1]
+        frequencies = table.value_frequencies(filter_columns)
+        top_keys = [key for key, _ in sorted(frequencies.items(), key=lambda kv: -kv[1])]
+        for key in top_keys[:predicate_values]:
+            predicates = []
+            for column_name, value in zip(filter_columns, key):
+                if table.column(column_name).ctype.value == "string":
+                    predicates.append(f"{column_name} = '{value}'")
+                else:
+                    predicates.append(f"{column_name} = {value}")
+            queries.append(
+                f"SELECT AVG({measure}) FROM {template.table} "
+                f"WHERE {' AND '.join(predicates)} GROUP BY {group_column}"
+            )
+    if not queries:
+        queries.append(
+            f"SELECT AVG({measure}) FROM {template.table} GROUP BY {columns[0]}"
+        )
+    return queries
+
+
+def query_error(strategy: SamplingStrategy, sql: str, exact: QueryResult, row_budget: int) -> float:
+    """Mean per-group relative error of a strategy's answer vs the exact groups."""
+    answer = strategy.answer(sql, row_budget=row_budget)
+    errors = []
+    for exact_group in exact.groups:
+        if not answer.result.has_group(exact_group.key):
+            errors.append(ERROR_CAP)
+            continue
+        group = answer.result.group(exact_group.key)
+        group_errors = []
+        for name, aggregate in group.aggregates.items():
+            error = aggregate.relative_error
+            if aggregate.estimate.sample_rows == 0 or not math.isfinite(error):
+                group_errors.append(ERROR_CAP)
+            else:
+                group_errors.append(min(error, ERROR_CAP))
+        errors.append(max(group_errors) if group_errors else ERROR_CAP)
+    return sum(errors) / len(errors) if errors else ERROR_CAP
+
+
+def compare_strategies(
+    strategies: Mapping[str, SamplingStrategy],
+    templates: Sequence[QueryTemplate],
+    table: Table,
+    measure: str,
+    row_budget: int,
+) -> list[dict[str, object]]:
+    """Fig. 7(a)/(b) rows: mean error (%) per template for every strategy."""
+    rows = []
+    for index, template in enumerate(templates):
+        queries = template_queries(template, table, measure)
+        per_strategy = {name: [] for name in strategies}
+        for sql in queries:
+            exact = execute_exact(parse_query(sql), table)
+            for name, strategy in strategies.items():
+                per_strategy[name].append(query_error(strategy, sql, exact, row_budget))
+        rows.append(
+            {
+                "template": f"T{index + 1}({template.weight:.1%})",
+                "columns": ",".join(template.columns),
+                **{
+                    name: round(100 * sum(values) / len(values), 1)
+                    for name, values in per_strategy.items()
+                },
+            }
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmark data is larger than the unit-test data (so sampling effects are
+visible) but still laptop-sized; the cluster simulator extrapolates latencies
+to the paper's 17 TB / 100-node setting via the ``simulated_rows`` scale.
+All fixtures are session-scoped and deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.common.units import TB
+from repro.core.blinkdb import BlinkDB
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+from repro.workloads.tpch import generate_lineitem_table, tpch_query_templates
+
+#: In-memory rows of the benchmark fact tables.
+CONVIVA_ROWS = 120_000
+TPCH_ROWS = 100_000
+
+#: The paper's Conviva table is 17 TB; lineitem at SF=1000 is ~1 TB.
+CONVIVA_SIMULATED_BYTES = 17 * TB
+TPCH_SIMULATED_BYTES = 1 * TB
+
+
+def conviva_sampling_config() -> SamplingConfig:
+    return SamplingConfig(largest_cap=600, min_cap=25, uniform_sample_fraction=0.08)
+
+
+def tpch_sampling_config() -> SamplingConfig:
+    return SamplingConfig(largest_cap=500, min_cap=25, uniform_sample_fraction=0.08)
+
+
+@pytest.fixture(scope="session")
+def conviva_table():
+    return generate_sessions_table(
+        num_rows=CONVIVA_ROWS,
+        seed=7,
+        num_cities=60,
+        num_customers=120,
+        num_objects=200,
+        num_dmas=25,
+        num_countries=20,
+        num_asns=80,
+        num_urls=150,
+    )
+
+
+@pytest.fixture(scope="session")
+def conviva_templates():
+    return conviva_query_templates()
+
+
+@pytest.fixture(scope="session")
+def tpch_table():
+    return generate_lineitem_table(num_rows=TPCH_ROWS, seed=13, num_parts=1_500, num_suppliers=300)
+
+
+@pytest.fixture(scope="session")
+def tpch_templates():
+    return tpch_query_templates()
+
+
+def build_conviva_db(table, simulated_bytes: int = CONVIVA_SIMULATED_BYTES,
+                     budget: float = 0.5, num_nodes: int = 100) -> BlinkDB:
+    """Build a BlinkDB instance over the Conviva benchmark table."""
+    config = BlinkDBConfig(
+        sampling=conviva_sampling_config(),
+        cluster=ClusterConfig(num_nodes=num_nodes),
+    )
+    db = BlinkDB(config)
+    simulated_rows = max(table.num_rows, int(simulated_bytes // table.row_width_bytes))
+    db.load_table(table, simulated_rows=simulated_rows, cache=False)
+    db.register_workload(templates=conviva_query_templates())
+    db.build_samples(storage_budget_fraction=budget)
+    return db
+
+
+@pytest.fixture(scope="session")
+def conviva_db(conviva_table) -> BlinkDB:
+    return build_conviva_db(conviva_table)
+
+
+@pytest.fixture(scope="session")
+def tpch_db(tpch_table) -> BlinkDB:
+    config = BlinkDBConfig(
+        sampling=tpch_sampling_config(),
+        cluster=ClusterConfig(num_nodes=100),
+    )
+    db = BlinkDB(config)
+    simulated_rows = max(
+        tpch_table.num_rows, int(TPCH_SIMULATED_BYTES // tpch_table.row_width_bytes)
+    )
+    db.load_table(tpch_table, simulated_rows=simulated_rows, cache=False)
+    db.register_workload(templates=tpch_query_templates())
+    db.build_samples(storage_budget_fraction=0.5)
+    return db

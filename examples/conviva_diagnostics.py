@@ -1,0 +1,94 @@
+"""Problem diagnosis on skewed session logs (the paper's motivating use case).
+
+A service operator wants to know, *right now*, whether users of a particular
+platform in particular cities are experiencing poor quality of service —
+without waiting for a full scan of the log.  This example:
+
+1. builds samples over a skewed sessions table,
+2. runs a sequence of progressively narrower error-bounded diagnostic queries
+   (overall -> per-platform -> per-city for the suspect platform),
+3. shows how the runtime trades rows read for the requested accuracy, and
+4. contrasts the missing-subgroup behaviour of uniform vs stratified samples.
+
+Run with::
+
+    python examples/conviva_diagnostics.py
+"""
+
+from __future__ import annotations
+
+from repro import BlinkDB, BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+def show(result, aggregate_name: str, label: str) -> None:
+    print(f"\n{label}")
+    for group in result:
+        value = group[aggregate_name]
+        print(f"  {str(group.key):>28}: {value.interval}")
+    decision = result.metadata.get("decision")
+    if decision is not None:
+        print(
+            f"  [sample={result.sample_name}  rows_read={result.rows_read:,}  "
+            f"latency={result.simulated_latency_seconds:.2f}s  "
+            f"bound_satisfied={decision.bound_satisfied}]"
+        )
+
+
+def main() -> None:
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=300, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=50),
+    )
+    db = BlinkDB(config)
+    sessions = generate_sessions_table(
+        num_rows=80_000, seed=21, num_cities=40, num_countries=15, num_customers=100
+    )
+    db.load_table(sessions, simulated_rows=2_000_000_000)
+    db.register_workload(templates=conviva_query_templates())
+    plan = db.build_samples(storage_budget_fraction=0.5)
+    print("Stratified families:", [list(f.columns) for f in plan.families])
+
+    # Step 1: is buffering elevated anywhere? (coarse, cheap, 10% error is fine)
+    result = db.query(
+        "SELECT AVG(buffer_ratio) FROM sessions GROUP BY os "
+        "ERROR WITHIN 10% AT CONFIDENCE 95%"
+    )
+    show(result, "avg_buffer_ratio", "Step 1 — average buffering ratio by platform (±10%):")
+
+    # Step 2: drill into the worst platform, per city, with a tighter bound.
+    worst_platform = max(result, key=lambda g: g["avg_buffer_ratio"].value).key[0]
+    result = db.query(
+        f"SELECT AVG(buffer_ratio), COUNT(*) FROM sessions WHERE os = '{worst_platform}' "
+        "GROUP BY city ERROR WITHIN 5% AT CONFIDENCE 95% LIMIT 8"
+    )
+    show(
+        result,
+        "avg_buffer_ratio",
+        f"Step 2 — buffering for platform {worst_platform!r} by city (±5%, first 8 cities):",
+    )
+
+    # Step 3: the same drill-down under a hard latency budget instead.
+    result = db.query(
+        f"SELECT AVG(session_time) FROM sessions WHERE os = '{worst_platform}' "
+        "GROUP BY city WITHIN 2 SECONDS LIMIT 8"
+    )
+    show(
+        result,
+        "avg_session_time",
+        f"Step 3 — session time for {worst_platform!r} by city (2-second budget):",
+    )
+
+    # Step 4: subset error — compare group coverage of the approximate answer
+    # with the exact answer.  Stratified samples keep every country present.
+    approx = db.query("SELECT COUNT(*) FROM sessions GROUP BY country WITHIN 2 SECONDS")
+    exact = db.query_exact("SELECT COUNT(*) FROM sessions GROUP BY country")
+    missing = [g.key for g in exact if not approx.has_group(g.key)]
+    print(
+        f"\nStep 4 — subset error: exact answer has {len(exact)} countries, "
+        f"approximate answer has {len(approx)}; missing groups: {missing or 'none'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: load data, register a workload, build samples, query with bounds.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import BlinkDB, BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+def main() -> None:
+    # 1. A BlinkDB instance simulating a modest 20-node cluster.
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=200, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=20),
+    )
+    db = BlinkDB(config)
+
+    # 2. Load a synthetic "video sessions" fact table.  The in-memory table
+    #    holds 50k rows; the simulator treats it as standing in for 50M rows.
+    sessions = generate_sessions_table(num_rows=50_000, seed=7, num_cities=40, num_countries=15)
+    db.load_table(sessions, simulated_rows=50_000_000)
+
+    # 3. Register the historical query workload (templates + weights) and let
+    #    the optimizer decide which stratified sample families to build under
+    #    a 50% storage budget.
+    db.register_workload(templates=conviva_query_templates())
+    plan = db.build_samples(storage_budget_fraction=0.5)
+    print("Sample families built:")
+    for row in plan.describe():
+        print(f"  {row['columns']:>24}  {row['storage_bytes'] / 2**20:8.1f} MB")
+
+    # 4. An error-bounded query: answer within +/-10% at 95% confidence.
+    result = db.query(
+        "SELECT AVG(session_time) FROM sessions WHERE city = 'city_0003' "
+        "GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%"
+    )
+    print("\nAverage session time for city_0003 by OS (error-bounded):")
+    for group in result:
+        value = group["avg_session_time"]
+        print(f"  {group.key[0]:>10}: {value.interval}")
+    print(f"  sample used: {result.sample_name}")
+    print(f"  simulated latency: {result.simulated_latency_seconds:.2f} s")
+
+    # 5. A time-bounded query: the most accurate answer within 5 seconds.
+    result = db.query(
+        "SELECT COUNT(*), RELATIVE ERROR AT 95% CONFIDENCE FROM sessions "
+        "WHERE country = 'country_0002' GROUP BY genre WITHIN 5 SECONDS"
+    )
+    print("\nSessions from country_0002 by genre (time-bounded, 5 s):")
+    for group in result:
+        value = group["count_star"]
+        print(f"  {group.key[0]:>12}: {value.value:12,.0f} ± {value.error_bar:,.0f}")
+    print(f"  simulated latency: {result.simulated_latency_seconds:.2f} s")
+
+    # 6. Compare with the exact answer (full scan of the base table).
+    exact = db.query_exact(
+        "SELECT AVG(session_time) FROM sessions WHERE city = 'city_0003' GROUP BY os"
+    )
+    print(f"\nExact full-scan simulated latency: {exact.simulated_latency_seconds:.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Sample maintenance: workload drift, bounded-churn re-planning, refresh.
+
+The offline samples BlinkDB maintains must follow the data and the workload.
+This example shows the §3.2.3 / §4.5 machinery:
+
+1. build samples for an initial workload,
+2. detect that the workload has drifted,
+3. re-plan under different churn budgets ``r`` (how much sample storage may be
+   created/discarded) and apply the chosen plan,
+4. periodically refresh (re-draw) the samples in the background.
+
+Run with::
+
+    python examples/sample_maintenance.py
+"""
+
+from __future__ import annotations
+
+from repro import BlinkDB, BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.sql.templates import QueryTemplate, normalize_weights
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+def main() -> None:
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=200, min_cap=10, uniform_sample_fraction=0.08),
+        cluster=ClusterConfig(num_nodes=20),
+    )
+    db = BlinkDB(config)
+    sessions = generate_sessions_table(
+        num_rows=60_000, seed=3, num_cities=40, num_countries=15, num_customers=100
+    )
+    db.load_table(sessions, simulated_rows=600_000_000)
+
+    initial_templates = conviva_query_templates()
+    db.register_workload(templates=initial_templates)
+    plan = db.build_samples(storage_budget_fraction=0.5)
+    print("Initial families:", [list(f.columns) for f in plan.families])
+
+    # The workload drifts: analysts now slice by customer/date and content.
+    drifted = normalize_weights(
+        [
+            QueryTemplate("sessions", ("customer", "dt"), 0.45),
+            QueryTemplate("sessions", ("objectid",), 0.25),
+            QueryTemplate("sessions", ("city", "os"), 0.20),
+            QueryTemplate("sessions", ("genre", "url"), 0.10),
+        ]
+    )
+    manager = db.maintenance()
+    print(
+        "\nWorkload drift detected:",
+        manager.detect_workload_drift(initial_templates, drifted),
+    )
+
+    # Re-plan under different churn budgets without applying, to compare.
+    for churn in (0.0, 0.3, 1.0):
+        candidate_plan, actions = db.replan_samples(
+            "sessions", templates=drifted, churn_fraction=churn, apply=False
+        )
+        created = [a.columns for a in actions if a.kind.value == "create"]
+        dropped = [a.columns for a in actions if a.kind.value == "drop"]
+        print(
+            f"  r={churn:3.1f}: objective={candidate_plan.objective:8.1f}  "
+            f"create={created or '-'}  drop={dropped or '-'}"
+        )
+
+    # Apply the moderate-churn plan.
+    plan, actions = db.replan_samples(
+        "sessions", templates=drifted, churn_fraction=0.3, apply=True
+    )
+    print("\nAfter applying the r=0.3 plan, families:",
+          sorted(db.catalog.stratified_families("sessions")))
+
+    # Periodic background refresh: re-draw every family from the current data.
+    rebuilt = manager.refresh_families(sessions)
+    print(f"Refreshed {rebuilt} stratified families (background re-sampling, §4.5).")
+
+    # The refreshed samples still answer drifted-workload queries.
+    result = db.query(
+        "SELECT COUNT(*) FROM sessions WHERE customer = 'cust_0005' "
+        "GROUP BY dt ERROR WITHIN 15% AT CONFIDENCE 95% LIMIT 5"
+    )
+    print("\nSessions for cust_0005 by day (first 5 days):")
+    for group in result:
+        value = group["count_star"]
+        print(f"  day {group.key[0]:>2}: {value.value:10,.0f} ± {value.error_bar:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""TPC-H-style reporting with joins, quantiles, and an accuracy/latency sweep.
+
+This example exercises the parts of the API the quickstart does not:
+
+* a fact table (lineitem) joined against a dimension table (orders),
+* QUANTILE / SUM aggregates,
+* the same query answered under a ladder of error bounds, showing how the
+  runtime escalates to larger sample resolutions as the bound tightens
+  (the "progressively tweak the bounds" exploration loop of §2).
+
+Run with::
+
+    python examples/tpch_reporting.py
+"""
+
+from __future__ import annotations
+
+from repro import BlinkDB, BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.workloads.tpch import (
+    generate_lineitem_table,
+    generate_orders_table,
+    tpch_query_templates,
+)
+
+
+def main() -> None:
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=300, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=50),
+    )
+    db = BlinkDB(config)
+
+    lineitem = generate_lineitem_table(num_rows=80_000, seed=13)
+    orders = generate_orders_table(num_orders=25_000, seed=17)
+    db.load_table(lineitem, simulated_rows=6_000_000_000)  # ~SF-1000 lineitem
+    db.load_dimension_table(orders)
+    db.register_workload(templates=tpch_query_templates())
+    plan = db.build_samples(storage_budget_fraction=0.5)
+    print("Stratified families:", [list(f.columns) for f in plan.families])
+
+    # Report 1: revenue by ship mode with a time bound (pricing summary style).
+    result = db.query(
+        "SELECT SUM(extendedprice), COUNT(*) FROM lineitem "
+        "WHERE shipdate BETWEEN 100 AND 400 GROUP BY shipmode WITHIN 5 SECONDS"
+    )
+    print("\nRevenue by ship mode (shipdate in [100, 400), 5-second budget):")
+    for group in result:
+        revenue = group["sum_extendedprice"]
+        print(f"  {group.key[0]:>8}: {revenue.value:16,.0f} ± {revenue.error_bar:,.0f}")
+    print(f"  latency: {result.simulated_latency_seconds:.2f} s  sample: {result.sample_name}")
+
+    # Report 2: tail latency style — the 90th percentile of quantity per flag.
+    result = db.query(
+        "SELECT QUANTILE(quantity, 0.9), AVG(discount) FROM lineitem "
+        "GROUP BY returnflag ERROR WITHIN 10% AT CONFIDENCE 95%"
+    )
+    print("\n90th-percentile quantity and average discount by return flag (±10%):")
+    for group in result:
+        q90 = group["quantile_quantity_0.9"]
+        discount = group["avg_discount"]
+        print(f"  {group.key[0]}: q90={q90.value:5.1f}  avg_discount={discount.interval}")
+
+    # Report 3: join with the orders dimension table.
+    result = db.query(
+        "SELECT AVG(extendedprice) FROM lineitem JOIN orders ON orderkey = orderkey "
+        "WHERE shipmode = 'AIR' GROUP BY orderpriority WITHIN 10 SECONDS"
+    )
+    print("\nAverage line price of AIR shipments by order priority (join, 10-second budget):")
+    for group in result:
+        value = group["avg_extendedprice"]
+        print(f"  {group.key[0]:>16}: {value.interval}")
+
+    # Report 4: tightening the error bound buys accuracy with more rows.
+    print("\nAccuracy/latency trade-off for SUM(extendedprice) WHERE discount = 0.05:")
+    exact = db.query_exact(
+        "SELECT SUM(extendedprice) FROM lineitem WHERE discount = 0.05"
+    ).scalar().value
+    for bound in (32, 16, 8, 4, 2):
+        result = db.query(
+            "SELECT SUM(extendedprice) FROM lineitem WHERE discount = 0.05 "
+            f"ERROR WITHIN {bound}% AT CONFIDENCE 95%"
+        )
+        estimate = result.scalar()
+        actual_error = abs(estimate.value - exact) / exact
+        print(
+            f"  bound ±{bound:2d}%  rows_read={result.rows_read:7,}  "
+            f"estimate={estimate.value:16,.0f}  actual_error={actual_error:6.2%}  "
+            f"latency={result.simulated_latency_seconds:5.2f}s"
+        )
+    print(f"  exact answer: {exact:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

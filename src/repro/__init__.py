@@ -1,0 +1,49 @@
+"""BlinkDB reproduction: bounded-error, bounded-response-time AQP.
+
+This package reimplements the system described in *"BlinkDB: Queries with
+Bounded Errors and Bounded Response Times on Very Large Data"* (Agarwal et
+al., EuroSys 2013) as a self-contained Python library: a columnar query
+engine and simulated cluster stand in for Hive/Shark/HDFS, while the sampling
+layer, sample-selection optimizer, and runtime sample selection follow the
+paper's design.
+
+Quickstart::
+
+    from repro import BlinkDB
+    from repro.workloads.conviva import generate_sessions_table
+
+    db = BlinkDB()
+    db.load_table(generate_sessions_table(num_rows=100_000, seed=7))
+    db.register_workload([
+        "SELECT COUNT(*) FROM sessions WHERE city = 'city_0003' GROUP BY os",
+    ])
+    db.build_samples(storage_budget_fraction=0.5)
+    result = db.query(
+        "SELECT AVG(session_time) FROM sessions WHERE city = 'city_0003' "
+        "GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%"
+    )
+"""
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.core.blinkdb import BlinkDB
+from repro.engine.result import AggregateValue, GroupResult, QueryResult
+from repro.sql.parser import parse_query
+from repro.sql.templates import QueryTemplate, extract_template
+from repro.storage.table import Table
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BlinkDB",
+    "BlinkDBConfig",
+    "ClusterConfig",
+    "SamplingConfig",
+    "AggregateValue",
+    "GroupResult",
+    "QueryResult",
+    "parse_query",
+    "QueryTemplate",
+    "extract_template",
+    "Table",
+    "__version__",
+]

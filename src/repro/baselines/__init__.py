@@ -1,0 +1,26 @@
+"""Baselines the paper compares BlinkDB against.
+
+* :mod:`repro.baselines.full_scan` — exact execution of the query over the
+  full table on Hive-on-Hadoop / Shark-without-caching / Shark-with-caching,
+  modelled through the cluster cost model (Fig. 6(c)).
+* :mod:`repro.baselines.strategies` — alternative *sampling* strategies:
+  a single 50% uniform sample and single-column stratified samples chosen by
+  the same optimizer restricted to one column per family (Fig. 7(a)–(c)).
+* :mod:`repro.baselines.online_agg` — an online-aggregation (OLA) style
+  baseline that streams the table in random order and stops when the target
+  error is reached, paying a random-I/O penalty instead of BlinkDB's
+  pre-computed clustered samples (§7, intro's "2× better than online
+  sampling at query time").
+"""
+
+from repro.baselines.full_scan import BaselineEngine, FullScanBaseline
+from repro.baselines.online_agg import OnlineAggregationBaseline
+from repro.baselines.strategies import SamplingStrategy, build_strategies
+
+__all__ = [
+    "BaselineEngine",
+    "FullScanBaseline",
+    "OnlineAggregationBaseline",
+    "SamplingStrategy",
+    "build_strategies",
+]

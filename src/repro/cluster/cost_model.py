@@ -1,0 +1,176 @@
+"""Latency cost model for the simulated cluster.
+
+The model captures the first-order structure of distributed scan-aggregate
+query latency on Hive/Shark-style engines:
+
+``latency = startup + waves * per-wave overhead + max-per-node scan time
+            + shuffle time + merge time``
+
+where the per-node scan time depends on whether the node's share of the input
+is cached in memory or resides on disk.  This is the structure the paper
+appeals to when it assumes "latency scales linearly with input size" (§4.2)
+and when it explains why the 7.5 TB runs are much slower than the 2.5 TB runs
+that fit in the cluster cache (§6.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.common.config import ClusterConfig
+
+
+class StorageTier(enum.Enum):
+    """Where a dataset's bytes live for scan purposes."""
+
+    MEMORY = "memory"
+    DISK = "disk"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class ScanEstimate:
+    """Breakdown of a simulated query's latency."""
+
+    bytes_scanned: int
+    cached_bytes: int
+    parallelism: int
+    waves: int
+    startup_seconds: float
+    scan_seconds: float
+    shuffle_seconds: float
+    merge_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.startup_seconds
+            + self.scan_seconds
+            + self.shuffle_seconds
+            + self.merge_seconds
+        )
+
+
+class CostModel:
+    """Analytic latency model parameterised by a :class:`ClusterConfig`."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+
+    # -- scan / aggregate --------------------------------------------------------
+    def estimate(
+        self,
+        bytes_scanned: int,
+        cached_fraction: float = 0.0,
+        output_groups: int = 1,
+        shuffle_bytes: int | None = None,
+        nodes_involved: int | None = None,
+    ) -> ScanEstimate:
+        """Estimate the latency of a scan-aggregate over ``bytes_scanned`` bytes.
+
+        Parameters
+        ----------
+        bytes_scanned:
+            Total input bytes read across the cluster.
+        cached_fraction:
+            Fraction of those bytes resident in the cluster cache.
+        output_groups:
+            Cardinality of the GROUP BY output (drives shuffle and merge).
+        shuffle_bytes:
+            Bytes exchanged over the network; defaults to a small per-group
+            record per map task (partial aggregation), which is how Hive-like
+            engines execute group-by.
+        nodes_involved:
+            How many nodes hold input data.  Defaults to all nodes when the
+            input is large, fewer when the input is small (selective queries
+            touch few blocks and therefore few machines — see §6.5).
+        """
+        if bytes_scanned < 0:
+            raise ValueError("bytes_scanned must be non-negative")
+        cached_fraction = min(1.0, max(0.0, cached_fraction))
+        config = self.config
+
+        if nodes_involved is None:
+            blocks = max(1, math.ceil(bytes_scanned / config.hdfs_block_bytes))
+            nodes_involved = min(config.num_nodes, blocks)
+        nodes_involved = max(1, min(config.num_nodes, nodes_involved))
+
+        bytes_per_node = bytes_scanned / nodes_involved
+        cached_per_node = bytes_per_node * cached_fraction
+        disk_per_node = bytes_per_node - cached_per_node
+
+        cpu_parallelism = max(1, config.cores_per_node // 2)
+        scan_seconds = (
+            disk_per_node / config.disk_bandwidth_bytes_per_sec
+            + cached_per_node
+            / (config.memory_bandwidth_bytes_per_sec * cpu_parallelism)
+        )
+
+        # Task waves: each node runs `scheduler_slots_per_node` tasks at a time;
+        # one task per HDFS block.
+        blocks_total = max(1, math.ceil(bytes_scanned / config.hdfs_block_bytes))
+        tasks_per_node = max(1, math.ceil(blocks_total / nodes_involved))
+        waves = max(1, math.ceil(tasks_per_node / config.scheduler_slots_per_node))
+        startup_seconds = config.task_startup_seconds + waves * config.per_wave_overhead_seconds
+
+        # Shuffle: each map task emits one partial-aggregate record per group.
+        if shuffle_bytes is None:
+            record_bytes = 64
+            map_tasks = blocks_total
+            shuffle_bytes = int(min(map_tasks, 4 * nodes_involved) * output_groups * record_bytes)
+        shuffle_seconds = shuffle_bytes / (
+            config.network_bandwidth_bytes_per_sec * nodes_involved
+        )
+
+        # Final merge of per-group partials on the coordinator / reducers.
+        merge_seconds = output_groups * 2e-6
+
+        return ScanEstimate(
+            bytes_scanned=int(bytes_scanned),
+            cached_bytes=int(bytes_scanned * cached_fraction),
+            parallelism=nodes_involved * config.scheduler_slots_per_node,
+            waves=waves,
+            startup_seconds=startup_seconds,
+            scan_seconds=scan_seconds,
+            shuffle_seconds=shuffle_seconds,
+            merge_seconds=merge_seconds,
+        )
+
+    # -- convenience -------------------------------------------------------------
+    def tier_of(self, cached_fraction: float) -> StorageTier:
+        if cached_fraction >= 0.999:
+            return StorageTier.MEMORY
+        if cached_fraction <= 0.001:
+            return StorageTier.DISK
+        return StorageTier.MIXED
+
+    def max_bytes_within(
+        self,
+        time_budget_seconds: float,
+        cached_fraction: float = 0.0,
+        output_groups: int = 1,
+    ) -> int:
+        """Largest input size whose estimated latency fits the time budget.
+
+        Implements the latency-profile extrapolation of §4.2: invert the
+        (monotone) latency model by bisection on bytes scanned.
+        """
+        if time_budget_seconds <= 0:
+            return 0
+        low, high = 0, self.config.num_nodes * self.config.disk_per_node_bytes
+        if self.estimate(high, cached_fraction, output_groups).total_seconds <= time_budget_seconds:
+            return high
+        if self.estimate(0, cached_fraction, output_groups).total_seconds > time_budget_seconds:
+            return 0
+        for _ in range(60):
+            mid = (low + high) // 2
+            est = self.estimate(mid, cached_fraction, output_groups)
+            if est.total_seconds <= time_budget_seconds:
+                low = mid
+            else:
+                high = mid
+            if high - low <= 1:
+                break
+        return low

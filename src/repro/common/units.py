@@ -1,0 +1,78 @@
+"""Byte and time unit helpers.
+
+The cluster simulator and the sample-selection optimizer reason about sizes
+(bytes scanned, storage budgets) and durations (latencies, time bounds).  This
+module centralises the conversions so that magic constants such as ``1 << 30``
+do not leak throughout the code base.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB: int = 1 << 10
+MB: int = 1 << 20
+GB: int = 1 << 30
+TB: int = 1 << 40
+
+_SIZE_PATTERN = re.compile(
+    r"^\s*(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>[kmgt]?b?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "b": 1,
+    "kb": KB,
+    "k": KB,
+    "mb": MB,
+    "m": MB,
+    "gb": GB,
+    "g": GB,
+    "tb": TB,
+    "t": TB,
+}
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"1.5GB"`` into bytes.
+
+    Integers and floats are interpreted as raw byte counts.  Raises
+    ``ValueError`` for unrecognised strings.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text}")
+        return int(text)
+    match = _SIZE_PATTERN.match(text)
+    if match is None:
+        raise ValueError(f"unrecognised size string: {text!r}")
+    value = float(match.group("value"))
+    unit = match.group("unit").lower()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unrecognised size unit in {text!r}")
+    return int(value * _UNIT_FACTORS[unit])
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count using the largest unit that keeps the value >= 1."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if num_bytes >= factor:
+            return f"{num_bytes / factor:.2f} {unit}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in seconds with a sensible unit (ms / s / min / h)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.2f} h"

@@ -1,0 +1,11 @@
+"""The public BlinkDB facade.
+
+:class:`repro.core.BlinkDB` is the single entry point most users need: load a
+fact table (and optional dimension tables), register a query workload, build
+samples under a storage budget, and run BlinkQL queries with error or time
+bounds.
+"""
+
+from repro.core.blinkdb import BlinkDB
+
+__all__ = ["BlinkDB"]

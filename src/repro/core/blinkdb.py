@@ -1,0 +1,264 @@
+"""The BlinkDB facade: load → register workload → build samples → query.
+
+Example
+-------
+>>> from repro import BlinkDB
+>>> from repro.workloads.conviva import generate_sessions_table
+>>> db = BlinkDB()
+>>> sessions = generate_sessions_table(num_rows=50_000, seed=7)
+>>> db.load_table(sessions, simulated_rows=5_000_000)
+>>> db.register_workload([
+...     "SELECT COUNT(*) FROM sessions WHERE city = 'city_0003' GROUP BY os",
+... ])
+>>> plan = db.build_samples(storage_budget_fraction=0.5)
+>>> result = db.query(
+...     "SELECT COUNT(*) FROM sessions WHERE city = 'city_0003' "
+...     "GROUP BY os ERROR WITHIN 10% AT CONFIDENCE 95%"
+... )
+>>> for group in result:            # doctest: +SKIP
+...     print(group.key, group.aggregates)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.config import BlinkDBConfig
+from repro.common.errors import CatalogError, PlanningError
+from repro.cluster.simulator import ClusterSimulator
+from repro.engine.result import QueryResult
+from repro.optimizer.planner import SamplePlan, SampleSelectionPlanner
+from repro.runtime.execution import BlinkDBRuntime
+from repro.sampling.builder import BuildReport, SampleBuilder
+from repro.sampling.maintenance import MaintenanceAction, SampleMaintenance
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+from repro.sql.templates import QueryTemplate, extract_template, normalize_weights, templates_from_trace
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+class BlinkDB:
+    """A sampling-based approximate query engine with bounded errors/latencies.
+
+    Parameters
+    ----------
+    config:
+        Sampling, cluster, and runtime configuration.  The defaults give a
+        laptop-scale setup with a simulated 100-node cluster.
+    """
+
+    def __init__(self, config: BlinkDBConfig | None = None) -> None:
+        self.config = config or BlinkDBConfig()
+        self.catalog = Catalog()
+        self.simulator = ClusterSimulator(self.config.cluster)
+        self._builder = SampleBuilder(
+            catalog=self.catalog,
+            config=self.config.sampling,
+            simulator=self.simulator,
+            scale_factor=1.0,
+            cluster_config=self.config.cluster,
+        )
+        self._dimension_tables: dict[str, Table] = {}
+        self._templates: dict[str, list[QueryTemplate]] = {}
+        self._plans: dict[str, SamplePlan] = {}
+        self._runtime: BlinkDBRuntime | None = None
+
+    # -- data loading ------------------------------------------------------------------
+    def load_table(
+        self,
+        table: Table,
+        simulated_rows: int | None = None,
+        cache: bool | float = False,
+    ) -> None:
+        """Register a fact table.
+
+        ``simulated_rows`` declares how many rows the table stands in for at
+        the simulated cluster scale (e.g. an in-memory table of 10⁶ rows may
+        represent the paper's 5.5 × 10⁹-row Conviva table); latencies reported
+        by the simulator use the simulated size while answers are computed on
+        the in-memory rows.  ``cache`` controls whether the *base* table is
+        held in the simulated cluster's memory (the paper's Shark-with-caching
+        configuration).
+        """
+        if table.num_rows == 0:
+            raise PlanningError(f"table {table.name!r} is empty")
+        scale = 1.0
+        if simulated_rows is not None:
+            if simulated_rows < table.num_rows:
+                raise ValueError("simulated_rows must be >= the table's actual row count")
+            scale = simulated_rows / table.num_rows
+        self._builder.scale_factor = scale
+        self._builder.register_base_table(table, cache=cache)
+        self._invalidate_runtime()
+
+    def load_dimension_table(self, table: Table) -> None:
+        """Register a dimension table (joined to fact tables, never sampled)."""
+        self._dimension_tables[table.name] = table
+        if not self.catalog.has_table(table.name):
+            self.catalog.register_table(table)
+        self._invalidate_runtime()
+
+    # -- workload registration -------------------------------------------------------------
+    def register_workload(
+        self,
+        queries: Sequence[str | Query] | None = None,
+        templates: Sequence[QueryTemplate] | None = None,
+        table: str | None = None,
+    ) -> list[QueryTemplate]:
+        """Register the historical workload used for sample selection.
+
+        Either a query trace (``queries``) or pre-aggregated ``templates`` may
+        be given.  Returns the normalised templates per fact table touched.
+        """
+        if (queries is None) == (templates is None):
+            raise ValueError("provide exactly one of queries or templates")
+        if queries is not None:
+            derived = templates_from_trace(list(queries), table=table)
+        else:
+            derived = normalize_weights(list(templates or []))
+        if not derived:
+            raise ValueError("the workload produced no query templates")
+        by_table: dict[str, list[QueryTemplate]] = {}
+        for template in derived:
+            by_table.setdefault(template.table, []).append(template)
+        for table_name, table_templates in by_table.items():
+            self._templates[table_name] = normalize_weights(table_templates)
+        return derived
+
+    def templates_for(self, table_name: str) -> list[QueryTemplate]:
+        return list(self._templates.get(table_name, []))
+
+    # -- sample creation --------------------------------------------------------------------
+    def build_samples(
+        self,
+        table_name: str | None = None,
+        storage_budget_fraction: float | None = None,
+    ) -> SamplePlan:
+        """Plan and build sample families for a fact table.
+
+        When ``table_name`` is omitted and exactly one fact table has a
+        registered workload, that table is used.
+        """
+        table_name = table_name or self._sole_workload_table()
+        table = self.catalog.table(table_name)
+        templates = self._templates.get(table_name)
+        if not templates:
+            raise PlanningError(
+                f"no workload registered for table {table_name!r}; call register_workload first"
+            )
+        planner = SampleSelectionPlanner(table, self.config.sampling)
+        plan = planner.plan(templates, storage_budget_fraction=storage_budget_fraction)
+        self._plans[table_name] = plan
+        self._builder.build_from_column_sets(table, plan.column_sets)
+        self._invalidate_runtime()
+        return plan
+
+    def build_report(self, table_name: str) -> BuildReport:
+        """Storage actually used by the samples of a table."""
+        report = BuildReport(table_name=table_name)
+        uniform = self.catalog.uniform_family(table_name)
+        if uniform is not None:
+            report.uniform_rows = uniform.largest.num_rows  # type: ignore[attr-defined]
+            report.uniform_storage_bytes = uniform.storage_bytes  # type: ignore[attr-defined]
+        for columns, family in self.catalog.stratified_families(table_name).items():
+            report.stratified[columns] = family.storage_bytes  # type: ignore[attr-defined]
+        return report
+
+    def plan_for(self, table_name: str) -> SamplePlan | None:
+        return self._plans.get(table_name)
+
+    # -- querying -------------------------------------------------------------------------------
+    def query(self, sql: str | Query) -> QueryResult:
+        """Answer a BlinkQL query approximately using the built samples."""
+        return self.runtime.execute(sql)
+
+    def query_exact(self, sql: str | Query) -> QueryResult:
+        """Answer a query exactly from the base table (no sampling)."""
+        return self.runtime.execute_exact(sql)
+
+    def explain(self, sql: str | Query) -> dict[str, object]:
+        """Run a query and return the runtime's decision alongside the answer."""
+        result = self.query(sql)
+        decision = result.metadata.get("decision")
+        return {
+            "result": result,
+            "sample": result.sample_name,
+            "rows_read": result.rows_read,
+            "simulated_latency_seconds": result.simulated_latency_seconds,
+            "decision": decision,
+        }
+
+    # -- maintenance -------------------------------------------------------------------------------
+    def maintenance(self) -> SampleMaintenance:
+        """The maintenance manager for drift detection, re-planning, and refresh."""
+        return SampleMaintenance(self.catalog, self._builder, self.config.sampling)
+
+    def replan_samples(
+        self,
+        table_name: str,
+        templates: Sequence[QueryTemplate] | None = None,
+        churn_fraction: float | None = None,
+        apply: bool = True,
+    ) -> tuple[SamplePlan, list[MaintenanceAction]]:
+        """Re-solve sample selection under the churn cap and optionally apply it."""
+        table = self.catalog.table(table_name)
+        workload = list(templates) if templates is not None else self._templates.get(table_name)
+        if not workload:
+            raise PlanningError(f"no workload registered for table {table_name!r}")
+        manager = self.maintenance()
+        churn = (
+            churn_fraction
+            if churn_fraction is not None
+            else self.config.maintenance_churn_fraction
+        )
+        plan, actions = manager.replan(table, workload, churn_fraction=churn)
+        if apply:
+            manager.apply_actions(table, actions)
+            self._plans[table_name] = plan
+            self._invalidate_runtime()
+        return plan, actions
+
+    # -- plumbing -----------------------------------------------------------------------------------
+    @property
+    def runtime(self) -> BlinkDBRuntime:
+        if self._runtime is None:
+            self._runtime = BlinkDBRuntime(
+                catalog=self.catalog,
+                config=self.config,
+                simulator=self.simulator,
+                dimension_tables=self._dimension_tables,
+            )
+        return self._runtime
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-friendly snapshot of tables, samples, and simulator state."""
+        return {
+            "catalog": self.catalog.describe(),
+            "simulator": self.simulator.describe(),
+            "plans": {
+                name: {
+                    "families": [list(f.columns) for f in plan.families],
+                    "total_storage_bytes": plan.total_storage_bytes,
+                }
+                for name, plan in self._plans.items()
+            },
+        }
+
+    # -- internals -------------------------------------------------------------------------------------
+    def _sole_workload_table(self) -> str:
+        if len(self._templates) == 1:
+            return next(iter(self._templates))
+        raise CatalogError(
+            "multiple (or zero) tables have registered workloads; pass table_name explicitly"
+        )
+
+    def _invalidate_runtime(self) -> None:
+        self._runtime = None
+
+    # -- convenience -------------------------------------------------------------------------------------
+    @staticmethod
+    def template_of(sql: str | Query, weight: float = 1.0) -> QueryTemplate:
+        """Extract the query template of a single query (helper for workloads)."""
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        return extract_template(query, weight)

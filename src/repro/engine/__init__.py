@@ -1,0 +1,23 @@
+"""The query engine: predicate evaluation, operators, and the executor.
+
+This is the stand-in for the Hive/Shark execution layer.  It evaluates parsed
+BlinkQL queries against in-memory columnar tables — either the base table
+(exact answers) or a sample table with per-row weights (approximate answers
+with error bars), producing :class:`~repro.engine.result.QueryResult`
+objects.
+"""
+
+from repro.engine.executor import QueryExecutor, execute_exact
+from repro.engine.expressions import evaluate_predicate
+from repro.engine.operators import hash_join
+from repro.engine.result import AggregateValue, GroupResult, QueryResult
+
+__all__ = [
+    "QueryExecutor",
+    "execute_exact",
+    "evaluate_predicate",
+    "hash_join",
+    "AggregateValue",
+    "GroupResult",
+    "QueryResult",
+]

@@ -1,0 +1,245 @@
+"""The query executor.
+
+The executor evaluates a parsed BlinkQL query against one in-memory table —
+either the base table (exact answers, zero-width error bars) or a sample
+table carrying per-row weights (approximate answers with Table-2 error bars).
+Joins against dimension tables are applied first (broadcast hash join), then
+the WHERE mask, then grouped aggregation.
+
+The same executor is used by the exact baselines, the ELP probing phase, and
+the final approximate execution, which keeps all answer paths consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.common.errors import ExecutionError, PlanningError
+from repro.engine.expressions import evaluate_predicate
+from repro.engine.operators import hash_join
+from repro.engine.result import AggregateValue, GroupResult, QueryResult
+from repro.estimation.estimators import Estimate, estimate_aggregate
+from repro.sql.ast import AggregateCall, AggregateFunction, Query
+from repro.storage.table import Table
+
+_FUNCTION_NAMES = {
+    AggregateFunction.COUNT: "count",
+    AggregateFunction.SUM: "sum",
+    AggregateFunction.AVG: "avg",
+    AggregateFunction.QUANTILE: "quantile",
+    AggregateFunction.MEDIAN: "quantile",
+    AggregateFunction.STDDEV: "stddev",
+    AggregateFunction.VARIANCE: "variance",
+}
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """How a table should be interpreted during execution.
+
+    Attributes
+    ----------
+    weights:
+        Per-row inverse sampling rates aligned with the table's rows.  ``None``
+        means every row has weight 1 (an unsampled table).
+    exact:
+        True when the table is the full base table, so every answer is exact.
+    unit_weight_exact:
+        True when rows with weight exactly 1.0 are known to constitute their
+        entire stratum (stratified sample whose column set covers the query),
+        so groups made up solely of such rows are exact (§3.1: "the answer is
+        exact as the sample contains all rows from the original table").
+    rows_read:
+        Number of rows scanned; defaults to the table's row count.
+    population_read:
+        Number of original-table rows the scanned rows represent; defaults to
+        the sum of weights (or ``rows_read`` when unweighted).
+    sample_name:
+        Identifier recorded in the result for provenance.
+    """
+
+    weights: np.ndarray | None = None
+    exact: bool = False
+    unit_weight_exact: bool = False
+    rows_read: int | None = None
+    population_read: float | None = None
+    sample_name: str | None = None
+
+
+class QueryExecutor:
+    """Executes queries against tables, resolving dimension tables by name."""
+
+    def __init__(self, tables: Mapping[str, Table] | None = None) -> None:
+        self._tables = dict(tables or {})
+
+    def register_table(self, table: Table) -> None:
+        self._tables[table.name] = table
+
+    # -- public API -----------------------------------------------------------
+    def execute(
+        self,
+        query: Query,
+        data: Table,
+        context: ExecutionContext | None = None,
+        confidence: float | None = None,
+    ) -> QueryResult:
+        """Execute ``query`` against ``data`` under the given context."""
+        context = context or ExecutionContext(exact=True)
+        confidence = self._reporting_confidence(query, confidence)
+
+        weights = context.weights
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != data.num_rows:
+                raise ExecutionError("weights length does not match table row count")
+
+        rows_read = context.rows_read if context.rows_read is not None else data.num_rows
+        if context.population_read is not None:
+            population_read = context.population_read
+        elif weights is not None:
+            population_read = float(np.sum(weights))
+        else:
+            population_read = float(rows_read)
+
+        # 1. Joins against dimension tables.
+        working, weights = self._apply_joins(query, data, weights)
+
+        # 2. WHERE mask.
+        mask = evaluate_predicate(query.where, working)
+        matched = working.filter(mask)
+        matched_weights = weights[mask] if weights is not None else None
+
+        # 3. Group assignment.
+        group_columns = [c.name for c in query.group_by]
+        if group_columns:
+            matched.schema.validate_columns(group_columns)
+            codes, keys = matched.group_codes(group_columns)
+        else:
+            codes = np.zeros(matched.num_rows, dtype=np.int64)
+            keys = [()]
+            if matched.num_rows == 0:
+                codes = np.zeros(0, dtype=np.int64)
+
+        # 4. Per-group aggregation.
+        groups: list[GroupResult] = []
+        for group_id, key in enumerate(keys):
+            group_mask = codes == group_id
+            group_rows = np.nonzero(group_mask)[0]
+            group_weights = (
+                matched_weights[group_rows] if matched_weights is not None else None
+            )
+            group_exact = context.exact or (
+                context.unit_weight_exact
+                and group_weights is not None
+                and group_rows.size > 0
+                and bool(np.all(np.isclose(group_weights, 1.0)))
+            )
+            aggregates: dict[str, AggregateValue] = {}
+            for call in query.aggregates:
+                estimate = self._aggregate_group(
+                    call,
+                    matched,
+                    group_rows,
+                    group_weights,
+                    rows_read=rows_read,
+                    population_read=population_read,
+                    exact=group_exact,
+                )
+                name = call.output_name()
+                aggregates[name] = AggregateValue(name, estimate, confidence)
+            groups.append(GroupResult(key=key, aggregates=aggregates))
+
+        groups.sort(key=lambda g: tuple(str(k) for k in g.key))
+        if query.limit is not None:
+            groups = groups[: query.limit]
+
+        return QueryResult(
+            group_by=tuple(group_columns),
+            groups=tuple(groups),
+            rows_read=rows_read,
+            sample_name=context.sample_name,
+        )
+
+    # -- internals ---------------------------------------------------------------
+    def _reporting_confidence(self, query: Query, override: float | None) -> float:
+        if override is not None:
+            return override
+        if query.error_bound is not None:
+            return query.error_bound.confidence
+        return 0.95
+
+    def _apply_joins(
+        self, query: Query, data: Table, weights: np.ndarray | None
+    ) -> tuple[Table, np.ndarray | None]:
+        working = data
+        for join in query.joins:
+            right = self._tables.get(join.right_table)
+            if right is None:
+                raise PlanningError(
+                    f"join references unknown dimension table {join.right_table!r}"
+                )
+            left_key = join.left_column.name
+            right_key = join.right_column.name
+            if left_key not in working.schema and right_key in working.schema:
+                # The user wrote the keys in the other order; swap them.
+                left_key, right_key = right_key, left_key
+            working, left_rows = hash_join(working, right, left_key, right_key)
+            if weights is not None:
+                weights = weights[left_rows]
+        return working, weights
+
+    def _aggregate_group(
+        self,
+        call: AggregateCall,
+        matched: Table,
+        group_rows: np.ndarray,
+        group_weights: np.ndarray | None,
+        rows_read: int,
+        population_read: float,
+        exact: bool,
+    ) -> Estimate:
+        function_name = _FUNCTION_NAMES[call.function]
+        values: np.ndarray | None = None
+        if call.function is AggregateFunction.COUNT and call.column is None:
+            values = None
+        else:
+            if call.column is None:
+                raise PlanningError(f"aggregate {call.function.value} requires a column")
+            column = matched.column(call.column.name)
+            values = column.numeric()[group_rows]
+        if function_name == "count":
+            weights = (
+                group_weights
+                if group_weights is not None
+                else np.ones(group_rows.size, dtype=np.float64)
+            )
+            return estimate_aggregate(
+                "count",
+                None,
+                weights,
+                rows_read=rows_read,
+                population_read=population_read,
+                exact=exact,
+            )
+        return estimate_aggregate(
+            function_name,
+            values,
+            group_weights,
+            rows_read=rows_read,
+            population_read=population_read,
+            quantile=call.quantile,
+            exact=exact,
+        )
+
+
+def execute_exact(
+    query: Query,
+    table: Table,
+    dimension_tables: Mapping[str, Table] | None = None,
+) -> QueryResult:
+    """Execute a query exactly against the full base table."""
+    executor = QueryExecutor(dimension_tables)
+    return executor.execute(query, table, ExecutionContext(exact=True, sample_name=None))

@@ -1,0 +1,111 @@
+"""Vectorised predicate evaluation over columnar tables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.sql.ast import (
+    BetweenPredicate,
+    BinaryPredicate,
+    ComparisonOp,
+    CompoundPredicate,
+    InPredicate,
+    LogicalOp,
+    NotPredicate,
+    Predicate,
+)
+from repro.storage.column import Column
+from repro.storage.schema import ColumnType
+from repro.storage.table import Table
+
+
+def evaluate_predicate(predicate: Predicate | None, table: Table) -> np.ndarray:
+    """Evaluate a predicate tree, returning a boolean mask over the table's rows.
+
+    ``None`` (no WHERE clause) selects every row.
+    """
+    if predicate is None:
+        return np.ones(table.num_rows, dtype=bool)
+    if isinstance(predicate, BinaryPredicate):
+        return _evaluate_binary(predicate, table)
+    if isinstance(predicate, InPredicate):
+        return _evaluate_in(predicate, table)
+    if isinstance(predicate, BetweenPredicate):
+        return _evaluate_between(predicate, table)
+    if isinstance(predicate, NotPredicate):
+        return ~evaluate_predicate(predicate.inner, table)
+    if isinstance(predicate, CompoundPredicate):
+        masks = [evaluate_predicate(op, table) for op in predicate.operands]
+        combined = masks[0]
+        for mask in masks[1:]:
+            combined = combined & mask if predicate.op is LogicalOp.AND else combined | mask
+        return combined
+    raise ExecutionError(f"unsupported predicate type {type(predicate)!r}")
+
+
+def _column(table: Table, name: str) -> Column:
+    return table.column(name)
+
+
+def _evaluate_binary(predicate: BinaryPredicate, table: Table) -> np.ndarray:
+    column = _column(table, predicate.column.name)
+    op = predicate.op
+    if column.ctype is ColumnType.STRING:
+        if op in (ComparisonOp.EQ, ComparisonOp.NE):
+            code = column.encode_lookup(predicate.value)
+            mask = column.data == code
+            return mask if op is ComparisonOp.EQ else ~mask
+        # Range comparisons on strings fall back to decoded values.
+        values = column.values()
+        return _compare(values, op, str(predicate.value))
+    data = column.data
+    literal = column.encode_lookup(predicate.value)
+    return _compare(data, op, literal)
+
+
+def _compare(data: np.ndarray, op: ComparisonOp, literal: object) -> np.ndarray:
+    if op is ComparisonOp.EQ:
+        return data == literal
+    if op is ComparisonOp.NE:
+        return data != literal
+    if op is ComparisonOp.LT:
+        return data < literal
+    if op is ComparisonOp.LE:
+        return data <= literal
+    if op is ComparisonOp.GT:
+        return data > literal
+    if op is ComparisonOp.GE:
+        return data >= literal
+    raise ExecutionError(f"unsupported comparison operator {op!r}")
+
+
+def _evaluate_in(predicate: InPredicate, table: Table) -> np.ndarray:
+    column = _column(table, predicate.column.name)
+    if column.ctype is ColumnType.STRING:
+        codes = [column.encode_lookup(v) for v in predicate.values]
+        codes = [c for c in codes if c != -1]
+        if not codes:
+            return np.zeros(table.num_rows, dtype=bool)
+        return np.isin(column.data, codes)
+    literals = [column.encode_lookup(v) for v in predicate.values]
+    return np.isin(column.data, literals)
+
+
+def _evaluate_between(predicate: BetweenPredicate, table: Table) -> np.ndarray:
+    column = _column(table, predicate.column.name)
+    if column.ctype is ColumnType.STRING:
+        values = column.values()
+        return (values >= str(predicate.low)) & (values <= str(predicate.high))
+    data = column.data
+    low = column.encode_lookup(predicate.low)
+    high = column.encode_lookup(predicate.high)
+    return (data >= low) & (data <= high)
+
+
+def estimate_selectivity(predicate: Predicate | None, table: Table) -> float:
+    """Fraction of rows of ``table`` selected by ``predicate``."""
+    if table.num_rows == 0:
+        return 0.0
+    mask = evaluate_predicate(predicate, table)
+    return float(np.count_nonzero(mask)) / table.num_rows

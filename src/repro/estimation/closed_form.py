@@ -1,0 +1,103 @@
+"""Closed-form variance formulas (paper Table 2).
+
+For a uniform sample of ``n`` rows drawn from a population of ``N`` rows, the
+paper gives the following estimator variances:
+
+========  ==========================================  =============================
+Operator  Estimate                                    Variance
+========  ==========================================  =============================
+AVG       ``mean(X_i)``                               ``S_n² / n``
+COUNT     ``(N / n) · Σ I_k``                         ``(N² / n) · c(1 − c)``
+SUM       ``(N / n) · Σ I_k · X̄``                     ``N² · (S_n²/n) · c(1 − c)``
+QUANTILE  interpolated order statistic                ``p(1 − p) / (n · f(x_p)²)``
+========  ==========================================  =============================
+
+where ``S_n²`` is the sample variance of the matching values, ``c`` is the
+selectivity (fraction of sampled rows matching the predicate), ``I_k`` the
+match indicator, ``p`` the requested quantile, and ``f`` the density of the
+data at the quantile.  Standard deviation is therefore proportional to
+``1/√n`` for all of them, which is what the Error-Latency Profile
+extrapolates on (§4.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def avg_variance(sample_variance: float, n: int) -> float:
+    """Variance of the sample mean: ``S_n² / n``."""
+    if n <= 0:
+        return math.inf
+    return max(0.0, sample_variance) / n
+
+
+def count_variance(population: float, n: int, selectivity: float) -> float:
+    """Variance of the scaled count estimator: ``(N²/n)·c(1−c)``."""
+    if n <= 0:
+        return math.inf
+    c = min(1.0, max(0.0, selectivity))
+    return (population**2 / n) * c * (1.0 - c)
+
+
+def sum_variance(
+    population: float,
+    n: int,
+    sample_variance: float,
+    selectivity: float,
+    mean_value: float = 0.0,
+) -> float:
+    """Variance of the scaled-sum estimator.
+
+    Table 2 gives ``N² · (S_n²/n) · c(1−c)``.  That expression understates the
+    uncertainty when the mean of the matching values is large relative to
+    their spread (the count noise then dominates), so we additionally include
+    the standard two-term decomposition of the variance of
+    ``(N/n)·Σ I_k·X_k``::
+
+        Var ≈ (N²/n) · [ c·S_n² + c(1−c)·x̄² ]
+
+    which reduces to Table 2's form when ``x̄`` is negligible.  Benchmarks
+    against bootstrap variances (see ``benchmarks/test_table2_error_formulas``)
+    show this matches the empirical spread.
+    """
+    if n <= 0:
+        return math.inf
+    c = min(1.0, max(0.0, selectivity))
+    variance_term = c * max(0.0, sample_variance)
+    count_term = c * (1.0 - c) * (mean_value**2)
+    return (population**2 / n) * (variance_term + count_term)
+
+
+def quantile_variance(n: int, p: float, density_at_quantile: float) -> float:
+    """Variance of the sample quantile: ``p(1−p) / (n · f(x_p)²)``."""
+    if n <= 0:
+        return math.inf
+    if not 0.0 < p < 1.0:
+        raise ValueError("quantile p must be in (0, 1)")
+    if density_at_quantile <= 0:
+        return math.inf
+    # Guard against overflow when the data is (nearly) degenerate around the
+    # quantile: an enormous density means the quantile is pinned, i.e. the
+    # estimator has essentially no variance.
+    if density_at_quantile > 1e150:
+        return 0.0
+    return p * (1.0 - p) / (n * density_at_quantile**2)
+
+
+def stddev_variance(sample_variance: float, n: int) -> float:
+    """Approximate variance of the sample standard deviation.
+
+    For approximately normal data, ``Var(S) ≈ S² / (2(n−1))``.  This is an
+    extension beyond Table 2 used for the STDDEV aggregate.
+    """
+    if n <= 1:
+        return math.inf
+    return max(0.0, sample_variance) / (2.0 * (n - 1))
+
+
+def variance_of_sample_variance(sample_variance: float, n: int) -> float:
+    """Approximate variance of the sample variance: ``2·S⁴/(n−1)``."""
+    if n <= 1:
+        return math.inf
+    return 2.0 * max(0.0, sample_variance) ** 2 / (n - 1)

@@ -1,0 +1,318 @@
+"""Point estimators with per-row weights and their variance estimates.
+
+BlinkDB produces unbiased answers from stratified samples by tracking the
+*effective sampling rate* of every row and weighting each row by the inverse
+of that rate (§4.3, Tables 3–4).  The estimators here take a vector of
+matching values and the corresponding weights and return an
+:class:`Estimate` — a point value plus an estimated variance from which
+confidence intervals and relative errors are derived.
+
+Two variance regimes are used:
+
+* When all weights are (nearly) equal the sample is effectively uniform and
+  the closed forms of the paper's Table 2 apply directly
+  (:mod:`repro.estimation.closed_form`).
+* When weights differ across rows (a stratified sample mixing exact strata at
+  rate 1.0 with capped strata at rate ``K/F(x)``), a Horvitz–Thompson /
+  linearisation variance is used, which reduces to the Table-2 forms in the
+  uniform-weight limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.estimation import closed_form
+from repro.estimation.confidence import ConfidenceInterval, confidence_interval
+
+_UNIFORM_WEIGHT_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate together with its estimated variance.
+
+    Attributes
+    ----------
+    value:
+        The unbiased point estimate of the aggregate.
+    variance:
+        Estimated variance of the estimator (``inf`` when it cannot be
+        estimated, e.g. zero matching rows).
+    sample_rows:
+        Number of matching rows in the sample the estimate was computed from
+        (``n`` in the paper's formulas).
+    rows_read:
+        Total rows scanned (matching or not) to produce the estimate.
+    population_rows:
+        Estimated number of matching rows in the full table (the scaled
+        count), when meaningful.
+    exact:
+        True when the estimate is known to be exact (e.g. the stratum was
+        below the cap ``K`` so the sample holds every matching row).
+    """
+
+    value: float
+    variance: float
+    sample_rows: int
+    rows_read: int = 0
+    population_rows: float | None = None
+    exact: bool = False
+
+    def interval(self, confidence: float = 0.95) -> ConfidenceInterval:
+        """Confidence interval at the requested confidence level."""
+        if self.exact:
+            return ConfidenceInterval(self.value, 0.0, confidence)
+        return confidence_interval(self.value, self.variance, confidence)
+
+    def relative_error(self, confidence: float = 0.95) -> float:
+        """CI half-width over |value| (∞ for a zero-valued noisy estimate)."""
+        return self.interval(confidence).relative_half_width
+
+    def stddev(self) -> float:
+        return math.sqrt(self.variance) if math.isfinite(self.variance) else math.inf
+
+
+def _as_arrays(values, weights, n: int) -> tuple[np.ndarray, np.ndarray]:
+    if values is None:
+        values = np.ones(n, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if weights is None:
+        weights = np.ones(values.shape[0], dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.shape[0] != weights.shape[0]:
+        raise ValueError("values and weights must have the same length")
+    if np.any(weights <= 0):
+        raise ValueError("weights must be strictly positive")
+    return values, weights
+
+
+def _weights_uniform(weights: np.ndarray) -> bool:
+    if weights.size == 0:
+        return True
+    return bool(np.ptp(weights) <= _UNIFORM_WEIGHT_TOLERANCE * max(1.0, abs(float(weights[0]))))
+
+
+def estimate_count(
+    weights: np.ndarray | None,
+    rows_read: int,
+    population_read: float | None = None,
+    exact: bool = False,
+) -> Estimate:
+    """Estimate the population count of matching rows.
+
+    ``weights`` are the per-matching-row inverse sampling rates; ``rows_read``
+    is the total number of sampled rows scanned; ``population_read`` is the
+    number of original-table rows the scanned sample represents (defaults to
+    the sum of weights over all scanned rows ≈ ``rows_read`` × mean weight).
+    """
+    if weights is None:
+        weights = np.zeros(0, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    n = int(weights.shape[0])
+    value = float(np.sum(weights))
+    if exact:
+        return Estimate(value, 0.0, n, rows_read, value, exact=True)
+    if n == 0:
+        # No matching rows seen: the point estimate is 0 and the uncertainty
+        # is governed by the rows scanned (a Poisson-style upper bound).
+        variance = float(population_read or rows_read or 1.0)
+        return Estimate(0.0, variance, 0, rows_read, 0.0, exact=False)
+    if population_read is None:
+        population_read = float(np.mean(weights)) * max(rows_read, n)
+    if _weights_uniform(weights) and rows_read > 0:
+        selectivity = n / rows_read
+        variance = closed_form.count_variance(population_read, rows_read, selectivity)
+    else:
+        selectivity = min(1.0, n / rows_read) if rows_read > 0 else 0.0
+        variance = float(np.sum(weights * (weights - 1.0))) * max(0.0, 1.0 - selectivity)
+    return Estimate(value, variance, n, rows_read, value, exact=False)
+
+
+def estimate_sum(
+    values: np.ndarray,
+    weights: np.ndarray | None,
+    rows_read: int,
+    population_read: float | None = None,
+    exact: bool = False,
+) -> Estimate:
+    """Estimate the population sum of ``values`` over matching rows."""
+    values, weights = _as_arrays(values, weights, 0)
+    n = int(values.shape[0])
+    value = float(np.sum(values * weights))
+    population_rows = float(np.sum(weights))
+    if exact:
+        return Estimate(value, 0.0, n, rows_read, population_rows, exact=True)
+    if n == 0:
+        return Estimate(0.0, math.inf, 0, rows_read, 0.0)
+    if population_read is None:
+        population_read = float(np.mean(weights)) * max(rows_read, n)
+    if _weights_uniform(weights) and rows_read > 0 and n > 1:
+        selectivity = n / rows_read
+        sample_variance = float(np.var(values, ddof=1))
+        mean_value = float(np.mean(values))
+        variance = closed_form.sum_variance(
+            population_read, rows_read, sample_variance, selectivity, mean_value
+        )
+    else:
+        selectivity = min(1.0, n / rows_read) if rows_read > 0 else 0.0
+        variance = float(np.sum((values**2) * weights * (weights - 1.0)))
+        variance *= max(0.0, 1.0 - selectivity) if selectivity < 1.0 else 0.0
+        if variance == 0.0 and not _weights_uniform(weights):
+            variance = float(np.sum((values**2) * weights * np.maximum(weights - 1.0, 0.0)))
+    return Estimate(value, variance, n, rows_read, population_rows)
+
+
+def estimate_avg(
+    values: np.ndarray,
+    weights: np.ndarray | None,
+    rows_read: int,
+    exact: bool = False,
+) -> Estimate:
+    """Estimate the population mean of ``values`` over matching rows.
+
+    Uses the weighted (Hájek) ratio estimator ``Σ wᵢxᵢ / Σ wᵢ`` with a
+    linearised variance that reduces to ``S²/n`` for uniform weights.
+    """
+    values, weights = _as_arrays(values, weights, 0)
+    n = int(values.shape[0])
+    if n == 0:
+        return Estimate(math.nan, math.inf, 0, rows_read, 0.0)
+    weight_total = float(np.sum(weights))
+    value = float(np.sum(values * weights) / weight_total)
+    if exact:
+        return Estimate(value, 0.0, n, rows_read, weight_total, exact=True)
+    if n == 1:
+        return Estimate(value, math.inf, 1, rows_read, weight_total)
+    if _weights_uniform(weights):
+        sample_variance = float(np.var(values, ddof=1))
+        variance = closed_form.avg_variance(sample_variance, n)
+    else:
+        residuals = values - value
+        variance = float(np.sum((weights * residuals) ** 2)) / (weight_total**2)
+    return Estimate(value, variance, n, rows_read, weight_total)
+
+
+def estimate_quantile(
+    values: np.ndarray,
+    weights: np.ndarray | None,
+    p: float,
+    rows_read: int,
+    exact: bool = False,
+) -> Estimate:
+    """Estimate the ``p``-quantile of the population distribution of ``values``.
+
+    The point estimate is the weighted quantile (linear interpolation on the
+    weighted empirical CDF).  The variance follows Table 2:
+    ``p(1−p)/(n·f(x_p)²)`` with the density ``f`` at the quantile estimated by
+    a central finite difference of nearby sample quantiles.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("quantile p must be in (0, 1)")
+    values, weights = _as_arrays(values, weights, 0)
+    n = int(values.shape[0])
+    if n == 0:
+        return Estimate(math.nan, math.inf, 0, rows_read, 0.0)
+    order = np.argsort(values, kind="mergesort")
+    sorted_values = values[order]
+    sorted_weights = weights[order]
+    cumulative = np.cumsum(sorted_weights)
+    total = cumulative[-1]
+    # Weighted quantile positions at the centre of each row's weight mass.
+    positions = (cumulative - 0.5 * sorted_weights) / total
+    value = float(np.interp(p, positions, sorted_values))
+    if exact:
+        return Estimate(value, 0.0, n, rows_read, float(total), exact=True)
+    if n < 4:
+        return Estimate(value, math.inf, n, rows_read, float(total))
+    # Finite-difference density estimate around the quantile.
+    delta = max(0.01, 1.0 / math.sqrt(n))
+    low_p = max(1e-6, p - delta)
+    high_p = min(1.0 - 1e-6, p + delta)
+    low_value = float(np.interp(low_p, positions, sorted_values))
+    high_value = float(np.interp(high_p, positions, sorted_values))
+    spread = high_value - low_value
+    if spread <= 0:
+        # Degenerate/duplicated data around the quantile: the quantile is
+        # pinned, so the uncertainty is effectively zero.
+        return Estimate(value, 0.0, n, rows_read, float(total))
+    density = (high_p - low_p) / spread
+    variance = closed_form.quantile_variance(n, p, density)
+    return Estimate(value, variance, n, rows_read, float(total))
+
+
+def estimate_variance(
+    values: np.ndarray,
+    weights: np.ndarray | None,
+    rows_read: int,
+    exact: bool = False,
+) -> Estimate:
+    """Estimate the population variance of ``values`` (extension aggregate)."""
+    values, weights = _as_arrays(values, weights, 0)
+    n = int(values.shape[0])
+    if n < 2:
+        return Estimate(math.nan, math.inf, n, rows_read, 0.0)
+    weight_total = float(np.sum(weights))
+    mean = float(np.sum(values * weights) / weight_total)
+    value = float(np.sum(weights * (values - mean) ** 2) / weight_total)
+    # Rescale to an (approximately) unbiased estimate.
+    value *= n / max(1, n - 1)
+    if exact:
+        return Estimate(value, 0.0, n, rows_read, weight_total, exact=True)
+    variance = closed_form.variance_of_sample_variance(value, n)
+    return Estimate(value, variance, n, rows_read, weight_total)
+
+
+def estimate_stddev(
+    values: np.ndarray,
+    weights: np.ndarray | None,
+    rows_read: int,
+    exact: bool = False,
+) -> Estimate:
+    """Estimate the population standard deviation (extension aggregate)."""
+    var_estimate = estimate_variance(values, weights, rows_read, exact=exact)
+    if math.isnan(var_estimate.value):
+        return var_estimate
+    value = math.sqrt(max(0.0, var_estimate.value))
+    if exact:
+        return Estimate(value, 0.0, var_estimate.sample_rows, rows_read,
+                        var_estimate.population_rows, exact=True)
+    variance = closed_form.stddev_variance(var_estimate.value, var_estimate.sample_rows)
+    return Estimate(value, variance, var_estimate.sample_rows, rows_read,
+                    var_estimate.population_rows)
+
+
+def estimate_aggregate(
+    function: str,
+    values: np.ndarray | None,
+    weights: np.ndarray | None,
+    rows_read: int,
+    population_read: float | None = None,
+    quantile: float | None = None,
+    exact: bool = False,
+) -> Estimate:
+    """Dispatch to the estimator for ``function`` (by lowercase name).
+
+    ``function`` is one of ``count``, ``sum``, ``avg``, ``quantile``,
+    ``stddev``, ``variance``.  This string interface keeps the estimation
+    package independent of the SQL AST.
+    """
+    name = function.lower()
+    if name == "count":
+        return estimate_count(weights, rows_read, population_read, exact=exact)
+    if values is None:
+        raise ValueError(f"aggregate {function!r} requires a value column")
+    if name == "sum":
+        return estimate_sum(values, weights, rows_read, population_read, exact=exact)
+    if name == "avg":
+        return estimate_avg(values, weights, rows_read, exact=exact)
+    if name in ("quantile", "median"):
+        return estimate_quantile(values, weights, quantile or 0.5, rows_read, exact=exact)
+    if name == "stddev":
+        return estimate_stddev(values, weights, rows_read, exact=exact)
+    if name == "variance":
+        return estimate_variance(values, weights, rows_read, exact=exact)
+    raise ValueError(f"unknown aggregate function {function!r}")

@@ -1,0 +1,36 @@
+"""The sample-selection optimization framework (paper §3.2).
+
+Given a table, a workload of weighted query templates, and a storage budget,
+this package decides which column sets to build stratified sample families
+on.  The decision is the mixed-integer program of §3.2.1:
+
+    maximize    G = Σ_i  w_i · y_i · Δ(φ_i)
+    subject to  Σ_j  Store(φ_j) · z_j ≤ S                      (storage)
+                y_i ≤ max_{φ_j ⊆ φ_i}  |D(φ_j)|/|D(φ_i)| · z_j  (coverage)
+                Σ_j |δ_j − z_j| · Store(φ_j) ≤ r · Σ_j δ_j · Store(φ_j)   (churn, §3.2.3)
+
+with z_j ∈ {0,1} selecting candidate column sets and y_i ∈ [0,1] the coverage
+of template i.  Candidates are restricted to subsets of template column sets
+with at most ``max_columns_per_family`` columns (§3.2.2).
+
+The solver is an exact branch-and-bound (the objective is monotone in z, so
+"select everything remaining" is an admissible bound) with a greedy
+warm start; a pure greedy mode is available for very large candidate sets.
+"""
+
+from repro.optimizer.candidates import CandidateColumnSet, generate_candidates
+from repro.optimizer.milp import SampleSelectionProblem
+from repro.optimizer.planner import SamplePlan, SampleSelectionPlanner
+from repro.optimizer.solver import SolverResult, solve, solve_branch_and_bound, solve_greedy
+
+__all__ = [
+    "CandidateColumnSet",
+    "generate_candidates",
+    "SampleSelectionProblem",
+    "SamplePlan",
+    "SampleSelectionPlanner",
+    "SolverResult",
+    "solve",
+    "solve_branch_and_bound",
+    "solve_greedy",
+]

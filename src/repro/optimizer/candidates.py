@@ -1,0 +1,102 @@
+"""Candidate column sets for stratified sample families.
+
+§3.2.2: using the power set of all columns would blow up the MILP, so BlinkDB
+restricts candidates to column sets that appear (as subsets) in at least one
+query template, further limited to at most a few columns.  For each candidate
+we precompute everything the MILP needs: the storage cost of its family, its
+skew ``Δ(φ)``, and its distinct-value count (for the coverage ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.common.config import SamplingConfig
+from repro.sampling.skew import delta_skew, stratified_storage_bytes
+from repro.sql.templates import QueryTemplate
+from repro.storage.statistics import joint_frequencies
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class CandidateColumnSet:
+    """One candidate column set φ_j with its precomputed MILP coefficients."""
+
+    columns: tuple[str, ...]
+    storage_bytes: int
+    delta: int
+    distinct_count: int
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("candidate column set must be non-empty")
+        if tuple(sorted(self.columns)) != self.columns:
+            raise ValueError("candidate columns must be sorted (canonical form)")
+
+    def is_subset_of(self, columns: Sequence[str]) -> bool:
+        return set(self.columns) <= set(columns)
+
+    def label(self) -> str:
+        return ",".join(self.columns)
+
+
+def candidate_column_subsets(
+    templates: Sequence[QueryTemplate], max_columns: int
+) -> list[tuple[str, ...]]:
+    """All distinct non-empty subsets (≤ ``max_columns``) of template column sets."""
+    subsets: set[tuple[str, ...]] = set()
+    for template in templates:
+        columns = sorted(set(template.columns))
+        if not columns:
+            continue
+        max_size = min(max_columns, len(columns))
+        for size in range(1, max_size + 1):
+            for combo in combinations(columns, size):
+                subsets.add(tuple(combo))
+    return sorted(subsets)
+
+
+def generate_candidates(
+    table: Table,
+    templates: Sequence[QueryTemplate],
+    config: SamplingConfig,
+) -> list[CandidateColumnSet]:
+    """Build the candidate list with storage, skew, and distinct-count data.
+
+    Candidates referencing columns missing from the table are skipped (a
+    template may mention a derived column the fact table does not carry).
+    """
+    cap = config.effective_cap(table.num_rows)
+    candidates: list[CandidateColumnSet] = []
+    for columns in candidate_column_subsets(templates, config.max_columns_per_family):
+        if any(column not in table.schema for column in columns):
+            continue
+        frequencies = joint_frequencies(table, columns)
+        storage = stratified_storage_bytes(frequencies, cap, table.row_width_bytes)
+        candidates.append(
+            CandidateColumnSet(
+                columns=columns,
+                storage_bytes=storage,
+                delta=delta_skew(frequencies, cap),
+                distinct_count=int(frequencies.shape[0]),
+            )
+        )
+    return candidates
+
+
+def template_distinct_counts(
+    table: Table, templates: Sequence[QueryTemplate]
+) -> dict[tuple[str, ...], int]:
+    """``|D(φ_Ti)|`` for every template column set present in the table."""
+    counts: dict[tuple[str, ...], int] = {}
+    for template in templates:
+        columns = tuple(sorted(set(template.columns)))
+        if not columns or columns in counts:
+            continue
+        if any(column not in table.schema for column in columns):
+            counts[columns] = 0
+            continue
+        counts[columns] = table.distinct_count(list(columns))
+    return counts

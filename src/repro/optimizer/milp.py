@@ -1,0 +1,208 @@
+"""The MILP formulation of stratified-sample selection (paper §3.2.1, §3.2.3).
+
+:class:`SampleSelectionProblem` holds the data of the program — candidate
+column sets, weighted templates, the coverage coefficients
+``a_ij = |D(φ_j)|/|D(φ_Ti)|`` (for φ_j ⊆ φ_Ti), storage costs, the budget, and
+the optional churn constraint of §3.2.3 — and knows how to score and check
+feasibility of a selection vector ``z``.  The solvers in
+:mod:`repro.optimizer.solver` operate on this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+from repro.optimizer.candidates import CandidateColumnSet, template_distinct_counts
+from repro.sql.templates import QueryTemplate
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class SampleSelectionProblem:
+    """The sample-selection MILP instance.
+
+    Attributes
+    ----------
+    candidates:
+        The candidate column sets φ_1 … φ_α (decision variables z_j).
+    templates:
+        The weighted query templates φ_T1 … φ_Tm.
+    template_deltas:
+        ``Δ(φ_Ti)`` — skew of every template's full column set.
+    coverage:
+        ``a[i, j] = |D(φ_j)| / |D(φ_Ti)|`` when φ_j ⊆ φ_Ti, else 0.  Clipped
+        to 1 (a subset can never have more distinct values than the superset
+        but ties give exactly 1, meaning full coverage).
+    storage_costs:
+        ``Store(φ_j)`` in bytes for each candidate.
+    storage_budget_bytes:
+        The budget ``S`` of constraint (3).
+    existing:
+        ``δ_j`` — whether candidate j is already built (for constraint (5)).
+    churn_fraction:
+        ``r`` — maximum fraction of existing sample storage that may be
+        created or discarded on a re-solve.  ``1.0`` disables the constraint.
+    """
+
+    candidates: tuple[CandidateColumnSet, ...]
+    templates: tuple[QueryTemplate, ...]
+    template_deltas: tuple[int, ...]
+    coverage: np.ndarray
+    storage_costs: np.ndarray
+    storage_budget_bytes: int
+    existing: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    churn_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        num_templates = len(self.templates)
+        num_candidates = len(self.candidates)
+        if self.coverage.shape != (num_templates, num_candidates):
+            raise OptimizationError(
+                f"coverage matrix shape {self.coverage.shape} does not match "
+                f"({num_templates}, {num_candidates})"
+            )
+        if self.storage_costs.shape != (num_candidates,):
+            raise OptimizationError("storage_costs length must equal the candidate count")
+        if len(self.template_deltas) != num_templates:
+            raise OptimizationError("template_deltas length must equal the template count")
+        if self.existing.shape[0] not in (0, num_candidates):
+            raise OptimizationError("existing flags length must equal the candidate count")
+        if not 0.0 <= self.churn_fraction <= 1.0:
+            raise OptimizationError("churn_fraction must be in [0, 1]")
+        if self.storage_budget_bytes < 0:
+            raise OptimizationError("storage budget must be non-negative")
+
+    # -- construction --------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        templates: Sequence[QueryTemplate],
+        candidates: Sequence[CandidateColumnSet],
+        storage_budget_bytes: int,
+        largest_cap: int,
+        existing_column_sets: Sequence[tuple[str, ...]] | None = None,
+        churn_fraction: float = 1.0,
+    ) -> "SampleSelectionProblem":
+        """Assemble the MILP coefficients from a table, templates, and candidates."""
+        from repro.sampling.skew import delta_skew
+        from repro.storage.statistics import joint_frequencies
+
+        templates = tuple(templates)
+        candidates = tuple(candidates)
+        distinct_by_template = template_distinct_counts(table, templates)
+
+        deltas: list[int] = []
+        for template in templates:
+            columns = tuple(sorted(set(template.columns)))
+            if not columns or any(c not in table.schema for c in columns):
+                deltas.append(0)
+                continue
+            deltas.append(delta_skew(joint_frequencies(table, columns), largest_cap))
+
+        coverage = np.zeros((len(templates), len(candidates)), dtype=np.float64)
+        for i, template in enumerate(templates):
+            template_columns = set(template.columns)
+            template_distinct = distinct_by_template.get(
+                tuple(sorted(template_columns)), 0
+            )
+            if template_distinct <= 0:
+                continue
+            for j, candidate in enumerate(candidates):
+                if candidate.is_subset_of(template_columns):
+                    coverage[i, j] = min(
+                        1.0, candidate.distinct_count / template_distinct
+                    )
+
+        storage_costs = np.asarray([c.storage_bytes for c in candidates], dtype=np.float64)
+
+        existing_flags = np.zeros(len(candidates), dtype=bool)
+        if existing_column_sets:
+            existing_keys = {tuple(sorted(cols)) for cols in existing_column_sets}
+            for j, candidate in enumerate(candidates):
+                existing_flags[j] = candidate.columns in existing_keys
+
+        return cls(
+            candidates=candidates,
+            templates=templates,
+            template_deltas=tuple(deltas),
+            coverage=coverage,
+            storage_costs=storage_costs,
+            storage_budget_bytes=storage_budget_bytes,
+            existing=existing_flags,
+            churn_fraction=churn_fraction,
+        )
+
+    # -- dimensions ------------------------------------------------------------------
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def num_templates(self) -> int:
+        return len(self.templates)
+
+    @property
+    def template_weights(self) -> np.ndarray:
+        return np.asarray([t.weight for t in self.templates], dtype=np.float64)
+
+    @property
+    def has_churn_constraint(self) -> bool:
+        return self.existing.shape[0] > 0 and self.churn_fraction < 1.0
+
+    @property
+    def churn_budget_bytes(self) -> float:
+        """Right-hand side of constraint (5)."""
+        if self.existing.shape[0] == 0:
+            return float("inf")
+        return float(self.churn_fraction * np.sum(self.storage_costs[self.existing]))
+
+    # -- evaluation --------------------------------------------------------------------
+    def coverage_values(self, selection: np.ndarray) -> np.ndarray:
+        """``y_i`` for each template under the selection ``z`` (constraint (4))."""
+        selection = np.asarray(selection, dtype=bool)
+        if not selection.any():
+            return np.zeros(self.num_templates)
+        selected_coverage = self.coverage[:, selection]
+        return selected_coverage.max(axis=1, initial=0.0)
+
+    def objective(self, selection: np.ndarray) -> float:
+        """The goal function (2): ``Σ_i w_i · y_i · Δ(φ_Ti)``."""
+        y = self.coverage_values(selection)
+        weights = self.template_weights
+        deltas = np.asarray(self.template_deltas, dtype=np.float64)
+        return float(np.sum(weights * y * deltas))
+
+    def storage_used(self, selection: np.ndarray) -> float:
+        selection = np.asarray(selection, dtype=bool)
+        return float(np.sum(self.storage_costs[selection]))
+
+    def churn_used(self, selection: np.ndarray) -> float:
+        """Left-hand side of constraint (5): storage created plus discarded."""
+        if self.existing.shape[0] == 0:
+            return 0.0
+        selection = np.asarray(selection, dtype=bool)
+        changed = selection != self.existing
+        return float(np.sum(self.storage_costs[changed]))
+
+    def is_feasible(self, selection: np.ndarray) -> bool:
+        """Check the storage constraint (3) and, if active, the churn constraint (5)."""
+        if self.storage_used(selection) > self.storage_budget_bytes + 1e-6:
+            return False
+        if self.has_churn_constraint and self.churn_used(selection) > self.churn_budget_bytes + 1e-6:
+            return False
+        return True
+
+    def upper_bound(self, fixed_in: np.ndarray, undecided: np.ndarray) -> float:
+        """Admissible bound for branch-and-bound.
+
+        The objective is monotone non-decreasing in ``z``, so the objective of
+        "everything fixed-in plus every undecided candidate" (ignoring
+        feasibility) bounds any completion of the partial assignment.
+        """
+        selection = np.asarray(fixed_in, dtype=bool) | np.asarray(undecided, dtype=bool)
+        return self.objective(selection)

@@ -1,0 +1,204 @@
+"""The sample-creation planner: ties templates, candidates, MILP, and solver.
+
+The planner answers the question the offline sample-creation module asks
+(§2.2.1): *given this table, this workload, and this storage budget, which
+stratified sample families should exist?*  Its output, a :class:`SamplePlan`,
+is consumed by :class:`repro.sampling.builder.SampleBuilder` to actually draw
+the samples, and by :class:`repro.sampling.maintenance.SampleMaintenance`
+when re-solving after data or workload drift (§3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.config import SamplingConfig
+from repro.optimizer.candidates import CandidateColumnSet, generate_candidates
+from repro.optimizer.milp import SampleSelectionProblem
+from repro.optimizer.solver import SolverResult, solve
+from repro.sql.templates import QueryTemplate, normalize_weights
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class PlannedFamily:
+    """One stratified family the plan says should exist."""
+
+    columns: tuple[str, ...]
+    storage_bytes: int
+    delta: int
+    distinct_count: int
+
+
+@dataclass(frozen=True)
+class SamplePlan:
+    """The outcome of sample-selection planning for one table."""
+
+    table_name: str
+    storage_budget_bytes: int
+    uniform_storage_bytes: int
+    families: tuple[PlannedFamily, ...]
+    objective: float
+    optimal: bool
+    solve_seconds: float
+    candidates_considered: int
+    templates: tuple[QueryTemplate, ...] = field(default=(), compare=False)
+
+    @property
+    def stratified_storage_bytes(self) -> int:
+        return sum(f.storage_bytes for f in self.families)
+
+    @property
+    def total_storage_bytes(self) -> int:
+        return self.uniform_storage_bytes + self.stratified_storage_bytes
+
+    @property
+    def column_sets(self) -> list[tuple[str, ...]]:
+        return [f.columns for f in self.families]
+
+    def storage_fraction_of(self, table_size_bytes: int) -> float:
+        """Total sample storage as a fraction of the original table size."""
+        if table_size_bytes <= 0:
+            return 0.0
+        return self.total_storage_bytes / table_size_bytes
+
+    def describe(self) -> list[dict[str, object]]:
+        """Rows suitable for printing the Fig. 6(a)/6(b)-style breakdown."""
+        rows = [
+            {
+                "columns": "uniform",
+                "storage_bytes": self.uniform_storage_bytes,
+                "delta": 0,
+            }
+        ]
+        for family in self.families:
+            rows.append(
+                {
+                    "columns": "[" + " ".join(family.columns) + "]",
+                    "storage_bytes": family.storage_bytes,
+                    "delta": family.delta,
+                }
+            )
+        return rows
+
+
+class SampleSelectionPlanner:
+    """Plans which sample families to build for one fact table."""
+
+    def __init__(self, table: Table, config: SamplingConfig) -> None:
+        self.table = table
+        self.config = config
+
+    def plan(
+        self,
+        templates: Sequence[QueryTemplate],
+        existing_column_sets: Sequence[tuple[str, ...]] | None = None,
+        churn_fraction: float = 1.0,
+        storage_budget_fraction: float | None = None,
+    ) -> SamplePlan:
+        """Solve the sample-selection problem and return the plan.
+
+        Parameters
+        ----------
+        templates:
+            The workload's weighted query templates.
+        existing_column_sets:
+            Column sets of stratified families that already exist; together
+            with ``churn_fraction`` (the administrator's ``r``) this activates
+            constraint (5) limiting how much sample storage may be created or
+            discarded on a re-solve.
+        storage_budget_fraction:
+            Overrides the config's budget (used by the 50%/100%/200% sweeps
+            of Fig. 6).
+        """
+        templates = normalize_weights(list(templates))
+        budget_fraction = (
+            storage_budget_fraction
+            if storage_budget_fraction is not None
+            else self.config.storage_budget_fraction
+        )
+        total_budget = int(budget_fraction * self.table.size_bytes)
+
+        # The uniform family always exists; it is charged against the budget
+        # first, and the stratified families compete for the remainder.
+        uniform_storage = int(
+            self.config.uniform_sample_fraction * self.table.size_bytes
+        )
+        uniform_storage = min(uniform_storage, total_budget)
+        stratified_budget = max(0, total_budget - uniform_storage)
+
+        candidates = generate_candidates(self.table, templates, self.config)
+        if existing_column_sets:
+            candidates = self._include_existing_candidates(candidates, existing_column_sets)
+        problem = SampleSelectionProblem.build(
+            table=self.table,
+            templates=templates,
+            candidates=candidates,
+            storage_budget_bytes=stratified_budget,
+            largest_cap=self.config.effective_cap(self.table.num_rows),
+            existing_column_sets=existing_column_sets,
+            churn_fraction=churn_fraction,
+        )
+        result: SolverResult = solve(problem)
+
+        families = tuple(
+            PlannedFamily(
+                columns=candidate.columns,
+                storage_bytes=candidate.storage_bytes,
+                delta=candidate.delta,
+                distinct_count=candidate.distinct_count,
+            )
+            for candidate, chosen in zip(problem.candidates, result.selection)
+            if chosen
+        )
+        return SamplePlan(
+            table_name=self.table.name,
+            storage_budget_bytes=total_budget,
+            uniform_storage_bytes=uniform_storage,
+            families=families,
+            objective=result.objective,
+            optimal=result.optimal,
+            solve_seconds=result.solve_seconds,
+            candidates_considered=len(candidates),
+            templates=tuple(templates),
+        )
+
+    def candidate_column_sets(self, templates: Sequence[QueryTemplate]) -> list[CandidateColumnSet]:
+        """Expose candidate generation for inspection/benchmarks."""
+        return generate_candidates(self.table, templates, self.config)
+
+    def _include_existing_candidates(
+        self,
+        candidates: list[CandidateColumnSet],
+        existing_column_sets: Sequence[tuple[str, ...]],
+    ) -> list[CandidateColumnSet]:
+        """Ensure already-built families are decision variables of the MILP.
+
+        Constraint (5) can only limit the churn of an existing family if that
+        family appears among the candidates, even when the new workload's
+        templates no longer mention its columns.
+        """
+        from repro.sampling.skew import delta_skew, stratified_storage_bytes
+        from repro.storage.statistics import joint_frequencies
+
+        cap = self.config.effective_cap(self.table.num_rows)
+        have = {c.columns for c in candidates}
+        extended = list(candidates)
+        for columns in existing_column_sets:
+            key = tuple(sorted(columns))
+            if key in have or any(c not in self.table.schema for c in key):
+                continue
+            frequencies = joint_frequencies(self.table, key)
+            extended.append(
+                CandidateColumnSet(
+                    columns=key,
+                    storage_bytes=stratified_storage_bytes(
+                        frequencies, cap, self.table.row_width_bytes
+                    ),
+                    delta=delta_skew(frequencies, cap),
+                    distinct_count=int(frequencies.shape[0]),
+                )
+            )
+            have.add(key)
+        return extended

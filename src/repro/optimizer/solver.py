@@ -1,0 +1,200 @@
+"""Solvers for the sample-selection MILP.
+
+Two solvers are provided:
+
+* :func:`solve_greedy` — repeatedly adds the candidate with the best marginal
+  objective gain per byte of storage until the budget (and churn budget) is
+  exhausted.  Fast and usually near-optimal; used as the warm start and as
+  the fallback for very large candidate sets.
+* :func:`solve_branch_and_bound` — exact depth-first branch-and-bound.  The
+  goal function (2) is monotone in the selection vector, so the objective of
+  "take every still-undecided candidate" is an admissible upper bound; nodes
+  whose bound cannot beat the incumbent are pruned.  The paper solves its
+  MILP with GLPK [4]; this solver plays that role for the problem sizes the
+  reproduction generates (tens to a few hundred candidates).
+
+:func:`solve` picks between them based on problem size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import OptimizationError
+from repro.optimizer.milp import SampleSelectionProblem
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of a solver run."""
+
+    selection: np.ndarray  # boolean vector over candidates
+    objective: float
+    storage_used: float
+    optimal: bool
+    nodes_explored: int
+    solve_seconds: float
+
+    def selected_column_sets(self, problem: SampleSelectionProblem) -> list[tuple[str, ...]]:
+        return [
+            candidate.columns
+            for candidate, chosen in zip(problem.candidates, self.selection)
+            if chosen
+        ]
+
+
+def solve_greedy(problem: SampleSelectionProblem) -> SolverResult:
+    """Greedy marginal-gain-per-byte selection."""
+    start = time.perf_counter()
+    num_candidates = problem.num_candidates
+    selection = np.zeros(num_candidates, dtype=bool)
+
+    if problem.has_churn_constraint:
+        # Start from the existing configuration when churn is limited: keeping
+        # what exists consumes no churn budget.
+        selection = problem.existing.copy()
+        if not problem.is_feasible(selection):
+            # Existing samples exceed the new budget: drop the least valuable
+            # ones until feasible (their removal consumes churn budget).
+            order = np.argsort(problem.storage_costs)[::-1]
+            for j in order:
+                if problem.is_feasible(selection):
+                    break
+                if selection[j]:
+                    selection[j] = False
+
+    improved = True
+    while improved:
+        improved = False
+        current_objective = problem.objective(selection)
+        best_gain_per_byte = 0.0
+        best_candidate = -1
+        for j in range(num_candidates):
+            if selection[j]:
+                continue
+            trial = selection.copy()
+            trial[j] = True
+            if not problem.is_feasible(trial):
+                continue
+            gain = problem.objective(trial) - current_objective
+            cost = max(1.0, problem.storage_costs[j])
+            gain_per_byte = gain / cost
+            if gain_per_byte > best_gain_per_byte + 1e-15:
+                best_gain_per_byte = gain_per_byte
+                best_candidate = j
+        if best_candidate >= 0:
+            selection[best_candidate] = True
+            improved = True
+
+    elapsed = time.perf_counter() - start
+    return SolverResult(
+        selection=selection,
+        objective=problem.objective(selection),
+        storage_used=problem.storage_used(selection),
+        optimal=False,
+        nodes_explored=0,
+        solve_seconds=elapsed,
+    )
+
+
+def solve_branch_and_bound(
+    problem: SampleSelectionProblem,
+    time_limit_seconds: float = 30.0,
+    max_nodes: int = 2_000_000,
+) -> SolverResult:
+    """Exact branch-and-bound over the candidate selection vector."""
+    start = time.perf_counter()
+    num_candidates = problem.num_candidates
+
+    warm = solve_greedy(problem)
+    best_selection = warm.selection.copy()
+    best_objective = warm.objective
+    if not problem.is_feasible(best_selection):
+        best_selection = np.zeros(num_candidates, dtype=bool)
+        best_objective = problem.objective(best_selection)
+        if not problem.is_feasible(best_selection):
+            raise OptimizationError(
+                "even the empty selection violates the constraints "
+                "(churn budget too small to drop over-budget existing samples)"
+            )
+
+    # Branch on candidates in decreasing order of standalone value density so
+    # good solutions (and therefore tight bounds) are found early.
+    densities = np.zeros(num_candidates)
+    for j in range(num_candidates):
+        single = np.zeros(num_candidates, dtype=bool)
+        single[j] = True
+        densities[j] = problem.objective(single) / max(1.0, problem.storage_costs[j])
+    order = np.argsort(densities)[::-1]
+
+    nodes_explored = 0
+    timed_out = False
+
+    # Each stack frame: (depth, selection so far as a boolean array).
+    stack: list[tuple[int, np.ndarray]] = [(0, np.zeros(num_candidates, dtype=bool))]
+    while stack:
+        nodes_explored += 1
+        if nodes_explored > max_nodes or time.perf_counter() - start > time_limit_seconds:
+            timed_out = True
+            break
+        depth, selection = stack.pop()
+        if depth == num_candidates:
+            if problem.is_feasible(selection):
+                objective = problem.objective(selection)
+                if objective > best_objective + 1e-12:
+                    best_objective = objective
+                    best_selection = selection.copy()
+            continue
+
+        undecided = np.zeros(num_candidates, dtype=bool)
+        undecided[order[depth:]] = True
+        if problem.upper_bound(selection, undecided) <= best_objective + 1e-12:
+            continue
+
+        candidate_index = order[depth]
+
+        # Branch "exclude" first so that "include" (usually more promising) is
+        # popped first from the LIFO stack.
+        exclude = selection.copy()
+        stack.append((depth + 1, exclude))
+
+        include = selection.copy()
+        include[candidate_index] = True
+        if problem.is_feasible(include):
+            if problem.objective(include) > best_objective + 1e-12:
+                best_objective = problem.objective(include)
+                best_selection = include.copy()
+            stack.append((depth + 1, include))
+
+    elapsed = time.perf_counter() - start
+    return SolverResult(
+        selection=best_selection,
+        objective=best_objective,
+        storage_used=problem.storage_used(best_selection),
+        optimal=not timed_out,
+        nodes_explored=nodes_explored,
+        solve_seconds=elapsed,
+    )
+
+
+def solve(
+    problem: SampleSelectionProblem,
+    exact_candidate_limit: int = 40,
+    time_limit_seconds: float = 30.0,
+) -> SolverResult:
+    """Solve with branch-and-bound when small enough, else greedily (§3.2.2)."""
+    if problem.num_candidates == 0:
+        return SolverResult(
+            selection=np.zeros(0, dtype=bool),
+            objective=0.0,
+            storage_used=0.0,
+            optimal=True,
+            nodes_explored=0,
+            solve_seconds=0.0,
+        )
+    if problem.num_candidates <= exact_candidate_limit:
+        return solve_branch_and_bound(problem, time_limit_seconds=time_limit_seconds)
+    return solve_greedy(problem)

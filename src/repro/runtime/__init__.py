@@ -1,0 +1,31 @@
+"""The BlinkDB runtime: dynamic sample selection and approximate execution.
+
+This package implements §4 of the paper:
+
+* :mod:`repro.runtime.selection` — choosing a sample *family* for a query
+  (§4.1): exact column-set superset match when possible, otherwise probing
+  the smallest resolution of every family and picking the one with the best
+  selected-to-read row ratio; disjunctive WHERE clauses are rewritten into
+  disjoint conjunctive branches (§4.1.2).
+* :mod:`repro.runtime.sizing` — choosing a sample *resolution* within the
+  family by building an Error-Latency Profile (§4.2) from the probe results
+  and the cluster cost model.
+* :mod:`repro.runtime.execution` — the end-to-end runtime that parses
+  constraints, probes, sizes, executes with bias correction (§4.3), and
+  attaches simulated latencies and error bars to the answer.
+"""
+
+from repro.runtime.execution import BlinkDBRuntime, RuntimeDecision
+from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
+from repro.runtime.sizing import ErrorLatencyProfile, ProfileEntry, SampleSizer
+
+__all__ = [
+    "BlinkDBRuntime",
+    "RuntimeDecision",
+    "FamilySelection",
+    "ProbeResult",
+    "SampleFamilySelector",
+    "ErrorLatencyProfile",
+    "ProfileEntry",
+    "SampleSizer",
+]

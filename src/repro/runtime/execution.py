@@ -1,0 +1,306 @@
+"""The end-to-end BlinkDB runtime (paper §4).
+
+:class:`BlinkDBRuntime` receives a parsed (or raw) BlinkQL query and:
+
+1. selects a sample family (§4.1) — superset match or probe,
+2. builds an Error-Latency Profile and picks a resolution that satisfies the
+   query's error or time bound (§4.2),
+3. executes the query on that resolution with per-row weight bias correction
+   (§4.3),
+4. attaches the simulated cluster latency, reusing the probe's work when the
+   chosen resolution belongs to the probed family (§4.4),
+5. for disjunctive COUNT/SUM queries without GROUP BY, rewrites the query
+   into disjoint conjunctive branches, answers each on its own best family,
+   and combines the partial answers with propagated uncertainty (§4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.common.config import BlinkDBConfig
+from repro.common.errors import ConstraintUnsatisfiableError
+from repro.cluster.simulator import ClusterSimulator
+from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.result import AggregateValue, GroupResult, QueryResult
+from repro.estimation.propagation import combine_sum
+from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
+from repro.runtime.sizing import ErrorLatencyProfile, SampleSizer
+from repro.sampling.resolution import SampleResolution
+from repro.sql.ast import AggregateFunction, Query
+from repro.sql.parser import parse_query
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class RuntimeDecision:
+    """Everything the runtime decided while answering one query."""
+
+    family_key: tuple[str, ...] | None
+    family_reason: str
+    resolution_name: str
+    resolution_rows: int
+    bound_satisfied: bool
+    predicted_relative_error: float | None = None
+    predicted_latency_seconds: float | None = None
+    profile: ErrorLatencyProfile | None = field(default=None, compare=False)
+    probed_families: tuple[str, ...] = ()
+    branches: int = 1
+
+
+class BlinkDBRuntime:
+    """Answers BlinkQL queries from the samples registered in a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: BlinkDBConfig | None = None,
+        simulator: ClusterSimulator | None = None,
+        dimension_tables: Mapping[str, Table] | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or BlinkDBConfig()
+        self.simulator = simulator
+        self.executor = QueryExecutor(dimension_tables)
+        self.selector = SampleFamilySelector(catalog, self.executor)
+        self.sizer = SampleSizer(simulator)
+
+    # -- public API -------------------------------------------------------------------
+    def execute(self, query: Query | str) -> QueryResult:
+        """Answer a query approximately, honouring its error/time bound."""
+        if isinstance(query, str):
+            query = parse_query(query)
+
+        if self._should_split_disjunction(query):
+            return self._execute_disjunctive(query)
+
+        selection = self.selector.select(query)
+        probe = selection.probe or self.selector.probe(query, selection.family.smallest)
+        resolution, profile, satisfied = self._choose_resolution(query, selection, probe)
+
+        if not satisfied and self.config.strict_bounds:
+            raise ConstraintUnsatisfiableError(
+                f"no resolution of family {self._family_key(selection)} satisfies the "
+                f"requested bound for query: {query.raw_sql or query}"
+            )
+
+        result = self._run_on_resolution(query, selection, resolution)
+        result = self._attach_latency(result, selection, resolution, probe)
+
+        entry_error = None
+        entry_latency = None
+        if profile is not None:
+            entry = profile.entry_for(resolution)
+            entry_error = entry.predicted_relative_error
+            entry_latency = entry.predicted_latency_seconds
+        decision = RuntimeDecision(
+            family_key=self._family_key(selection),
+            family_reason=selection.reason,
+            resolution_name=resolution.name,
+            resolution_rows=resolution.num_rows,
+            bound_satisfied=satisfied,
+            predicted_relative_error=entry_error,
+            predicted_latency_seconds=entry_latency,
+            profile=profile,
+            probed_families=tuple(p.resolution.name for p in selection.probes),
+        )
+        result.metadata["decision"] = decision
+        return result
+
+    def execute_exact(self, query: Query | str) -> QueryResult:
+        """Answer a query exactly from the base table (the no-sampling baseline)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        table = self.catalog.table(query.table)
+        context = ExecutionContext(exact=True, sample_name=None)
+        result = self.executor.execute(query, table, context)
+        if self.simulator is not None and self.simulator.has_dataset(table.name):
+            execution = self.simulator.simulate_scan(
+                table.name, output_groups=max(1, len(result.groups))
+            )
+            result = replace(result, simulated_latency_seconds=execution.latency_seconds)
+        return result
+
+    # -- internals: single-family path -----------------------------------------------------
+    def _choose_resolution(
+        self, query: Query, selection: FamilySelection, probe: ProbeResult
+    ) -> tuple[SampleResolution, ErrorLatencyProfile | None, bool]:
+        family = selection.family
+        clustered = self._clustered_scan(query, selection)
+        if query.error_bound is not None:
+            return self.sizer.resolution_for_error(
+                family, probe, query.error_bound, clustered_scan=clustered
+            )
+        if query.time_bound is not None:
+            return self.sizer.resolution_for_time(
+                family, probe, query.time_bound, clustered_scan=clustered
+            )
+        profile = self.sizer.build_profile(family, probe, clustered_scan=clustered)
+        return self.sizer.default_resolution(family, probe), profile, True
+
+    @staticmethod
+    def _clustered_scan(query: Query, selection: FamilySelection) -> bool:
+        """Whether the scan can be confined to the query's matching strata.
+
+        Stratified samples are stored sorted by their column set (§3.1), so
+        when that column set covers the query's WHERE columns the matching
+        rows are contiguous and only they need to be read.
+        """
+        return selection.covers_query and query.where is not None
+
+    def _run_on_resolution(
+        self, query: Query, selection: FamilySelection, resolution: SampleResolution
+    ) -> QueryResult:
+        context = ExecutionContext(
+            weights=resolution.weights,
+            exact=False,
+            unit_weight_exact=selection.covers_query,
+            rows_read=resolution.num_rows,
+            population_read=resolution.represented_rows,
+            sample_name=resolution.name,
+        )
+        return self.executor.execute(query, resolution.table, context)
+
+    def _attach_latency(
+        self,
+        result: QueryResult,
+        selection: FamilySelection,
+        resolution: SampleResolution,
+        probe: ProbeResult,
+    ) -> QueryResult:
+        if self.simulator is None or not self.simulator.has_dataset(resolution.name):
+            return result
+        reuse_rows = 0
+        if probe.resolution.name != resolution.name and self._same_family(
+            selection, probe.resolution
+        ):
+            # §4.4: blocks scanned while probing the smaller resolution of the
+            # same family do not need to be re-read.
+            reuse_rows = int(
+                probe.resolution.num_rows
+                * self._scale_ratio(resolution, probe.resolution)
+            )
+        rows_to_read = None
+        if selection.covers_query and probe.rows_read > 0 and probe.selectivity < 1.0:
+            # Clustered layout (§3.1): only the matching strata are scanned,
+            # both by this execution and by the probe whose work is reused.
+            info = self.simulator.dataset(resolution.name)
+            scale = info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
+            rows_to_read = int(max(1, resolution.num_rows * probe.selectivity * scale))
+            reuse_rows = int(reuse_rows * probe.selectivity)
+        execution = self.simulator.simulate_scan(
+            resolution.name,
+            rows_to_read=rows_to_read,
+            output_groups=max(1, len(result.groups)),
+            reuse_rows=reuse_rows,
+        )
+        return replace(result, simulated_latency_seconds=execution.latency_seconds)
+
+    def _scale_ratio(
+        self, resolution: SampleResolution, probe_resolution: SampleResolution
+    ) -> float:
+        """Convert probe rows into the simulator's (possibly scaled) row space."""
+        if self.simulator is None:
+            return 1.0
+        if not self.simulator.has_dataset(probe_resolution.name):
+            return 1.0
+        info = self.simulator.dataset(probe_resolution.name)
+        if probe_resolution.num_rows == 0:
+            return 1.0
+        return info.num_rows / probe_resolution.num_rows
+
+    @staticmethod
+    def _same_family(selection: FamilySelection, resolution: SampleResolution) -> bool:
+        return any(r.name == resolution.name for r in selection.family.resolutions)
+
+    @staticmethod
+    def _family_key(selection: FamilySelection) -> tuple[str, ...] | None:
+        return getattr(selection.family, "key", None)
+
+    # -- internals: disjunctive path (§4.1.2) --------------------------------------------------
+    def _should_split_disjunction(self, query: Query) -> bool:
+        if query.group_by:
+            return False
+        branches = self.selector.disjunctive_branches(query)
+        if len(branches) <= 1:
+            return False
+        allowed = {AggregateFunction.COUNT, AggregateFunction.SUM}
+        return all(call.function in allowed for call in query.aggregates)
+
+    def _execute_disjunctive(self, query: Query) -> QueryResult:
+        branches = self.selector.disjunctive_branches(query)
+        branch_results: list[QueryResult] = []
+        total_rows_read = 0
+        total_latency = 0.0
+        any_latency = False
+        satisfied_all = True
+
+        branch_bound = self._per_branch_bound(query, len(branches))
+        for branch in branches:
+            branch_query = replace(
+                query,
+                where=branch,
+                error_bound=branch_bound if query.error_bound is not None else None,
+                time_bound=query.time_bound,
+            )
+            selection = self.selector.select_for_branch(branch_query, branch)
+            probe = selection.probe or self.selector.probe(
+                branch_query, selection.family.smallest
+            )
+            resolution, _, satisfied = self._choose_resolution(branch_query, selection, probe)
+            satisfied_all = satisfied_all and satisfied
+            result = self._run_on_resolution(branch_query, selection, resolution)
+            result = self._attach_latency(result, selection, resolution, probe)
+            branch_results.append(result)
+            total_rows_read += result.rows_read
+            if result.simulated_latency_seconds is not None:
+                any_latency = True
+                # Branches execute in parallel on the cluster; the slowest
+                # branch dominates.
+                total_latency = max(total_latency, result.simulated_latency_seconds)
+
+        if not satisfied_all and self.config.strict_bounds:
+            raise ConstraintUnsatisfiableError(
+                "one or more disjunctive branches cannot satisfy the requested bound"
+            )
+
+        confidence = (
+            query.error_bound.confidence if query.error_bound is not None else 0.95
+        )
+        aggregates: dict[str, AggregateValue] = {}
+        for call in query.aggregates:
+            name = call.output_name()
+            estimates = [r.groups[0].aggregates[name].estimate for r in branch_results if r.groups]
+            combined = combine_sum(estimates)
+            aggregates[name] = AggregateValue(name, combined, confidence)
+        group = GroupResult(key=(), aggregates=aggregates)
+        result = QueryResult(
+            group_by=(),
+            groups=(group,),
+            rows_read=total_rows_read,
+            sample_name="union",
+            simulated_latency_seconds=total_latency if any_latency else None,
+        )
+        result.metadata["decision"] = RuntimeDecision(
+            family_key=None,
+            family_reason="disjunctive-union",
+            resolution_name="union",
+            resolution_rows=total_rows_read,
+            bound_satisfied=satisfied_all,
+            branches=len(branches),
+        )
+        return result
+
+    @staticmethod
+    def _per_branch_bound(query: Query, num_branches: int):
+        """Tighten the error bound per branch so the union still meets it.
+
+        Independent branch variances add; answering each branch within
+        ``ε/√b`` of its truth keeps the union within ``ε`` (standard
+        deviations combine in quadrature).
+        """
+        if query.error_bound is None or num_branches <= 1:
+            return query.error_bound
+        return replace(query.error_bound, error=query.error_bound.error / (num_branches**0.5))

@@ -1,0 +1,226 @@
+"""Run-time sample-family selection (paper §4.1).
+
+Given a query, the selector decides which family — the uniform family or one
+of the stratified families — the query should run on:
+
+1. If one or more stratified families exist whose column set is a superset of
+   the query's WHERE/GROUP BY column set φ, the one with the fewest columns
+   is chosen (§4.1.1): its strata align with the query's filter, so answers
+   converge fastest and rare groups are guaranteed present.
+2. Otherwise the query is executed on the *smallest* resolution of every
+   family in parallel (they are small enough to fit in cluster memory), and
+   the family with the highest ratio of rows selected to rows read wins: the
+   response time grows with rows read while the error shrinks with rows
+   selected.
+
+Disjunctive WHERE clauses are rewritten into disjoint conjunctive branches
+(§4.1.2); each branch gets its own family selection so the runtime can
+aggregate the partial answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import SampleNotFoundError
+from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.expressions import evaluate_predicate
+from repro.engine.result import QueryResult
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
+from repro.sampling.resolution import SampleResolution
+from repro.sql.ast import CompoundPredicate, LogicalOp, NotPredicate, Predicate, Query, predicate_columns, to_disjunctive_branches
+from repro.storage.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Statistics gathered by running a query on one (small) resolution."""
+
+    resolution: SampleResolution
+    result: QueryResult
+    rows_read: int
+    rows_matched: int
+    num_groups: int
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of scanned rows the query's predicates selected."""
+        if self.rows_read == 0:
+            return 0.0
+        return self.rows_matched / self.rows_read
+
+    @property
+    def worst_relative_error(self) -> float:
+        """The largest (finite-preferred) relative error across groups/aggregates."""
+        finite: list[float] = []
+        has_infinite = False
+        for group in self.result.groups:
+            for aggregate in group.aggregates.values():
+                error = aggregate.relative_error
+                if np.isfinite(error):
+                    finite.append(error)
+                else:
+                    has_infinite = True
+        if finite:
+            return max(finite)
+        return float("inf") if has_infinite else 0.0
+
+    @property
+    def has_unbounded_group(self) -> bool:
+        """True when some group's error could not be estimated from the probe."""
+        for group in self.result.groups:
+            for aggregate in group.aggregates.values():
+                if not np.isfinite(aggregate.relative_error):
+                    return True
+        return False
+
+
+@dataclass(frozen=True)
+class FamilySelection:
+    """The outcome of family selection for one query (or one branch)."""
+
+    family: UniformSampleFamily | StratifiedSampleFamily
+    reason: str
+    probe: ProbeResult | None = None
+    probes: tuple[ProbeResult, ...] = ()
+
+    @property
+    def is_stratified(self) -> bool:
+        return isinstance(self.family, StratifiedSampleFamily)
+
+    @property
+    def covers_query(self) -> bool:
+        """True when the family's column set covers the query's φ (exact strata)."""
+        return self.reason == "superset-match"
+
+
+class SampleFamilySelector:
+    """Implements the family-selection policy of §4.1."""
+
+    def __init__(self, catalog: Catalog, executor: QueryExecutor) -> None:
+        self.catalog = catalog
+        self.executor = executor
+
+    # -- public API ---------------------------------------------------------------
+    def select(self, query: Query, probe_on_miss: bool = True) -> FamilySelection:
+        """Select the family for a query, probing when no superset family exists."""
+        columns = query.template_columns()
+        return self.select_for_columns(query, columns, probe_on_miss)
+
+    def select_for_columns(
+        self, query: Query, columns: set[str], probe_on_miss: bool = True
+    ) -> FamilySelection:
+        table_name = query.table
+        families = self._all_families(table_name)
+        if not families:
+            raise SampleNotFoundError(
+                f"no samples exist for table {table_name!r}; build samples first"
+            )
+
+        # 1. Superset match: smallest column set wins (§4.1.1).
+        stratified = [
+            f for f in families if isinstance(f, StratifiedSampleFamily) and f.covers(columns)
+        ]
+        if columns and stratified:
+            best = min(stratified, key=lambda f: (len(f.columns), f.columns))
+            return FamilySelection(family=best, reason="superset-match")
+
+        if not columns:
+            # No filters or grouping at all: the uniform family is the natural
+            # choice (every stratified family over-represents its tail).
+            uniform = self._uniform_family(families)
+            if uniform is not None:
+                return FamilySelection(family=uniform, reason="no-filter-uniform")
+
+        # 2. Probe every family's smallest resolution (§4.1.1, second half).
+        if not probe_on_miss:
+            uniform = self._uniform_family(families)
+            fallback = uniform if uniform is not None else families[0]
+            return FamilySelection(family=fallback, reason="fallback-no-probe")
+
+        probes: list[tuple[FamilySelection, ProbeResult]] = []
+        for family in families:
+            probe = self.probe(query, family.smallest)
+            probes.append((FamilySelection(family=family, reason="probe"), probe))
+        best_selection, best_probe = max(
+            probes, key=lambda item: (item[1].selectivity, -len(getattr(item[0].family, "columns", ())))
+        )
+        return FamilySelection(
+            family=best_selection.family,
+            reason="probe-best-ratio",
+            probe=best_probe,
+            probes=tuple(p for _, p in probes),
+        )
+
+    def probe(self, query: Query, resolution: SampleResolution) -> ProbeResult:
+        """Run the query on one resolution and collect selectivity statistics."""
+        context = ExecutionContext(
+            weights=resolution.weights,
+            exact=False,
+            unit_weight_exact=False,
+            rows_read=resolution.num_rows,
+            population_read=resolution.represented_rows,
+            sample_name=resolution.name,
+        )
+        result = self.executor.execute(query, resolution.table, context)
+        mask = evaluate_predicate(query.where, resolution.table)
+        rows_matched = int(np.count_nonzero(mask))
+        return ProbeResult(
+            resolution=resolution,
+            result=result,
+            rows_read=resolution.num_rows,
+            rows_matched=rows_matched,
+            num_groups=max(1, len(result.groups)),
+        )
+
+    # -- disjunctive rewriting (§4.1.2) ----------------------------------------------
+    def disjunctive_branches(self, query: Query) -> list[Predicate | None]:
+        """Split the WHERE clause into *disjoint* conjunctive branches.
+
+        The paper rewrites a disjunctive query into a union of conjunctive
+        queries; to keep the union's partial aggregates addable we make the
+        branches disjoint by conjoining each branch with the negation of all
+        earlier branches (inclusion–exclusion by construction).
+        """
+        raw_branches = to_disjunctive_branches(query.where)
+        if len(raw_branches) <= 1:
+            return raw_branches
+        disjoint: list[Predicate | None] = []
+        previous: list[Predicate] = []
+        for branch in raw_branches:
+            assert branch is not None
+            if previous:
+                negations = tuple(NotPredicate(inner=p) for p in previous)
+                disjoint.append(
+                    CompoundPredicate(op=LogicalOp.AND, operands=(branch, *negations))
+                )
+            else:
+                disjoint.append(branch)
+            previous.append(branch)
+        return disjoint
+
+    def select_for_branch(
+        self, query: Query, branch: Predicate | None, probe_on_miss: bool = True
+    ) -> FamilySelection:
+        """Family selection for one disjunctive branch (its own column set)."""
+        columns = set()
+        if branch is not None:
+            columns |= predicate_columns(branch)
+        columns |= query.group_by_columns()
+        return self.select_for_columns(query, columns, probe_on_miss)
+
+    # -- internals -----------------------------------------------------------------------
+    def _all_families(self, table_name: str) -> list[UniformSampleFamily | StratifiedSampleFamily]:
+        families: list[UniformSampleFamily | StratifiedSampleFamily] = []
+        for _, family in self.catalog.iter_families(table_name):
+            families.append(family)  # type: ignore[arg-type]
+        return families
+
+    @staticmethod
+    def _uniform_family(families) -> UniformSampleFamily | None:
+        for family in families:
+            if isinstance(family, UniformSampleFamily):
+                return family
+        return None

@@ -1,0 +1,221 @@
+"""Sample-size selection via the Error-Latency Profile (paper §4.2).
+
+Once a family is chosen, BlinkDB must pick a resolution within it.  The ELP
+characterises, per resolution, the predicted error (extrapolated from the
+probe on the smallest resolution using the ``1/√n`` law of Table 2) and the
+predicted latency (from the cluster cost model, which scales roughly linearly
+with the rows scanned).  The sizer then picks:
+
+* for an **error bound** — the *smallest* resolution whose predicted error is
+  within the bound (minimising response time), and
+* for a **time bound** — the *largest* resolution whose predicted latency is
+  within the bound (minimising error),
+
+falling back to the largest / smallest resolution respectively when no
+resolution satisfies the constraint (the runtime flags the violation).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
+from repro.sampling.resolution import SampleResolution
+from repro.sql.ast import ErrorBound, TimeBound
+from repro.runtime.selection import ProbeResult
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One row of the Error-Latency Profile."""
+
+    resolution: SampleResolution
+    predicted_rows_matched: float
+    predicted_relative_error: float
+    predicted_latency_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.resolution.name
+
+
+@dataclass(frozen=True)
+class ErrorLatencyProfile:
+    """The full ELP of a query on one family, smallest resolution first."""
+
+    entries: tuple[ProfileEntry, ...]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def smallest_meeting_error(self, target_relative_error: float) -> ProfileEntry | None:
+        """Smallest resolution whose predicted error is within the target."""
+        for entry in self.entries:
+            if entry.predicted_relative_error <= target_relative_error:
+                return entry
+        return None
+
+    def largest_meeting_latency(self, target_seconds: float) -> ProfileEntry | None:
+        """Largest resolution whose predicted latency is within the target."""
+        chosen: ProfileEntry | None = None
+        for entry in self.entries:
+            if entry.predicted_latency_seconds <= target_seconds:
+                chosen = entry
+        return chosen
+
+    def entry_for(self, resolution: SampleResolution) -> ProfileEntry:
+        for entry in self.entries:
+            if entry.resolution.name == resolution.name:
+                return entry
+        raise KeyError(f"no profile entry for resolution {resolution.name!r}")
+
+
+class SampleSizer:
+    """Builds ELPs and picks resolutions to satisfy error or time bounds."""
+
+    def __init__(self, simulator: ClusterSimulator | None = None) -> None:
+        self.simulator = simulator
+
+    # -- profile construction --------------------------------------------------------
+    def build_profile(
+        self,
+        family: UniformSampleFamily | StratifiedSampleFamily,
+        probe: ProbeResult,
+        confidence: float = 0.95,
+        clustered_scan: bool = False,
+    ) -> ErrorLatencyProfile:
+        """Extrapolate the probe's error/latency to every resolution of the family.
+
+        Error extrapolation: every Table-2 standard deviation scales as
+        ``1/√n`` where ``n`` is the number of matching rows, and the matching
+        rows scale proportionally with the resolution size (the probe's
+        selectivity is assumed stable across resolutions of one family).
+        Latency comes from the cluster simulator when available, else from a
+        linear-in-rows proxy.
+
+        ``clustered_scan`` reflects §3.1's sorted sample layout: when the
+        family's column set covers the query's filter columns, the rows of
+        each matching stratum are contiguous on disk, so the query only scans
+        the matching fraction of the resolution instead of all of it.
+        """
+        probe_rows_matched = max(1, probe.rows_matched)
+        probe_error = probe.worst_relative_error
+        entries = []
+        for resolution in family.resolutions:
+            if probe.resolution.num_rows > 0:
+                growth = resolution.num_rows / probe.resolution.num_rows
+            else:
+                growth = 1.0
+            predicted_matched = probe_rows_matched * growth
+            if math.isfinite(probe_error) and probe_error > 0:
+                predicted_error = probe_error / math.sqrt(max(growth, 1e-12))
+            elif probe_error == 0:
+                predicted_error = 0.0
+            else:
+                # The probe could not bound the error (e.g. empty groups): be
+                # pessimistic — assume the error stays unbounded until the
+                # resolution is big enough to contain a useful number of
+                # matching rows, then fall back to a 1/√n guess anchored at
+                # one matching row in the probe.
+                predicted_error = (
+                    1.0 / math.sqrt(max(predicted_matched, 1.0))
+                    if predicted_matched >= 2
+                    else math.inf
+                )
+            rows_to_scan = None
+            if clustered_scan and probe.rows_read > 0 and probe.selectivity < 1.0:
+                rows_to_scan = int(max(1, resolution.num_rows * probe.selectivity))
+            latency = self._predict_latency(resolution, probe, rows_to_scan)
+            entries.append(
+                ProfileEntry(
+                    resolution=resolution,
+                    predicted_rows_matched=predicted_matched,
+                    predicted_relative_error=predicted_error,
+                    predicted_latency_seconds=latency,
+                )
+            )
+        return ErrorLatencyProfile(entries=tuple(entries))
+
+    # -- resolution choice ---------------------------------------------------------------
+    def resolution_for_error(
+        self,
+        family: UniformSampleFamily | StratifiedSampleFamily,
+        probe: ProbeResult,
+        bound: ErrorBound,
+        clustered_scan: bool = False,
+    ) -> tuple[SampleResolution, ErrorLatencyProfile, bool]:
+        """Pick the smallest resolution predicted to satisfy an error bound.
+
+        Returns ``(resolution, profile, satisfied)`` where ``satisfied`` is
+        False when even the largest resolution is predicted to miss the bound
+        (the caller then reports the best achievable answer).
+        """
+        profile = self.build_profile(family, probe, bound.confidence, clustered_scan)
+        target = bound.error if bound.relative else self._absolute_to_relative(bound, probe)
+        entry = profile.smallest_meeting_error(target)
+        if entry is not None:
+            return entry.resolution, profile, True
+        return family.largest, profile, False
+
+    def resolution_for_time(
+        self,
+        family: UniformSampleFamily | StratifiedSampleFamily,
+        probe: ProbeResult,
+        bound: TimeBound,
+        clustered_scan: bool = False,
+    ) -> tuple[SampleResolution, ErrorLatencyProfile, bool]:
+        """Pick the largest resolution predicted to finish within a time bound."""
+        profile = self.build_profile(family, probe, clustered_scan=clustered_scan)
+        entry = profile.largest_meeting_latency(bound.seconds)
+        if entry is not None:
+            return entry.resolution, profile, True
+        return family.smallest, profile, False
+
+    def default_resolution(
+        self,
+        family: UniformSampleFamily | StratifiedSampleFamily,
+        probe: ProbeResult | None = None,
+    ) -> SampleResolution:
+        """Resolution used when the query specifies no bound: the largest sample."""
+        return family.largest
+
+    # -- internals ---------------------------------------------------------------------------
+    def _predict_latency(
+        self,
+        resolution: SampleResolution,
+        probe: ProbeResult,
+        rows_to_scan: int | None = None,
+    ) -> float:
+        if self.simulator is not None and self.simulator.has_dataset(resolution.name):
+            info = self.simulator.dataset(resolution.name)
+            simulated_rows = None
+            if rows_to_scan is not None and resolution.num_rows > 0:
+                scale = info.num_rows / resolution.num_rows
+                simulated_rows = int(rows_to_scan * scale)
+            execution = self.simulator.simulate_scan(
+                resolution.name,
+                rows_to_read=simulated_rows,
+                output_groups=probe.num_groups,
+            )
+            return execution.latency_seconds
+        # No simulator: a simple linear-in-rows proxy (1M rows/second/worker).
+        return (rows_to_scan or resolution.num_rows) / 1e6
+
+    @staticmethod
+    def _absolute_to_relative(bound: ErrorBound, probe: ProbeResult) -> float:
+        """Convert an absolute error bound into a relative one using probe values."""
+        estimates = [
+            abs(agg.value)
+            for group in probe.result.groups
+            for agg in group.aggregates.values()
+            if math.isfinite(agg.value) and agg.value != 0
+        ]
+        if not estimates:
+            return bound.error
+        smallest = min(estimates)
+        return bound.error / smallest

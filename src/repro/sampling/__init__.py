@@ -1,0 +1,47 @@
+"""The sampling layer: uniform and stratified multi-resolution sample families.
+
+This package implements §3 of the paper:
+
+* :mod:`repro.sampling.resolution` — the :class:`SampleResolution` value type
+  shared by all sample kinds (a sampled table + per-row weights + metadata).
+* :mod:`repro.sampling.uniform` — uniform sample families ``R(p)``.
+* :mod:`repro.sampling.stratified` — stratified samples ``S(φ, K)`` that cap
+  the frequency of every distinct value of the column set φ at ``K`` and
+  track per-row effective sampling rates for bias correction.
+* :mod:`repro.sampling.family` — multi-resolution families ``SFam(φ)`` with
+  exponentially decreasing caps and nested (non-overlapping) storage.
+* :mod:`repro.sampling.skew` — the non-uniformity metric ``Δ(φ)``, storage
+  cost estimation, and the analytic Zipf storage-overhead model of Table 5.
+* :mod:`repro.sampling.builder` — the offline sample-creation module.
+* :mod:`repro.sampling.layout` — the logical-sample → physical-block mapping
+  of Fig. 4 used for intermediate-data reuse.
+* :mod:`repro.sampling.maintenance` — background sample replacement and the
+  data/workload-change triggers of §3.2.3 and §4.5.
+"""
+
+from repro.sampling.builder import SampleBuilder
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
+from repro.sampling.layout import FamilyLayout
+from repro.sampling.resolution import SampleResolution
+from repro.sampling.skew import (
+    delta_skew,
+    stratified_sample_rows,
+    stratified_storage_bytes,
+    zipf_storage_fraction,
+)
+from repro.sampling.stratified import build_stratified_resolution
+from repro.sampling.uniform import build_uniform_resolution
+
+__all__ = [
+    "SampleBuilder",
+    "StratifiedSampleFamily",
+    "UniformSampleFamily",
+    "FamilyLayout",
+    "SampleResolution",
+    "delta_skew",
+    "stratified_sample_rows",
+    "stratified_storage_bytes",
+    "zipf_storage_fraction",
+    "build_stratified_resolution",
+    "build_uniform_resolution",
+]

@@ -1,0 +1,168 @@
+"""The offline sample-creation module (paper §2.2.1, §5).
+
+The builder draws the uniform family and the planned stratified families for
+a fact table, registers them in the :class:`~repro.storage.catalog.Catalog`,
+and (optionally) registers every resolution as a dataset of the cluster
+simulator so the runtime can attach latency estimates to sample scans.  In
+the paper this work is a set of Hive jobs (parallel binomial sampling for
+uniform samples, a shuffle keyed by φ for stratified ones); here it is a
+single pass over the in-memory table per family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.common.config import ClusterConfig, SamplingConfig
+from repro.common.errors import CatalogError
+from repro.cluster.simulator import ClusterSimulator
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
+from repro.sampling.layout import FamilyLayout
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass
+class BuildReport:
+    """Summary of what a build produced (used by examples and benchmarks)."""
+
+    table_name: str
+    uniform_rows: int = 0
+    uniform_storage_bytes: int = 0
+    stratified: dict[tuple[str, ...], int] = field(default_factory=dict)  # columns -> bytes
+
+    @property
+    def stratified_storage_bytes(self) -> int:
+        return sum(self.stratified.values())
+
+    @property
+    def total_storage_bytes(self) -> int:
+        return self.uniform_storage_bytes + self.stratified_storage_bytes
+
+
+class SampleBuilder:
+    """Creates and registers sample families."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SamplingConfig,
+        simulator: ClusterSimulator | None = None,
+        scale_factor: float = 1.0,
+        cluster_config: ClusterConfig | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        catalog:
+            The metastore samples are registered in.
+        config:
+            Sampling parameters (largest cap, resolution ratio, …).
+        simulator:
+            When given, every built resolution (and the base table) is also
+            registered as a simulator dataset so latencies can be estimated.
+        scale_factor:
+            Multiplier translating in-memory row counts into simulated-scale
+            row counts (e.g. 1000× to emulate the paper's 17 TB table with a
+            17 GB-equivalent in-memory table).  Affects only the simulator.
+        """
+        self.catalog = catalog
+        self.config = config
+        self.simulator = simulator
+        self.scale_factor = scale_factor
+        self.cluster_config = cluster_config or (simulator.config if simulator else ClusterConfig())
+
+    # -- base tables ----------------------------------------------------------------
+    def register_base_table(self, table: Table, cache: bool | float = False) -> None:
+        """Register a base table in the catalog (and the simulator, uncached by default)."""
+        if not self.catalog.has_table(table.name):
+            self.catalog.register_table(table)
+        if self.simulator is not None and not self.simulator.has_dataset(table.name):
+            self.simulator.register_dataset(
+                table.name,
+                num_rows=int(table.num_rows * self.scale_factor),
+                row_width_bytes=table.row_width_bytes,
+                cache=cache,
+            )
+
+    # -- uniform families --------------------------------------------------------------
+    def build_uniform_family(self, table: Table, cache: bool | float = True) -> UniformSampleFamily:
+        """Build and register the uniform family of ``table``."""
+        self.register_base_table(table)
+        family = UniformSampleFamily.build(table, self.config)
+        self.catalog.register_uniform_family(table.name, family)
+        self._register_family_datasets(family, cache)
+        return family
+
+    # -- stratified families ---------------------------------------------------------------
+    def build_stratified_family(
+        self,
+        table: Table,
+        columns: Sequence[str],
+        largest_cap: int | None = None,
+        cache: bool | float = True,
+    ) -> StratifiedSampleFamily:
+        """Build and register ``SFam(φ)`` for ``φ = columns``."""
+        self.register_base_table(table)
+        family = StratifiedSampleFamily.build(table, columns, self.config, largest_cap)
+        self.catalog.register_stratified_family(table.name, family.key, family)
+        self._register_family_datasets(family, cache)
+        return family
+
+    def drop_stratified_family(self, table_name: str, columns: Sequence[str]) -> None:
+        """Drop a stratified family from the catalog and the simulator."""
+        family = self.catalog.stratified_family(table_name, columns)
+        if family is None:
+            raise CatalogError(f"no stratified family on {tuple(columns)} for {table_name!r}")
+        self.catalog.drop_stratified_family(table_name, columns)
+        if self.simulator is not None:
+            for resolution in family.resolutions:  # type: ignore[attr-defined]
+                if self.simulator.has_dataset(resolution.name):
+                    self.simulator.unregister_dataset(resolution.name)
+
+    # -- plan-driven builds ---------------------------------------------------------------------
+    def build_from_column_sets(
+        self,
+        table: Table,
+        column_sets: Iterable[Sequence[str]],
+        include_uniform: bool = True,
+        cache: bool | float = True,
+    ) -> BuildReport:
+        """Build the uniform family plus one stratified family per column set."""
+        report = BuildReport(table_name=table.name)
+        if include_uniform:
+            uniform = self.build_uniform_family(table, cache=cache)
+            report.uniform_rows = uniform.largest.num_rows
+            report.uniform_storage_bytes = uniform.storage_bytes
+        for columns in column_sets:
+            family = self.build_stratified_family(table, columns, cache=cache)
+            report.stratified[family.key] = family.storage_bytes
+        return report
+
+    def layout_for(self, family: UniformSampleFamily | StratifiedSampleFamily) -> FamilyLayout:
+        """The Fig. 4 block layout of a family on this builder's cluster."""
+        return FamilyLayout.for_family(family, self.cluster_config.hdfs_block_bytes)
+
+    # -- internals ---------------------------------------------------------------------------------
+    def _register_family_datasets(self, family, cache: bool | float) -> None:
+        if self.simulator is None:
+            return
+        # Nested storage (§3.1, Fig. 4): only the largest resolution occupies
+        # disk/cache; smaller resolutions are registered as row prefixes of it.
+        largest = family.largest
+        if not self.simulator.has_dataset(largest.name):
+            self.simulator.register_dataset(
+                largest.name,
+                num_rows=int(largest.num_rows * self.scale_factor),
+                row_width_bytes=largest.table.row_width_bytes,
+                cache=cache,
+            )
+        for resolution in family.resolutions:
+            if resolution.name == largest.name or self.simulator.has_dataset(resolution.name):
+                continue
+            self.simulator.register_nested_dataset(
+                resolution.name,
+                parent=largest.name,
+                num_rows=int(resolution.num_rows * self.scale_factor),
+            )

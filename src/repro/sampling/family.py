@@ -1,0 +1,199 @@
+"""Multi-resolution sample families ``SFam(φ)``.
+
+A family is a sequence of samples over the same column set with
+exponentially decreasing sizes: ``K_i = ⌊K₁ / cⁱ⌋`` for stratified families
+(§3.1) and a geometric ladder of fractions for the uniform family.  Because
+resolutions are nested (each smaller sample is a subset of the next larger
+one), the physical storage cost of a family equals the size of its largest
+member, and the runtime can escalate from a probe on the smallest resolution
+to a larger one while reusing the work already done (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.common.config import SamplingConfig
+from repro.common.errors import SampleNotFoundError
+from repro.sampling.resolution import SampleResolution
+from repro.sampling.stratified import build_stratified_resolution, stratum_permutations
+from repro.sampling.uniform import (
+    build_uniform_resolution,
+    uniform_permutation,
+    uniform_resolution_fractions,
+)
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class _FamilyBase:
+    """Shared behaviour of uniform and stratified families."""
+
+    table_name: str
+    resolutions: tuple[SampleResolution, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.resolutions:
+            raise ValueError("a sample family requires at least one resolution")
+        rows = [r.num_rows for r in self.resolutions]
+        if rows != sorted(rows):
+            raise ValueError("family resolutions must be ordered smallest to largest")
+
+    def __iter__(self) -> Iterator[SampleResolution]:
+        return iter(self.resolutions)
+
+    def __len__(self) -> int:
+        return len(self.resolutions)
+
+    @property
+    def smallest(self) -> SampleResolution:
+        return self.resolutions[0]
+
+    @property
+    def largest(self) -> SampleResolution:
+        return self.resolutions[-1]
+
+    @property
+    def storage_bytes(self) -> int:
+        """Physical storage: nested resolutions share the largest sample's rows."""
+        return self.largest.size_bytes
+
+    @property
+    def total_logical_bytes(self) -> int:
+        """Sum of logical sizes (what non-nested storage would have cost)."""
+        return sum(r.size_bytes for r in self.resolutions)
+
+    def resolution_with_at_least_rows(self, rows: int) -> SampleResolution:
+        """Smallest resolution holding at least ``rows`` rows (else the largest)."""
+        for resolution in self.resolutions:
+            if resolution.num_rows >= rows:
+                return resolution
+        return self.largest
+
+    def largest_resolution_with_at_most_rows(self, rows: int) -> SampleResolution:
+        """Largest resolution holding at most ``rows`` rows (else the smallest)."""
+        candidate = None
+        for resolution in self.resolutions:
+            if resolution.num_rows <= rows:
+                candidate = resolution
+        return candidate if candidate is not None else self.smallest
+
+
+@dataclass(frozen=True)
+class UniformSampleFamily(_FamilyBase):
+    """The family of uniform samples of one table."""
+
+    @property
+    def key(self) -> None:
+        """Uniform families have no stratification column set."""
+        return None
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        config: SamplingConfig,
+        min_rows: int = 100,
+    ) -> "UniformSampleFamily":
+        """Build the uniform family prescribed by ``config`` for ``table``."""
+        permutation = uniform_permutation(table)
+        fractions = uniform_resolution_fractions(
+            max_fraction=config.uniform_sample_fraction,
+            ratio=config.resolution_ratio,
+            min_rows=min_rows,
+            total_rows=table.num_rows,
+        )
+        resolutions = tuple(
+            build_uniform_resolution(table, fraction, permutation) for fraction in fractions
+        )
+        return cls(table_name=table.name, resolutions=resolutions)
+
+
+@dataclass(frozen=True)
+class StratifiedSampleFamily(_FamilyBase):
+    """The family of stratified samples over one column set φ."""
+
+    columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.columns:
+            raise ValueError("a stratified family requires a non-empty column set")
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        """Canonical (sorted) column-set key used by the catalog and optimizer."""
+        return tuple(sorted(self.columns))
+
+    @property
+    def caps(self) -> list[int]:
+        return [r.cap for r in self.resolutions if r.cap is not None]
+
+    def resolution_for_cap(self, cap: int) -> SampleResolution:
+        for resolution in self.resolutions:
+            if resolution.cap == cap:
+                return resolution
+        raise SampleNotFoundError(
+            f"family on {self.columns} has no resolution with cap {cap}; have {self.caps}"
+        )
+
+    def smallest_cap_at_least(self, cap: float) -> SampleResolution:
+        """Smallest resolution whose cap is ≥ ``cap`` (§4.2, error-bound path)."""
+        for resolution in self.resolutions:
+            if resolution.cap is not None and resolution.cap >= cap:
+                return resolution
+        return self.largest
+
+    def largest_cap_at_most(self, cap: float) -> SampleResolution:
+        """Largest resolution whose cap is ≤ ``cap`` (§4.2, time-bound path)."""
+        candidate = None
+        for resolution in self.resolutions:
+            if resolution.cap is not None and resolution.cap <= cap:
+                candidate = resolution
+        return candidate if candidate is not None else self.smallest
+
+    def covers(self, columns: Sequence[str]) -> bool:
+        """Whether this family's column set is a superset of ``columns``."""
+        return set(columns) <= set(self.columns)
+
+    @classmethod
+    def build(
+        cls,
+        table: Table,
+        columns: Sequence[str],
+        config: SamplingConfig,
+        largest_cap: int | None = None,
+    ) -> "StratifiedSampleFamily":
+        """Build ``SFam(φ)`` with the geometric cap ladder of ``config``."""
+        columns = tuple(columns)
+        if largest_cap is None:
+            largest_cap = config.effective_cap(table.num_rows)
+        caps = config.resolution_caps(largest_cap)
+        shared = stratum_permutations(table, columns)
+        resolutions = [
+            build_stratified_resolution(table, columns, cap, precomputed=shared)
+            for cap in sorted(set(caps))
+        ]
+        resolutions.sort(key=lambda r: r.num_rows)
+        return cls(
+            table_name=table.name,
+            resolutions=tuple(resolutions),
+            columns=columns,
+        )
+
+
+def verify_nesting(family: _FamilyBase) -> bool:
+    """Check that every resolution's rows are a subset of the next larger one.
+
+    Used by tests and by the storage-layout code: nesting is what allows the
+    family to be stored once (largest resolution only) and what makes
+    intermediate-data reuse sound.
+    """
+    resolutions = list(family.resolutions)
+    for smaller, larger in zip(resolutions, resolutions[1:]):
+        smaller_set = set(smaller.row_indices.tolist())
+        larger_set = set(larger.row_indices.tolist())
+        if not smaller_set <= larger_set:
+            return False
+    return True

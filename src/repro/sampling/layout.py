@@ -1,0 +1,72 @@
+"""Logical-sample → physical-block mapping (paper Fig. 4).
+
+Each progressively larger logical sample of a family consists of all data
+blocks of the smaller samples plus additional blocks; BlinkDB maintains a
+transparent mapping between logical samples and blocks so that a query that
+probed a small sample and then escalates to a larger one only reads the new
+blocks (§4.4).  :class:`FamilyLayout` reproduces that mapping on top of the
+block abstraction of :mod:`repro.storage.block`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sampling.family import _FamilyBase
+from repro.sampling.resolution import SampleResolution
+from repro.storage.block import BlockSet, split_into_blocks
+
+
+@dataclass(frozen=True)
+class FamilyLayout:
+    """Physical layout of one sample family.
+
+    The family's largest resolution is split into HDFS-sized blocks once;
+    each smaller resolution maps to the shortest block prefix that covers its
+    rows.  ``physical_blocks`` is therefore shared storage, exactly as in
+    Fig. 4 where logical samples A ⊂ B ⊂ C map to block prefixes (I),
+    (I, II), (I, II, III).
+    """
+
+    family_name: str
+    physical_blocks: BlockSet
+    resolution_rows: tuple[int, ...]
+
+    @classmethod
+    def for_family(cls, family: _FamilyBase, block_bytes: int) -> "FamilyLayout":
+        largest = family.largest
+        blocks = split_into_blocks(
+            dataset=largest.name,
+            num_rows=largest.num_rows,
+            row_width_bytes=largest.table.row_width_bytes,
+            block_bytes=block_bytes,
+        )
+        return cls(
+            family_name=largest.name,
+            physical_blocks=blocks,
+            resolution_rows=tuple(r.num_rows for r in family.resolutions),
+        )
+
+    def blocks_for_resolution(self, resolution: SampleResolution | int) -> BlockSet:
+        """Blocks a query must read to scan the given resolution in full."""
+        rows = resolution if isinstance(resolution, int) else resolution.num_rows
+        return self.physical_blocks.prefix_covering_rows(rows)
+
+    def additional_blocks(
+        self,
+        from_resolution: SampleResolution | int,
+        to_resolution: SampleResolution | int,
+    ) -> BlockSet:
+        """Blocks needed to escalate from one resolution to a larger one.
+
+        This is the §4.4 reuse path: intermediate data from the blocks of the
+        smaller resolution is cached, so only the difference must be scanned.
+        """
+        smaller = self.blocks_for_resolution(from_resolution)
+        larger = self.blocks_for_resolution(to_resolution)
+        return larger.difference(smaller)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Physical bytes of the family (the shared largest-resolution blocks)."""
+        return self.physical_blocks.total_bytes

@@ -1,0 +1,166 @@
+"""Sample maintenance: drift detection, re-planning, and background refresh.
+
+Three responsibilities from the paper:
+
+* **Periodic refresh** (§4.5) — offline samples can be unrepresentative; a
+  low-priority background task periodically re-draws them from the data.
+  Here :meth:`SampleMaintenance.refresh_families` rebuilds every family with
+  a new random seed epoch.
+* **Drift detection** (§2.2.1) — a monitoring module watches data and
+  workload statistics and triggers re-planning when they change
+  significantly.  :meth:`detect_data_drift` compares stored
+  :class:`~repro.storage.statistics.TableStatistics` snapshots;
+  :meth:`detect_workload_drift` compares template weight distributions.
+* **Bounded-churn re-planning** (§3.2.3) — when re-solving the MILP, the
+  administrator's ``r`` parameter caps how much sample storage may be
+  created or discarded.  :meth:`replan` produces a list of
+  :class:`MaintenanceAction` (create / keep / drop) honouring that cap via
+  the churn constraint in the optimizer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.config import SamplingConfig
+from repro.optimizer.planner import SamplePlan, SampleSelectionPlanner
+from repro.sampling.builder import SampleBuilder
+from repro.sql.templates import QueryTemplate
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import TableStatistics
+from repro.storage.table import Table
+
+
+class ActionKind(enum.Enum):
+    CREATE = "create"
+    KEEP = "keep"
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class MaintenanceAction:
+    """One create/keep/drop decision for a stratified family."""
+
+    kind: ActionKind
+    columns: tuple[str, ...]
+    storage_bytes: int
+
+
+class SampleMaintenance:
+    """Keeps a table's sample families in sync with its data and workload."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        builder: SampleBuilder,
+        config: SamplingConfig,
+        data_drift_threshold: float = 0.2,
+        workload_drift_threshold: float = 0.25,
+    ) -> None:
+        self.catalog = catalog
+        self.builder = builder
+        self.config = config
+        self.data_drift_threshold = data_drift_threshold
+        self.workload_drift_threshold = workload_drift_threshold
+
+    # -- drift detection ------------------------------------------------------------
+    def detect_data_drift(
+        self, previous: TableStatistics, current: TableStatistics
+    ) -> bool:
+        """True when the data distribution changed enough to warrant re-planning.
+
+        The check compares, per column, the relative change in distinct count
+        and in the dominant value's frequency share; either exceeding the
+        threshold triggers a re-plan.  Row-count growth alone does not (new
+        data with the same shape only requires a refresh, not a new plan).
+        """
+        for name, current_stats in current.columns.items():
+            previous_stats = previous.columns.get(name)
+            if previous_stats is None:
+                return True
+            if previous_stats.distinct_count > 0:
+                distinct_change = abs(
+                    current_stats.distinct_count - previous_stats.distinct_count
+                ) / previous_stats.distinct_count
+                if distinct_change > self.data_drift_threshold:
+                    return True
+            previous_share = _top_share(previous_stats.top_frequencies, previous.num_rows)
+            current_share = _top_share(current_stats.top_frequencies, current.num_rows)
+            if abs(current_share - previous_share) > self.data_drift_threshold:
+                return True
+        return False
+
+    def detect_workload_drift(
+        self,
+        previous: Sequence[QueryTemplate],
+        current: Sequence[QueryTemplate],
+    ) -> bool:
+        """True when template weights moved by more than the threshold (L1/2)."""
+        previous_weights = {t.columns: t.weight for t in previous}
+        current_weights = {t.columns: t.weight for t in current}
+        keys = set(previous_weights) | set(current_weights)
+        total_shift = sum(
+            abs(previous_weights.get(k, 0.0) - current_weights.get(k, 0.0)) for k in keys
+        )
+        return total_shift / 2.0 > self.workload_drift_threshold
+
+    # -- re-planning ----------------------------------------------------------------------
+    def replan(
+        self,
+        table: Table,
+        templates: Sequence[QueryTemplate],
+        churn_fraction: float,
+        storage_budget_fraction: float | None = None,
+    ) -> tuple[SamplePlan, list[MaintenanceAction]]:
+        """Re-solve sample selection with the churn cap and diff against what exists."""
+        existing = sorted(self.catalog.stratified_families(table.name))
+        planner = SampleSelectionPlanner(table, self.config)
+        plan = planner.plan(
+            templates,
+            existing_column_sets=existing,
+            churn_fraction=churn_fraction,
+            storage_budget_fraction=storage_budget_fraction,
+        )
+        planned = {f.columns: f for f in plan.families}
+        existing_set = set(existing)
+
+        actions: list[MaintenanceAction] = []
+        for columns, family in sorted(planned.items()):
+            kind = ActionKind.KEEP if columns in existing_set else ActionKind.CREATE
+            actions.append(MaintenanceAction(kind, columns, family.storage_bytes))
+        for columns in sorted(existing_set - set(planned)):
+            family = self.catalog.stratified_family(table.name, columns)
+            storage = family.storage_bytes if family is not None else 0  # type: ignore[union-attr]
+            actions.append(MaintenanceAction(ActionKind.DROP, columns, storage))
+        return plan, actions
+
+    def apply_actions(self, table: Table, actions: Sequence[MaintenanceAction]) -> None:
+        """Execute create/drop actions (keeps are no-ops)."""
+        for action in actions:
+            if action.kind is ActionKind.CREATE:
+                self.builder.build_stratified_family(table, action.columns)
+            elif action.kind is ActionKind.DROP:
+                self.builder.drop_stratified_family(table.name, action.columns)
+
+    # -- background refresh ------------------------------------------------------------------
+    def refresh_families(self, table: Table) -> int:
+        """Re-draw every stratified family of ``table`` (the §4.5 background task).
+
+        Returns the number of families rebuilt.  The catalog is updated in
+        place; in the paper this runs at low priority when the cluster is
+        idle, which has no observable analogue in a single-process library.
+        """
+        rebuilt = 0
+        for columns in sorted(self.catalog.stratified_families(table.name)):
+            self.builder.drop_stratified_family(table.name, columns)
+            self.builder.build_stratified_family(table, columns)
+            rebuilt += 1
+        return rebuilt
+
+
+def _top_share(top_frequencies: tuple[int, ...], num_rows: int) -> float:
+    if not top_frequencies or num_rows <= 0:
+        return 0.0
+    return top_frequencies[0] / num_rows

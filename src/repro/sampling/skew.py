@@ -1,0 +1,152 @@
+"""Skew metrics and storage-cost estimation.
+
+Three pieces of §3 live here:
+
+* ``Δ(φ)`` — the non-uniformity metric the optimization objective weighs
+  templates by: the number of distinct values of φ whose frequency is below
+  the cap ``K`` (the length of the distribution's tail).
+* The storage cost ``Store(φ)`` of a stratified family — the size of its
+  largest resolution, ``Σ_x min(F(φ,T,x), K)`` rows times the row width.
+* The analytic Zipf storage-overhead model reproduced in Table 5 /
+  Appendix A: the fraction of a Zipf(s)-distributed table retained by
+  ``S(φ, K)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.storage.statistics import joint_frequencies
+from repro.storage.table import Table
+
+
+# -- Δ(φ) and empirical storage cost -----------------------------------------------
+
+
+def delta_skew(frequencies: np.ndarray | Sequence[int], cap: int) -> int:
+    """``Δ(φ)`` — number of distinct values with frequency below the cap ``K``.
+
+    A uniform distribution (every value at least as frequent as the cap) has
+    Δ = 0; long-tailed distributions have large Δ.  See §3.2.1.
+    """
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    frequencies = np.asarray(frequencies)
+    return int(np.count_nonzero(frequencies < cap))
+
+
+def table_delta_skew(table: Table, columns: Sequence[str], cap: int) -> int:
+    """``Δ(φ)`` computed directly from a table."""
+    return delta_skew(joint_frequencies(table, columns), cap)
+
+
+def stratified_sample_rows(frequencies: np.ndarray | Sequence[int], cap: int) -> int:
+    """Rows retained by ``S(φ, K)``: ``Σ_x min(F(x), K)``."""
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    frequencies = np.asarray(frequencies)
+    return int(np.sum(np.minimum(frequencies, cap)))
+
+
+def stratified_storage_bytes(
+    frequencies: np.ndarray | Sequence[int], cap: int, row_width_bytes: int
+) -> int:
+    """``Store(φ)`` — bytes needed for the largest sample of the family.
+
+    Because resolutions are nested, the family's physical footprint equals
+    the largest resolution (§3.1), so this is also the family's storage cost
+    in the optimizer's budget constraint (3).
+    """
+    if row_width_bytes <= 0:
+        raise ValueError("row_width_bytes must be positive")
+    return stratified_sample_rows(frequencies, cap) * row_width_bytes
+
+
+# -- analytic Zipf model (Table 5) ---------------------------------------------------
+
+
+def generalized_harmonic(n: float, s: float) -> float:
+    """``H(n, s) = Σ_{r=1}^{n} r^{-s}``, with an asymptotic form for large n.
+
+    Exact summation is used for ``n ≤ 10⁶``; beyond that the Euler–Maclaurin
+    approximation ``ζ(s) − n^{1−s}/(s−1) − n^{-s}/2`` (for ``s > 1``) or
+    ``ln n + γ + 1/(2n)`` (for ``s = 1``) keeps the computation cheap while
+    staying well within the two significant digits Table 5 reports.
+    """
+    if n < 1:
+        return 0.0
+    n = float(n)
+    if n <= 1e6:
+        ranks = np.arange(1, int(n) + 1, dtype=np.float64)
+        return float(np.sum(ranks**-s))
+    if abs(s - 1.0) < 1e-12:
+        euler_gamma = 0.5772156649015329
+        return math.log(n) + euler_gamma + 1.0 / (2.0 * n)
+    from scipy.special import zeta
+
+    return float(zeta(s, 1)) - n ** (1.0 - s) / (s - 1.0) - 0.5 * n ** (-s)
+
+
+def zipf_rank_count(max_frequency: float, s: float) -> float:
+    """Number of distinct values in a Zipf distribution with ``F(r) = M / r^s``.
+
+    The paper's Appendix A model assigns frequency ``M / rank^s``; values stop
+    existing when the frequency would drop below 1, i.e. at rank ``M^{1/s}``.
+    """
+    if max_frequency < 1:
+        raise ValueError("max_frequency must be at least 1")
+    if s <= 0:
+        raise ValueError("Zipf exponent must be positive")
+    return float(max_frequency ** (1.0 / s))
+
+
+def zipf_storage_fraction(s: float, cap: int, max_frequency: float = 1e9) -> float:
+    """Fraction of a Zipf(s) table retained by ``S(φ, K)`` (Table 5).
+
+    With frequencies ``F(r) = M / r^s`` for ranks ``r = 1 … M^{1/s}``, the
+    sample stores ``K`` rows for every rank with ``F(r) > K`` (ranks up to
+    ``r* = (M/K)^{1/s}``) and all ``F(r)`` rows for the rest:
+
+    ``fraction = [K·r* + M·(H(R, s) − H(r*, s))] / [M·H(R, s)]``.
+    """
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    if s <= 0:
+        raise ValueError("Zipf exponent must be positive")
+    M = float(max_frequency)
+    total_ranks = zipf_rank_count(M, s)
+    if cap >= M:
+        return 1.0
+    crossover_rank = (M / cap) ** (1.0 / s)
+    crossover_rank = min(crossover_rank, total_ranks)
+
+    harmonic_total = generalized_harmonic(total_ranks, s)
+    harmonic_crossover = generalized_harmonic(crossover_rank, s)
+
+    total_rows = M * harmonic_total
+    stored_rows = cap * crossover_rank + M * (harmonic_total - harmonic_crossover)
+    return float(min(1.0, stored_rows / total_rows))
+
+
+def zipf_frequencies(num_values: int, s: float, total_rows: int) -> np.ndarray:
+    """Integer frequencies for ``num_values`` Zipf(s)-distributed values.
+
+    Used by the synthetic workload generators: value ``r`` (1-based rank) gets
+    a share proportional to ``r^{-s}`` of ``total_rows``, with the remainder
+    assigned to the head so the counts sum exactly to ``total_rows``.
+    """
+    if num_values <= 0:
+        raise ValueError("num_values must be positive")
+    if total_rows < 0:
+        raise ValueError("total_rows must be non-negative")
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    shares = ranks**-s
+    shares /= shares.sum()
+    counts = np.floor(shares * total_rows).astype(np.int64)
+    shortfall = total_rows - int(counts.sum())
+    if shortfall > 0:
+        counts[:shortfall] += 1
+    return counts

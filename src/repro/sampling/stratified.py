@@ -1,0 +1,121 @@
+"""Stratified samples ``S(φ, K)``.
+
+A stratified sample on column set φ caps the frequency of every distinct
+value ``x`` of φ at ``K`` (§3.1): strata with ``F(φ, T, x) ≤ K`` are stored in
+full (effective sampling rate 1.0, exact answers), strata with more rows
+contribute ``K`` rows chosen uniformly at random (rate ``K / F``).  The
+per-row rate is retained so the query processor can produce unbiased answers
+(§4.3, Tables 3–4).
+
+Rows are stored sorted by φ so that rows of the same stratum are contiguous —
+the paper relies on this clustering for the response-time argument of
+Appendix A.
+
+Nesting across resolutions of one family is achieved by drawing a fixed
+random permutation *within each stratum* (shared across resolutions): the
+rows of ``S(φ, K_i)`` are, per stratum, the first ``min(F, K_i)`` rows of that
+permutation, so a smaller sample is always a subset of a larger one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import stable_rng
+from repro.sampling.resolution import SampleResolution
+from repro.storage.table import Table
+
+
+def stratum_permutations(
+    table: Table, columns: tuple[str, ...], seed_label: object = "stratified"
+) -> tuple[np.ndarray, np.ndarray, list[tuple]]:
+    """Per-stratum random order of the table's rows.
+
+    Returns ``(ordered_indices, stratum_offsets, keys)`` where
+    ``ordered_indices`` lists the row indices of stratum 0, then stratum 1,
+    etc., each stratum's rows in the (fixed) random order used for nesting,
+    and ``stratum_offsets[g]:stratum_offsets[g+1]`` slices stratum ``g``.
+    """
+    codes, keys = table.group_codes(list(columns))
+    num_strata = len(keys)
+    if num_strata == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), []
+
+    counts = np.bincount(codes, minlength=num_strata)
+    offsets = np.zeros(num_strata + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+
+    # Sort rows by stratum, then shuffle within each stratum deterministically.
+    order = np.argsort(codes, kind="stable")
+    ordered = np.empty_like(order)
+    rng = stable_rng("stratum-permutation", table.name, tuple(columns), seed_label)
+    for g in range(num_strata):
+        start, end = offsets[g], offsets[g + 1]
+        stratum_rows = order[start:end]
+        ordered[start:end] = rng.permutation(stratum_rows)
+    return ordered, offsets, keys
+
+
+def build_stratified_resolution(
+    table: Table,
+    columns: tuple[str, ...],
+    cap: int,
+    precomputed: tuple[np.ndarray, np.ndarray, list[tuple]] | None = None,
+    name: str | None = None,
+) -> SampleResolution:
+    """Build ``S(φ, K)`` for ``φ = columns`` and ``K = cap``.
+
+    ``precomputed`` may carry the output of :func:`stratum_permutations` so a
+    whole family can be built from a single pass over the table.
+    """
+    if cap <= 0:
+        raise ValueError(f"cap must be positive, got {cap}")
+    if not columns:
+        raise ValueError("a stratified sample requires at least one column")
+    table.schema.validate_columns(columns)
+
+    ordered, offsets, keys = (
+        precomputed if precomputed is not None else stratum_permutations(table, columns)
+    )
+    num_strata = len(keys)
+
+    selected_indices: list[np.ndarray] = []
+    rates: list[np.ndarray] = []
+    for g in range(num_strata):
+        start, end = offsets[g], offsets[g + 1]
+        frequency = int(end - start)
+        take = min(frequency, cap)
+        stratum_rows = ordered[start : start + take]
+        selected_indices.append(stratum_rows)
+        rate = 1.0 if frequency <= cap else cap / frequency
+        rates.append(np.full(take, rate, dtype=np.float64))
+
+    if selected_indices:
+        indices = np.concatenate(selected_indices)
+        weight_values = 1.0 / np.concatenate(rates)
+    else:
+        indices = np.empty(0, dtype=np.int64)
+        weight_values = np.empty(0, dtype=np.float64)
+
+    sampled = table.take(indices, name=f"{table.name}_strat_{'_'.join(columns)}")
+    # Keep rows of the same stratum contiguous and ordered by φ, mirroring the
+    # sorted on-disk layout of §3.1.  indices are already grouped per stratum.
+    resolution_name = name or f"{table.name}/strat({','.join(columns)})/K={cap}"
+    return SampleResolution(
+        name=resolution_name,
+        table=sampled,
+        weights=weight_values,
+        row_indices=indices,
+        source_rows=table.num_rows,
+        columns=tuple(columns),
+        cap=cap,
+        fraction=None,
+    )
+
+
+def stratum_cap_rows(frequencies: np.ndarray, cap: int) -> int:
+    """Rows retained by ``S(φ, K)`` given the stratum frequency vector."""
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    frequencies = np.asarray(frequencies)
+    return int(np.sum(np.minimum(frequencies, cap)))

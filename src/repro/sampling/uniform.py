@@ -1,0 +1,91 @@
+"""Uniform samples ``R(p)``.
+
+BlinkDB keeps one family of uniform samples per fact table to serve queries on
+column sets with near-uniform distributions and queries whose columns are not
+covered by any stratified family (§2.2.1).  The family is *nested*: the rows
+of a smaller resolution are a prefix of the rows of the next larger one under
+a fixed random permutation of the table, so physically only the largest
+resolution needs to be stored (§3.1) and a query escalating from a small
+resolution to a larger one only scans the additional rows (§4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import stable_rng
+from repro.sampling.resolution import SampleResolution
+from repro.storage.table import Table
+
+
+def uniform_permutation(table: Table, seed_label: object = "uniform") -> np.ndarray:
+    """The fixed random permutation of the table rows used for nesting.
+
+    Deterministic given the table name and row count, so independently built
+    resolutions of the same family nest correctly.
+    """
+    rng = stable_rng("uniform-permutation", table.name, table.num_rows, seed_label)
+    return rng.permutation(table.num_rows)
+
+
+def build_uniform_resolution(
+    table: Table,
+    fraction: float,
+    permutation: np.ndarray | None = None,
+    name: str | None = None,
+) -> SampleResolution:
+    """Draw a uniform sample containing ``fraction`` of the table's rows.
+
+    ``permutation`` lets callers share one permutation across resolutions so
+    that smaller samples are prefixes of larger ones; when omitted, the
+    table-derived deterministic permutation is used.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if permutation is None:
+        permutation = uniform_permutation(table)
+    if permutation.shape[0] != table.num_rows:
+        raise ValueError("permutation length must equal the table row count")
+
+    sample_rows = max(1, int(round(table.num_rows * fraction))) if table.num_rows else 0
+    indices = np.sort(permutation[:sample_rows])
+    sampled = table.take(indices, name=f"{table.name}_uniform")
+    actual_fraction = sample_rows / table.num_rows if table.num_rows else 0.0
+    weights = np.full(sample_rows, 1.0 / actual_fraction if actual_fraction else 1.0)
+
+    resolution_name = name or f"{table.name}/uniform/p={fraction:g}"
+    return SampleResolution(
+        name=resolution_name,
+        table=sampled,
+        weights=weights,
+        row_indices=indices,
+        source_rows=table.num_rows,
+        columns=(),
+        cap=None,
+        fraction=actual_fraction,
+    )
+
+
+def uniform_resolution_fractions(
+    max_fraction: float, ratio: float, min_rows: int, total_rows: int
+) -> list[float]:
+    """Geometric ladder of fractions for a uniform family.
+
+    Starting from ``max_fraction`` and dividing by ``ratio`` until a
+    resolution would hold fewer than ``min_rows`` rows.  Returned smallest
+    first (the probe order used by the runtime).
+    """
+    if not 0.0 < max_fraction <= 1.0:
+        raise ValueError("max_fraction must be in (0, 1]")
+    if ratio <= 1.0:
+        raise ValueError("ratio must be > 1")
+    fractions: list[float] = []
+    fraction = max_fraction
+    while fraction * total_rows >= max(1, min_rows):
+        fractions.append(fraction)
+        fraction /= ratio
+        if len(fractions) > 64:
+            break
+    if not fractions:
+        fractions = [max_fraction]
+    return sorted(fractions)

@@ -1,0 +1,60 @@
+"""BlinkQL: the paper's SQL dialect with error/time bound annotations.
+
+BlinkDB extends HiveQL with two clauses (§2):
+
+* ``ERROR WITHIN e% AT CONFIDENCE c%`` — answer within a relative error of
+  ±e% of the true answer with confidence c%.
+* ``WITHIN t SECONDS`` — return the most accurate answer computable within a
+  response-time budget of t seconds.
+
+This package provides a tokenizer, an AST, a recursive-descent parser for the
+aggregation subset of the dialect the paper evaluates (COUNT / SUM / AVG /
+QUANTILE / MEDIAN plus STDDEV and VARIANCE as extensions, WHERE with
+conjunctions and disjunctions, GROUP BY, simple equi-joins), and the
+query-template extraction used by the sample-selection optimizer (§3.2).
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateFunction,
+    BetweenPredicate,
+    BinaryPredicate,
+    ColumnRef,
+    ComparisonOp,
+    CompoundPredicate,
+    ErrorBound,
+    InPredicate,
+    JoinClause,
+    LogicalOp,
+    NotPredicate,
+    Predicate,
+    Query,
+    TimeBound,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_query
+from repro.sql.templates import QueryTemplate, extract_template
+
+__all__ = [
+    "AggregateCall",
+    "AggregateFunction",
+    "BetweenPredicate",
+    "BinaryPredicate",
+    "ColumnRef",
+    "ComparisonOp",
+    "CompoundPredicate",
+    "ErrorBound",
+    "InPredicate",
+    "JoinClause",
+    "LogicalOp",
+    "NotPredicate",
+    "Predicate",
+    "Query",
+    "TimeBound",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_query",
+    "QueryTemplate",
+    "extract_template",
+]

@@ -1,0 +1,126 @@
+"""Tokenizer for BlinkQL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import ParseError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "BETWEEN",
+    "JOIN",
+    "ON",
+    "AS",
+    "ERROR",
+    "WITHIN",
+    "AT",
+    "CONFIDENCE",
+    "SECONDS",
+    "RELATIVE",
+    "ABSOLUTE",
+    "LIMIT",
+    "TRUE",
+    "FALSE",
+}
+
+AGGREGATE_NAMES = {
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MEAN",
+    "QUANTILE",
+    "PERCENTILE",
+    "MEDIAN",
+    "STDDEV",
+    "VARIANCE",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position in the source text."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "=", "<", ">", "*", "%", ".", ";")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a BlinkQL string, raising :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "'\"":
+            end = text.find(ch, i + 1)
+            if end == -1:
+                raise ParseError(f"unterminated string literal starting at {i}", i)
+            tokens.append(Token(TokenType.STRING, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            i = j
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token(TokenType.SYMBOL, symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {ch!r} at position {i}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,105 @@
+"""Query templates.
+
+A *query template* (paper §1, §3.2.1) is the set of columns appearing in a
+query's WHERE and GROUP BY clauses, with the specific constants stripped out.
+BlinkDB assumes templates are fairly stable over time even though exact
+queries are ad hoc, and the sample-selection optimizer works entirely at the
+template level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """The column-set signature of a query.
+
+    Attributes
+    ----------
+    table:
+        The fact table the template queries.
+    columns:
+        Sorted tuple of the columns appearing in WHERE and GROUP BY clauses
+        (``φ_T`` in the paper's notation).
+    weight:
+        Normalised frequency/importance ``w`` of the template in the
+        workload.  Weights across a workload sum to 1.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("template weight must be non-negative")
+        # Column sets are unordered in the paper's formulation; store them in
+        # canonical (sorted) form so templates compare and hash consistently.
+        object.__setattr__(self, "columns", tuple(sorted(self.columns)))
+
+    @property
+    def column_set(self) -> frozenset[str]:
+        return frozenset(self.columns)
+
+    def covers(self, columns: Iterable[str]) -> bool:
+        """Whether this template's column set is a superset of ``columns``."""
+        return set(columns) <= set(self.columns)
+
+    def label(self) -> str:
+        """Compact human-readable label, e.g. ``sessions[city,genre]``."""
+        return f"{self.table}[{','.join(self.columns)}]"
+
+
+def extract_template(query: Query | str, weight: float = 1.0) -> QueryTemplate:
+    """Extract the :class:`QueryTemplate` of a query (parsed or SQL text)."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    columns = tuple(sorted(query.template_columns()))
+    return QueryTemplate(table=query.table, columns=columns, weight=weight)
+
+
+def templates_from_trace(
+    queries: Sequence[Query | str],
+    table: str | None = None,
+) -> list[QueryTemplate]:
+    """Aggregate a query trace into weighted templates.
+
+    The weight of each template is its relative frequency in the trace.  When
+    ``table`` is given, queries against other tables are ignored (the paper
+    builds samples per fact table).
+    """
+    signatures: Counter[tuple[str, tuple[str, ...]]] = Counter()
+    total = 0
+    for query in queries:
+        parsed = parse_query(query) if isinstance(query, str) else query
+        if table is not None and parsed.table != table:
+            continue
+        signature = (parsed.table, tuple(sorted(parsed.template_columns())))
+        signatures[signature] += 1
+        total += 1
+    if total == 0:
+        return []
+    return [
+        QueryTemplate(table=tbl, columns=cols, weight=count / total)
+        for (tbl, cols), count in sorted(
+            signatures.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+
+
+def normalize_weights(templates: Sequence[QueryTemplate]) -> list[QueryTemplate]:
+    """Rescale template weights so they sum to 1 (no-op for an empty list)."""
+    total = sum(t.weight for t in templates)
+    if total <= 0:
+        return list(templates)
+    return [
+        QueryTemplate(table=t.table, columns=t.columns, weight=t.weight / total)
+        for t in templates
+    ]

@@ -1,0 +1,28 @@
+"""Columnar storage substrate.
+
+This package plays the role that Hive tables on HDFS play in the paper: it
+defines typed columns, in-memory columnar tables, table statistics (used by
+the sample-selection optimizer), the HDFS-like block abstraction, and a
+catalog that tracks base tables plus the samples built over them.
+"""
+
+from repro.storage.block import Block, BlockSet, split_into_blocks
+from repro.storage.catalog import Catalog
+from repro.storage.column import Column
+from repro.storage.schema import ColumnType, Schema
+from repro.storage.statistics import ColumnStatistics, TableStatistics, compute_statistics
+from repro.storage.table import Table
+
+__all__ = [
+    "Block",
+    "BlockSet",
+    "split_into_blocks",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "ColumnStatistics",
+    "TableStatistics",
+    "compute_statistics",
+    "Table",
+]

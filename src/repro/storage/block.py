@@ -1,0 +1,145 @@
+"""HDFS-like block abstraction.
+
+The paper partitions each sample "into many small files" and relies on HDFS
+block placement to spread them across the cluster (§2.2.1, Fig. 4).  Blocks
+are also the unit of the nested multi-resolution layout: the physical blocks
+of a smaller sample are a prefix of the blocks of the next-larger sample, so
+intermediate data computed while probing a small sample can be reused when
+the query is re-run on a larger one (§4.4).
+
+In this reproduction a :class:`Block` is pure metadata — a row range within a
+logical dataset plus an estimated byte size — because the actual row data
+lives in in-memory :class:`~repro.storage.table.Table` objects.  The cluster
+simulator consumes blocks to model scan parallelism and locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Block:
+    """A contiguous range of rows of a logical dataset.
+
+    Attributes
+    ----------
+    dataset:
+        Name of the dataset (table or sample) this block belongs to.
+    index:
+        Position of the block within the dataset (0-based).
+    row_start, row_end:
+        Half-open row range ``[row_start, row_end)`` covered by the block.
+    size_bytes:
+        Estimated serialized size of the block.
+    """
+
+    dataset: str
+    index: int
+    row_start: int
+    row_end: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.row_end < self.row_start:
+            raise ValueError("block row range is inverted")
+        if self.size_bytes < 0:
+            raise ValueError("block size must be non-negative")
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_end - self.row_start
+
+
+class BlockSet:
+    """An ordered collection of blocks belonging to one logical dataset."""
+
+    def __init__(self, dataset: str, blocks: Sequence[Block]) -> None:
+        self.dataset = dataset
+        self._blocks = list(blocks)
+        for i, block in enumerate(self._blocks):
+            if block.dataset != dataset:
+                raise ValueError(
+                    f"block {i} belongs to dataset {block.dataset!r}, expected {dataset!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __getitem__(self, index: int) -> Block:
+        return self._blocks[index]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.size_bytes for b in self._blocks)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(b.num_rows for b in self._blocks)
+
+    def prefix_covering_rows(self, num_rows: int) -> "BlockSet":
+        """The smallest block prefix covering at least ``num_rows`` rows.
+
+        This models Fig. 4: a smaller logical sample maps onto a prefix of the
+        physical blocks of the larger sample in the same family.
+        """
+        selected: list[Block] = []
+        covered = 0
+        for block in self._blocks:
+            if covered >= num_rows:
+                break
+            selected.append(block)
+            covered += block.num_rows
+        return BlockSet(self.dataset, selected)
+
+    def difference(self, other: "BlockSet") -> "BlockSet":
+        """Blocks in ``self`` that are not present in ``other``.
+
+        Used to model intermediate-data reuse (§4.4): when a query moves from
+        a smaller sample to a larger one in the same family, only the
+        *additional* blocks need to be scanned.
+        """
+        other_keys = {(b.dataset, b.index) for b in other}
+        remaining = [b for b in self._blocks if (b.dataset, b.index) not in other_keys]
+        return BlockSet(self.dataset, remaining)
+
+
+def split_into_blocks(
+    dataset: str,
+    num_rows: int,
+    row_width_bytes: int,
+    block_bytes: int,
+) -> BlockSet:
+    """Split a dataset of ``num_rows`` rows into blocks of about ``block_bytes``.
+
+    The last block may be smaller.  A dataset with zero rows produces an
+    empty block set.
+    """
+    if num_rows < 0:
+        raise ValueError("num_rows must be non-negative")
+    if row_width_bytes <= 0:
+        raise ValueError("row_width_bytes must be positive")
+    if block_bytes <= 0:
+        raise ValueError("block_bytes must be positive")
+    rows_per_block = max(1, block_bytes // row_width_bytes)
+    blocks: list[Block] = []
+    start = 0
+    index = 0
+    while start < num_rows:
+        end = min(start + rows_per_block, num_rows)
+        blocks.append(
+            Block(
+                dataset=dataset,
+                index=index,
+                row_start=start,
+                row_end=end,
+                size_bytes=(end - start) * row_width_bytes,
+            )
+        )
+        start = end
+        index += 1
+    return BlockSet(dataset, blocks)

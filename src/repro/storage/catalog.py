@@ -1,0 +1,143 @@
+"""The BlinkDB metastore.
+
+The paper extends the Hive metastore into a "BlinkDB Metastore" that tracks
+the mapping between logical samples and physical storage (§5).  Here the
+:class:`Catalog` tracks:
+
+* base tables and their computed statistics,
+* the uniform sample family of each table,
+* every stratified sample family, keyed by (table, column set).
+
+The catalog stores sample families as opaque objects (duck-typed) so that the
+storage layer does not depend on the sampling layer; the
+:mod:`repro.sampling` and :mod:`repro.runtime` packages know the concrete
+types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.common.errors import CatalogError
+from repro.storage.statistics import TableStatistics, compute_statistics
+from repro.storage.table import Table
+
+
+def column_set_key(columns: Iterable[str]) -> tuple[str, ...]:
+    """Canonical (sorted) key for a set of columns.
+
+    Column *sets* are unordered in the paper's formulation; sorting makes the
+    dictionary key deterministic.
+    """
+    return tuple(sorted(columns))
+
+
+class Catalog:
+    """Registry of tables, statistics, and sample families."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+        self._uniform_families: dict[str, object] = {}
+        self._stratified_families: dict[tuple[str, tuple[str, ...]], object] = {}
+
+    # -- tables ---------------------------------------------------------------
+    def register_table(self, table: Table, overwrite: bool = False) -> None:
+        """Register a base table and compute its statistics."""
+        if table.name in self._tables and not overwrite:
+            raise CatalogError(f"table {table.name!r} is already registered")
+        self._tables[table.name] = table
+        self._statistics[table.name] = compute_statistics(table)
+        if overwrite:
+            # Data changed: every sample built on the old data is stale.
+            self._uniform_families.pop(table.name, None)
+            stale = [k for k in self._stratified_families if k[0] == table.name]
+            for key in stale:
+                del self._stratified_families[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def statistics(self, name: str) -> TableStatistics:
+        try:
+            return self._statistics[name]
+        except KeyError:
+            raise CatalogError(f"no statistics for table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+        del self._statistics[name]
+        self._uniform_families.pop(name, None)
+        stale = [k for k in self._stratified_families if k[0] == name]
+        for key in stale:
+            del self._stratified_families[key]
+
+    # -- uniform sample families ---------------------------------------------------
+    def register_uniform_family(self, table_name: str, family: object) -> None:
+        if table_name not in self._tables:
+            raise CatalogError(f"unknown table {table_name!r}")
+        self._uniform_families[table_name] = family
+
+    def uniform_family(self, table_name: str) -> object | None:
+        return self._uniform_families.get(table_name)
+
+    # -- stratified sample families ---------------------------------------------------
+    def register_stratified_family(
+        self, table_name: str, columns: Iterable[str], family: object
+    ) -> None:
+        if table_name not in self._tables:
+            raise CatalogError(f"unknown table {table_name!r}")
+        key = (table_name, column_set_key(columns))
+        self._stratified_families[key] = family
+
+    def drop_stratified_family(self, table_name: str, columns: Iterable[str]) -> None:
+        key = (table_name, column_set_key(columns))
+        if key not in self._stratified_families:
+            raise CatalogError(f"no stratified family on {key[1]} for table {table_name!r}")
+        del self._stratified_families[key]
+
+    def stratified_family(self, table_name: str, columns: Iterable[str]) -> object | None:
+        return self._stratified_families.get((table_name, column_set_key(columns)))
+
+    def stratified_families(self, table_name: str) -> dict[tuple[str, ...], object]:
+        """All stratified families for a table, keyed by the column set."""
+        return {
+            key[1]: family
+            for key, family in self._stratified_families.items()
+            if key[0] == table_name
+        }
+
+    def iter_families(self, table_name: str) -> Iterator[tuple[tuple[str, ...] | None, object]]:
+        """Iterate over (column_set, family) pairs; the uniform family has key None."""
+        uniform = self._uniform_families.get(table_name)
+        if uniform is not None:
+            yield None, uniform
+        for columns, family in self.stratified_families(table_name).items():
+            yield columns, family
+
+    # -- summaries ----------------------------------------------------------------------
+    def describe(self) -> dict[str, dict[str, object]]:
+        """A JSON-friendly summary of everything the catalog knows."""
+        summary: dict[str, dict[str, object]] = {}
+        for name, table in self._tables.items():
+            summary[name] = {
+                "rows": table.num_rows,
+                "size_bytes": table.size_bytes,
+                "columns": table.schema.to_dict(),
+                "uniform_family": name in self._uniform_families,
+                "stratified_families": sorted(
+                    list(cols) for cols in self.stratified_families(name)
+                ),
+            }
+        return summary

@@ -1,0 +1,182 @@
+"""Typed, NumPy-backed columns.
+
+A :class:`Column` wraps a NumPy array with its logical :class:`ColumnType`.
+String columns are dictionary-encoded (integer codes plus a value dictionary)
+which keeps group-by and stratification cheap and mirrors how columnar
+warehouses store low-cardinality dimension columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.storage.schema import ColumnType
+
+
+class Column:
+    """One named, typed column of data.
+
+    Use :meth:`from_values` to build a column from Python values; the
+    constructor accepts already-prepared NumPy arrays.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ctype: ColumnType,
+        data: np.ndarray,
+        dictionary: np.ndarray | None = None,
+    ) -> None:
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        self.ctype = ctype
+        self._data = np.asarray(data)
+        self._dictionary = dictionary
+        if ctype is ColumnType.STRING and dictionary is None:
+            raise SchemaError("STRING columns require a dictionary")
+        if ctype is not ColumnType.STRING and dictionary is not None:
+            raise SchemaError("only STRING columns carry a dictionary")
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, values: Sequence, ctype: ColumnType | None = None) -> "Column":
+        """Build a column from a Python sequence, inferring the type if needed."""
+        values = list(values)
+        if ctype is None:
+            ctype = _infer_type(values)
+        if ctype is ColumnType.STRING:
+            codes, dictionary = _dictionary_encode([str(v) for v in values])
+            return cls(name, ctype, codes, dictionary)
+        if ctype is ColumnType.INT:
+            return cls(name, ctype, np.asarray(values, dtype=np.int64))
+        if ctype is ColumnType.FLOAT:
+            return cls(name, ctype, np.asarray(values, dtype=np.float64))
+        if ctype is ColumnType.BOOL:
+            return cls(name, ctype, np.asarray(values, dtype=bool))
+        raise SchemaError(f"unsupported column type {ctype}")
+
+    @classmethod
+    def from_codes(cls, name: str, codes: np.ndarray, dictionary: np.ndarray) -> "Column":
+        """Build a STRING column directly from dictionary codes."""
+        return cls(name, ColumnType.STRING, np.asarray(codes, dtype=np.int64), np.asarray(dictionary))
+
+    # -- basic properties ------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.ctype.value}, n={len(self)})"
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw backing array (codes for STRING columns)."""
+        return self._data
+
+    @property
+    def dictionary(self) -> np.ndarray | None:
+        """The value dictionary for STRING columns, else ``None``."""
+        return self._dictionary
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype.is_numeric
+
+    # -- value access ----------------------------------------------------------
+    def values(self) -> np.ndarray:
+        """Decoded values as a NumPy array (strings are materialised)."""
+        if self.ctype is ColumnType.STRING:
+            assert self._dictionary is not None
+            return self._dictionary[self._data]
+        return self._data
+
+    def value_at(self, index: int) -> object:
+        """The decoded value at a single row index."""
+        if self.ctype is ColumnType.STRING:
+            assert self._dictionary is not None
+            value = self._dictionary[self._data[index]]
+            return value.item() if hasattr(value, "item") else value
+        value = self._data[index]
+        return value.item() if hasattr(value, "item") else value
+
+    def numeric(self) -> np.ndarray:
+        """The column as float64, raising for non-numeric columns."""
+        if self.ctype is ColumnType.BOOL:
+            return self._data.astype(np.float64)
+        if not self.is_numeric:
+            raise SchemaError(f"column {self.name!r} ({self.ctype.value}) is not numeric")
+        return self._data.astype(np.float64)
+
+    # -- transformations -------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        """A new column containing the rows at ``indices`` (in that order)."""
+        return Column(self.name, self.ctype, self._data[indices], self._dictionary)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """A new column containing only rows where ``mask`` is True."""
+        return Column(self.name, self.ctype, self._data[mask], self._dictionary)
+
+    def rename(self, new_name: str) -> "Column":
+        return Column(new_name, self.ctype, self._data, self._dictionary)
+
+    def encode_lookup(self, value: object) -> object:
+        """Translate a literal into the column's internal representation.
+
+        For STRING columns, returns the dictionary code of ``value`` or ``-1``
+        if the value does not occur (no row can match).  Other types are
+        passed through with a cast.
+        """
+        if self.ctype is ColumnType.STRING:
+            assert self._dictionary is not None
+            matches = np.nonzero(self._dictionary == str(value))[0]
+            return int(matches[0]) if matches.size else -1
+        if self.ctype is ColumnType.INT:
+            return int(value)  # type: ignore[arg-type]
+        if self.ctype is ColumnType.FLOAT:
+            return float(value)  # type: ignore[arg-type]
+        if self.ctype is ColumnType.BOOL:
+            return bool(value)
+        raise SchemaError(f"unsupported column type {self.ctype}")
+
+    def distinct_count(self) -> int:
+        """Number of distinct values in the column."""
+        if self.ctype is ColumnType.STRING:
+            return int(np.unique(self._data).size)
+        return int(np.unique(self._data).size)
+
+
+def _infer_type(values: Iterable) -> ColumnType:
+    """Infer a ColumnType from a sequence of Python values."""
+    saw_float = False
+    saw_int = False
+    saw_bool = False
+    saw_str = False
+    for v in values:
+        if isinstance(v, bool):
+            saw_bool = True
+        elif isinstance(v, (int, np.integer)):
+            saw_int = True
+        elif isinstance(v, (float, np.floating)):
+            saw_float = True
+        else:
+            saw_str = True
+    if saw_str:
+        return ColumnType.STRING
+    if saw_float:
+        return ColumnType.FLOAT
+    if saw_int:
+        return ColumnType.INT
+    if saw_bool:
+        return ColumnType.BOOL
+    # Empty column: default to FLOAT, the most permissive numeric type.
+    return ColumnType.FLOAT
+
+
+def _dictionary_encode(values: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode a list of strings into (codes, dictionary)."""
+    array = np.asarray(values, dtype=object)
+    dictionary, codes = np.unique(array, return_inverse=True)
+    return codes.astype(np.int64), dictionary.astype(object)

@@ -1,0 +1,147 @@
+"""Schemas: ordered, typed column definitions for tables.
+
+A :class:`Schema` is an ordered mapping of column name to :class:`ColumnType`.
+It also carries per-column byte widths so that the optimizer and the cluster
+cost model can estimate storage footprints and scan volumes without
+materialising data at the paper's scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.common.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    @property
+    def default_width_bytes(self) -> int:
+        """Approximate on-disk width used for storage/scan estimates."""
+        if self is ColumnType.INT:
+            return 8
+        if self is ColumnType.FLOAT:
+            return 8
+        if self is ColumnType.BOOL:
+            return 1
+        return 24  # average encoded string width
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INT, ColumnType.FLOAT)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A single column definition: name, type, and byte width."""
+
+    name: str
+    ctype: ColumnType
+    width_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.width_bytes <= 0:
+            raise SchemaError(f"column {self.name!r} width must be positive")
+
+
+class Schema:
+    """An ordered collection of column definitions.
+
+    Parameters
+    ----------
+    columns:
+        Either a mapping of name to :class:`ColumnType` or an iterable of
+        :class:`ColumnDef`.  Order is preserved and meaningful (stratified
+        samples are sorted by the order of their stratification columns).
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, ColumnType] | Iterable[ColumnDef],
+    ) -> None:
+        defs: list[ColumnDef] = []
+        if isinstance(columns, Mapping):
+            for name, ctype in columns.items():
+                defs.append(ColumnDef(name, ctype, ctype.default_width_bytes))
+        else:
+            defs = list(columns)
+        names = [d.name for d in defs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        if not defs:
+            raise SchemaError("schema must contain at least one column")
+        self._defs: dict[str, ColumnDef] = {d.name: d for d in defs}
+        self._order: list[str] = names
+
+    # -- container protocol -------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._defs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._order == other._order and self._defs == other._defs
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{self._defs[n].ctype.value}" for n in self._order)
+        return f"Schema({parts})"
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """Column names in declaration order."""
+        return list(self._order)
+
+    def column(self, name: str) -> ColumnDef:
+        """The definition of ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}; have {self._order}") from None
+
+    def type_of(self, name: str) -> ColumnType:
+        return self.column(name).ctype
+
+    def width_of(self, name: str) -> int:
+        return self.column(name).width_bytes
+
+    @property
+    def row_width_bytes(self) -> int:
+        """Approximate width of one row in bytes (sum of column widths)."""
+        return sum(d.width_bytes for d in self._defs.values())
+
+    def validate_columns(self, names: Iterable[str]) -> None:
+        """Raise :class:`SchemaError` if any of ``names`` is not in the schema."""
+        missing = [n for n in names if n not in self._defs]
+        if missing:
+            raise SchemaError(f"unknown column(s) {missing}; have {self._order}")
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only ``names`` (in the given order)."""
+        names = list(names)
+        self.validate_columns(names)
+        return Schema([self._defs[n] for n in names])
+
+    def numeric_columns(self) -> list[str]:
+        """Names of all numeric (INT or FLOAT) columns."""
+        return [n for n in self._order if self._defs[n].ctype.is_numeric]
+
+    def to_dict(self) -> dict[str, str]:
+        """A JSON-friendly representation (name -> type string)."""
+        return {n: self._defs[n].ctype.value for n in self._order}

@@ -1,0 +1,126 @@
+"""Table and column statistics.
+
+The offline sample-creation module (paper §2.2.1) relies on "statistics
+collected from the data (e.g., average row sizes, key skews, column
+histograms)".  This module computes those statistics once per table so that
+the optimizer and the skew metric ``Δ(φ)`` can be evaluated without rescanning
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnStatistics:
+    """Summary statistics for a single column."""
+
+    name: str
+    num_rows: int
+    distinct_count: int
+    null_count: int
+    min_value: object
+    max_value: object
+    mean: float | None
+    std: float | None
+    # Histogram of value frequencies (top of the frequency distribution).
+    top_frequencies: tuple[int, ...]
+
+    @property
+    def skew_ratio(self) -> float:
+        """Ratio of the most frequent value's count to the mean frequency.
+
+        1.0 indicates a perfectly uniform column; large values indicate a
+        heavy-tailed (Zipf-like) distribution where stratification pays off.
+        """
+        if not self.top_frequencies or self.distinct_count == 0:
+            return 1.0
+        mean_frequency = self.num_rows / self.distinct_count
+        if mean_frequency == 0:
+            return 1.0
+        return float(self.top_frequencies[0] / mean_frequency)
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Statistics for a whole table, keyed by column name."""
+
+    table_name: str
+    num_rows: int
+    row_width_bytes: int
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_rows * self.row_width_bytes
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns[name]
+
+    def most_skewed_columns(self, limit: int = 5) -> list[str]:
+        """Column names ordered by decreasing skew ratio."""
+        ranked = sorted(
+            self.columns.values(), key=lambda c: c.skew_ratio, reverse=True
+        )
+        return [c.name for c in ranked[:limit]]
+
+
+def compute_statistics(table: Table, top_k: int = 16) -> TableStatistics:
+    """Compute :class:`TableStatistics` for every column of ``table``."""
+    column_stats: dict[str, ColumnStatistics] = {}
+    for column in table.columns():
+        data = column.data
+        distinct, counts = np.unique(data, return_counts=True)
+        counts_sorted = np.sort(counts)[::-1]
+        top = tuple(int(c) for c in counts_sorted[:top_k])
+        if column.is_numeric and len(column) > 0:
+            numeric = column.numeric()
+            mean = float(np.mean(numeric))
+            std = float(np.std(numeric, ddof=1)) if len(column) > 1 else 0.0
+            min_value: object = float(np.min(numeric))
+            max_value: object = float(np.max(numeric))
+        else:
+            mean = None
+            std = None
+            values = column.values()
+            if len(column) > 0:
+                min_value = values.min()
+                max_value = values.max()
+            else:
+                min_value = None
+                max_value = None
+        column_stats[column.name] = ColumnStatistics(
+            name=column.name,
+            num_rows=len(column),
+            distinct_count=int(distinct.size),
+            null_count=0,
+            min_value=min_value,
+            max_value=max_value,
+            mean=mean,
+            std=std,
+            top_frequencies=top,
+        )
+    return TableStatistics(
+        table_name=table.name,
+        num_rows=table.num_rows,
+        row_width_bytes=table.row_width_bytes,
+        columns=column_stats,
+    )
+
+
+def joint_frequencies(table: Table, columns: Sequence[str]) -> np.ndarray:
+    """Frequencies of each distinct value combination of ``columns``.
+
+    Returned as a plain (unordered) array of counts; used by the skew metric
+    and the storage-cost estimator without needing the actual key values.
+    """
+    codes, keys = table.group_codes(list(columns))
+    if not keys:
+        return np.zeros(0, dtype=np.int64)
+    return np.bincount(codes, minlength=len(keys)).astype(np.int64)

@@ -1,0 +1,195 @@
+"""In-memory columnar tables.
+
+A :class:`Table` is an immutable collection of equal-length :class:`Column`
+objects plus a :class:`Schema`.  It supports the row-subset operations the
+engine and sampling layer need (take / filter / sort by column set), and it
+exposes size estimates so the cluster cost model and the sample-selection
+optimizer can reason about bytes without real multi-terabyte data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnDef, ColumnType, Schema
+
+
+class Table:
+    """A named, immutable columnar table."""
+
+    def __init__(self, name: str, columns: Sequence[Column], schema: Schema | None = None) -> None:
+        if not columns:
+            raise SchemaError("a table requires at least one column")
+        lengths = {len(c) for c in columns}
+        if len(lengths) != 1:
+            raise SchemaError(f"columns of table {name!r} have differing lengths: {lengths}")
+        self.name = name
+        self._columns: dict[str, Column] = {c.name: c for c in columns}
+        if len(self._columns) != len(columns):
+            raise SchemaError(f"duplicate column names in table {name!r}")
+        if schema is None:
+            schema = Schema(
+                [ColumnDef(c.name, c.ctype, c.ctype.default_width_bytes) for c in columns]
+            )
+        self.schema = schema
+        self._num_rows = lengths.pop()
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls,
+        name: str,
+        data: Mapping[str, Sequence],
+        types: Mapping[str, ColumnType] | None = None,
+    ) -> "Table":
+        """Build a table from a mapping of column name to values."""
+        columns = []
+        for col_name, values in data.items():
+            ctype = types.get(col_name) if types else None
+            columns.append(Column.from_values(col_name, values, ctype))
+        return cls(name, columns)
+
+    # -- basic properties ---------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self._num_rows}, cols={self.schema.names})"
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.schema.names
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}; have {self.column_names}"
+            ) from None
+
+    def columns(self) -> list[Column]:
+        return [self._columns[n] for n in self.schema.names]
+
+    # -- size estimation ------------------------------------------------------------
+    @property
+    def row_width_bytes(self) -> int:
+        """Approximate serialized width of one row."""
+        return self.schema.row_width_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the whole table."""
+        return self.row_width_bytes * self._num_rows
+
+    # -- row-subset operations --------------------------------------------------------
+    def take(self, indices: np.ndarray, name: str | None = None) -> "Table":
+        """A new table containing the rows at ``indices`` (in that order)."""
+        indices = np.asarray(indices)
+        new_columns = [c.take(indices) for c in self.columns()]
+        return Table(name or self.name, new_columns, self.schema)
+
+    def filter(self, mask: np.ndarray, name: str | None = None) -> "Table":
+        """A new table containing only rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self._num_rows:
+            raise SchemaError("filter mask length does not match row count")
+        new_columns = [c.filter(mask) for c in self.columns()]
+        return Table(self.name if name is None else name, new_columns, self.schema)
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        return self.take(np.arange(min(n, self._num_rows)))
+
+    def project(self, names: Iterable[str], name: str | None = None) -> "Table":
+        """A new table containing only the named columns."""
+        names = list(names)
+        self.schema.validate_columns(names)
+        return Table(
+            name or self.name,
+            [self._columns[n] for n in names],
+            self.schema.project(names),
+        )
+
+    def with_column(self, column: Column) -> "Table":
+        """A new table with ``column`` appended (or replaced if the name exists)."""
+        if len(column) != self._num_rows:
+            raise SchemaError("new column length does not match table row count")
+        columns = [c for c in self.columns() if c.name != column.name]
+        columns.append(column)
+        return Table(self.name, columns)
+
+    def sort_by(self, names: Sequence[str]) -> "Table":
+        """Rows sorted lexicographically by the given columns.
+
+        The paper stores each stratified sample "sequentially sorted according
+        to the order of columns in φ" so that rows sharing a stratum value are
+        contiguous on disk; this method reproduces that layout.
+        """
+        names = list(names)
+        self.schema.validate_columns(names)
+        keys = [self._columns[n].data for n in reversed(names)]
+        order = np.lexsort(keys)
+        return self.take(order)
+
+    # -- grouping helpers -----------------------------------------------------------------
+    def group_codes(self, names: Sequence[str]) -> tuple[np.ndarray, list[tuple]]:
+        """Assign each row a dense group id for the composite key ``names``.
+
+        Returns ``(codes, keys)`` where ``codes[i]`` is the group id of row
+        ``i`` and ``keys[g]`` is the decoded composite key of group ``g``.
+        This is the backbone of both group-by aggregation and stratified
+        sampling.
+        """
+        names = list(names)
+        if not names:
+            raise SchemaError("group_codes requires at least one column")
+        self.schema.validate_columns(names)
+        if self._num_rows == 0:
+            return np.empty(0, dtype=np.int64), []
+        arrays = [self._columns[n].data for n in names]
+        stacked = np.rec.fromarrays(arrays)
+        uniques, codes = np.unique(stacked, return_inverse=True)
+        keys: list[tuple] = []
+        dictionaries = [self._columns[n].dictionary for n in names]
+        for record in uniques:
+            key = []
+            for field_index, dictionary in enumerate(dictionaries):
+                raw = record[field_index]
+                if dictionary is not None:
+                    key.append(dictionary[int(raw)])
+                else:
+                    key.append(raw.item() if hasattr(raw, "item") else raw)
+            keys.append(tuple(key))
+        return codes.astype(np.int64), keys
+
+    def value_frequencies(self, names: Sequence[str]) -> dict[tuple, int]:
+        """Frequency ``F(φ, T, x)`` of every distinct value combination of φ."""
+        codes, keys = self.group_codes(names)
+        counts = np.bincount(codes, minlength=len(keys))
+        return {key: int(count) for key, count in zip(keys, counts)}
+
+    def distinct_count(self, names: Sequence[str]) -> int:
+        """``|D(φ)|`` — number of distinct value combinations in φ."""
+        if not names:
+            return 0
+        _, keys = self.group_codes(names)
+        return len(keys)
+
+    def to_dict(self) -> dict[str, list]:
+        """Materialise the table as plain Python lists (for tests and display)."""
+        return {n: list(self._columns[n].values()) for n in self.schema.names}
+
+    def iter_rows(self) -> Iterable[dict[str, object]]:
+        """Iterate over rows as dictionaries (slow; intended for tests/examples)."""
+        decoded = {n: self._columns[n].values() for n in self.schema.names}
+        for i in range(self._num_rows):
+            yield {n: decoded[n][i] for n in self.schema.names}

@@ -1,0 +1,37 @@
+"""Synthetic workloads standing in for the paper's proprietary datasets.
+
+* :mod:`repro.workloads.conviva` — a Conviva-like video-sessions fact table
+  with Zipf-skewed dimensions and the weighted query templates the paper's
+  evaluation uses (Figs. 6(a), 7(a), 7(c), 8).
+* :mod:`repro.workloads.tpch` — a simplified TPC-H lineitem (plus small
+  dimension tables) and the six query templates the 22 benchmark queries map
+  onto (Figs. 6(b), 7(b)).
+* :mod:`repro.workloads.tracegen` — instantiates weighted templates into
+  concrete BlinkQL query strings, reproducing the "ad-hoc queries from stable
+  templates" workload assumption of §2.1.
+"""
+
+from repro.workloads.conviva import (
+    conviva_query_templates,
+    conviva_query_trace,
+    generate_sessions_table,
+)
+from repro.workloads.tpch import (
+    generate_lineitem_table,
+    generate_orders_table,
+    tpch_query_templates,
+    tpch_query_trace,
+)
+from repro.workloads.tracegen import generate_trace, instantiate_template
+
+__all__ = [
+    "conviva_query_templates",
+    "conviva_query_trace",
+    "generate_sessions_table",
+    "generate_lineitem_table",
+    "generate_orders_table",
+    "tpch_query_templates",
+    "tpch_query_trace",
+    "generate_trace",
+    "instantiate_template",
+]

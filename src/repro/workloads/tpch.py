@@ -1,0 +1,172 @@
+"""A simplified TPC-H workload (lineitem-centric) for the secondary evaluation.
+
+The paper runs a smaller set of experiments on TPC-H at scale factor 1000,
+mapping the 22 benchmark queries onto 6 unique query templates over the
+``lineitem`` table (Fig. 6(b), Fig. 7(b)).  The official dbgen data cannot be
+regenerated here, so this module produces a structurally faithful small-scale
+lineitem (skewed suppliers/parts, realistic discount/quantity/shipmode
+domains, correlated commit/receipt dates) plus small ``orders`` and
+``customer`` dimension tables for join examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.sampling.skew import zipf_frequencies
+from repro.sql.templates import QueryTemplate, normalize_weights
+from repro.storage.column import Column
+from repro.storage.schema import ColumnType
+from repro.storage.table import Table
+
+SHIP_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUSES = ["O", "F"]
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+
+def generate_lineitem_table(
+    num_rows: int = 100_000,
+    seed: int = 13,
+    num_orders: int | None = None,
+    num_parts: int = 2_000,
+    num_suppliers: int = 400,
+    name: str = "lineitem",
+) -> Table:
+    """Generate a simplified ``lineitem`` fact table.
+
+    Order keys follow TPC-H's 1–7 lines per order; part and supplier keys are
+    Zipf-skewed (real procurement data concentrates on popular parts and big
+    suppliers, and skew is what makes stratified samples on
+    ``(orderkey, suppkey)`` worthwhile).
+    """
+    rng = make_rng(seed)
+    num_orders = num_orders or max(1, num_rows // 4)
+
+    lines_per_order = rng.integers(1, 8, size=num_orders)
+    orderkey = np.repeat(np.arange(1, num_orders + 1, dtype=np.int64), lines_per_order)
+    if orderkey.shape[0] < num_rows:
+        extra = rng.integers(1, num_orders + 1, size=num_rows - orderkey.shape[0])
+        orderkey = np.concatenate([orderkey, extra])
+    orderkey = orderkey[:num_rows]
+    rng.shuffle(orderkey)
+
+    part_counts = zipf_frequencies(num_parts, 1.2, num_rows)
+    partkey = np.repeat(np.arange(1, num_parts + 1, dtype=np.int64), part_counts)
+    rng.shuffle(partkey)
+    supp_counts = zipf_frequencies(num_suppliers, 1.3, num_rows)
+    suppkey = np.repeat(np.arange(1, num_suppliers + 1, dtype=np.int64), supp_counts)
+    rng.shuffle(suppkey)
+
+    quantity = rng.integers(1, 51, size=num_rows)
+    extendedprice = np.round(quantity * rng.uniform(900.0, 105_000.0 / 50.0, size=num_rows), 2)
+    discount = np.round(rng.integers(0, 11, size=num_rows) / 100.0, 2)
+    tax = np.round(rng.integers(0, 9, size=num_rows) / 100.0, 2)
+
+    shipdate = rng.integers(0, 2_520, size=num_rows)  # days since 1992-01-01, ~7 years
+    commitdt = shipdate + rng.integers(-60, 61, size=num_rows)
+    receiptdt = shipdate + rng.integers(1, 31, size=num_rows)
+
+    shipmode = rng.integers(0, len(SHIP_MODES), size=num_rows)
+    returnflag = rng.choice(len(RETURN_FLAGS), size=num_rows, p=[0.24, 0.5, 0.26])
+    linestatus = rng.choice(len(LINE_STATUSES), size=num_rows, p=[0.5, 0.5])
+
+    columns = [
+        Column.from_values("orderkey", orderkey.tolist(), ColumnType.INT),
+        Column.from_values("partkey", partkey.tolist(), ColumnType.INT),
+        Column.from_values("suppkey", suppkey.tolist(), ColumnType.INT),
+        Column.from_values("quantity", quantity.tolist(), ColumnType.INT),
+        Column.from_values("extendedprice", extendedprice.tolist(), ColumnType.FLOAT),
+        Column.from_values("discount", discount.tolist(), ColumnType.FLOAT),
+        Column.from_values("tax", tax.tolist(), ColumnType.FLOAT),
+        Column.from_values("shipdate", shipdate.tolist(), ColumnType.INT),
+        Column.from_values("commitdt", commitdt.tolist(), ColumnType.INT),
+        Column.from_values("receiptdt", receiptdt.tolist(), ColumnType.INT),
+        Column.from_codes("shipmode", shipmode, np.asarray(SHIP_MODES, dtype=object)),
+        Column.from_codes("returnflag", returnflag, np.asarray(RETURN_FLAGS, dtype=object)),
+        Column.from_codes("linestatus", linestatus, np.asarray(LINE_STATUSES, dtype=object)),
+    ]
+    return Table(name, columns)
+
+
+def generate_orders_table(
+    num_orders: int = 25_000,
+    seed: int = 17,
+    num_customers: int = 2_000,
+    name: str = "orders",
+) -> Table:
+    """Generate a small ``orders`` dimension table (one row per order key)."""
+    rng = make_rng(seed)
+    orderkey = np.arange(1, num_orders + 1, dtype=np.int64)
+    custkey = rng.integers(1, num_customers + 1, size=num_orders)
+    totalprice = np.round(rng.uniform(1_000.0, 450_000.0, size=num_orders), 2)
+    orderdate = rng.integers(0, 2_520, size=num_orders)
+    priority = rng.integers(0, len(ORDER_PRIORITIES), size=num_orders)
+    columns = [
+        Column.from_values("orderkey", orderkey.tolist(), ColumnType.INT),
+        Column.from_values("custkey", custkey.tolist(), ColumnType.INT),
+        Column.from_values("totalprice", totalprice.tolist(), ColumnType.FLOAT),
+        Column.from_values("orderdate", orderdate.tolist(), ColumnType.INT),
+        Column.from_codes("orderpriority", priority, np.asarray(ORDER_PRIORITIES, dtype=object)),
+    ]
+    return Table(name, columns)
+
+
+def generate_customer_table(
+    num_customers: int = 2_000,
+    seed: int = 19,
+    name: str = "customer",
+) -> Table:
+    """Generate a small ``customer`` dimension table."""
+    rng = make_rng(seed)
+    custkey = np.arange(1, num_customers + 1, dtype=np.int64)
+    nation = rng.integers(0, 25, size=num_customers)
+    segment = rng.integers(0, len(MARKET_SEGMENTS), size=num_customers)
+    acctbal = np.round(rng.uniform(-999.0, 9_999.0, size=num_customers), 2)
+    columns = [
+        Column.from_values("custkey", custkey.tolist(), ColumnType.INT),
+        Column.from_values("nationkey", nation.tolist(), ColumnType.INT),
+        Column.from_codes("mktsegment", segment, np.asarray(MARKET_SEGMENTS, dtype=object)),
+        Column.from_values("acctbal", acctbal.tolist(), ColumnType.FLOAT),
+    ]
+    return Table(name, columns)
+
+
+def tpch_query_templates(table: str = "lineitem") -> list[QueryTemplate]:
+    """The six TPC-H query templates of the paper's evaluation.
+
+    Column sets follow the families shown in Fig. 6(b) — (orderkey, suppkey),
+    (commitdt, receiptdt), (quantity), (discount), (shipmode) — plus a
+    returnflag/linestatus template (TPC-H Q1); weights follow the
+    per-template percentages of Fig. 7(b): 18%, 27%, 14%, 32%, 4.5%, 4.5%.
+    """
+    raw = [
+        QueryTemplate(table=table, columns=("orderkey", "suppkey"), weight=0.18),
+        QueryTemplate(table=table, columns=("commitdt", "receiptdt"), weight=0.27),
+        QueryTemplate(table=table, columns=("quantity",), weight=0.14),
+        QueryTemplate(table=table, columns=("discount", "shipdate"), weight=0.32),
+        QueryTemplate(table=table, columns=("shipmode",), weight=0.045),
+        QueryTemplate(table=table, columns=("linestatus", "returnflag"), weight=0.045),
+    ]
+    return normalize_weights(raw)
+
+
+def tpch_query_trace(
+    table: Table,
+    num_queries: int = 100,
+    seed: int = 23,
+    templates: list[QueryTemplate] | None = None,
+) -> list[str]:
+    """Instantiate the TPC-H templates into a concrete BlinkQL query trace."""
+    from repro.workloads.tracegen import generate_trace
+
+    templates = templates or tpch_query_templates(table.name)
+    return generate_trace(
+        templates,
+        table,
+        num_queries=num_queries,
+        seed=seed,
+        measure_columns=("extendedprice", "quantity", "discount"),
+    )

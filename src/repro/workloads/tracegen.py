@@ -1,0 +1,117 @@
+"""Query-trace generation from weighted templates.
+
+The paper's workload assumption (§2.1) is that query *templates* — the
+column sets of WHERE and GROUP BY clauses — are stable while the constants
+are ad hoc.  This module turns weighted templates into concrete BlinkQL
+query strings by drawing template choices from the weights and constants from
+the actual value distribution of the table (so selective and unselective
+predicates both occur, like in a real trace).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.sql.templates import QueryTemplate
+from repro.storage.schema import ColumnType
+from repro.storage.table import Table
+
+_AGGREGATE_POOL = ("COUNT(*)", "AVG({measure})", "SUM({measure})")
+
+
+def _format_literal(value: object, ctype: ColumnType) -> str:
+    if ctype is ColumnType.STRING:
+        return f"'{value}'"
+    if ctype is ColumnType.FLOAT:
+        return f"{float(value):.6g}"
+    if ctype is ColumnType.BOOL:
+        return "TRUE" if value else "FALSE"
+    return str(int(value))
+
+
+def instantiate_template(
+    template: QueryTemplate,
+    table: Table,
+    rng: np.random.Generator,
+    measure_columns: Sequence[str] = (),
+    time_bound_seconds: float | None = None,
+    error_bound_percent: float | None = None,
+) -> str:
+    """Build one BlinkQL query string from a template.
+
+    One of the template's columns becomes a GROUP BY column, the rest become
+    equality predicates with constants drawn from the table's own values
+    (values are drawn row-uniformly, so frequent values appear frequently,
+    like in real traces).  The aggregate is drawn from COUNT/AVG/SUM over the
+    provided measure columns.
+    """
+    columns = list(template.columns)
+    if not columns:
+        raise ValueError("cannot instantiate a template with no columns")
+    rng.shuffle(columns)
+    group_column = columns[0]
+    where_columns = columns[1:]
+
+    measures = [m for m in measure_columns if m in table.schema]
+    aggregate_pattern = _AGGREGATE_POOL[rng.integers(0, len(_AGGREGATE_POOL))]
+    if "{measure}" in aggregate_pattern:
+        if measures:
+            measure = measures[rng.integers(0, len(measures))]
+            aggregate = aggregate_pattern.format(measure=measure)
+        else:
+            aggregate = "COUNT(*)"
+    else:
+        aggregate = aggregate_pattern
+
+    predicates = []
+    for column_name in where_columns:
+        column = table.column(column_name)
+        row = int(rng.integers(0, table.num_rows))
+        literal = _format_literal(column.value_at(row), column.ctype)
+        predicates.append(f"{column_name} = {literal}")
+
+    sql = f"SELECT {aggregate} FROM {template.table}"
+    if predicates:
+        sql += " WHERE " + " AND ".join(predicates)
+    sql += f" GROUP BY {group_column}"
+    if error_bound_percent is not None:
+        sql += f" ERROR WITHIN {error_bound_percent:g}% AT CONFIDENCE 95%"
+    elif time_bound_seconds is not None:
+        sql += f" WITHIN {time_bound_seconds:g} SECONDS"
+    return sql
+
+
+def generate_trace(
+    templates: Sequence[QueryTemplate],
+    table: Table,
+    num_queries: int = 100,
+    seed: int = 0,
+    measure_columns: Sequence[str] = (),
+    time_bound_seconds: float | None = None,
+    error_bound_percent: float | None = None,
+) -> list[str]:
+    """Generate ``num_queries`` BlinkQL strings drawn from weighted templates."""
+    if not templates:
+        raise ValueError("generate_trace requires at least one template")
+    rng = make_rng(seed)
+    weights = np.asarray([max(t.weight, 0.0) for t in templates], dtype=np.float64)
+    if weights.sum() <= 0:
+        weights = np.ones(len(templates))
+    weights = weights / weights.sum()
+    choices = rng.choice(len(templates), size=num_queries, p=weights)
+    trace = []
+    for index in choices:
+        trace.append(
+            instantiate_template(
+                templates[int(index)],
+                table,
+                rng,
+                measure_columns=measure_columns,
+                time_bound_seconds=time_bound_seconds,
+                error_bound_percent=error_bound_percent,
+            )
+        )
+    return trace

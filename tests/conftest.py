@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite.
+
+Data-generation and sample-building fixtures are session-scoped: they are
+deterministic (seeded) and read-only for the tests that use them, so sharing
+them keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.core.blinkdb import BlinkDB
+from repro.storage.table import Table
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+from repro.workloads.tpch import generate_lineitem_table, generate_orders_table
+
+
+@pytest.fixture(scope="session")
+def sessions_table() -> Table:
+    """A small, skewed Conviva-like sessions table.
+
+    Dimension cardinalities are reduced relative to the generator defaults so
+    that strata are large compared to the stratification cap — the regime the
+    paper's 17 TB / K=100,000 configuration operates in.
+    """
+    return generate_sessions_table(
+        num_rows=20_000,
+        seed=7,
+        num_cities=40,
+        num_countries=15,
+        num_customers=100,
+        num_dmas=20,
+        num_asns=50,
+    )
+
+
+@pytest.fixture(scope="session")
+def lineitem_table() -> Table:
+    """A small TPC-H-like lineitem table."""
+    return generate_lineitem_table(num_rows=20_000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def orders_table() -> Table:
+    return generate_orders_table(num_orders=6_000, seed=17)
+
+
+@pytest.fixture(scope="session")
+def tiny_table() -> Table:
+    """The paper's Sessions example table (Table 3)."""
+    return Table.from_dict(
+        "tiny_sessions",
+        {
+            "url": ["cnn.com", "yahoo.com", "google.com", "google.com", "bing.com"],
+            "city": ["New York", "New York", "Berkeley", "New York", "Cambridge"],
+            "browser": ["Firefox", "Firefox", "Firefox", "Safari", "IE"],
+            "session_time": [15, 20, 85, 82, 22],
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def sampling_config() -> SamplingConfig:
+    return SamplingConfig(largest_cap=100, min_cap=10, uniform_sample_fraction=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_cluster() -> ClusterConfig:
+    return ClusterConfig(num_nodes=10)
+
+
+@pytest.fixture(scope="session")
+def blinkdb_conviva(sessions_table) -> BlinkDB:
+    """A BlinkDB instance with samples built over the sessions table."""
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=80, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=20),
+    )
+    db = BlinkDB(config)
+    db.load_table(sessions_table, simulated_rows=20_000_000)
+    db.register_workload(templates=conviva_query_templates())
+    db.build_samples(storage_budget_fraction=0.5)
+    return db
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,138 @@
+"""Tests for the full-scan, sampling-strategy, and online-aggregation baselines."""
+
+import math
+
+import pytest
+
+from repro.baselines.full_scan import BaselineEngine, FullScanBaseline
+from repro.baselines.online_agg import OnlineAggregationBaseline
+from repro.baselines.strategies import build_strategies
+from repro.common.config import ClusterConfig, SamplingConfig
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_sessions_table(num_rows=25_000, seed=31, num_cities=60)
+
+
+@pytest.fixture(scope="module")
+def strategies(table):
+    config = SamplingConfig(largest_cap=250, min_cap=20, uniform_sample_fraction=0.1)
+    return build_strategies(table, conviva_query_templates(), config, storage_budget_fraction=0.5)
+
+
+class TestFullScanBaseline:
+    def test_hive_slower_than_shark_disk_slower_than_cached(self, table):
+        baseline = FullScanBaseline(
+            table, ClusterConfig(num_nodes=100), simulated_rows=5_000_000_000
+        )
+        sql = "SELECT AVG(session_time) FROM sessions WHERE dt = 5 GROUP BY city"
+        latencies = baseline.latency_sweep(sql)
+        assert (
+            latencies[BaselineEngine.HIVE_ON_HADOOP]
+            > latencies[BaselineEngine.SHARK_NO_CACHE]
+            > latencies[BaselineEngine.SHARK_CACHED]
+        )
+
+    def test_answers_are_exact(self, table):
+        baseline = FullScanBaseline(table, ClusterConfig(num_nodes=10))
+        result = baseline.execute("SELECT COUNT(*) FROM sessions", BaselineEngine.SHARK_CACHED)
+        assert result.result.scalar().value == table.num_rows
+
+    def test_caching_only_helps_when_data_fits_in_memory(self, table):
+        cluster = ClusterConfig(num_nodes=100)
+        # 2.5 TB equivalent fits the 6.8 TB cache; 17 TB does not.
+        small = FullScanBaseline(table, cluster, simulated_rows=int(2.5e12 / table.row_width_bytes))
+        large = FullScanBaseline(table, cluster, simulated_rows=int(17e12 / table.row_width_bytes))
+        sql = "SELECT COUNT(*) FROM sessions"
+        small_cached = small.execute(sql, BaselineEngine.SHARK_CACHED)
+        large_cached = large.execute(sql, BaselineEngine.SHARK_CACHED)
+        assert small_cached.cached_fraction > 0.9
+        assert large_cached.cached_fraction < 0.5
+
+
+class TestSamplingStrategies:
+    def test_all_three_strategies_built(self, strategies):
+        assert set(strategies) == {"multi-dimensional", "single-column", "uniform"}
+
+    def test_storage_budgets_comparable(self, strategies, table):
+        for strategy in strategies.values():
+            assert strategy.storage_bytes <= 0.75 * table.size_bytes
+
+    def test_single_column_strategy_has_only_single_column_families(self, strategies):
+        catalog = strategies["single-column"].catalog
+        for columns in catalog.stratified_families("sessions"):
+            assert len(columns) == 1
+
+    def test_multi_dimensional_wins_on_rare_multi_column_group(self, strategies, table):
+        sql = (
+            "SELECT AVG(session_time) FROM sessions WHERE city = 'city_0010' GROUP BY os"
+        )
+        budget = 4_000
+        errors = {
+            name: strategy.answer(sql, row_budget=budget).worst_relative_error
+            for name, strategy in strategies.items()
+        }
+        assert errors["multi-dimensional"] <= errors["uniform"] * 1.5 or math.isinf(
+            errors["uniform"]
+        )
+
+    def test_answer_with_row_budget_clips_rows(self, strategies):
+        answer = strategies["uniform"].answer(
+            "SELECT COUNT(*) FROM sessions WHERE dt = 3", row_budget=1_000
+        )
+        assert answer.rows_read <= 1_000
+
+    def test_rows_to_reach_error_monotone_in_target(self, strategies):
+        sql = "SELECT COUNT(*) FROM sessions WHERE city = 'city_0001'"
+        strategy = strategies["multi-dimensional"]
+        loose = strategy.rows_to_reach_error(sql, 0.5)
+        tight = strategy.rows_to_reach_error(sql, 0.05)
+        if loose is not None and tight is not None:
+            assert tight >= loose
+
+    def test_missing_groups_vs_exact(self, strategies, table):
+        from repro.engine.executor import execute_exact
+        from repro.sql.parser import parse_query
+
+        sql = "SELECT COUNT(*) FROM sessions GROUP BY customer"
+        exact = execute_exact(parse_query(sql), table)
+        uniform_missing = strategies["uniform"].missing_groups(sql, exact, row_budget=2_000)
+        stratified_missing = strategies["multi-dimensional"].missing_groups(sql, exact)
+        # A stratified sample keeps at least one row of every stratum, so it has
+        # zero subset error; a row-budgeted uniform sample does not.
+        assert stratified_missing == 0
+        assert stratified_missing <= uniform_missing
+
+
+class TestOnlineAggregation:
+    def test_error_shrinks_with_more_rows(self, table):
+        ola = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10))
+        sql = "SELECT AVG(session_time) FROM sessions WHERE dt = 5"
+        small = ola.step(sql, 500)
+        large = ola.step(sql, 10_000)
+        assert large.worst_relative_error <= small.worst_relative_error
+
+    def test_rows_to_reach_error(self, table):
+        ola = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10))
+        rows = ola.rows_to_reach_error("SELECT COUNT(*) FROM sessions WHERE dt = 5", 0.2)
+        assert rows is not None
+        assert rows <= table.num_rows
+
+    def test_latency_includes_random_io_penalty(self, table):
+        cluster = ClusterConfig(num_nodes=10)
+        ola = OnlineAggregationBaseline(table, cluster, simulated_rows=1_000_000_000)
+        from repro.cluster.cost_model import CostModel
+
+        sequential = CostModel(cluster).estimate(
+            bytes_scanned=int(1_000_000 * (1_000_000_000 / table.num_rows) * table.row_width_bytes)
+        )
+        assert ola.latency_for_rows(1_000_000) > sequential.total_seconds
+
+    def test_unreachable_error_returns_none(self, table):
+        ola = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10))
+        # A group-by with extremely rare groups cannot reach 0.1% error.
+        assert ola.time_to_reach_error(
+            "SELECT AVG(session_time) FROM sessions GROUP BY city", 0.001
+        ) is None

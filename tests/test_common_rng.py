@@ -1,0 +1,49 @@
+"""Tests for repro.common.rng."""
+
+import numpy as np
+
+from repro.common.rng import derive_rng, make_rng, stable_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42)
+        b = make_rng(42)
+        assert np.array_equal(a.integers(0, 100, 10), b.integers(0, 100, 10))
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1)
+        b = make_rng(2)
+        assert not np.array_equal(a.integers(0, 1_000_000, 20), b.integers(0, 1_000_000, 20))
+
+    def test_none_seed_is_deterministic(self):
+        a = make_rng(None)
+        b = make_rng(None)
+        assert np.array_equal(a.integers(0, 100, 5), b.integers(0, 100, 5))
+
+
+class TestDeriveRng:
+    def test_same_labels_same_parent_state_match(self):
+        parent_a = make_rng(7)
+        parent_b = make_rng(7)
+        child_a = derive_rng(parent_a, "samples", ("city",))
+        child_b = derive_rng(parent_b, "samples", ("city",))
+        assert np.array_equal(child_a.integers(0, 100, 10), child_b.integers(0, 100, 10))
+
+    def test_different_labels_differ(self):
+        parent = make_rng(7)
+        child_a = derive_rng(parent, "a")
+        child_b = derive_rng(parent, "b")
+        assert not np.array_equal(child_a.integers(0, 10**6, 20), child_b.integers(0, 10**6, 20))
+
+
+class TestStableRng:
+    def test_label_keyed_and_parent_free(self):
+        a = stable_rng("uniform-permutation", "sessions", 1000)
+        b = stable_rng("uniform-permutation", "sessions", 1000)
+        assert np.array_equal(a.permutation(50), b.permutation(50))
+
+    def test_distinct_labels_distinct_permutations(self):
+        a = stable_rng("perm", "table_a")
+        b = stable_rng("perm", "table_b")
+        assert not np.array_equal(a.permutation(100), b.permutation(100))

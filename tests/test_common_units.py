@@ -1,0 +1,73 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import GB, KB, MB, TB, format_bytes, format_duration, parse_size
+
+
+class TestParseSize:
+    def test_plain_integer_passthrough(self):
+        assert parse_size(1024) == 1024
+
+    def test_float_truncates_to_int(self):
+        assert parse_size(10.7) == 10
+
+    def test_kb_mb_gb_tb_suffixes(self):
+        assert parse_size("1KB") == KB
+        assert parse_size("2MB") == 2 * MB
+        assert parse_size("3GB") == 3 * GB
+        assert parse_size("1TB") == TB
+
+    def test_fractional_sizes(self):
+        assert parse_size("1.5GB") == int(1.5 * GB)
+
+    def test_case_insensitive_and_whitespace(self):
+        assert parse_size("  10 mb ") == 10 * MB
+
+    def test_short_unit_forms(self):
+        assert parse_size("4k") == 4 * KB
+        assert parse_size("4g") == 4 * GB
+
+    def test_rejects_negative_numbers(self):
+        with pytest.raises(ValueError):
+            parse_size(-5)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots of bytes")
+
+
+class TestFormatBytes:
+    def test_small_values_in_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_megabyte_range(self):
+        assert format_bytes(5 * MB) == "5.00 MB"
+
+    def test_terabyte_range(self):
+        assert format_bytes(17 * TB).endswith("TB")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(5e-7).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_duration(0.25) == "250.0 ms"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.50 s"
+
+    def test_minutes(self):
+        assert format_duration(600).endswith("min")
+
+    def test_hours(self):
+        assert format_duration(10_000).endswith("h")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-0.1)

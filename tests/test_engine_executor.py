@@ -1,0 +1,181 @@
+"""Tests for the query executor and result types."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import ExecutionContext, QueryExecutor, execute_exact
+from repro.sql.parser import parse_query
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        "t",
+        {
+            "city": ["NY"] * 50 + ["SF"] * 30 + ["LA"] * 20,
+            "os": (["Win", "Mac"] * 50),
+            "time": [float(i % 17 + 1) for i in range(100)],
+        },
+    )
+
+
+class TestExactExecution:
+    def test_count_star(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t"), table)
+        assert result.scalar().value == 100
+        assert result.is_exact
+
+    def test_count_with_filter(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t WHERE city = 'NY'"), table)
+        assert result.scalar().value == 50
+
+    def test_group_by_counts(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t GROUP BY city"), table)
+        counts = {g.key[0]: g["count_star"].value for g in result}
+        assert counts == {"NY": 50, "SF": 30, "LA": 20}
+
+    def test_avg_sum_match_numpy(self, table):
+        result = execute_exact(parse_query("SELECT AVG(time), SUM(time) FROM t"), table)
+        values = np.asarray(table.column("time").values())
+        assert result.groups[0]["avg_time"].value == pytest.approx(values.mean())
+        assert result.groups[0]["sum_time"].value == pytest.approx(values.sum())
+
+    def test_quantile_matches_numpy(self, table):
+        result = execute_exact(parse_query("SELECT QUANTILE(time, 0.5) FROM t"), table)
+        values = np.asarray(table.column("time").values())
+        assert result.scalar().value == pytest.approx(np.median(values), rel=0.1)
+
+    def test_stddev_variance(self, table):
+        result = execute_exact(parse_query("SELECT STDDEV(time), VARIANCE(time) FROM t"), table)
+        values = np.asarray(table.column("time").values())
+        assert result.groups[0]["stddev_time"].value == pytest.approx(values.std(ddof=1), rel=0.05)
+        assert result.groups[0]["variance_time"].value == pytest.approx(values.var(ddof=1), rel=0.05)
+
+    def test_exact_results_have_zero_error_bars(self, table):
+        result = execute_exact(parse_query("SELECT AVG(time) FROM t GROUP BY city"), table)
+        assert all(g["avg_time"].error_bar == 0.0 for g in result)
+
+    def test_multi_column_group_by(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t GROUP BY city, os"), table)
+        assert len(result) == 6
+        total = sum(g["count_star"].value for g in result)
+        assert total == 100
+
+    def test_limit_truncates_groups(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t GROUP BY city LIMIT 2"), table)
+        assert len(result) == 2
+
+    def test_empty_filter_result(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t WHERE city = 'Boston'"), table)
+        assert result.scalar().value == 0
+
+
+class TestWeightedExecution:
+    def test_uniform_weights_scale_counts(self, table):
+        executor = QueryExecutor()
+        half = table.take(np.arange(0, 100, 2))
+        context = ExecutionContext(weights=np.full(50, 2.0), rows_read=50, population_read=100.0)
+        result = executor.execute(
+            parse_query("SELECT COUNT(*) FROM t WHERE city = 'NY'"), half, context
+        )
+        assert result.scalar().value == pytest.approx(50, rel=0.3)
+        assert result.scalar().error_bar > 0
+
+    def test_fully_selective_count_has_no_count_noise(self, table):
+        # When every scanned row matches, Table 2's c(1-c) term vanishes.
+        executor = QueryExecutor()
+        half = table.take(np.arange(0, 100, 2))
+        context = ExecutionContext(weights=np.full(50, 2.0), rows_read=50, population_read=100.0)
+        result = executor.execute(parse_query("SELECT COUNT(*) FROM t"), half, context)
+        assert result.scalar().value == pytest.approx(100)
+        assert result.scalar().error_bar == pytest.approx(0.0)
+
+    def test_weighted_avg_is_unbiased_for_stratified_example(self):
+        # Paper §4.3 example: stratified on Browser with K=1, New York sum.
+        sample = Table.from_dict(
+            "s",
+            {
+                "city": ["New York", "New York", "Cambridge"],
+                "browser": ["Firefox", "Safari", "IE"],
+                "time": [20.0, 82.0, 22.0],
+            },
+        )
+        weights = np.array([1.0 / 0.33, 1.0, 1.0])
+        executor = QueryExecutor()
+        context = ExecutionContext(weights=weights, rows_read=3, population_read=5.0)
+        result = executor.execute(
+            parse_query("SELECT SUM(time) FROM s GROUP BY city"), sample, context
+        )
+        ny = result.group(("New York",))["sum_time"].value
+        assert ny == pytest.approx((1 / 0.33) * 20 + 82, rel=1e-6)
+
+    def test_unit_weight_groups_marked_exact(self, table):
+        executor = QueryExecutor()
+        context = ExecutionContext(
+            weights=np.ones(table.num_rows), unit_weight_exact=True, rows_read=table.num_rows
+        )
+        result = executor.execute(parse_query("SELECT COUNT(*) FROM t GROUP BY city"), table, context)
+        assert result.is_exact
+
+    def test_weight_length_mismatch_rejected(self, table):
+        executor = QueryExecutor()
+        context = ExecutionContext(weights=np.ones(3))
+        with pytest.raises(Exception):
+            executor.execute(parse_query("SELECT COUNT(*) FROM t"), table, context)
+
+    def test_confidence_override_changes_error_bar(self, table):
+        executor = QueryExecutor()
+        half = table.take(np.arange(0, 100, 2))
+        context = ExecutionContext(weights=np.full(50, 2.0), rows_read=50)
+        narrow = executor.execute(parse_query("SELECT AVG(time) FROM t"), half, context, confidence=0.68)
+        wide = executor.execute(parse_query("SELECT AVG(time) FROM t"), half, context, confidence=0.99)
+        assert wide.scalar().error_bar > narrow.scalar().error_bar
+
+
+class TestJoins:
+    def test_join_with_dimension_table(self):
+        fact = Table.from_dict("fact", {"k": [1, 2, 2, 3], "v": [10.0, 20.0, 30.0, 40.0]})
+        dim = Table.from_dict("dim", {"k": [1, 2, 3], "region": ["east", "west", "east"]})
+        executor = QueryExecutor({"dim": dim})
+        query = parse_query("SELECT SUM(v) FROM fact JOIN dim ON k = k GROUP BY region")
+        result = executor.execute(query, fact)
+        assert result.group(("east",))["sum_v"].value == pytest.approx(50.0)
+        assert result.group(("west",))["sum_v"].value == pytest.approx(50.0)
+
+    def test_join_unknown_dimension_rejected(self):
+        fact = Table.from_dict("fact", {"k": [1]})
+        executor = QueryExecutor()
+        query = parse_query("SELECT COUNT(*) FROM fact JOIN missing ON k = k")
+        with pytest.raises(Exception):
+            executor.execute(query, fact)
+
+
+class TestResultAccessors:
+    def test_scalar_requires_single_group(self, table):
+        grouped = execute_exact(parse_query("SELECT COUNT(*) FROM t GROUP BY city"), table)
+        with pytest.raises(ValueError):
+            grouped.scalar()
+
+    def test_group_lookup_and_missing_key(self, table):
+        result = execute_exact(parse_query("SELECT COUNT(*) FROM t GROUP BY city"), table)
+        assert result.group("NY")["count_star"].value == 50
+        assert result.has_group("SF")
+        with pytest.raises(KeyError):
+            result.group("Boston")
+
+    def test_to_rows_flattening(self, table):
+        result = execute_exact(parse_query("SELECT AVG(time) FROM t GROUP BY city"), table)
+        rows = result.to_rows()
+        assert len(rows) == 3
+        assert {"city", "avg_time"} <= set(rows[0])
+
+    def test_max_relative_error_zero_for_exact(self, table):
+        result = execute_exact(parse_query("SELECT AVG(time) FROM t GROUP BY city"), table)
+        assert result.max_relative_error() == 0.0
+
+    def test_empty_group_avg_is_nan(self, table):
+        result = execute_exact(parse_query("SELECT AVG(time) FROM t WHERE city = 'Boston'"), table)
+        assert math.isnan(result.scalar().value)

@@ -1,0 +1,111 @@
+"""Tests for predicate evaluation and the hash join."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.engine.expressions import estimate_selectivity, evaluate_predicate
+from repro.engine.operators import hash_join, semi_join_mask
+from repro.sql.parser import parse_query
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        "t",
+        {
+            "city": ["NY", "SF", "NY", "LA", "SF", "NY"],
+            "visits": [10, 25, 3, 8, 40, 12],
+            "score": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        },
+    )
+
+
+def where(sql_fragment: str):
+    return parse_query(f"SELECT COUNT(*) FROM t WHERE {sql_fragment}").where
+
+
+class TestPredicateEvaluation:
+    def test_none_selects_everything(self, table):
+        assert evaluate_predicate(None, table).sum() == 6
+
+    def test_string_equality(self, table):
+        mask = evaluate_predicate(where("city = 'NY'"), table)
+        assert mask.tolist() == [True, False, True, False, False, True]
+
+    def test_string_inequality(self, table):
+        mask = evaluate_predicate(where("city != 'NY'"), table)
+        assert mask.sum() == 3
+
+    def test_absent_string_value_matches_nothing(self, table):
+        assert evaluate_predicate(where("city = 'Boston'"), table).sum() == 0
+
+    def test_numeric_comparisons(self, table):
+        assert evaluate_predicate(where("visits > 10"), table).sum() == 3
+        assert evaluate_predicate(where("visits <= 8"), table).sum() == 2
+
+    def test_between(self, table):
+        assert evaluate_predicate(where("visits BETWEEN 8 AND 25"), table).sum() == 4
+
+    def test_in_predicate(self, table):
+        assert evaluate_predicate(where("city IN ('LA', 'SF')"), table).sum() == 3
+
+    def test_in_predicate_with_unknown_values(self, table):
+        assert evaluate_predicate(where("city IN ('Boston', 'LA')"), table).sum() == 1
+
+    def test_and_or_not(self, table):
+        assert evaluate_predicate(where("city = 'NY' AND visits > 5"), table).sum() == 2
+        assert evaluate_predicate(where("city = 'LA' OR visits > 20"), table).sum() == 3
+        assert evaluate_predicate(where("NOT city = 'NY'"), table).sum() == 3
+
+    def test_nested_parentheses(self, table):
+        mask = evaluate_predicate(where("(city = 'NY' OR city = 'SF') AND visits >= 12"), table)
+        assert mask.sum() == 3
+
+    def test_selectivity(self, table):
+        assert estimate_selectivity(where("city = 'NY'"), table) == pytest.approx(0.5)
+        assert estimate_selectivity(None, table) == 1.0
+
+
+class TestHashJoin:
+    def test_inner_join_matches_keys(self):
+        left = Table.from_dict("fact", {"k": [1, 2, 2, 3], "v": [10, 20, 30, 40]})
+        right = Table.from_dict("dim", {"k": [1, 2], "label": ["a", "b"]})
+        joined, left_rows = hash_join(left, right, "k", "k")
+        assert joined.num_rows == 3
+        assert left_rows.tolist() == [0, 1, 2]
+        assert joined.column("label").values().tolist() == ["a", "b", "b"]
+
+    def test_join_preserves_left_columns(self):
+        left = Table.from_dict("fact", {"k": [1], "v": [10]})
+        right = Table.from_dict("dim", {"k": [1], "w": [5]})
+        joined, _ = hash_join(left, right, "k", "k")
+        assert set(joined.column_names) == {"k", "v", "w"}
+
+    def test_duplicate_dimension_keys_rejected(self):
+        left = Table.from_dict("fact", {"k": [1]})
+        right = Table.from_dict("dim", {"k": [1, 1], "w": [5, 6]})
+        with pytest.raises(ExecutionError):
+            hash_join(left, right, "k", "k")
+
+    def test_name_collision_gets_prefixed(self):
+        left = Table.from_dict("fact", {"k": [1], "v": [10]})
+        right = Table.from_dict("dim", {"k": [1], "v": [99]})
+        joined, _ = hash_join(left, right, "k", "k")
+        assert "dim_v" in joined.column_names
+
+    def test_semi_join_mask(self):
+        left = Table.from_dict("fact", {"k": [1, 2, 3, 4]})
+        right = Table.from_dict("dim", {"k": [2, 4]})
+        mask = semi_join_mask(left, "k", right, "k")
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_join_row_mapping_supports_weight_carryover(self):
+        left = Table.from_dict("fact", {"k": [5, 6, 7], "v": [1, 2, 3]})
+        right = Table.from_dict("dim", {"k": [7, 5], "w": [70, 50]})
+        weights = np.array([2.0, 4.0, 8.0])
+        joined, left_rows = hash_join(left, right, "k", "k")
+        carried = weights[left_rows]
+        assert carried.tolist() == [2.0, 8.0]
+        assert joined.column("w").values().tolist() == [50, 70]

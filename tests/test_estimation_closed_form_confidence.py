@@ -1,0 +1,142 @@
+"""Tests for the Table-2 closed forms and confidence-interval helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimation.closed_form import (
+    avg_variance,
+    count_variance,
+    quantile_variance,
+    stddev_variance,
+    sum_variance,
+    variance_of_sample_variance,
+)
+from repro.estimation.confidence import (
+    confidence_interval,
+    error_at_sample_size,
+    relative_error,
+    required_sample_size_for_error,
+    z_score,
+)
+
+
+class TestClosedForms:
+    def test_avg_variance_is_s2_over_n(self):
+        assert avg_variance(4.0, 100) == pytest.approx(0.04)
+
+    def test_avg_variance_infinite_for_empty_sample(self):
+        assert math.isinf(avg_variance(4.0, 0))
+
+    def test_count_variance_formula(self):
+        # (N^2 / n) * c(1-c)
+        assert count_variance(1000, 100, 0.5) == pytest.approx(1000**2 / 100 * 0.25)
+
+    def test_count_variance_zero_at_extreme_selectivity(self):
+        assert count_variance(1000, 100, 0.0) == 0.0
+        assert count_variance(1000, 100, 1.0) == 0.0
+
+    def test_sum_variance_reduces_to_table2_for_small_mean(self):
+        table2 = 1000**2 * (4.0 / 100) * 0.5
+        assert sum_variance(1000, 100, 4.0, 0.5, mean_value=0.0) == pytest.approx(table2 * 0.5 / 0.5 * 0.5, rel=1.0)
+        # The exact Table-2 expression is recovered when the mean term vanishes.
+        assert sum_variance(1000, 100, 4.0, 0.5, mean_value=0.0) == pytest.approx(
+            (1000**2 / 100) * 0.5 * 4.0
+        )
+
+    def test_sum_variance_grows_with_mean(self):
+        low = sum_variance(1000, 100, 4.0, 0.5, mean_value=0.0)
+        high = sum_variance(1000, 100, 4.0, 0.5, mean_value=10.0)
+        assert high > low
+
+    def test_quantile_variance_formula(self):
+        assert quantile_variance(100, 0.5, 2.0) == pytest.approx(0.25 / (100 * 4.0))
+
+    def test_quantile_variance_invalid_p(self):
+        with pytest.raises(ValueError):
+            quantile_variance(100, 1.5, 1.0)
+
+    def test_all_variances_shrink_as_one_over_n(self):
+        for formula in (
+            lambda n: avg_variance(4.0, n),
+            lambda n: count_variance(1000, n, 0.3),
+            lambda n: sum_variance(1000, n, 4.0, 0.3, 2.0),
+            lambda n: quantile_variance(n, 0.5, 1.0),
+        ):
+            assert formula(400) == pytest.approx(formula(100) / 4)
+
+    def test_extension_formulas(self):
+        assert stddev_variance(4.0, 101) == pytest.approx(4.0 / 200)
+        assert variance_of_sample_variance(4.0, 101) == pytest.approx(2 * 16 / 100)
+        assert math.isinf(stddev_variance(4.0, 1))
+
+
+class TestConfidence:
+    def test_z_score_standard_values(self):
+        assert z_score(0.95) == pytest.approx(1.96, abs=0.01)
+        assert z_score(0.99) == pytest.approx(2.576, abs=0.01)
+
+    def test_z_score_invalid(self):
+        with pytest.raises(ValueError):
+            z_score(1.0)
+
+    def test_confidence_interval_width(self):
+        ci = confidence_interval(100.0, 25.0, 0.95)
+        assert ci.half_width == pytest.approx(1.96 * 5, abs=0.05)
+        assert ci.low < 100 < ci.high
+        assert ci.contains(100)
+        assert ci.relative_half_width == pytest.approx(ci.half_width / 100)
+
+    def test_zero_estimate_relative_error(self):
+        ci = confidence_interval(0.0, 1.0)
+        assert math.isinf(ci.relative_half_width)
+
+    def test_relative_error_helper(self):
+        assert relative_error(100.0, 25.0, 0.95) == pytest.approx(1.96 * 5 / 100, abs=1e-3)
+
+    def test_required_sample_size_quarters_error_needs_16x(self):
+        n = required_sample_size_for_error(
+            current_n=100, current_variance=25.0, estimate=100.0,
+            target_error=relative_error(100.0, 25.0) / 4,
+        )
+        assert n == pytest.approx(1600, rel=0.02)
+
+    def test_required_sample_size_already_met(self):
+        n = required_sample_size_for_error(100, 0.0001, 100.0, 0.5)
+        assert n == 100
+
+    def test_required_sample_size_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            required_sample_size_for_error(0, 1.0, 10.0, 0.1)
+        with pytest.raises(ValueError):
+            required_sample_size_for_error(10, 1.0, 10.0, -0.1)
+        with pytest.raises(ValueError):
+            required_sample_size_for_error(10, math.inf, 10.0, 0.1)
+
+    def test_error_at_sample_size_sqrt_scaling(self):
+        error_100 = error_at_sample_size(100, 25.0, 100.0, 100)
+        error_400 = error_at_sample_size(100, 25.0, 100.0, 400)
+        assert error_400 == pytest.approx(error_100 / 2)
+
+
+class TestFormulaAgainstMonteCarlo:
+    """The closed forms should match the empirical spread of repeated sampling."""
+
+    def test_avg_variance_matches_simulation(self):
+        rng = np.random.default_rng(0)
+        population = rng.exponential(10.0, size=50_000)
+        n = 500
+        means = [rng.choice(population, n, replace=False).mean() for _ in range(300)]
+        predicted = avg_variance(population.var(ddof=1), n)
+        assert np.var(means) == pytest.approx(predicted, rel=0.35)
+
+    def test_count_variance_matches_simulation(self):
+        rng = np.random.default_rng(1)
+        population = rng.random(20_000) < 0.2  # 20% selectivity
+        n, N = 1000, population.size
+        counts = [
+            (N / n) * rng.choice(population, n, replace=False).sum() for _ in range(300)
+        ]
+        predicted = count_variance(N, n, 0.2)
+        assert np.var(counts) == pytest.approx(predicted, rel=0.35)

@@ -1,0 +1,227 @@
+"""Tests for the sample-selection optimizer: candidates, MILP, solvers, planner."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SamplingConfig
+from repro.optimizer.candidates import (
+    CandidateColumnSet,
+    candidate_column_subsets,
+    generate_candidates,
+)
+from repro.optimizer.milp import SampleSelectionProblem
+from repro.optimizer.planner import SampleSelectionPlanner
+from repro.optimizer.solver import solve, solve_branch_and_bound, solve_greedy
+from repro.sql.templates import QueryTemplate
+from repro.workloads.conviva import generate_sessions_table
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_sessions_table(num_rows=10_000, seed=21, num_cities=60, num_customers=80)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SamplingConfig(largest_cap=60, min_cap=10, uniform_sample_fraction=0.05)
+
+
+@pytest.fixture(scope="module")
+def templates():
+    return [
+        QueryTemplate("sessions", ("city", "os"), 0.4),
+        QueryTemplate("sessions", ("country", "dt"), 0.3),
+        QueryTemplate("sessions", ("customer",), 0.2),
+        QueryTemplate("sessions", ("genre",), 0.1),
+    ]
+
+
+class TestCandidates:
+    def test_subsets_bounded_by_max_columns(self, templates):
+        subsets = candidate_column_subsets(templates, max_columns=1)
+        assert all(len(s) == 1 for s in subsets)
+        subsets2 = candidate_column_subsets(templates, max_columns=2)
+        assert ("city", "os") in subsets2
+
+    def test_subsets_only_from_templates(self, templates):
+        subsets = candidate_column_subsets(templates, max_columns=3)
+        assert ("city", "country") not in subsets  # never co-occur in a template
+
+    def test_generate_candidates_fields(self, table, templates, config):
+        candidates = generate_candidates(table, templates, config)
+        assert candidates
+        for candidate in candidates:
+            assert candidate.storage_bytes > 0
+            assert candidate.distinct_count > 0
+            assert candidate.delta >= 0
+
+    def test_multi_column_candidates_cost_more(self, table, templates, config):
+        candidates = {c.columns: c for c in generate_candidates(table, templates, config)}
+        assert candidates[("city", "os")].storage_bytes >= candidates[("city",)].storage_bytes
+
+    def test_unknown_columns_skipped(self, table, config):
+        templates = [QueryTemplate("sessions", ("not_a_column",), 1.0)]
+        assert generate_candidates(table, templates, config) == []
+
+    def test_candidate_validation(self):
+        with pytest.raises(ValueError):
+            CandidateColumnSet(columns=(), storage_bytes=1, delta=0, distinct_count=1)
+        with pytest.raises(ValueError):
+            CandidateColumnSet(columns=("b", "a"), storage_bytes=1, delta=0, distinct_count=1)
+
+
+class TestProblem:
+    @pytest.fixture()
+    def problem(self, table, templates, config):
+        candidates = generate_candidates(table, templates, config)
+        return SampleSelectionProblem.build(
+            table=table,
+            templates=templates,
+            candidates=candidates,
+            storage_budget_bytes=int(0.4 * table.size_bytes),
+            largest_cap=config.effective_cap(table.num_rows),
+        )
+
+    def test_coverage_matrix_shape_and_range(self, problem):
+        assert problem.coverage.shape == (problem.num_templates, problem.num_candidates)
+        assert np.all(problem.coverage >= 0)
+        assert np.all(problem.coverage <= 1)
+
+    def test_exact_template_candidate_has_full_coverage(self, problem):
+        for i, template in enumerate(problem.templates):
+            for j, candidate in enumerate(problem.candidates):
+                if candidate.columns == tuple(sorted(template.columns)):
+                    assert problem.coverage[i, j] == pytest.approx(1.0)
+
+    def test_objective_monotone_in_selection(self, problem):
+        empty = np.zeros(problem.num_candidates, dtype=bool)
+        everything = np.ones(problem.num_candidates, dtype=bool)
+        assert problem.objective(empty) == 0.0
+        assert problem.objective(everything) >= problem.objective(empty)
+
+    def test_feasibility_checks_budget(self, problem):
+        everything = np.ones(problem.num_candidates, dtype=bool)
+        if problem.storage_used(everything) > problem.storage_budget_bytes:
+            assert not problem.is_feasible(everything)
+        assert problem.is_feasible(np.zeros(problem.num_candidates, dtype=bool))
+
+    def test_churn_constraint_accounting(self, table, templates, config):
+        candidates = generate_candidates(table, templates, config)
+        existing = [candidates[0].columns]
+        problem = SampleSelectionProblem.build(
+            table=table,
+            templates=templates,
+            candidates=candidates,
+            storage_budget_bytes=int(0.4 * table.size_bytes),
+            largest_cap=60,
+            existing_column_sets=existing,
+            churn_fraction=0.0,
+        )
+        keep_existing = problem.existing.copy()
+        assert problem.churn_used(keep_existing) == 0.0
+        drop_existing = np.zeros(problem.num_candidates, dtype=bool)
+        assert problem.churn_used(drop_existing) > 0
+        assert not problem.is_feasible(drop_existing)
+
+
+class TestSolvers:
+    @pytest.fixture()
+    def problem(self, table, templates, config):
+        candidates = generate_candidates(table, templates, config)
+        return SampleSelectionProblem.build(
+            table=table,
+            templates=templates,
+            candidates=candidates,
+            storage_budget_bytes=int(0.35 * table.size_bytes),
+            largest_cap=config.effective_cap(table.num_rows),
+        )
+
+    def test_greedy_is_feasible(self, problem):
+        result = solve_greedy(problem)
+        assert problem.is_feasible(result.selection)
+        assert result.objective >= 0
+
+    def test_branch_and_bound_at_least_as_good_as_greedy(self, problem):
+        greedy = solve_greedy(problem)
+        exact = solve_branch_and_bound(problem, time_limit_seconds=20)
+        assert exact.objective >= greedy.objective - 1e-9
+        assert exact.optimal
+        assert problem.is_feasible(exact.selection)
+
+    def test_branch_and_bound_matches_brute_force_on_small_problem(self, table, config):
+        templates = [
+            QueryTemplate("sessions", ("city",), 0.5),
+            QueryTemplate("sessions", ("country", "dt"), 0.5),
+        ]
+        candidates = generate_candidates(table, templates, config)
+        problem = SampleSelectionProblem.build(
+            table=table,
+            templates=templates,
+            candidates=candidates,
+            storage_budget_bytes=int(0.3 * table.size_bytes),
+            largest_cap=60,
+        )
+        # Brute force over all 2^alpha selections.
+        best = 0.0
+        for mask in range(2**problem.num_candidates):
+            selection = np.array(
+                [(mask >> j) & 1 for j in range(problem.num_candidates)], dtype=bool
+            )
+            if problem.is_feasible(selection):
+                best = max(best, problem.objective(selection))
+        result = solve_branch_and_bound(problem)
+        assert result.objective == pytest.approx(best, rel=1e-9)
+
+    def test_solve_dispatch_empty_problem(self, table, config):
+        problem = SampleSelectionProblem.build(
+            table=table,
+            templates=[],
+            candidates=[],
+            storage_budget_bytes=100,
+            largest_cap=60,
+        )
+        result = solve(problem)
+        assert result.optimal
+        assert result.selection.shape == (0,)
+
+    def test_selected_column_sets(self, problem):
+        result = solve(problem)
+        column_sets = result.selected_column_sets(problem)
+        assert all(isinstance(columns, tuple) for columns in column_sets)
+
+
+class TestPlanner:
+    def test_plan_respects_budget(self, table, templates, config):
+        planner = SampleSelectionPlanner(table, config)
+        plan = planner.plan(templates, storage_budget_fraction=0.5)
+        assert plan.total_storage_bytes <= 0.5 * table.size_bytes * 1.01
+        assert plan.storage_fraction_of(table.size_bytes) <= 0.51
+
+    def test_larger_budget_never_selects_fewer_families(self, table, templates, config):
+        planner = SampleSelectionPlanner(table, config)
+        small = planner.plan(templates, storage_budget_fraction=0.3)
+        large = planner.plan(templates, storage_budget_fraction=2.0)
+        assert len(large.families) >= len(small.families)
+        assert large.objective >= small.objective
+
+    def test_plan_prefers_skewed_frequent_templates(self, table, config):
+        planner = SampleSelectionPlanner(table, config)
+        templates = [
+            QueryTemplate("sessions", ("city",), 0.9),
+            QueryTemplate("sessions", ("genre",), 0.1),
+        ]
+        plan = planner.plan(templates, storage_budget_fraction=0.35)
+        chosen = {f.columns for f in plan.families}
+        assert ("city",) in chosen
+
+    def test_describe_rows(self, table, templates, config):
+        planner = SampleSelectionPlanner(table, config)
+        plan = planner.plan(templates, storage_budget_fraction=0.5)
+        rows = plan.describe()
+        assert rows[0]["columns"] == "uniform"
+        assert len(rows) == 1 + len(plan.families)
+
+    def test_zero_budget_only_uniform(self, table, templates, config):
+        planner = SampleSelectionPlanner(table, config)
+        plan = planner.plan(templates, storage_budget_fraction=0.01)
+        assert plan.families == ()

@@ -1,0 +1,137 @@
+"""Property-based tests for the parser round-trip and the MILP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.candidates import CandidateColumnSet
+from repro.optimizer.milp import SampleSelectionProblem
+from repro.optimizer.solver import solve_branch_and_bound, solve_greedy
+from repro.sql.parser import parse_query
+from repro.sql.templates import QueryTemplate
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+string_literals = st.from_regex(r"[A-Za-z0-9 _.-]{1,12}", fullmatch=True)
+numbers = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def generated_queries(draw):
+    """Generate syntactically valid BlinkQL strings."""
+    table = draw(identifiers)
+    aggregate = draw(
+        st.sampled_from(["COUNT(*)", "SUM({c})", "AVG({c})", "QUANTILE({c}, 0.9)"])
+    ).format(c=draw(identifiers))
+    sql = f"SELECT {aggregate} FROM {table}"
+
+    num_predicates = draw(st.integers(min_value=0, max_value=3))
+    predicates = []
+    for _ in range(num_predicates):
+        column = draw(identifiers)
+        if draw(st.booleans()):
+            predicates.append(f"{column} = '{draw(string_literals)}'")
+        else:
+            predicates.append(f"{column} >= {draw(numbers)}")
+    if predicates:
+        connector = draw(st.sampled_from([" AND ", " OR "]))
+        sql += " WHERE " + connector.join(predicates)
+
+    if draw(st.booleans()):
+        sql += f" GROUP BY {draw(identifiers)}"
+
+    bound = draw(st.sampled_from(["none", "error", "time"]))
+    if bound == "error":
+        sql += f" ERROR WITHIN {draw(st.integers(min_value=1, max_value=50))}% AT CONFIDENCE 95%"
+    elif bound == "time":
+        sql += f" WITHIN {draw(st.integers(min_value=1, max_value=60))} SECONDS"
+    return sql
+
+
+class TestParserProperties:
+    @given(generated_queries())
+    @settings(max_examples=120, deadline=None)
+    def test_generated_queries_parse_and_expose_template(self, sql):
+        query = parse_query(sql)
+        assert query.table
+        assert query.aggregates
+        # Template columns are exactly the WHERE ∪ GROUP BY columns.
+        assert query.template_columns() == query.where_columns() | query.group_by_columns()
+        # At most one bound is ever present.
+        assert not (query.error_bound is not None and query.time_bound is not None)
+
+    @given(generated_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_parsing_is_deterministic(self, sql):
+        assert parse_query(sql) == parse_query(sql)
+
+
+@st.composite
+def milp_problems(draw):
+    """Random small sample-selection problems with consistent coefficients."""
+    num_candidates = draw(st.integers(min_value=1, max_value=10))
+    num_templates = draw(st.integers(min_value=1, max_value=6))
+    candidates = tuple(
+        CandidateColumnSet(
+            columns=(f"c{i}",),
+            storage_bytes=draw(st.integers(min_value=1, max_value=100)),
+            delta=draw(st.integers(min_value=0, max_value=50)),
+            distinct_count=draw(st.integers(min_value=1, max_value=100)),
+        )
+        for i in range(num_candidates)
+    )
+    templates = tuple(
+        QueryTemplate("t", (f"t{i}",), weight=draw(st.floats(min_value=0.0, max_value=1.0)))
+        for i in range(num_templates)
+    )
+    deltas = tuple(draw(st.integers(min_value=0, max_value=50)) for _ in range(num_templates))
+    coverage = np.array(
+        [
+            [draw(st.floats(min_value=0.0, max_value=1.0)) for _ in range(num_candidates)]
+            for _ in range(num_templates)
+        ]
+    )
+    storage = np.array([c.storage_bytes for c in candidates], dtype=float)
+    budget = draw(st.integers(min_value=0, max_value=300))
+    return SampleSelectionProblem(
+        candidates=candidates,
+        templates=templates,
+        template_deltas=deltas,
+        coverage=coverage,
+        storage_costs=storage,
+        storage_budget_bytes=budget,
+    )
+
+
+class TestSolverProperties:
+    @given(milp_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_branch_and_bound_dominates_greedy_and_is_feasible(self, problem):
+        greedy = solve_greedy(problem)
+        exact = solve_branch_and_bound(problem, time_limit_seconds=10)
+        assert problem.is_feasible(greedy.selection)
+        assert problem.is_feasible(exact.selection)
+        assert exact.objective >= greedy.objective - 1e-9
+
+    @given(milp_problems())
+    @settings(max_examples=25, deadline=None)
+    def test_exact_solver_matches_brute_force(self, problem):
+        best = 0.0
+        for mask in range(2**problem.num_candidates):
+            selection = np.array(
+                [(mask >> j) & 1 for j in range(problem.num_candidates)], dtype=bool
+            )
+            if problem.is_feasible(selection):
+                best = max(best, problem.objective(selection))
+        result = solve_branch_and_bound(problem, time_limit_seconds=10)
+        assert result.objective == pytest.approx(best, abs=1e-9)
+
+    @given(milp_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_objective_monotone_under_relaxed_budget(self, problem):
+        from dataclasses import replace
+
+        result = solve_branch_and_bound(problem, time_limit_seconds=10)
+        relaxed = replace(problem, storage_budget_bytes=problem.storage_budget_bytes * 2 + 100)
+        relaxed_result = solve_branch_and_bound(relaxed, time_limit_seconds=10)
+        assert relaxed_result.objective >= result.objective - 1e-9

@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the sampling layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SamplingConfig
+from repro.sampling.family import StratifiedSampleFamily, verify_nesting
+from repro.sampling.skew import delta_skew, stratified_sample_rows, zipf_frequencies
+from repro.sampling.stratified import build_stratified_resolution
+from repro.sampling.uniform import build_uniform_resolution, uniform_permutation
+from repro.storage.table import Table
+
+
+def make_table(frequencies: list[int]) -> Table:
+    """A one-dimension table whose key column has the given value frequencies."""
+    keys = []
+    values = []
+    for index, frequency in enumerate(frequencies):
+        keys.extend([f"k{index:03d}"] * frequency)
+        values.extend(float(v) for v in range(frequency))
+    return Table.from_dict("prop", {"key": keys, "value": values})
+
+
+frequency_lists = st.lists(st.integers(min_value=1, max_value=120), min_size=1, max_size=25)
+
+
+class TestStratifiedInvariants:
+    @given(frequency_lists, st.integers(min_value=1, max_value=150))
+    @settings(max_examples=50, deadline=None)
+    def test_cap_and_coverage_invariants(self, frequencies, cap):
+        table = make_table(frequencies)
+        resolution = build_stratified_resolution(table, ("key",), cap)
+
+        # 1. No stratum exceeds the cap.
+        sample_frequencies = resolution.table.value_frequencies(["key"])
+        assert all(count <= cap for count in sample_frequencies.values())
+
+        # 2. Every distinct value of the original table is represented.
+        assert len(sample_frequencies) == len(frequencies)
+
+        # 3. Sample size matches the closed-form row count.
+        assert resolution.num_rows == stratified_sample_rows(np.array(frequencies), cap)
+
+        # 4. Weights reconstruct the original population size (up to fp rounding).
+        assert resolution.represented_rows == pytest_approx(sum(frequencies))
+
+        # 5. Rows from strata below the cap carry weight exactly 1.
+        keys = resolution.table.column("key").values()
+        for index, frequency in enumerate(frequencies):
+            if frequency <= cap:
+                mask = keys == f"k{index:03d}"
+                assert np.allclose(resolution.weights[mask], 1.0)
+
+    @given(frequency_lists, st.integers(min_value=2, max_value=80))
+    @settings(max_examples=30, deadline=None)
+    def test_family_nesting_and_storage(self, frequencies, cap):
+        table = make_table(frequencies)
+        config = SamplingConfig(largest_cap=cap, min_cap=1, resolution_ratio=2.0)
+        family = StratifiedSampleFamily.build(table, ("key",), config)
+        assert verify_nesting(family)
+        assert family.storage_bytes == family.largest.size_bytes
+        rows = [r.num_rows for r in family.resolutions]
+        assert rows == sorted(rows)
+
+    @given(frequency_lists, st.integers(min_value=1, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_delta_skew_bounds(self, frequencies, cap):
+        delta = delta_skew(np.array(frequencies), cap)
+        assert 0 <= delta <= len(frequencies)
+
+
+class TestUniformInvariants:
+    @given(
+        st.integers(min_value=10, max_value=2_000),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_sample_size_and_weights(self, num_rows, fraction):
+        table = Table.from_dict(
+            "u", {"v": list(range(num_rows))}
+        )
+        resolution = build_uniform_resolution(table, fraction)
+        expected_rows = max(1, int(round(num_rows * fraction)))
+        assert resolution.num_rows == expected_rows
+        assert resolution.represented_rows == pytest_approx(num_rows)
+        # Row indices are unique and valid.
+        assert len(set(resolution.row_indices.tolist())) == resolution.num_rows
+        assert resolution.row_indices.max() < num_rows
+
+    @given(st.integers(min_value=10, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_nested_fractions_are_subsets(self, num_rows):
+        table = Table.from_dict("u", {"v": list(range(num_rows))})
+        permutation = uniform_permutation(table)
+        small = build_uniform_resolution(table, 0.1, permutation)
+        large = build_uniform_resolution(table, 0.5, permutation)
+        assert set(small.row_indices.tolist()) <= set(large.row_indices.tolist())
+
+
+class TestZipfFrequencies:
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.5, max_value=3.0),
+        st.integers(min_value=0, max_value=50_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zipf_frequencies_sum_and_monotonicity(self, num_values, s, total_rows):
+        counts = zipf_frequencies(num_values, s, total_rows)
+        assert counts.sum() == total_rows
+        assert len(counts) == num_values
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def pytest_approx(value, rel=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

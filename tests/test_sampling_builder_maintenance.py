@@ -1,0 +1,140 @@
+"""Tests for the sample builder and the maintenance module."""
+
+import pytest
+
+from repro.common.config import ClusterConfig, SamplingConfig
+from repro.common.errors import CatalogError
+from repro.cluster.simulator import ClusterSimulator
+from repro.sampling.builder import SampleBuilder
+from repro.sampling.maintenance import ActionKind, SampleMaintenance
+from repro.sql.templates import QueryTemplate
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import compute_statistics
+from repro.workloads.conviva import generate_sessions_table
+
+
+@pytest.fixture()
+def table():
+    return generate_sessions_table(num_rows=8_000, seed=3, num_cities=50, num_customers=60)
+
+
+@pytest.fixture()
+def config():
+    return SamplingConfig(largest_cap=80, min_cap=10, uniform_sample_fraction=0.1)
+
+
+@pytest.fixture()
+def builder(table, config):
+    catalog = Catalog()
+    simulator = ClusterSimulator(ClusterConfig(num_nodes=5))
+    return SampleBuilder(catalog, config, simulator=simulator, scale_factor=100.0)
+
+
+class TestSampleBuilder:
+    def test_register_base_table(self, builder, table):
+        builder.register_base_table(table)
+        assert builder.catalog.has_table(table.name)
+        assert builder.simulator.has_dataset(table.name)
+        assert builder.simulator.dataset(table.name).num_rows == table.num_rows * 100
+
+    def test_build_uniform_family(self, builder, table):
+        family = builder.build_uniform_family(table)
+        assert builder.catalog.uniform_family(table.name) is family
+        for resolution in family.resolutions:
+            assert builder.simulator.has_dataset(resolution.name)
+
+    def test_build_stratified_family(self, builder, table):
+        family = builder.build_stratified_family(table, ["city", "os"])
+        assert builder.catalog.stratified_family(table.name, ["os", "city"]) is family
+        assert family.key == ("city", "os")
+
+    def test_drop_stratified_family(self, builder, table):
+        family = builder.build_stratified_family(table, ["city"])
+        builder.drop_stratified_family(table.name, ["city"])
+        assert builder.catalog.stratified_family(table.name, ["city"]) is None
+        for resolution in family.resolutions:
+            assert not builder.simulator.has_dataset(resolution.name)
+
+    def test_drop_unknown_family(self, builder, table):
+        builder.register_base_table(table)
+        with pytest.raises(CatalogError):
+            builder.drop_stratified_family(table.name, ["city"])
+
+    def test_build_from_column_sets_report(self, builder, table):
+        report = builder.build_from_column_sets(table, [("city",), ("country", "dt")])
+        assert report.uniform_storage_bytes > 0
+        assert set(report.stratified) == {("city",), ("country", "dt")}
+        assert report.total_storage_bytes == (
+            report.uniform_storage_bytes + report.stratified_storage_bytes
+        )
+
+    def test_layout_for_family(self, builder, table):
+        family = builder.build_stratified_family(table, ["city"])
+        layout = builder.layout_for(family)
+        assert layout.storage_bytes > 0
+
+    def test_builder_without_simulator(self, table, config):
+        builder = SampleBuilder(Catalog(), config)
+        family = builder.build_uniform_family(table)
+        assert family.largest.num_rows > 0
+
+
+class TestMaintenance:
+    def _manager(self, builder, config):
+        return SampleMaintenance(builder.catalog, builder, config)
+
+    def test_data_drift_detection(self, builder, table, config):
+        manager = self._manager(builder, config)
+        stats = compute_statistics(table)
+        assert manager.detect_data_drift(stats, stats) is False
+        shifted = generate_sessions_table(num_rows=8_000, seed=99, num_cities=8, num_customers=60)
+        assert manager.detect_data_drift(stats, compute_statistics(shifted)) is True
+
+    def test_workload_drift_detection(self, builder, config):
+        manager = self._manager(builder, config)
+        before = [QueryTemplate("sessions", ("city",), 0.7), QueryTemplate("sessions", ("os",), 0.3)]
+        same = [QueryTemplate("sessions", ("city",), 0.68), QueryTemplate("sessions", ("os",), 0.32)]
+        different = [QueryTemplate("sessions", ("dt",), 0.9), QueryTemplate("sessions", ("os",), 0.1)]
+        assert manager.detect_workload_drift(before, same) is False
+        assert manager.detect_workload_drift(before, different) is True
+
+    def test_replan_produces_create_keep_drop_actions(self, builder, table, config):
+        builder.build_from_column_sets(table, [("asn",)])
+        manager = self._manager(builder, config)
+        templates = [
+            QueryTemplate("sessions", ("city", "os"), 0.8),
+            QueryTemplate("sessions", ("country",), 0.2),
+        ]
+        plan, actions = manager.replan(table, templates, churn_fraction=1.0)
+        kinds = {action.kind for action in actions}
+        assert ActionKind.CREATE in kinds or ActionKind.KEEP in kinds
+        planned_columns = {f.columns for f in plan.families}
+        created = {a.columns for a in actions if a.kind is ActionKind.CREATE}
+        assert created <= planned_columns
+
+    def test_zero_churn_keeps_existing_families(self, builder, table, config):
+        builder.build_from_column_sets(table, [("asn",)])
+        manager = self._manager(builder, config)
+        templates = [QueryTemplate("sessions", ("city", "os"), 1.0)]
+        plan, actions = manager.replan(table, templates, churn_fraction=0.0)
+        dropped = [a for a in actions if a.kind is ActionKind.DROP]
+        created = [a for a in actions if a.kind is ActionKind.CREATE]
+        assert not dropped
+        assert not created
+        assert ("asn",) in {f.columns for f in plan.families}
+
+    def test_apply_actions_updates_catalog(self, builder, table, config):
+        builder.build_from_column_sets(table, [("asn",)])
+        manager = self._manager(builder, config)
+        templates = [QueryTemplate("sessions", ("city", "os"), 1.0)]
+        _, actions = manager.replan(table, templates, churn_fraction=1.0)
+        manager.apply_actions(table, actions)
+        families = builder.catalog.stratified_families(table.name)
+        created = {a.columns for a in actions if a.kind is ActionKind.CREATE}
+        assert created <= set(families)
+
+    def test_refresh_families_rebuilds(self, builder, table, config):
+        builder.build_from_column_sets(table, [("city",)])
+        manager = self._manager(builder, config)
+        assert manager.refresh_families(table) == 1
+        assert builder.catalog.stratified_family(table.name, ["city"]) is not None

@@ -1,0 +1,201 @@
+"""Tests for sample families, the Fig.-4 layout, and the skew/storage models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.config import SamplingConfig
+from repro.common.errors import SampleNotFoundError
+from repro.common.units import MB
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily, verify_nesting
+from repro.sampling.layout import FamilyLayout
+from repro.sampling.skew import (
+    delta_skew,
+    generalized_harmonic,
+    stratified_sample_rows,
+    stratified_storage_bytes,
+    table_delta_skew,
+    zipf_frequencies,
+    zipf_rank_count,
+    zipf_storage_fraction,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture(scope="module")
+def table() -> Table:
+    rng = np.random.default_rng(5)
+    counts = zipf_frequencies(60, 1.4, 12_000)
+    city = np.repeat(np.arange(60), counts)
+    rng.shuffle(city)
+    return Table.from_dict(
+        "fam",
+        {
+            "city": [f"c{int(v):03d}" for v in city],
+            "os": rng.integers(0, 5, 12_000).tolist(),
+            "value": rng.normal(50, 10, 12_000).tolist(),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def config() -> SamplingConfig:
+    return SamplingConfig(largest_cap=200, min_cap=10, uniform_sample_fraction=0.1)
+
+
+class TestStratifiedFamily:
+    def test_caps_follow_geometric_ladder(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        caps = sorted(family.caps, reverse=True)
+        assert caps[0] == 200
+        assert all(a > b for a, b in zip(caps, caps[1:]))
+
+    def test_resolutions_ordered_smallest_first(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        rows = [r.num_rows for r in family.resolutions]
+        assert rows == sorted(rows)
+        assert family.smallest.num_rows == rows[0]
+        assert family.largest.num_rows == rows[-1]
+
+    def test_nesting_holds(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        assert verify_nesting(family)
+
+    def test_storage_is_largest_resolution_only(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        assert family.storage_bytes == family.largest.size_bytes
+        assert family.total_logical_bytes > family.storage_bytes
+
+    def test_key_is_sorted_column_set(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("os", "city"), config)
+        assert family.key == ("city", "os")
+        assert family.covers(["city"])
+        assert not family.covers(["value"])
+
+    def test_resolution_lookup_by_cap(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        assert family.resolution_for_cap(200).cap == 200
+        with pytest.raises(SampleNotFoundError):
+            family.resolution_for_cap(999)
+
+    def test_cap_at_least_and_at_most(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        assert family.smallest_cap_at_least(60).cap >= 60
+        assert family.largest_cap_at_most(60).cap <= 60
+
+    def test_rows_selectors(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        target = family.resolutions[1].num_rows
+        assert family.resolution_with_at_least_rows(target).num_rows >= target
+        assert family.largest_resolution_with_at_most_rows(target).num_rows <= target
+
+    def test_empty_columns_rejected(self, table, config):
+        with pytest.raises(ValueError):
+            StratifiedSampleFamily(table_name="fam", resolutions=(), columns=())
+
+
+class TestUniformFamily:
+    def test_build_and_key(self, table, config):
+        family = UniformSampleFamily.build(table, config)
+        assert family.key is None
+        assert verify_nesting(family)
+        assert family.largest.fraction == pytest.approx(config.uniform_sample_fraction)
+
+    def test_resolution_order(self, table, config):
+        family = UniformSampleFamily.build(table, config)
+        rows = [r.num_rows for r in family.resolutions]
+        assert rows == sorted(rows)
+
+
+class TestFamilyLayout:
+    def test_blocks_shared_across_resolutions(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        layout = FamilyLayout.for_family(family, block_bytes=64 * 1024)
+        small_blocks = layout.blocks_for_resolution(family.smallest)
+        large_blocks = layout.blocks_for_resolution(family.largest)
+        assert len(small_blocks) <= len(large_blocks)
+        assert layout.storage_bytes == layout.physical_blocks.total_bytes
+
+    def test_additional_blocks_model_reuse(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        layout = FamilyLayout.for_family(family, block_bytes=64 * 1024)
+        additional = layout.additional_blocks(family.smallest, family.largest)
+        small = layout.blocks_for_resolution(family.smallest)
+        large = layout.blocks_for_resolution(family.largest)
+        assert len(additional) == len(large) - len(small)
+
+    def test_block_size_respected(self, table, config):
+        family = StratifiedSampleFamily.build(table, ("city",), config)
+        layout = FamilyLayout.for_family(family, block_bytes=1 * MB)
+        assert all(block.size_bytes <= 1 * MB for block in layout.physical_blocks)
+
+
+class TestSkewMetrics:
+    def test_delta_counts_tail_values(self):
+        frequencies = np.array([1000, 500, 30, 20, 5])
+        assert delta_skew(frequencies, 100) == 3
+        assert delta_skew(frequencies, 1) == 0
+
+    def test_delta_zero_for_uniform_distribution(self):
+        assert delta_skew(np.full(50, 200), cap=100) == 0
+
+    def test_table_delta_skew(self, table, config):
+        assert table_delta_skew(table, ["city"], 200) > 0
+
+    def test_storage_rows_and_bytes(self):
+        frequencies = np.array([1000, 500, 30])
+        assert stratified_sample_rows(frequencies, 100) == 230
+        assert stratified_storage_bytes(frequencies, 100, row_width_bytes=10) == 2300
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            delta_skew(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            stratified_sample_rows(np.array([1]), 0)
+
+
+class TestZipfStorageModel:
+    """Reproduces the analytic storage-overhead numbers of Table 5."""
+
+    @pytest.mark.parametrize(
+        "s, cap, expected",
+        [
+            (1.5, 10_000, 0.024),
+            (1.5, 100_000, 0.052),
+            (1.5, 1_000_000, 0.114),
+            (2.0, 10_000, 0.0038),
+            (1.0, 1_000_000, 0.69),
+        ],
+    )
+    def test_matches_paper_table5(self, s, cap, expected):
+        fraction = zipf_storage_fraction(s, cap, max_frequency=1e9)
+        assert fraction == pytest.approx(expected, rel=0.15)
+
+    def test_fraction_monotone_in_cap(self):
+        fractions = [zipf_storage_fraction(1.5, cap) for cap in (10**4, 10**5, 10**6)]
+        assert fractions == sorted(fractions)
+
+    def test_fraction_monotone_decreasing_in_exponent(self):
+        fractions = [zipf_storage_fraction(s, 10**5) for s in (1.0, 1.5, 2.0)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_cap_above_max_frequency_stores_everything(self):
+        assert zipf_storage_fraction(1.5, 10**10, max_frequency=1e9) == 1.0
+
+    def test_rank_count(self):
+        assert zipf_rank_count(1e9, 1.5) == pytest.approx(1e6)
+
+    def test_generalized_harmonic_small_exact(self):
+        assert generalized_harmonic(10, 1.0) == pytest.approx(sum(1 / r for r in range(1, 11)))
+
+    def test_generalized_harmonic_large_approximation(self):
+        exact = generalized_harmonic(10**6, 1.5)
+        approx = generalized_harmonic(10**6 + 0.5e6, 1.5)
+        assert approx > exact
+        assert math.isfinite(approx)
+
+    def test_zipf_frequencies_sum(self):
+        counts = zipf_frequencies(100, 1.2, 10_000)
+        assert counts.sum() == 10_000
+        assert counts[0] == counts.max()

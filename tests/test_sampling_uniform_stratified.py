@@ -1,0 +1,128 @@
+"""Tests for uniform and stratified sample construction."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.stratified import (
+    build_stratified_resolution,
+    stratum_cap_rows,
+    stratum_permutations,
+)
+from repro.sampling.uniform import (
+    build_uniform_resolution,
+    uniform_permutation,
+    uniform_resolution_fractions,
+)
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def skewed_table() -> Table:
+    cities = ["NY"] * 600 + ["SF"] * 300 + ["LA"] * 80 + ["Boise"] * 15 + ["Nome"] * 5
+    return Table.from_dict(
+        "skewed",
+        {
+            "city": cities,
+            "value": [float(i) for i in range(len(cities))],
+        },
+    )
+
+
+class TestUniformSamples:
+    def test_fraction_controls_size(self, skewed_table):
+        resolution = build_uniform_resolution(skewed_table, 0.1)
+        assert resolution.num_rows == 100
+        assert resolution.fraction == pytest.approx(0.1)
+
+    def test_weights_are_inverse_fraction(self, skewed_table):
+        resolution = build_uniform_resolution(skewed_table, 0.25)
+        assert np.allclose(resolution.weights, 4.0)
+        assert resolution.represented_rows == pytest.approx(1000, rel=0.01)
+
+    def test_invalid_fraction_rejected(self, skewed_table):
+        with pytest.raises(ValueError):
+            build_uniform_resolution(skewed_table, 0.0)
+        with pytest.raises(ValueError):
+            build_uniform_resolution(skewed_table, 1.5)
+
+    def test_shared_permutation_nests_samples(self, skewed_table):
+        permutation = uniform_permutation(skewed_table)
+        small = build_uniform_resolution(skewed_table, 0.05, permutation)
+        large = build_uniform_resolution(skewed_table, 0.20, permutation)
+        assert set(small.row_indices) <= set(large.row_indices)
+
+    def test_permutation_deterministic(self, skewed_table):
+        assert np.array_equal(uniform_permutation(skewed_table), uniform_permutation(skewed_table))
+
+    def test_fraction_ladder(self):
+        fractions = uniform_resolution_fractions(0.2, 2.0, min_rows=100, total_rows=10_000)
+        assert fractions == sorted(fractions)
+        assert max(fractions) == pytest.approx(0.2)
+        assert min(fractions) * 10_000 >= 100
+
+    def test_fraction_ladder_validation(self):
+        with pytest.raises(ValueError):
+            uniform_resolution_fractions(0.0, 2.0, 10, 100)
+        with pytest.raises(ValueError):
+            uniform_resolution_fractions(0.5, 1.0, 10, 100)
+
+
+class TestStratifiedSamples:
+    def test_cap_limits_frequent_strata(self, skewed_table):
+        resolution = build_stratified_resolution(skewed_table, ("city",), cap=50)
+        frequencies = resolution.table.value_frequencies(["city"])
+        assert frequencies[("NY",)] == 50
+        assert frequencies[("SF",)] == 50
+        assert frequencies[("Boise",)] == 15  # below the cap: kept in full
+        assert frequencies[("Nome",)] == 5
+
+    def test_rare_strata_have_unit_weight(self, skewed_table):
+        resolution = build_stratified_resolution(skewed_table, ("city",), cap=50)
+        cities = resolution.table.column("city").values()
+        weights = resolution.weights
+        assert np.allclose(weights[cities == "Nome"], 1.0)
+        assert np.allclose(weights[cities == "NY"], 600 / 50)
+
+    def test_every_stratum_represented(self, skewed_table):
+        resolution = build_stratified_resolution(skewed_table, ("city",), cap=2)
+        assert resolution.table.distinct_count(["city"]) == 5
+
+    def test_weights_reconstruct_population(self, skewed_table):
+        resolution = build_stratified_resolution(skewed_table, ("city",), cap=50)
+        assert resolution.represented_rows == pytest.approx(1000, rel=1e-9)
+
+    def test_rows_stored_matches_formula(self, skewed_table):
+        frequencies = np.array([600, 300, 80, 15, 5])
+        assert stratum_cap_rows(frequencies, 50) == 50 + 50 + 50 + 15 + 5
+        resolution = build_stratified_resolution(skewed_table, ("city",), cap=50)
+        assert resolution.num_rows == 170
+
+    def test_multi_column_stratification(self, skewed_table):
+        table = skewed_table.with_column(
+            skewed_table.column("value").rename("bucketed")
+        )
+        resolution = build_stratified_resolution(skewed_table, ("city",), cap=10)
+        assert resolution.columns == ("city",)
+        del table
+
+    def test_invalid_arguments(self, skewed_table):
+        with pytest.raises(ValueError):
+            build_stratified_resolution(skewed_table, ("city",), cap=0)
+        with pytest.raises(ValueError):
+            build_stratified_resolution(skewed_table, (), cap=10)
+
+    def test_nested_across_caps_with_shared_permutation(self, skewed_table):
+        shared = stratum_permutations(skewed_table, ("city",))
+        small = build_stratified_resolution(skewed_table, ("city",), 20, precomputed=shared)
+        large = build_stratified_resolution(skewed_table, ("city",), 100, precomputed=shared)
+        assert set(small.row_indices) <= set(large.row_indices)
+
+    def test_deterministic_given_table_and_columns(self, skewed_table):
+        a = build_stratified_resolution(skewed_table, ("city",), 25)
+        b = build_stratified_resolution(skewed_table, ("city",), 25)
+        assert np.array_equal(a.row_indices, b.row_indices)
+
+    def test_sample_retains_all_columns(self, skewed_table):
+        # §3.1 footnote: stratification is on φ but the sample keeps every column.
+        resolution = build_stratified_resolution(skewed_table, ("city",), 10)
+        assert resolution.table.column_names == skewed_table.column_names

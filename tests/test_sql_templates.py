@@ -1,0 +1,89 @@
+"""Tests for query-template extraction (paper §3.2.1 workload model)."""
+
+import pytest
+
+from repro.sql.parser import parse_query
+from repro.sql.templates import (
+    QueryTemplate,
+    extract_template,
+    normalize_weights,
+    templates_from_trace,
+)
+
+
+class TestExtractTemplate:
+    def test_columns_are_where_union_group_by(self):
+        template = extract_template(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'NY' AND genre = 'western' GROUP BY os"
+        )
+        assert template.table == "sessions"
+        assert template.columns == ("city", "genre", "os")
+
+    def test_constants_are_stripped(self):
+        a = extract_template("SELECT COUNT(*) FROM t WHERE city = 'NY'")
+        b = extract_template("SELECT COUNT(*) FROM t WHERE city = 'SF'")
+        assert a.columns == b.columns
+
+    def test_accepts_parsed_query(self):
+        query = parse_query("SELECT AVG(x) FROM t WHERE a = 1")
+        assert extract_template(query).columns == ("a",)
+
+    def test_covers(self):
+        template = QueryTemplate("t", ("a", "b", "c"))
+        assert template.covers(["a", "b"])
+        assert not template.covers(["a", "z"])
+
+    def test_label(self):
+        assert QueryTemplate("t", ("a", "b")).label() == "t[a,b]"
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTemplate("t", ("a",), weight=-1.0)
+
+
+class TestTemplatesFromTrace:
+    def test_weights_are_relative_frequencies(self):
+        trace = [
+            "SELECT COUNT(*) FROM t WHERE a = 1",
+            "SELECT COUNT(*) FROM t WHERE a = 2",
+            "SELECT COUNT(*) FROM t WHERE b = 1",
+            "SELECT SUM(x) FROM t WHERE a = 9",
+        ]
+        templates = templates_from_trace(trace)
+        by_columns = {t.columns: t.weight for t in templates}
+        assert by_columns[("a",)] == pytest.approx(0.75)
+        assert by_columns[("b",)] == pytest.approx(0.25)
+
+    def test_table_filter(self):
+        trace = [
+            "SELECT COUNT(*) FROM t WHERE a = 1",
+            "SELECT COUNT(*) FROM other WHERE b = 1",
+        ]
+        templates = templates_from_trace(trace, table="t")
+        assert len(templates) == 1
+        assert templates[0].table == "t"
+
+    def test_empty_trace(self):
+        assert templates_from_trace([]) == []
+
+    def test_sorted_by_frequency(self):
+        trace = ["SELECT COUNT(*) FROM t WHERE b = 1"] + [
+            "SELECT COUNT(*) FROM t WHERE a = 1"
+        ] * 3
+        templates = templates_from_trace(trace)
+        assert templates[0].columns == ("a",)
+
+
+class TestNormalizeWeights:
+    def test_weights_sum_to_one(self):
+        templates = [QueryTemplate("t", ("a",), 3.0), QueryTemplate("t", ("b",), 1.0)]
+        normalized = normalize_weights(templates)
+        assert sum(t.weight for t in normalized) == pytest.approx(1.0)
+        assert normalized[0].weight == pytest.approx(0.75)
+
+    def test_zero_total_is_noop(self):
+        templates = [QueryTemplate("t", ("a",), 0.0)]
+        assert normalize_weights(templates)[0].weight == 0.0
+
+    def test_empty_list(self):
+        assert normalize_weights([]) == []

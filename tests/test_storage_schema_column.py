@@ -1,0 +1,107 @@
+"""Tests for repro.storage.schema and repro.storage.column."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.storage.column import Column
+from repro.storage.schema import ColumnDef, ColumnType, Schema
+
+
+class TestSchema:
+    def test_from_mapping_preserves_order(self):
+        schema = Schema({"a": ColumnType.INT, "b": ColumnType.STRING})
+        assert schema.names == ["a", "b"]
+
+    def test_type_and_width_lookup(self):
+        schema = Schema({"a": ColumnType.INT, "s": ColumnType.STRING})
+        assert schema.type_of("a") is ColumnType.INT
+        assert schema.width_of("s") == ColumnType.STRING.default_width_bytes
+
+    def test_row_width_is_sum_of_column_widths(self):
+        schema = Schema({"a": ColumnType.INT, "b": ColumnType.FLOAT})
+        assert schema.row_width_bytes == 16
+
+    def test_unknown_column_raises(self):
+        schema = Schema({"a": ColumnType.INT})
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnDef("a", ColumnType.INT, 8), ColumnDef("a", ColumnType.INT, 8)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({})
+
+    def test_project_keeps_subset_in_order(self):
+        schema = Schema({"a": ColumnType.INT, "b": ColumnType.FLOAT, "c": ColumnType.STRING})
+        projected = schema.project(["c", "a"])
+        assert projected.names == ["c", "a"]
+
+    def test_validate_columns_lists_missing(self):
+        schema = Schema({"a": ColumnType.INT})
+        with pytest.raises(SchemaError):
+            schema.validate_columns(["a", "zz"])
+
+    def test_numeric_columns(self):
+        schema = Schema({"a": ColumnType.INT, "s": ColumnType.STRING, "f": ColumnType.FLOAT})
+        assert schema.numeric_columns() == ["a", "f"]
+
+    def test_equality_and_repr(self):
+        a = Schema({"a": ColumnType.INT})
+        b = Schema({"a": ColumnType.INT})
+        assert a == b
+        assert "a:int" in repr(a)
+
+
+class TestColumn:
+    def test_infers_int_float_string(self):
+        assert Column.from_values("c", [1, 2, 3]).ctype is ColumnType.INT
+        assert Column.from_values("c", [1.5, 2.0]).ctype is ColumnType.FLOAT
+        assert Column.from_values("c", ["x", "y"]).ctype is ColumnType.STRING
+
+    def test_string_columns_are_dictionary_encoded(self):
+        column = Column.from_values("city", ["NY", "SF", "NY", "LA"])
+        assert column.dictionary is not None
+        assert sorted(column.dictionary.tolist()) == ["LA", "NY", "SF"]
+        assert list(column.values()) == ["NY", "SF", "NY", "LA"]
+
+    def test_value_at_decodes(self):
+        column = Column.from_values("city", ["NY", "SF"])
+        assert column.value_at(1) == "SF"
+
+    def test_numeric_rejects_strings(self):
+        column = Column.from_values("city", ["NY"])
+        with pytest.raises(SchemaError):
+            column.numeric()
+
+    def test_bool_columns_numeric_cast(self):
+        column = Column.from_values("flag", [True, False, True], ColumnType.BOOL)
+        assert column.numeric().tolist() == [1.0, 0.0, 1.0]
+
+    def test_take_and_filter(self):
+        column = Column.from_values("v", [10, 20, 30, 40])
+        assert column.take(np.array([2, 0])).values().tolist() == [30, 10]
+        assert column.filter(np.array([True, False, True, False])).values().tolist() == [10, 30]
+
+    def test_encode_lookup_string_absent_value(self):
+        column = Column.from_values("city", ["NY", "SF"])
+        assert column.encode_lookup("Boston") == -1
+
+    def test_encode_lookup_numeric(self):
+        column = Column.from_values("v", [1, 2, 3])
+        assert column.encode_lookup("2") == 2
+
+    def test_distinct_count(self):
+        column = Column.from_values("v", [1, 1, 2, 3, 3, 3])
+        assert column.distinct_count() == 3
+
+    def test_string_requires_dictionary(self):
+        with pytest.raises(SchemaError):
+            Column("s", ColumnType.STRING, np.array([0, 1]))
+
+    def test_rename(self):
+        column = Column.from_values("a", [1, 2]).rename("b")
+        assert column.name == "b"

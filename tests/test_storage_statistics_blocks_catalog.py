@@ -1,0 +1,161 @@
+"""Tests for statistics, blocks, and the catalog."""
+
+import pytest
+
+from repro.common.errors import CatalogError
+from repro.storage.block import Block, BlockSet, split_into_blocks
+from repro.storage.catalog import Catalog, column_set_key
+from repro.storage.statistics import compute_statistics, joint_frequencies
+from repro.storage.table import Table
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        "stats",
+        {
+            "skewed": ["a"] * 90 + ["b"] * 8 + ["c", "d"],
+            "uniform": list(range(100)),
+            "value": [float(i) for i in range(100)],
+        },
+    )
+
+
+class TestStatistics:
+    def test_distinct_counts(self, table):
+        stats = compute_statistics(table)
+        assert stats.column("skewed").distinct_count == 4
+        assert stats.column("uniform").distinct_count == 100
+
+    def test_numeric_summary(self, table):
+        stats = compute_statistics(table)
+        value = stats.column("value")
+        assert value.min_value == 0.0
+        assert value.max_value == 99.0
+        assert value.mean == pytest.approx(49.5)
+
+    def test_skew_ratio_orders_columns(self, table):
+        stats = compute_statistics(table)
+        assert stats.column("skewed").skew_ratio > stats.column("uniform").skew_ratio
+        assert stats.most_skewed_columns(1) == ["skewed"]
+
+    def test_table_level_fields(self, table):
+        stats = compute_statistics(table)
+        assert stats.num_rows == 100
+        assert stats.size_bytes == table.size_bytes
+
+    def test_joint_frequencies_sum_to_rows(self, table):
+        freqs = joint_frequencies(table, ["skewed"])
+        assert freqs.sum() == 100
+        assert freqs.max() == 90
+
+
+class TestBlocks:
+    def test_split_covers_all_rows(self):
+        blocks = split_into_blocks("d", num_rows=1000, row_width_bytes=100, block_bytes=25_000)
+        assert blocks.total_rows == 1000
+        assert len(blocks) == 4
+        assert all(b.num_rows == 250 for b in blocks)
+
+    def test_last_block_may_be_partial(self):
+        blocks = split_into_blocks("d", num_rows=1001, row_width_bytes=100, block_bytes=25_000)
+        assert len(blocks) == 5
+        assert blocks[4].num_rows == 1
+
+    def test_empty_dataset(self):
+        blocks = split_into_blocks("d", 0, 100, 1000)
+        assert len(blocks) == 0
+        assert blocks.total_bytes == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            split_into_blocks("d", -1, 100, 1000)
+        with pytest.raises(ValueError):
+            split_into_blocks("d", 10, 0, 1000)
+        with pytest.raises(ValueError):
+            Block("d", 0, 10, 5, 100)
+
+    def test_prefix_covering_rows(self):
+        blocks = split_into_blocks("d", 1000, 100, 25_000)
+        prefix = blocks.prefix_covering_rows(300)
+        assert prefix.total_rows == 500  # two 250-row blocks
+        assert len(prefix) == 2
+
+    def test_difference_models_incremental_scan(self):
+        blocks = split_into_blocks("d", 1000, 100, 25_000)
+        small = blocks.prefix_covering_rows(250)
+        large = blocks.prefix_covering_rows(1000)
+        extra = large.difference(small)
+        assert len(extra) == 3
+        assert extra.total_rows == 750
+
+    def test_blockset_rejects_foreign_blocks(self):
+        block = Block("other", 0, 0, 10, 100)
+        with pytest.raises(ValueError):
+            BlockSet("d", [block])
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        assert catalog.has_table("stats")
+        assert catalog.table("stats") is table
+        assert catalog.statistics("stats").num_rows == 100
+
+    def test_duplicate_registration_rejected(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        with pytest.raises(CatalogError):
+            catalog.register_table(table)
+
+    def test_overwrite_invalidates_samples(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        catalog.register_uniform_family("stats", object())
+        catalog.register_stratified_family("stats", ["skewed"], object())
+        catalog.register_table(table, overwrite=True)
+        assert catalog.uniform_family("stats") is None
+        assert catalog.stratified_families("stats") == {}
+
+    def test_unknown_table_lookup(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_column_set_key_is_sorted(self):
+        assert column_set_key(["b", "a"]) == ("a", "b")
+
+    def test_stratified_family_keying(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        family = object()
+        catalog.register_stratified_family("stats", ["uniform", "skewed"], family)
+        assert catalog.stratified_family("stats", ["skewed", "uniform"]) is family
+
+    def test_iter_families_includes_uniform_first(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        uniform = object()
+        stratified = object()
+        catalog.register_uniform_family("stats", uniform)
+        catalog.register_stratified_family("stats", ["skewed"], stratified)
+        families = list(catalog.iter_families("stats"))
+        assert families[0] == (None, uniform)
+        assert (("skewed",), stratified) in families
+
+    def test_drop_table_and_family(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        catalog.register_stratified_family("stats", ["skewed"], object())
+        catalog.drop_stratified_family("stats", ["skewed"])
+        with pytest.raises(CatalogError):
+            catalog.drop_stratified_family("stats", ["skewed"])
+        catalog.drop_table("stats")
+        assert not catalog.has_table("stats")
+
+    def test_describe(self, table):
+        catalog = Catalog()
+        catalog.register_table(table)
+        summary = catalog.describe()
+        assert summary["stats"]["rows"] == 100

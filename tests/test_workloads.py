@@ -1,0 +1,143 @@
+"""Tests for the synthetic Conviva and TPC-H workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sql.parser import parse_query
+from repro.sql.templates import extract_template
+from repro.workloads.conviva import (
+    conviva_extended_templates,
+    conviva_query_templates,
+    conviva_query_trace,
+    generate_sessions_table,
+)
+from repro.workloads.tpch import (
+    generate_customer_table,
+    generate_lineitem_table,
+    generate_orders_table,
+    tpch_query_templates,
+    tpch_query_trace,
+)
+from repro.workloads.tracegen import generate_trace, instantiate_template
+
+
+class TestConvivaGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_sessions_table(num_rows=2_000, seed=5)
+        b = generate_sessions_table(num_rows=2_000, seed=5)
+        assert a.column("city").values().tolist() == b.column("city").values().tolist()
+
+    def test_row_count_and_columns(self, sessions_table):
+        assert sessions_table.num_rows == 20_000
+        for column in ("dt", "city", "customer", "country", "os", "session_time", "jointimems"):
+            assert column in sessions_table.schema
+
+    def test_dimension_columns_are_skewed(self, sessions_table):
+        frequencies = np.asarray(list(sessions_table.value_frequencies(["city"]).values()))
+        assert frequencies.max() > 10 * np.median(frequencies)
+
+    def test_genre_is_near_uniform(self, sessions_table):
+        frequencies = np.asarray(list(sessions_table.value_frequencies(["genre"]).values()))
+        assert frequencies.max() < 3 * frequencies.min()
+
+    def test_measures_are_positive(self, sessions_table):
+        assert (sessions_table.column("session_time").numeric() > 0).all()
+        assert (sessions_table.column("jointimems").numeric() > 0).all()
+
+    def test_templates_weights_sum_to_one(self):
+        templates = conviva_query_templates()
+        assert sum(t.weight for t in templates) == pytest.approx(1.0)
+        assert len(templates) == 5
+
+    def test_extended_templates_superset(self):
+        extended = conviva_extended_templates()
+        assert len(extended) > len(conviva_query_templates())
+        assert sum(t.weight for t in extended) == pytest.approx(1.0)
+
+    def test_template_columns_exist_in_table(self, sessions_table):
+        for template in conviva_query_templates():
+            for column in template.columns:
+                assert column in sessions_table.schema
+
+    def test_query_trace_parses_and_matches_templates(self, sessions_table):
+        trace = conviva_query_trace(sessions_table, num_queries=40, seed=3)
+        assert len(trace) == 40
+        template_columns = {t.columns for t in conviva_query_templates()}
+        for sql in trace:
+            query = parse_query(sql)
+            assert extract_template(query).columns in template_columns
+
+
+class TestTPCHGenerator:
+    def test_lineitem_schema(self, lineitem_table):
+        for column in ("orderkey", "suppkey", "quantity", "discount", "shipmode", "extendedprice"):
+            assert column in lineitem_table.schema
+
+    def test_value_domains(self, lineitem_table):
+        quantity = lineitem_table.column("quantity").numeric()
+        discount = lineitem_table.column("discount").numeric()
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        assert discount.min() >= 0.0 and discount.max() <= 0.10
+        modes = set(lineitem_table.column("shipmode").values().tolist())
+        assert modes <= {"AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"}
+
+    def test_orders_and_customer_dimension_tables(self, orders_table):
+        assert orders_table.column("orderkey").distinct_count() == orders_table.num_rows
+        customers = generate_customer_table(num_customers=500)
+        assert customers.num_rows == 500
+
+    def test_receipt_after_ship(self, lineitem_table):
+        ship = lineitem_table.column("shipdate").numeric()
+        receipt = lineitem_table.column("receiptdt").numeric()
+        assert (receipt > ship).all()
+
+    def test_templates(self):
+        templates = tpch_query_templates()
+        assert len(templates) == 6
+        assert sum(t.weight for t in templates) == pytest.approx(1.0)
+
+    def test_trace_generation(self, lineitem_table):
+        trace = tpch_query_trace(lineitem_table, num_queries=20, seed=1)
+        assert len(trace) == 20
+        for sql in trace:
+            parse_query(sql)
+
+
+class TestTraceGenerator:
+    def test_instantiate_includes_bounds(self, sessions_table):
+        rng = np.random.default_rng(0)
+        template = conviva_query_templates()[0]
+        with_error = instantiate_template(
+            template, sessions_table, rng, measure_columns=("session_time",),
+            error_bound_percent=10,
+        )
+        assert "ERROR WITHIN 10%" in with_error
+        with_time = instantiate_template(
+            template, sessions_table, rng, measure_columns=("session_time",),
+            time_bound_seconds=5,
+        )
+        assert "WITHIN 5 SECONDS" in with_time
+
+    def test_trace_respects_template_weights(self, sessions_table):
+        templates = conviva_query_templates()
+        trace = generate_trace(templates, sessions_table, num_queries=300, seed=9)
+        counts = {t.columns: 0 for t in templates}
+        for sql in trace:
+            counts[extract_template(parse_query(sql)).columns] += 1
+        heaviest = max(templates, key=lambda t: t.weight).columns
+        assert counts[heaviest] == max(counts.values())
+
+    def test_trace_requires_templates(self, sessions_table):
+        with pytest.raises(ValueError):
+            generate_trace([], sessions_table)
+
+    def test_predicate_constants_come_from_table(self, sessions_table):
+        rng = np.random.default_rng(2)
+        template = conviva_query_templates()[1]  # (country, dt)
+        sql = instantiate_template(template, sessions_table, rng)
+        query = parse_query(sql)
+        # Every WHERE constant should match at least one row.
+        from repro.engine.expressions import evaluate_predicate
+
+        if query.where is not None:
+            assert evaluate_predicate(query.where, sessions_table).sum() > 0
