@@ -1,0 +1,180 @@
+"""Service-layer throughput: queries/sec and p95 latency vs. workers and caching.
+
+Not a figure from the paper — this benchmark measures the serving layer this
+reproduction adds on top of it (ROADMAP: "heavy traffic from millions of
+users").  A closed-loop client population drives ``QueryService`` at several
+worker counts; each worker *occupies* itself for a scaled-down share of the
+simulated cluster latency (``simulate_service_time``), the same way a real
+cluster is busy for a query's full duration, so worker-count scaling is
+visible in wall-clock throughput.  A second section repeats one template mix
+with the result cache on, and a third drives an open loop past capacity to
+exercise EDF deadline shedding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._report import print_header, print_table
+from repro.service.loadgen import run_closed_loop, run_open_loop
+from repro.workloads.conviva import conviva_query_templates
+from repro.workloads.tracegen import generate_trace
+
+#: Wall-clock seconds a worker is occupied per simulated cluster second.
+OCCUPANCY_SCALE = 0.01
+WORKER_COUNTS = (1, 2, 4)
+NUM_QUERIES = 32
+NUM_CLIENTS = 8
+
+
+def _trace(table, seed: int) -> list[str]:
+    return generate_trace(
+        conviva_query_templates(),
+        table,
+        num_queries=NUM_QUERIES,
+        seed=seed,
+        measure_columns=("session_time", "jointimems"),
+    )
+
+
+def run_worker_sweep(db, table):
+    """Closed-loop throughput at several worker counts, cache disabled."""
+    rows = []
+    for workers in WORKER_COUNTS:
+        service = db.serve(
+            num_workers=workers,
+            cache=False,
+            max_queue_depth=None,
+            simulate_service_time=OCCUPANCY_SCALE,
+        )
+        try:
+            report = run_closed_loop(
+                service, _trace(table, seed=61), num_clients=NUM_CLIENTS, timeout=300
+            )
+        finally:
+            service.close()
+        rows.append(
+            {
+                "workers": workers,
+                "completed": report.completed,
+                "throughput_qps": round(report.throughput_qps, 2),
+                "p50_latency_s": round(report.latency_percentile(0.50), 3),
+                "p95_latency_s": round(report.latency_percentile(0.95), 3),
+                "mean_queue_wait_s": round(report.mean_queue_wait_seconds, 3),
+            }
+        )
+    return rows
+
+
+def run_cache_comparison(db, table):
+    """The same trace twice: cold pass fills the cache, warm pass hits it."""
+    service = db.serve(
+        num_workers=4,
+        cache=True,
+        max_queue_depth=None,
+        simulate_service_time=OCCUPANCY_SCALE,
+    )
+    rows = []
+    try:
+        trace = _trace(table, seed=67)
+        for label in ("cold", "warm"):
+            report = run_closed_loop(service, trace, num_clients=NUM_CLIENTS, timeout=300)
+            rows.append(
+                {
+                    "pass": label,
+                    "completed": report.completed,
+                    "cache_hits": report.cache_hits,
+                    "throughput_qps": round(report.throughput_qps, 2),
+                    "p95_latency_s": round(report.latency_percentile(0.95), 3),
+                }
+            )
+        snapshot = service.metrics.describe()
+        rows.append(
+            {
+                "pass": "total",
+                "completed": snapshot["queries"]["completed"],
+                "cache_hits": snapshot["cache"]["hits"],
+                "throughput_qps": None,
+                "p95_latency_s": None,
+            }
+        )
+    finally:
+        service.close()
+    return rows
+
+
+def run_shedding_run(db, table):
+    """Open-loop arrivals beyond capacity: EDF admission sheds hopeless deadlines."""
+    service = db.serve(
+        num_workers=1,
+        cache=False,
+        max_queue_depth=None,
+        deadline_slack=0.0,
+        simulate_service_time=OCCUPANCY_SCALE,
+    )
+    try:
+        base = generate_trace(
+            conviva_query_templates(),
+            table,
+            num_queries=30,
+            seed=71,
+            measure_columns=("session_time",),
+        )
+        queries = [f"{sql} WITHIN 2 SECONDS" for sql in base]
+        report = run_open_loop(service, queries, arrival_rate_qps=200.0, seed=7, timeout=300)
+        metrics = service.metrics
+        return {
+            "submitted": report.submitted,
+            "completed": report.completed,
+            "shed": report.shed,
+            "failed": report.failed,
+            "admitted": metrics.admitted.value,
+            "shed_deadline": metrics.shed_deadline.value,
+        }
+    finally:
+        service.close()
+
+
+@pytest.mark.benchmark(group="service-throughput")
+def test_service_throughput(benchmark, conviva_db, conviva_table):
+    def run_all():
+        return (
+            run_worker_sweep(conviva_db, conviva_table),
+            run_cache_comparison(conviva_db, conviva_table),
+            run_shedding_run(conviva_db, conviva_table),
+        )
+
+    worker_rows, cache_rows, shed_row = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header(
+        "Service throughput — queries/sec and p95 vs. worker count "
+        f"(closed loop, {NUM_CLIENTS} clients, occupancy {OCCUPANCY_SCALE:g}s/sim-s)"
+    )
+    print_table(worker_rows)
+    print_header("Result cache — identical trace, cold vs. warm pass (4 workers)")
+    print_table(cache_rows)
+    print_header("Deadline shedding — open loop at 200 qps, 1 worker, WITHIN 2 SECONDS")
+    print_table([shed_row])
+
+    by_workers = {row["workers"]: row for row in worker_rows}
+    # Every configuration must finish the whole trace.
+    for row in worker_rows:
+        assert row["completed"] == NUM_QUERIES
+    # A 4-worker pool must sustain measurably higher throughput than 1 worker.
+    assert by_workers[4]["throughput_qps"] > by_workers[1]["throughput_qps"] * 1.2
+    # And waiting time should not be worse with more workers.
+    assert by_workers[4]["mean_queue_wait_s"] <= by_workers[1]["mean_queue_wait_s"] * 1.5
+
+    cold, warm = cache_rows[0], cache_rows[1]
+    # The trace repeats some queries, so even the cold pass may hit a few
+    # times; the warm pass must be served (almost) entirely from the cache
+    # and be faster.
+    assert cold["cache_hits"] < 0.5 * NUM_QUERIES
+    assert warm["cache_hits"] >= 0.8 * NUM_QUERIES
+    assert warm["throughput_qps"] > cold["throughput_qps"]
+
+    # Admission accounting is exact: every query is either admitted or shed,
+    # and overload with tight deadlines must shed something.
+    assert shed_row["admitted"] + shed_row["shed_deadline"] == shed_row["submitted"]
+    assert shed_row["shed"] > 0
+    assert shed_row["completed"] + shed_row["shed"] + shed_row["failed"] == shed_row["submitted"]

@@ -64,7 +64,7 @@ class SamplingStrategy:
     def storage_bytes(self) -> int:
         total = 0
         for _, family in self.catalog.iter_families(self.table.name):
-            total += family.storage_bytes  # type: ignore[attr-defined]
+            total += family.storage_bytes
         return total
 
     # -- query answering ----------------------------------------------------------------

@@ -1,0 +1,77 @@
+"""Concurrency primitives shared by the facade and the service layer.
+
+The query path is read-only with respect to the catalog, the built samples,
+and the cluster simulator, so many queries may run concurrently; sample
+builds and re-plans mutate all three and must run alone.  A classic
+writer-preference read/write lock captures exactly that contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A writer-preference read/write lock.
+
+    Any number of readers may hold the lock simultaneously; a writer holds it
+    exclusively.  Pending writers block new readers so that a steady stream
+    of queries cannot starve a sample rebuild.
+
+    The lock is not reentrant across roles: a thread holding the read lock
+    must release it before acquiring the write lock.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side -------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side -------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

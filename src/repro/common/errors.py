@@ -55,6 +55,25 @@ class StorageBudgetError(OptimizationError):
     """No feasible set of sample families fits within the storage budget."""
 
 
+class QueryRejectedError(BlinkDBError):
+    """The service's admission controller refused to run a query.
+
+    Raised synchronously (through the query's ticket) when the scheduler
+    sheds work — because the predicted completion time misses the query's
+    deadline given the current backlog, or because the queue is full.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable shed reason (e.g. ``"shed-deadline"``,
+        ``"shed-queue-full"``).
+    """
+
+    def __init__(self, message: str, reason: str = "rejected") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class ConstraintUnsatisfiableError(BlinkDBError):
     """A query's error or response-time constraint cannot be met.
 

@@ -21,8 +21,10 @@ Example
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import threading
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+from repro.common.concurrency import ReadWriteLock
 from repro.common.config import BlinkDBConfig
 from repro.common.errors import CatalogError, PlanningError
 from repro.cluster.simulator import ClusterSimulator
@@ -36,6 +38,10 @@ from repro.sql.parser import parse_query
 from repro.sql.templates import QueryTemplate, extract_template, normalize_weights, templates_from_trace
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - service imports are lazy at runtime
+    from repro.service.server import QueryService
+    from repro.service.session import ClientSession, SessionDefaults
 
 
 class BlinkDB:
@@ -63,6 +69,17 @@ class BlinkDB:
         self._templates: dict[str, list[QueryTemplate]] = {}
         self._plans: dict[str, SamplePlan] = {}
         self._runtime: BlinkDBRuntime | None = None
+        self._runtime_lock = threading.Lock()
+        #: Readers (queries) share this lock; sample builds/re-plans hold it
+        #: exclusively.  The service layer's workers take the read side.
+        self.state_lock = ReadWriteLock()
+        self._data_version = 0
+        self._services: list["QueryService"] = []
+        self._services_lock = threading.Lock()
+        self._default_service: "QueryService" | None = None
+        # Serialises default-service creation in connect(); separate from
+        # _services_lock because serve() re-enters the latter via attach.
+        self._connect_lock = threading.Lock()
 
     # -- data loading ------------------------------------------------------------------
     def load_table(
@@ -88,16 +105,18 @@ class BlinkDB:
             if simulated_rows < table.num_rows:
                 raise ValueError("simulated_rows must be >= the table's actual row count")
             scale = simulated_rows / table.num_rows
-        self._builder.scale_factor = scale
-        self._builder.register_base_table(table, cache=cache)
-        self._invalidate_runtime()
+        with self.state_lock.write_locked():
+            self._builder.scale_factor = scale
+            self._builder.register_base_table(table, cache=cache)
+            self._invalidate_runtime()
 
     def load_dimension_table(self, table: Table) -> None:
         """Register a dimension table (joined to fact tables, never sampled)."""
-        self._dimension_tables[table.name] = table
-        if not self.catalog.has_table(table.name):
-            self.catalog.register_table(table)
-        self._invalidate_runtime()
+        with self.state_lock.write_locked():
+            self._dimension_tables[table.name] = table
+            if not self.catalog.has_table(table.name):
+                self.catalog.register_table(table)
+            self._invalidate_runtime()
 
     # -- workload registration -------------------------------------------------------------
     def register_workload(
@@ -122,8 +141,9 @@ class BlinkDB:
         by_table: dict[str, list[QueryTemplate]] = {}
         for template in derived:
             by_table.setdefault(template.table, []).append(template)
-        for table_name, table_templates in by_table.items():
-            self._templates[table_name] = normalize_weights(table_templates)
+        with self.state_lock.write_locked():
+            for table_name, table_templates in by_table.items():
+                self._templates[table_name] = normalize_weights(table_templates)
         return derived
 
     def templates_for(self, table_name: str) -> list[QueryTemplate]:
@@ -140,18 +160,22 @@ class BlinkDB:
         When ``table_name`` is omitted and exactly one fact table has a
         registered workload, that table is used.
         """
-        table_name = table_name or self._sole_workload_table()
-        table = self.catalog.table(table_name)
-        templates = self._templates.get(table_name)
-        if not templates:
-            raise PlanningError(
-                f"no workload registered for table {table_name!r}; call register_workload first"
-            )
-        planner = SampleSelectionPlanner(table, self.config.sampling)
-        plan = planner.plan(templates, storage_budget_fraction=storage_budget_fraction)
-        self._plans[table_name] = plan
-        self._builder.build_from_column_sets(table, plan.column_sets)
-        self._invalidate_runtime()
+        # Planning reads catalog statistics and templates, so it runs under
+        # the same exclusive lock as the build itself: a concurrent
+        # load_table()/register_workload() must not mutate them mid-plan.
+        with self.state_lock.write_locked():
+            table_name = table_name or self._sole_workload_table()
+            table = self.catalog.table(table_name)
+            templates = self._templates.get(table_name)
+            if not templates:
+                raise PlanningError(
+                    f"no workload registered for table {table_name!r}; call register_workload first"
+                )
+            planner = SampleSelectionPlanner(table, self.config.sampling)
+            plan = planner.plan(templates, storage_budget_fraction=storage_budget_fraction)
+            self._plans[table_name] = plan
+            self._builder.build_from_column_sets(table, plan.column_sets)
+            self._invalidate_runtime()
         return plan
 
     def build_report(self, table_name: str) -> BuildReport:
@@ -159,10 +183,10 @@ class BlinkDB:
         report = BuildReport(table_name=table_name)
         uniform = self.catalog.uniform_family(table_name)
         if uniform is not None:
-            report.uniform_rows = uniform.largest.num_rows  # type: ignore[attr-defined]
-            report.uniform_storage_bytes = uniform.storage_bytes  # type: ignore[attr-defined]
+            report.uniform_rows = uniform.largest.num_rows
+            report.uniform_storage_bytes = uniform.storage_bytes
         for columns, family in self.catalog.stratified_families(table_name).items():
-            report.stratified[columns] = family.storage_bytes  # type: ignore[attr-defined]
+            report.stratified[columns] = family.storage_bytes
         return report
 
     def plan_for(self, table_name: str) -> SamplePlan | None:
@@ -170,12 +194,19 @@ class BlinkDB:
 
     # -- querying -------------------------------------------------------------------------------
     def query(self, sql: str | Query) -> QueryResult:
-        """Answer a BlinkQL query approximately using the built samples."""
-        return self.runtime.execute(sql)
+        """Answer a BlinkQL query approximately using the built samples.
+
+        Safe to call from many threads at once; queries share the state lock
+        with sample builds so an in-flight query never sees a half-rebuilt
+        catalog.
+        """
+        with self.state_lock.read_locked():
+            return self.runtime.execute(sql)
 
     def query_exact(self, sql: str | Query) -> QueryResult:
         """Answer a query exactly from the base table (no sampling)."""
-        return self.runtime.execute_exact(sql)
+        with self.state_lock.read_locked():
+            return self.runtime.execute_exact(sql)
 
     def explain(self, sql: str | Query) -> dict[str, object]:
         """Run a query and return the runtime's decision alongside the answer."""
@@ -202,40 +233,97 @@ class BlinkDB:
         apply: bool = True,
     ) -> tuple[SamplePlan, list[MaintenanceAction]]:
         """Re-solve sample selection under the churn cap and optionally apply it."""
-        table = self.catalog.table(table_name)
-        workload = list(templates) if templates is not None else self._templates.get(table_name)
-        if not workload:
-            raise PlanningError(f"no workload registered for table {table_name!r}")
-        manager = self.maintenance()
-        churn = (
-            churn_fraction
-            if churn_fraction is not None
-            else self.config.maintenance_churn_fraction
-        )
-        plan, actions = manager.replan(table, workload, churn_fraction=churn)
-        if apply:
-            manager.apply_actions(table, actions)
-            self._plans[table_name] = plan
-            self._invalidate_runtime()
+        # Like build_samples: re-planning reads the catalog's current families
+        # and statistics, so the whole replan(+apply) is exclusive.
+        with self.state_lock.write_locked():
+            table = self.catalog.table(table_name)
+            workload = (
+                list(templates) if templates is not None else self._templates.get(table_name)
+            )
+            if not workload:
+                raise PlanningError(f"no workload registered for table {table_name!r}")
+            manager = self.maintenance()
+            churn = (
+                churn_fraction
+                if churn_fraction is not None
+                else self.config.maintenance_churn_fraction
+            )
+            plan, actions = manager.replan(table, workload, churn_fraction=churn)
+            if apply:
+                manager.apply_actions(table, actions)
+                self._plans[table_name] = plan
+                self._invalidate_runtime()
         return plan, actions
+
+    # -- serving ------------------------------------------------------------------------------------
+    def serve(self, num_workers: int = 4, **service_kwargs: object) -> "QueryService":
+        """Start a concurrent query service over this instance.
+
+        Returns a :class:`~repro.service.server.QueryService` whose worker
+        pool answers queries submitted through tickets/sessions.  The service
+        registers itself with the facade, so sample rebuilds
+        (:meth:`build_samples`, :meth:`replan_samples`) and data reloads
+        invalidate its result cache automatically.
+        """
+        from repro.service.server import QueryService
+
+        return QueryService(self, num_workers=num_workers, **service_kwargs)  # type: ignore[arg-type]
+
+    def connect(
+        self,
+        name: str | None = None,
+        defaults: "SessionDefaults | None" = None,
+        **default_kwargs: object,
+    ) -> "ClientSession":
+        """Open a client session on the default service (started on demand)."""
+        with self._connect_lock:
+            with self._services_lock:
+                service = self._default_service
+            if service is None or service._closed:
+                service = self.serve()
+                with self._services_lock:
+                    self._default_service = service
+        return service.connect(name=name, defaults=defaults, **default_kwargs)
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic generation counter; bumps whenever samples/data change."""
+        return self._data_version
+
+    def _attach_service(self, service: "QueryService") -> None:
+        with self._services_lock:
+            self._services.append(service)
+
+    def _detach_service(self, service: "QueryService") -> None:
+        with self._services_lock:
+            if service in self._services:
+                self._services.remove(service)
+            if self._default_service is service:
+                self._default_service = None
 
     # -- plumbing -----------------------------------------------------------------------------------
     @property
     def runtime(self) -> BlinkDBRuntime:
         if self._runtime is None:
-            self._runtime = BlinkDBRuntime(
-                catalog=self.catalog,
-                config=self.config,
-                simulator=self.simulator,
-                dimension_tables=self._dimension_tables,
-            )
+            with self._runtime_lock:
+                if self._runtime is None:
+                    self._runtime = BlinkDBRuntime(
+                        catalog=self.catalog,
+                        config=self.config,
+                        simulator=self.simulator,
+                        dimension_tables=self._dimension_tables,
+                    )
         return self._runtime
 
     def describe(self) -> dict[str, object]:
         """A JSON-friendly snapshot of tables, samples, and simulator state."""
+        with self._services_lock:
+            services = [service.name for service in self._services]
         return {
             "catalog": self.catalog.describe(),
             "simulator": self.simulator.describe(),
+            "data_version": self._data_version,
+            "services": services,
             "plans": {
                 name: {
                     "families": [list(f.columns) for f in plan.families],
@@ -254,7 +342,19 @@ class BlinkDB:
         )
 
     def _invalidate_runtime(self) -> None:
-        self._runtime = None
+        """Discard the cached runtime and fence every attached service's cache.
+
+        Called whenever the samples or base data change (``load_table``,
+        ``build_samples``, ``replan_samples``): answers computed against the
+        old samples must not be served afterwards.
+        """
+        with self._runtime_lock:
+            self._runtime = None
+        self._data_version += 1
+        with self._services_lock:
+            services = list(self._services)
+        for service in services:
+            service.invalidate_cache(reason="samples-rebuilt")
 
     # -- convenience -------------------------------------------------------------------------------------
     @staticmethod

@@ -12,10 +12,22 @@
 5. for disjunctive COUNT/SUM queries without GROUP BY, rewrites the query
    into disjoint conjunctive branches, answers each on its own best family,
    and combines the partial answers with propagated uncertainty (§4.1.2).
+
+Thread safety
+-------------
+:meth:`BlinkDBRuntime.execute` is reentrant: every per-query decision lives
+in locals and in the per-call :class:`~repro.engine.executor.ExecutionContext`
+— the selector, sizer, and executor are stateless after construction, and
+the catalog/simulator are only read.  The service layer
+(:mod:`repro.service`) therefore shares one runtime across its whole worker
+pool; the only synchronised state here is the lifetime statistics counter.
+Mutations of the catalog (sample rebuilds) are serialised against queries by
+the facade's read/write state lock, not by the runtime.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
@@ -66,6 +78,10 @@ class BlinkDBRuntime:
         self.executor = QueryExecutor(dimension_tables)
         self.selector = SampleFamilySelector(catalog, self.executor)
         self.sizer = SampleSizer(simulator)
+        self._stats_lock = threading.Lock()
+        self._queries_executed = 0
+        self._exact_queries_executed = 0
+        self._disjunctive_queries_executed = 0
 
     # -- public API -------------------------------------------------------------------
     def execute(self, query: Query | str) -> QueryResult:
@@ -74,7 +90,12 @@ class BlinkDBRuntime:
             query = parse_query(query)
 
         if self._should_split_disjunction(query):
+            with self._stats_lock:
+                self._queries_executed += 1
+                self._disjunctive_queries_executed += 1
             return self._execute_disjunctive(query)
+        with self._stats_lock:
+            self._queries_executed += 1
 
         selection = self.selector.select(query)
         probe = selection.probe or self.selector.probe(query, selection.family.smallest)
@@ -113,6 +134,8 @@ class BlinkDBRuntime:
         """Answer a query exactly from the base table (the no-sampling baseline)."""
         if isinstance(query, str):
             query = parse_query(query)
+        with self._stats_lock:
+            self._exact_queries_executed += 1
         table = self.catalog.table(query.table)
         context = ExecutionContext(exact=True, sample_name=None)
         result = self.executor.execute(query, table, context)
@@ -122,6 +145,16 @@ class BlinkDBRuntime:
             )
             result = replace(result, simulated_latency_seconds=execution.latency_seconds)
         return result
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Lifetime execution counters (thread-safe snapshot)."""
+        with self._stats_lock:
+            return {
+                "queries_executed": self._queries_executed,
+                "exact_queries_executed": self._exact_queries_executed,
+                "disjunctive_queries_executed": self._disjunctive_queries_executed,
+            }
 
     # -- internals: single-family path -----------------------------------------------------
     def _choose_resolution(

@@ -117,7 +117,7 @@ class SampleBuilder:
             raise CatalogError(f"no stratified family on {tuple(columns)} for {table_name!r}")
         self.catalog.drop_stratified_family(table_name, columns)
         if self.simulator is not None:
-            for resolution in family.resolutions:  # type: ignore[attr-defined]
+            for resolution in family.resolutions:
                 if self.simulator.has_dataset(resolution.name):
                     self.simulator.unregister_dataset(resolution.name)
 

@@ -132,7 +132,7 @@ class SampleMaintenance:
             actions.append(MaintenanceAction(kind, columns, family.storage_bytes))
         for columns in sorted(existing_set - set(planned)):
             family = self.catalog.stratified_family(table.name, columns)
-            storage = family.storage_bytes if family is not None else 0  # type: ignore[union-attr]
+            storage = family.storage_bytes if family is not None else 0
             actions.append(MaintenanceAction(ActionKind.DROP, columns, storage))
         return plan, actions
 

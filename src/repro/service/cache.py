@@ -1,0 +1,252 @@
+"""A template-keyed result cache for the query service.
+
+Analysts re-issue the same diagnostic queries over and over (the paper's
+workload assumption: templates are stable, constants recur), so a small LRU
+of fully-computed :class:`~repro.engine.result.QueryResult` objects absorbs a
+large share of a dashboard-style load.
+
+Keys are derived from the *parsed* query, not its text: whitespace, keyword
+case, and the order of commutative AND/OR operands do not matter, while
+predicate constants, group-by order, aggregates, and error/time bounds all
+do.  Every cached answer is tagged with the cache *generation*; sample
+rebuilds (``build_samples``/``replan_samples``/data reloads) bump the
+generation, so stale answers can never be served — see
+:meth:`ResultCache.invalidate`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.engine.result import QueryResult
+from repro.sql.ast import (
+    AggregateCall,
+    BetweenPredicate,
+    BinaryPredicate,
+    CompoundPredicate,
+    InPredicate,
+    NotPredicate,
+    Predicate,
+    Query,
+)
+from repro.sql.templates import extract_template
+
+
+def _literal(value: object) -> str:
+    """Canonical rendering of one predicate constant (type-tagged)."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _predicate_key(predicate: Predicate) -> str:
+    """Canonical rendering of a predicate tree.
+
+    AND/OR are commutative, so compound operands are sorted; IN value lists
+    are set-like, so they are sorted too.  ``x = 1 AND y = 2`` and
+    ``y = 2 AND x = 1`` therefore share a cache entry.
+    """
+    if isinstance(predicate, BinaryPredicate):
+        return f"{predicate.column}{predicate.op.value}{_literal(predicate.value)}"
+    if isinstance(predicate, InPredicate):
+        values = ",".join(sorted(_literal(v) for v in predicate.values))
+        return f"{predicate.column} in[{values}]"
+    if isinstance(predicate, BetweenPredicate):
+        return f"{predicate.column} between[{_literal(predicate.low)},{_literal(predicate.high)}]"
+    if isinstance(predicate, NotPredicate):
+        return f"not({_predicate_key(predicate.inner)})"
+    if isinstance(predicate, CompoundPredicate):
+        operands = sorted(_predicate_key(p) for p in predicate.operands)
+        return f"{predicate.op.value}({'|'.join(operands)})"
+    raise TypeError(f"unknown predicate type {type(predicate)!r}")
+
+
+def _aggregate_key(call: AggregateCall) -> str:
+    column = str(call.column) if call.column is not None else "*"
+    quantile = f"@{call.quantile:g}" if call.quantile is not None else ""
+    return f"{call.function.value}({column}){quantile}>{call.output_name()}"
+
+
+def cache_key(query: Query) -> str:
+    """The normalized cache key of a parsed query.
+
+    Two queries share a key iff they ask for the same aggregates over the
+    same table with semantically equal predicates, the same grouping, and
+    the same error/time bound — regardless of how the SQL text was written.
+    """
+    parts = [query.table]
+    parts.append(";".join(_aggregate_key(call) for call in query.aggregates))
+    parts.append(",".join(str(c) for c in query.group_by))
+    parts.append(_predicate_key(query.where) if query.where is not None else "")
+    parts.append(
+        ";".join(
+            f"join:{j.right_table}:{j.left_column}={j.right_column}" for j in query.joins
+        )
+    )
+    if query.error_bound is not None:
+        bound = query.error_bound
+        kind = "rel" if bound.relative else "abs"
+        parts.append(f"err:{kind}:{bound.error:g}@{bound.confidence:g}")
+    elif query.time_bound is not None:
+        parts.append(f"time:{query.time_bound.seconds:g}")
+    else:
+        parts.append("")
+    parts.append(f"limit:{query.limit}" if query.limit is not None else "")
+    return "|".join(parts)
+
+
+def template_label(query: Query) -> str:
+    """The query's template label (table + φ column set), for per-template stats."""
+    return extract_template(query).label()
+
+
+@dataclass
+class CacheEntry:
+    result: QueryResult
+    table: str
+    generation: int
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    dropped_stale: int = 0
+    by_reason: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, object]:
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hits / lookups, 4) if lookups else 0.0,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "dropped_stale": self.dropped_stale,
+            "by_reason": dict(self.by_reason),
+        }
+
+
+class ResultCache:
+    """A thread-safe LRU of query results with generation-based invalidation."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._generation = 0
+        self._table_generations: dict[str, int] = {}
+        self.stats = CacheStats()
+
+    # -- generations -------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The global generation (bumped by :meth:`invalidate`)."""
+        with self._lock:
+            return self._generation
+
+    def generation_for(self, table: str) -> int:
+        """The effective generation of one table's entries.
+
+        Combines the global generation with the table-scoped one so that both
+        :meth:`invalidate` and :meth:`invalidate_table` fence in-flight
+        inserts for the affected table.
+        """
+        with self._lock:
+            return self._generation_for(table)
+
+    def _generation_for(self, table: str) -> int:
+        return self._generation + self._table_generations.get(table, 0)
+
+    def invalidate(self, reason: str = "invalidated") -> int:
+        """Drop every entry and start a new generation; returns entries dropped.
+
+        Called by the facade whenever the samples an answer was computed from
+        are rebuilt (``build_samples``/``replan_samples``) or the underlying
+        data changes.  Bumping the generation also fences in-flight workers:
+        a result computed against the old samples carries the old generation
+        and is refused by :meth:`put`.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._generation += 1
+            self.stats.invalidations += 1
+            self.stats.by_reason[reason] = self.stats.by_reason.get(reason, 0) + 1
+            return dropped
+
+    def invalidate_table(self, table: str, reason: str = "table-invalidated") -> int:
+        """Drop entries of one table only; other tables' answers stay valid.
+
+        Only the table's own generation is bumped, so cached results for
+        other tables keep serving and in-flight inserts for *this* table are
+        refused.
+        """
+        with self._lock:
+            stale = [key for key, entry in self._entries.items() if entry.table == table]
+            for key in stale:
+                del self._entries[key]
+            self._table_generations[table] = self._table_generations.get(table, 0) + 1
+            self.stats.invalidations += 1
+            self.stats.by_reason[reason] = self.stats.by_reason.get(reason, 0) + 1
+            return len(stale)
+
+    # -- lookups -----------------------------------------------------------------
+    def get(self, key: str) -> QueryResult | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.generation != self._generation_for(entry.table):
+                if entry is not None:
+                    del self._entries[key]
+                    self.stats.dropped_stale += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry.result
+
+    def put(self, key: str, result: QueryResult, table: str, generation: int | None = None) -> bool:
+        """Insert a result computed at ``generation``; refuse if it is stale.
+
+        Workers capture the generation *before* executing; if a rebuild lands
+        while the query runs, the insert is refused and the next lookup
+        recomputes against the fresh samples.
+        """
+        with self._lock:
+            current = self._generation_for(table)
+            if generation is not None and generation != current:
+                self.stats.dropped_stale += 1
+                return False
+            self._entries[key] = CacheEntry(result=result, table=table, generation=current)
+            self._entries.move_to_end(key)
+            self.stats.insertions += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return True
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.generation == self._generation_for(entry.table)
+
+    def describe(self) -> dict[str, object]:
+        with self._lock:
+            entries = len(self._entries)
+            generation = self._generation
+        summary = self.stats.describe()
+        summary.update({"entries": entries, "max_entries": self.max_entries, "generation": generation})
+        return summary

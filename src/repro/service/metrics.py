@@ -1,0 +1,182 @@
+"""Service-level counters and latency histograms.
+
+The serving layer's observability surface: thread-safe counters for the
+admission/caching life cycle of queries, plus windowed latency histograms for
+queue wait, wall-clock service time, end-to-end latency, and the simulated
+cluster latency.  Everything is exposed as plain dictionaries through
+:meth:`ServiceMetrics.describe` so ``QueryService.describe()`` stays
+JSON-friendly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable, Sequence
+
+
+def percentile_of(values: Iterable[float], fraction: float) -> float:
+    """The ``fraction``-quantile (nearest-rank) of a collection of values."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("percentile fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    return _indexed_percentile(ordered, fraction)
+
+
+def _indexed_percentile(ordered: Sequence[float], fraction: float) -> float:
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> int:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """Latency observations with exact percentiles over a sliding window.
+
+    The window keeps the most recent ``window`` observations (service runs in
+    the millions of queries are summarised by their recent behaviour, which
+    is what an operator dashboards anyway); ``count`` and ``total`` cover the
+    whole lifetime.
+    """
+
+    def __init__(self, window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(float(seconds))
+            self._count += 1
+            self._total += float(seconds)
+            self._max = max(self._max, float(seconds))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction``-quantile (e.g. 0.95) of the windowed observations."""
+        with self._lock:
+            window = list(self._window)
+        return percentile_of(window, fraction)
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+            mean = self._total / count if count else 0.0
+            maximum = self._max
+            window = list(self._window)
+        ordered = sorted(window)
+        quantile = (lambda f: _indexed_percentile(ordered, f)) if ordered else (lambda f: 0.0)
+        return {
+            "count": count,
+            "mean_s": mean,
+            "p50_s": quantile(0.50),
+            "p90_s": quantile(0.90),
+            "p95_s": quantile(0.95),
+            "p99_s": quantile(0.99),
+            "max_s": maximum,
+        }
+
+
+class ServiceMetrics:
+    """All counters and histograms of one :class:`~repro.service.server.QueryService`."""
+
+    def __init__(self) -> None:
+        self.submitted = Counter()
+        self.admitted = Counter()
+        self.shed_deadline = Counter()
+        self.shed_queue_full = Counter()
+        self.completed = Counter()
+        self.failed = Counter()
+        self.cache_hits = Counter()
+        self.cache_misses = Counter()
+        self.cache_invalidations = Counter()
+        self.queue_wait = LatencyHistogram()
+        self.service_time = LatencyHistogram()
+        self.total_latency = LatencyHistogram()
+        self.simulated_latency = LatencyHistogram()
+        self._template_lock = threading.Lock()
+        self._template_counts: dict[str, int] = {}
+        self._template_cache_hits: dict[str, int] = {}
+
+    @property
+    def shed(self) -> int:
+        """Total queries rejected by admission control (all reasons)."""
+        return self.shed_deadline.value + self.shed_queue_full.value
+
+    def record_template(self, label: str, cache_hit: bool) -> None:
+        with self._template_lock:
+            self._template_counts[label] = self._template_counts.get(label, 0) + 1
+            if cache_hit:
+                self._template_cache_hits[label] = self._template_cache_hits.get(label, 0) + 1
+
+    def template_counts(self) -> dict[str, dict[str, int]]:
+        with self._template_lock:
+            return {
+                label: {
+                    "queries": count,
+                    "cache_hits": self._template_cache_hits.get(label, 0),
+                }
+                for label, count in sorted(self._template_counts.items())
+            }
+
+    def cache_hit_ratio(self) -> float:
+        hits = self.cache_hits.value
+        lookups = hits + self.cache_misses.value
+        return hits / lookups if lookups else 0.0
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-friendly snapshot of every counter and histogram."""
+        return {
+            "queries": {
+                "submitted": self.submitted.value,
+                "admitted": self.admitted.value,
+                "completed": self.completed.value,
+                "failed": self.failed.value,
+                "shed_deadline": self.shed_deadline.value,
+                "shed_queue_full": self.shed_queue_full.value,
+            },
+            "cache": {
+                "hits": self.cache_hits.value,
+                "misses": self.cache_misses.value,
+                "hit_ratio": round(self.cache_hit_ratio(), 4),
+                "invalidations": self.cache_invalidations.value,
+            },
+            "latency": {
+                "queue_wait": self.queue_wait.summary(),
+                "service_time": self.service_time.summary(),
+                "total": self.total_latency.summary(),
+                "simulated": self.simulated_latency.summary(),
+            },
+            "templates": self.template_counts(),
+        }

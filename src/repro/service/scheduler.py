@@ -1,0 +1,210 @@
+"""Deadline-aware admission control and EDF scheduling.
+
+BlinkQL queries carry an explicit latency contract (``WITHIN n SECONDS``), so
+the service queue does not have to guess what the user wants: it can order
+work by deadline (earliest-deadline-first) and refuse work whose contract is
+already hopeless given the backlog — returning an immediate rejection is
+strictly more useful to an interactive analyst than a late answer.
+
+Deadlines and predicted service times live on the *simulated cluster* clock,
+the same clock the Error-Latency-Profile predictions and the ``WITHIN``
+bounds are expressed in.  The scheduler advances a virtual "dispatch clock"
+as work leaves the queue: each item charges ``predicted / num_workers``
+seconds, which is the steady-state drain rate of a pool of identical
+workers.  This keeps admission decisions deterministic and unit-testable —
+no wall-clock sleeps are involved.
+
+Admission policy for a query with time bound ``t`` and predicted service
+time ``p``:
+
+    admit  iff  (backlog + in_flight) / num_workers + p  <=  t * (1 + slack)
+
+where ``backlog`` is the predicted work still queued and ``in_flight`` the
+predicted work of items already dispatched to workers but not yet reported
+finished via :meth:`DeadlineScheduler.task_done`.
+
+Unbounded queries are always admitted (subject to the queue-depth cap) with
+an infinite deadline, so they drain after every deadline-bound query — the
+EDF order degrades to FIFO among them via the submission sequence number.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class Admission(enum.Enum):
+    """Outcome of admission control for one submitted query."""
+
+    ADMITTED = "admitted"
+    SHED_DEADLINE = "shed-deadline"
+    SHED_QUEUE_FULL = "shed-queue-full"
+
+    @property
+    def admitted(self) -> bool:
+        return self is Admission.ADMITTED
+
+
+@dataclass
+class ScheduledItem:
+    """One queued query with its EDF ordering key.
+
+    ``deadline`` is expressed on the scheduler's virtual clock (simulated
+    seconds); ``enqueued_at`` is wall-clock time for queue-wait metrics.
+    """
+
+    seq: int
+    deadline: float
+    predicted_seconds: float
+    time_bound_seconds: float | None
+    payload: object
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def sort_key(self) -> tuple[float, int]:
+        return (self.deadline, self.seq)
+
+
+class SchedulerClosed(RuntimeError):
+    """Raised when submitting to a scheduler that has been shut down."""
+
+
+class DeadlineScheduler:
+    """An EDF priority queue with deadline- and depth-based load shedding."""
+
+    def __init__(
+        self,
+        num_workers: int = 1,
+        max_queue_depth: int | None = 256,
+        deadline_slack: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None for unbounded)")
+        if deadline_slack < 0:
+            raise ValueError("deadline_slack must be >= 0")
+        self.num_workers = num_workers
+        self.max_queue_depth = max_queue_depth
+        self.deadline_slack = deadline_slack
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._heap: list[tuple[float, int, ScheduledItem]] = []
+        self._seq = 0
+        self._virtual_now = 0.0
+        self._backlog_seconds = 0.0
+        self._in_flight_seconds = 0.0
+        self._closed = False
+
+    # -- admission ---------------------------------------------------------------
+    def try_admit(
+        self,
+        payload: object,
+        predicted_seconds: float,
+        time_bound_seconds: float | None = None,
+    ) -> tuple[Admission, ScheduledItem | None]:
+        """Apply the admission policy and enqueue on success."""
+        predicted = max(0.0, float(predicted_seconds))
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            if self.max_queue_depth is not None and len(self._heap) >= self.max_queue_depth:
+                return Admission.SHED_QUEUE_FULL, None
+            if time_bound_seconds is not None:
+                pending = self._backlog_seconds + self._in_flight_seconds
+                eta = pending / self.num_workers + predicted
+                if eta > time_bound_seconds * (1.0 + self.deadline_slack):
+                    return Admission.SHED_DEADLINE, None
+                deadline = self._virtual_now + time_bound_seconds
+            else:
+                deadline = math.inf
+            self._seq += 1
+            item = ScheduledItem(
+                seq=self._seq,
+                deadline=deadline,
+                predicted_seconds=predicted,
+                time_bound_seconds=time_bound_seconds,
+                payload=payload,
+                enqueued_at=self._clock(),
+            )
+            heapq.heappush(self._heap, (item.deadline, item.seq, item))
+            self._backlog_seconds += predicted
+            self._cond.notify()
+            return Admission.ADMITTED, item
+
+    # -- dispatch ----------------------------------------------------------------
+    def pop(self, timeout: float | None = None) -> ScheduledItem | None:
+        """Remove and return the earliest-deadline item, blocking while empty.
+
+        Returns ``None`` when the scheduler is closed and drained, or when
+        the timeout expires.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            _, _, item = heapq.heappop(self._heap)
+            self._backlog_seconds = max(0.0, self._backlog_seconds - item.predicted_seconds)
+            self._in_flight_seconds += item.predicted_seconds
+            self._virtual_now += item.predicted_seconds / self.num_workers
+            return item
+
+    def task_done(self, item: ScheduledItem) -> None:
+        """Report a popped item finished, releasing its in-flight charge."""
+        with self._cond:
+            self._in_flight_seconds = max(
+                0.0, self._in_flight_seconds - item.predicted_seconds
+            )
+
+    # -- lifecycle / introspection -----------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work; blocked ``pop`` calls drain the queue then return None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def predicted_backlog_seconds(self) -> float:
+        with self._cond:
+            return self._backlog_seconds
+
+    def in_flight_seconds(self) -> float:
+        with self._cond:
+            return self._in_flight_seconds
+
+    def virtual_now(self) -> float:
+        with self._cond:
+            return self._virtual_now
+
+    def describe(self) -> dict[str, object]:
+        with self._cond:
+            return {
+                "depth": len(self._heap),
+                "backlog_predicted_s": round(self._backlog_seconds, 4),
+                "in_flight_predicted_s": round(self._in_flight_seconds, 4),
+                "virtual_now_s": round(self._virtual_now, 4),
+                "num_workers": self.num_workers,
+                "max_queue_depth": self.max_queue_depth,
+                "deadline_slack": self.deadline_slack,
+                "closed": self._closed,
+            }

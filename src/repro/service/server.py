@@ -1,0 +1,463 @@
+"""The multi-client query service.
+
+:class:`QueryService` turns a :class:`~repro.core.blinkdb.BlinkDB` instance
+into a concurrent server: a pool of worker threads drains a deadline-aware
+EDF queue (:mod:`repro.service.scheduler`) and answers each query on the
+shared, reentrant :class:`~repro.runtime.execution.BlinkDBRuntime`.  Clients
+get a :class:`QueryTicket` back immediately — a future carrying per-query
+metrics (queue wait, cache hit, sample chosen, predicted vs. simulated
+latency) — and block on it only when they want the answer.
+
+Consistency with sample maintenance is handled two ways:
+
+* queries hold the facade's read lock while executing, so
+  ``build_samples()`` / ``replan_samples()`` (write lock) never observe a
+  half-executed query, and
+* the result cache is generation-fenced: rebuilds bump the generation, which
+  both drops all cached answers and refuses inserts from workers that
+  started before the rebuild.
+
+``simulate_service_time`` optionally makes each worker *occupy* itself for a
+fraction of the simulated cluster latency (wall-clock sleep =
+``simulated_seconds * simulate_service_time``).  This models the fact that a
+query occupies the cluster for its whole latency, and makes worker-count
+scaling measurable in wall-clock benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.errors import QueryRejectedError
+from repro.engine.result import QueryResult
+from repro.service.cache import ResultCache, cache_key, template_label
+from repro.service.metrics import ServiceMetrics
+from repro.service.scheduler import Admission, DeadlineScheduler, ScheduledItem, SchedulerClosed
+from repro.service.session import ClientSession, QueryRecord, SessionDefaults
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports service lazily)
+    from repro.core.blinkdb import BlinkDB
+
+_ticket_ids = itertools.count(1)
+_service_ids = itertools.count(1)
+
+#: Hard cap on one worker's occupancy sleep, whatever the scale says.
+_MAX_OCCUPANCY_SLEEP_SECONDS = 5.0
+
+
+@dataclass
+class TicketMetrics:
+    """Per-query serving metrics, filled in as the ticket progresses."""
+
+    admission: str = "pending"
+    cache_hit: bool = False
+    queue_wait_seconds: float | None = None
+    service_seconds: float | None = None
+    total_seconds: float | None = None
+    predicted_latency_seconds: float | None = None
+    simulated_latency_seconds: float | None = None
+    sample_name: str | None = None
+    worker: str | None = None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "admission": self.admission,
+            "cache_hit": self.cache_hit,
+            "queue_wait_s": self.queue_wait_seconds,
+            "service_s": self.service_seconds,
+            "total_s": self.total_seconds,
+            "predicted_latency_s": self.predicted_latency_seconds,
+            "simulated_latency_s": self.simulated_latency_seconds,
+            "sample": self.sample_name,
+            "worker": self.worker,
+        }
+
+
+class QueryTicket:
+    """A future for one submitted query."""
+
+    def __init__(self, sql: str, query: Query, session: ClientSession | None) -> None:
+        self.ticket_id = next(_ticket_ids)
+        self.sql = sql
+        self.query = query
+        self.session = session
+        self.submitted_at = time.monotonic()
+        self.metrics = TicketMetrics()
+        self._done = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+
+    # -- future API --------------------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until the answer is ready; raises if the query was shed/failed."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"ticket {self.ticket_id} not finished within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        self._done.wait(timeout)
+        return self._error
+
+    @property
+    def status(self) -> str:
+        if not self._done.is_set():
+            return "pending"
+        if self._error is None:
+            return "completed"
+        return "shed" if isinstance(self._error, QueryRejectedError) else "failed"
+
+    # -- resolution (service-internal) --------------------------------------------
+    def _resolve(self, result: QueryResult) -> None:
+        self.metrics.total_seconds = time.monotonic() - self.submitted_at
+        self._result = result
+        self._done.set()
+        self._record()
+
+    def _fail(self, error: BaseException) -> None:
+        self.metrics.total_seconds = time.monotonic() - self.submitted_at
+        self._error = error
+        self._done.set()
+        self._record()
+
+    def _record(self) -> None:
+        if self.session is None:
+            return
+        self.session.record(
+            QueryRecord(
+                ticket_id=self.ticket_id,
+                sql=self.sql,
+                submitted_at=self.submitted_at,
+                status=self.status,
+                cache_hit=self.metrics.cache_hit,
+                queue_wait_seconds=self.metrics.queue_wait_seconds,
+                total_seconds=self.metrics.total_seconds,
+                simulated_latency_seconds=self.metrics.simulated_latency_seconds,
+                sample_name=self.metrics.sample_name,
+                error=str(self._error) if self._error is not None else None,
+            )
+        )
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "ticket_id": self.ticket_id,
+            "sql": self.sql,
+            "status": self.status,
+            "session": self.session.name if self.session is not None else None,
+            "metrics": self.metrics.describe(),
+        }
+
+
+@dataclass
+class _WorkItem:
+    """What travels through the scheduler for one admitted query."""
+
+    ticket: QueryTicket
+    key: str
+    label: str
+
+
+class QueryService:
+    """A thread-pool query server over one BlinkDB instance."""
+
+    def __init__(
+        self,
+        db: "BlinkDB",
+        num_workers: int = 4,
+        cache: ResultCache | bool | None = True,
+        max_queue_depth: int | None = 256,
+        deadline_slack: float = 0.25,
+        default_predicted_seconds: float = 1.0,
+        ewma_alpha: float = 0.3,
+        simulate_service_time: float = 0.0,
+        name: str | None = None,
+        autostart: bool = True,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.db = db
+        self.name = name or f"blinkdb-service-{next(_service_ids)}"
+        self.num_workers = num_workers
+        self.simulate_service_time = simulate_service_time
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.scheduler = DeadlineScheduler(
+            num_workers=num_workers,
+            max_queue_depth=max_queue_depth,
+            deadline_slack=deadline_slack,
+        )
+        self.metrics = ServiceMetrics()
+        self.default_predicted_seconds = default_predicted_seconds
+        self._ewma_alpha = ewma_alpha
+        self._ewma_lock = threading.Lock()
+        self._predicted_by_template: dict[str, float] = {}
+        self._sessions: list[ClientSession] = []
+        self._sessions_lock = threading.Lock()
+        self._workers: list[threading.Thread] = []
+        self._started = False
+        self._closed = False
+        self.started_at = time.time()
+        db._attach_service(self)
+        if autostart:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-{index}",
+                daemon=True,
+            )
+            self._workers.append(worker)
+            worker.start()
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop accepting queries, drain the queue, and join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close()
+        for worker in self._workers:
+            worker.join(timeout)
+        self.db._detach_service(self)
+
+    def __enter__(self) -> "QueryService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- sessions ----------------------------------------------------------------
+    def connect(
+        self,
+        name: str | None = None,
+        defaults: SessionDefaults | None = None,
+        **default_kwargs: object,
+    ) -> ClientSession:
+        """Open a client session; ``default_kwargs`` build :class:`SessionDefaults`."""
+        if defaults is None and default_kwargs:
+            defaults = SessionDefaults(**default_kwargs)  # type: ignore[arg-type]
+        session = ClientSession(self, name=name, defaults=defaults)
+        with self._sessions_lock:
+            self._sessions.append(session)
+        return session
+
+    def sessions(self) -> list[ClientSession]:
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    # -- submission --------------------------------------------------------------
+    def submit(self, sql: str | Query, session: ClientSession | None = None) -> QueryTicket:
+        """Parse, admit, and enqueue one query; returns its ticket immediately.
+
+        Cache hits resolve the ticket synchronously without touching the
+        queue.  Shed queries resolve synchronously with a
+        :class:`~repro.common.errors.QueryRejectedError`.
+        """
+        if self._closed:
+            raise QueryRejectedError("query service is closed", reason="closed")
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        if session is not None:
+            query = session.apply_defaults(query)
+        raw = sql if isinstance(sql, str) else (query.raw_sql or str(query))
+        ticket = QueryTicket(raw, query, session)
+        self.metrics.submitted.increment()
+
+        key = cache_key(query)
+        label = template_label(query)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.cache_hits.increment()
+                self.metrics.completed.increment()
+                self.metrics.record_template(label, cache_hit=True)
+                ticket.metrics.admission = "cache-hit"
+                ticket.metrics.cache_hit = True
+                ticket.metrics.queue_wait_seconds = 0.0
+                ticket.metrics.service_seconds = 0.0
+                ticket.metrics.sample_name = cached.sample_name
+                ticket.metrics.simulated_latency_seconds = cached.simulated_latency_seconds
+                self.metrics.total_latency.observe(time.monotonic() - ticket.submitted_at)
+                ticket._resolve(cached)
+                return ticket
+            self.metrics.cache_misses.increment()
+
+        time_bound = query.time_bound.seconds if query.time_bound is not None else None
+        predicted = self._predict_seconds(label, time_bound)
+        ticket.metrics.predicted_latency_seconds = predicted
+        work = _WorkItem(ticket=ticket, key=key, label=label)
+        try:
+            admission, _ = self.scheduler.try_admit(
+                work, predicted_seconds=predicted, time_bound_seconds=time_bound
+            )
+        except SchedulerClosed:
+            # close() raced this submission past the _closed check above.
+            raise QueryRejectedError("query service is closed", reason="closed") from None
+        ticket.metrics.admission = admission.value
+        if not admission.admitted:
+            if admission is Admission.SHED_DEADLINE:
+                self.metrics.shed_deadline.increment()
+                reason = (
+                    f"predicted completion ({self.scheduler.predicted_backlog_seconds() / self.num_workers + predicted:.2f}s) "
+                    f"misses the {time_bound:.2f}s deadline"
+                )
+            else:
+                self.metrics.shed_queue_full.increment()
+                reason = "queue full"
+            self.metrics.record_template(label, cache_hit=False)
+            ticket._fail(QueryRejectedError(f"query shed: {reason}", reason=admission.value))
+            return ticket
+        self.metrics.admitted.increment()
+        return ticket
+
+    def execute(
+        self,
+        sql: str | Query,
+        session: ClientSession | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Submit and block for the answer (convenience wrapper)."""
+        return self.submit(sql, session=session).result(timeout=timeout)
+
+    # -- cache invalidation (called by the facade) --------------------------------
+    def invalidate_cache(self, reason: str = "samples-rebuilt") -> int:
+        """Drop all cached results; called when samples/data change."""
+        if self.cache is None:
+            return 0
+        dropped = self.cache.invalidate(reason)
+        self.metrics.cache_invalidations.increment()
+        return dropped
+
+    # -- worker loop ---------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self.scheduler.pop(timeout=0.5)
+            if item is None:
+                if self.scheduler.closed and self.scheduler.depth() == 0:
+                    return
+                continue
+            work = item.payload
+            assert isinstance(work, _WorkItem)
+            try:
+                self._serve(work, item)
+            finally:
+                # Release the item's in-flight charge so admission ETAs see
+                # only work that is actually pending.
+                self.scheduler.task_done(item)
+
+    def _serve(self, work: _WorkItem, item: ScheduledItem) -> None:
+        ticket = work.ticket
+        queue_wait = time.monotonic() - item.enqueued_at
+        ticket.metrics.queue_wait_seconds = queue_wait
+        ticket.metrics.worker = threading.current_thread().name
+        self.metrics.queue_wait.observe(queue_wait)
+        generation = (
+            self.cache.generation_for(ticket.query.table) if self.cache is not None else 0
+        )
+        started = time.monotonic()
+        try:
+            with self.db.state_lock.read_locked():
+                result = self.db.runtime.execute(ticket.query)
+        except Exception as error:  # noqa: BLE001 - the ticket transports the error
+            ticket.metrics.service_seconds = time.monotonic() - started
+            self.metrics.failed.increment()
+            self.metrics.record_template(work.label, cache_hit=False)
+            ticket._fail(error)
+            return
+
+        simulated = result.simulated_latency_seconds
+        if self.simulate_service_time > 0.0 and simulated is not None:
+            # Occupy this worker for a scaled-down share of the simulated
+            # cluster latency: the cluster is busy for the whole query.
+            time.sleep(
+                min(simulated * self.simulate_service_time, _MAX_OCCUPANCY_SLEEP_SECONDS)
+            )
+        service_seconds = time.monotonic() - started
+        ticket.metrics.service_seconds = service_seconds
+        ticket.metrics.sample_name = result.sample_name
+        ticket.metrics.simulated_latency_seconds = simulated
+        decision = result.metadata.get("decision")
+        if decision is not None and getattr(decision, "predicted_latency_seconds", None) is not None:
+            ticket.metrics.predicted_latency_seconds = decision.predicted_latency_seconds
+
+        if self.cache is not None:
+            self.cache.put(work.key, result, table=ticket.query.table, generation=generation)
+        self._observe_service_time(work.label, simulated, service_seconds)
+        self.metrics.service_time.observe(service_seconds)
+        if simulated is not None:
+            self.metrics.simulated_latency.observe(simulated)
+        self.metrics.completed.increment()
+        self.metrics.record_template(work.label, cache_hit=False)
+        self.metrics.total_latency.observe(time.monotonic() - ticket.submitted_at)
+        ticket._resolve(result)
+
+    # -- latency prediction ---------------------------------------------------------
+    def _predict_seconds(self, label: str, time_bound: float | None) -> float:
+        """Predicted (simulated) service seconds for admission control.
+
+        Per-template EWMA of observed simulated latencies, seeded with
+        ``default_predicted_seconds``.  A time-bounded query never predicts
+        above its own bound: the runtime picks a resolution that fits the
+        bound when one exists, so the bound caps the expected service time.
+        """
+        with self._ewma_lock:
+            predicted = self._predicted_by_template.get(label, self.default_predicted_seconds)
+        if time_bound is not None:
+            predicted = min(predicted, time_bound)
+        return predicted
+
+    def _observe_service_time(
+        self, label: str, simulated: float | None, wall_seconds: float
+    ) -> None:
+        observed = simulated if simulated is not None else wall_seconds
+        with self._ewma_lock:
+            previous = self._predicted_by_template.get(label)
+            if previous is None:
+                self._predicted_by_template[label] = observed
+            else:
+                alpha = self._ewma_alpha
+                self._predicted_by_template[label] = alpha * observed + (1 - alpha) * previous
+
+    def predicted_seconds_for(self, label: str) -> float:
+        with self._ewma_lock:
+            return self._predicted_by_template.get(label, self.default_predicted_seconds)
+
+    # -- introspection ----------------------------------------------------------------
+    def describe(self) -> dict[str, object]:
+        """A JSON-friendly snapshot of the service, its queue, and its cache."""
+        return {
+            "name": self.name,
+            "num_workers": self.num_workers,
+            "started": self._started,
+            "closed": self._closed,
+            "sessions": len(self.sessions()),
+            "scheduler": self.scheduler.describe(),
+            "cache": self.cache.describe() if self.cache is not None else None,
+            "metrics": self.metrics.describe(),
+        }

@@ -1,0 +1,144 @@
+"""Client sessions: per-session bound defaults and query history.
+
+A :class:`ClientSession` is how one analyst talks to a
+:class:`~repro.service.server.QueryService`.  Sessions carry defaults for
+queries that do not state their own contract — e.g. a dashboard session may
+set ``time_bound_seconds=5`` so every widget refresh is latency-bounded
+without repeating ``WITHIN 5 SECONDS`` in each query — and they record a
+bounded history of what was asked and how it went (cache hit, queue wait,
+shed, latency), which is the raw material for per-user debugging.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterator
+
+from repro.engine.result import QueryResult
+from repro.sql.ast import ErrorBound, Query, TimeBound
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (server imports session)
+    from repro.service.server import QueryService, QueryTicket
+
+_session_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SessionDefaults:
+    """Bounds applied to queries that do not specify their own.
+
+    At most one of ``error_percent`` / ``time_bound_seconds`` may be set
+    (BlinkQL queries carry one bound, not both).  ``confidence`` applies to
+    the default error bound.
+    """
+
+    error_percent: float | None = None
+    time_bound_seconds: float | None = None
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.error_percent is not None and self.time_bound_seconds is not None:
+            raise ValueError("session defaults may set an error bound or a time bound, not both")
+        if self.error_percent is not None and self.error_percent <= 0:
+            raise ValueError("error_percent must be positive")
+        if self.time_bound_seconds is not None and self.time_bound_seconds <= 0:
+            raise ValueError("time_bound_seconds must be positive")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+
+    def apply(self, query: Query) -> Query:
+        """Return ``query`` with this session's default bound attached.
+
+        Bounds written in the query always win; defaults only fill the gap.
+        """
+        if query.error_bound is not None or query.time_bound is not None:
+            return query
+        if self.time_bound_seconds is not None:
+            return replace(query, time_bound=TimeBound(seconds=self.time_bound_seconds))
+        if self.error_percent is not None:
+            bound = ErrorBound(
+                error=self.error_percent / 100.0, confidence=self.confidence, relative=True
+            )
+            return replace(query, error_bound=bound)
+        return query
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One entry of a session's query history."""
+
+    ticket_id: int
+    sql: str
+    submitted_at: float
+    status: str  # "completed" | "failed" | "shed" | "pending"
+    cache_hit: bool = False
+    queue_wait_seconds: float | None = None
+    total_seconds: float | None = None
+    simulated_latency_seconds: float | None = None
+    sample_name: str | None = None
+    error: str | None = None
+
+
+class ClientSession:
+    """One client's handle on the query service."""
+
+    def __init__(
+        self,
+        service: "QueryService",
+        name: str | None = None,
+        defaults: SessionDefaults | None = None,
+        history_limit: int = 256,
+    ) -> None:
+        self.session_id = next(_session_ids)
+        self.name = name or f"session-{self.session_id}"
+        self.service = service
+        self.defaults = defaults or SessionDefaults()
+        self.created_at = time.time()
+        self._lock = threading.Lock()
+        self._history: deque[QueryRecord] = deque(maxlen=history_limit)
+
+    # -- querying ----------------------------------------------------------------
+    def submit(self, sql: str | Query) -> "QueryTicket":
+        """Submit a query asynchronously; returns the service ticket."""
+        return self.service.submit(sql, session=self)
+
+    def execute(self, sql: str | Query, timeout: float | None = None) -> QueryResult:
+        """Submit a query and block for its answer (raises if shed/failed)."""
+        return self.submit(sql).result(timeout=timeout)
+
+    def apply_defaults(self, query: Query) -> Query:
+        return self.defaults.apply(query)
+
+    # -- history -----------------------------------------------------------------
+    def record(self, record: QueryRecord) -> None:
+        with self._lock:
+            self._history.append(record)
+
+    def history(self) -> list[QueryRecord]:
+        with self._lock:
+            return list(self._history)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self.history())
+
+    def describe(self) -> dict[str, object]:
+        history = self.history()
+        completed = [r for r in history if r.status == "completed"]
+        return {
+            "session_id": self.session_id,
+            "name": self.name,
+            "defaults": {
+                "error_percent": self.defaults.error_percent,
+                "time_bound_seconds": self.defaults.time_bound_seconds,
+                "confidence": self.defaults.confidence,
+            },
+            "queries": len(history),
+            "completed": len(completed),
+            "shed": sum(1 for r in history if r.status == "shed"),
+            "failed": sum(1 for r in history if r.status == "failed"),
+            "cache_hits": sum(1 for r in history if r.cache_hit),
+        }

@@ -118,13 +118,21 @@ class _Parser:
 
     def expect_identifier(self) -> str:
         token = self.peek()
-        if token.type is not TokenType.IDENTIFIER:
-            raise ParseError(
-                f"expected identifier at position {token.position}, got {token.value!r}",
-                token.position,
-            )
-        self.advance()
-        return token.value
+        if token.type is TokenType.IDENTIFIER:
+            self.advance()
+            return token.value
+        if token.type is TokenType.KEYWORD:
+            # Contextual keywords: where the grammar *requires* an identifier
+            # (column, table, and alias names) a keyword-like word is an
+            # ordinary identifier, so ``SELECT SUM(in) FROM a`` parses.  The
+            # lexer uppercases keyword tokens, so the original spelling is
+            # recovered from the source text (keywords never change length).
+            self.advance()
+            return self.text[token.position : token.position + len(token.value)]
+        raise ParseError(
+            f"expected identifier at position {token.position}, got {token.value!r}",
+            token.position,
+        )
 
     def expect_number(self) -> float:
         token = self.peek()
@@ -219,7 +227,10 @@ class _Parser:
                 and self.peek(1).is_symbol("(")
             ):
                 aggregates.append(self._parse_aggregate())
-            elif token.type is TokenType.IDENTIFIER:
+            elif token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                # Keywords reach here only when they start no known construct
+                # (RELATIVE/ERROR are handled above): treat them as contextual
+                # keywords naming a projected column.
                 projected.append(self._parse_column_ref())
             else:
                 raise ParseError(

@@ -8,19 +8,58 @@ the mapping between logical samples and physical storage (§5).  Here the
 * the uniform sample family of each table,
 * every stratified sample family, keyed by (table, column set).
 
-The catalog stores sample families as opaque objects (duck-typed) so that the
-storage layer does not depend on the sampling layer; the
-:mod:`repro.sampling` and :mod:`repro.runtime` packages know the concrete
-types.
+The catalog stores sample families structurally (duck-typed behind the
+:class:`SampleFamilyLike` protocol) so that the storage layer does not depend
+on the sampling layer; the :mod:`repro.sampling` and :mod:`repro.runtime`
+packages know the concrete types.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.common.errors import CatalogError
 from repro.storage.statistics import TableStatistics, compute_statistics
 from repro.storage.table import Table
+
+
+@runtime_checkable
+class SampleResolutionLike(Protocol):
+    """Structural view of one sample resolution, as the catalog needs it."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def num_rows(self) -> int: ...
+
+    @property
+    def size_bytes(self) -> int: ...
+
+
+@runtime_checkable
+class SampleFamilyLike(Protocol):
+    """Structural view of a sample family (uniform or stratified).
+
+    Declaring the storage/size accessors here lets facade code such as
+    :meth:`repro.core.blinkdb.BlinkDB.build_report` read them without casts
+    while the catalog stays independent of :mod:`repro.sampling`.
+    """
+
+    @property
+    def table_name(self) -> str: ...
+
+    @property
+    def resolutions(self) -> Sequence[SampleResolutionLike]: ...
+
+    @property
+    def smallest(self) -> SampleResolutionLike: ...
+
+    @property
+    def largest(self) -> SampleResolutionLike: ...
+
+    @property
+    def storage_bytes(self) -> int: ...
 
 
 def column_set_key(columns: Iterable[str]) -> tuple[str, ...]:
@@ -38,8 +77,8 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
         self._statistics: dict[str, TableStatistics] = {}
-        self._uniform_families: dict[str, object] = {}
-        self._stratified_families: dict[tuple[str, tuple[str, ...]], object] = {}
+        self._uniform_families: dict[str, SampleFamilyLike] = {}
+        self._stratified_families: dict[tuple[str, tuple[str, ...]], SampleFamilyLike] = {}
 
     # -- tables ---------------------------------------------------------------
     def register_table(self, table: Table, overwrite: bool = False) -> None:
@@ -84,17 +123,17 @@ class Catalog:
             del self._stratified_families[key]
 
     # -- uniform sample families ---------------------------------------------------
-    def register_uniform_family(self, table_name: str, family: object) -> None:
+    def register_uniform_family(self, table_name: str, family: SampleFamilyLike) -> None:
         if table_name not in self._tables:
             raise CatalogError(f"unknown table {table_name!r}")
         self._uniform_families[table_name] = family
 
-    def uniform_family(self, table_name: str) -> object | None:
+    def uniform_family(self, table_name: str) -> SampleFamilyLike | None:
         return self._uniform_families.get(table_name)
 
     # -- stratified sample families ---------------------------------------------------
     def register_stratified_family(
-        self, table_name: str, columns: Iterable[str], family: object
+        self, table_name: str, columns: Iterable[str], family: SampleFamilyLike
     ) -> None:
         if table_name not in self._tables:
             raise CatalogError(f"unknown table {table_name!r}")
@@ -107,10 +146,12 @@ class Catalog:
             raise CatalogError(f"no stratified family on {key[1]} for table {table_name!r}")
         del self._stratified_families[key]
 
-    def stratified_family(self, table_name: str, columns: Iterable[str]) -> object | None:
+    def stratified_family(
+        self, table_name: str, columns: Iterable[str]
+    ) -> SampleFamilyLike | None:
         return self._stratified_families.get((table_name, column_set_key(columns)))
 
-    def stratified_families(self, table_name: str) -> dict[tuple[str, ...], object]:
+    def stratified_families(self, table_name: str) -> dict[tuple[str, ...], SampleFamilyLike]:
         """All stratified families for a table, keyed by the column set."""
         return {
             key[1]: family
@@ -118,7 +159,9 @@ class Catalog:
             if key[0] == table_name
         }
 
-    def iter_families(self, table_name: str) -> Iterator[tuple[tuple[str, ...] | None, object]]:
+    def iter_families(
+        self, table_name: str
+    ) -> Iterator[tuple[tuple[str, ...] | None, SampleFamilyLike]]:
         """Iterate over (column_set, family) pairs; the uniform family has key None."""
         uniform = self._uniform_families.get(table_name)
         if uniform is not None:

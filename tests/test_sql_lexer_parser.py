@@ -220,3 +220,39 @@ class TestAstValidation:
 
         with pytest.raises(ValueError):
             TimeBound(seconds=0)
+
+
+class TestContextualKeywords:
+    """Keyword-like words are ordinary identifiers in column/table positions."""
+
+    def test_keyword_as_aggregate_column(self):
+        query = parse_query("SELECT SUM(in) FROM a")
+        assert query.aggregates[0].column.name == "in"
+
+    def test_keyword_spelling_is_preserved(self):
+        query = parse_query("SELECT SUM(At) FROM a")
+        assert query.aggregates[0].column.name == "At"
+
+    def test_keyword_as_table_name(self):
+        query = parse_query("SELECT COUNT(*) FROM group")
+        assert query.table == "group"
+
+    def test_keywords_in_where_and_group_by(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM t WHERE at >= 1 AND on = 'x' GROUP BY by"
+        )
+        assert query.where_columns() == {"at", "on"}
+        assert query.group_by_columns() == {"by"}
+
+    def test_keyword_column_followed_by_bound(self):
+        query = parse_query("SELECT AVG(seconds) FROM t GROUP BY error WITHIN 3 SECONDS")
+        assert query.group_by_columns() == {"error"}
+        assert query.time_bound is not None and query.time_bound.seconds == 3.0
+
+    def test_keyword_column_in_in_predicate(self):
+        query = parse_query("SELECT COUNT(*) FROM t WHERE in IN (1, 2)")
+        assert query.where_columns() == {"in"}
+
+    def test_projected_keyword_column(self):
+        query = parse_query("SELECT within, COUNT(*) FROM t GROUP BY within")
+        assert query.group_by_columns() == {"within"}
