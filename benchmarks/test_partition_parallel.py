@@ -1,0 +1,133 @@
+"""Partition-parallel execution: speedup vs. workers and anytime answers.
+
+Not a figure from the paper — this benchmark measures the partition pipeline
+this reproduction adds (ROADMAP: "fast as the hardware allows").  Two
+sections:
+
+* **Speedup vs. per-query parallelism** — one large-table aggregate executed
+  through the partition pipeline at several simulated per-query worker
+  counts (``reference_workers=1`` prices the query's serial scan work, so
+  the worker sweep shows how partition fan-out divides it; per-task startup
+  overhead and deterministic stragglers are included, which is why the
+  scaling is sublinear).
+* **Anytime error vs. deadline** — the same query under progressively
+  tighter ``WITHIN`` bounds.  Bounds no resolution can satisfy trigger the
+  anytime path: the query stops at its deadline, merges the partitions that
+  finished, and reports a partial-coverage estimate with widened error bars
+  instead of blocking past the bound.
+
+Set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to shrink the sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks._report import print_header, print_table
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+WORKER_COUNTS = (1, 2, 4) if QUICK else (1, 2, 4, 8, 16)
+NUM_PARTITIONS = 16 if QUICK else 32
+#: Simulated-clock deadlines for the anytime sweep (seconds).  The tightest
+#: are far below what any sample can satisfy on the 17 TB simulated table,
+#: so they exercise the partial-coverage path; the loosest is satisfiable.
+DEADLINES = (2.0, 8.0, 64.0) if QUICK else (2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+SPEEDUP_SQL = "SELECT SUM(session_time), AVG(session_time) FROM sessions WHERE dt = 5"
+ANYTIME_SQL = "SELECT COUNT(*) FROM sessions WHERE dt = 5"
+
+
+def run_worker_sweep(db):
+    rows = []
+    for workers in WORKER_COUNTS:
+        wall_start = time.perf_counter()
+        result = db.runtime.execute_partitioned(
+            SPEEDUP_SQL,
+            num_partitions=NUM_PARTITIONS,
+            sim_workers=workers,
+            reference_workers=1,
+        )
+        wall_seconds = time.perf_counter() - wall_start
+        stats = result.metadata["partitions"]
+        rows.append(
+            {
+                "sim_workers": workers,
+                "partitions": stats.num_partitions,
+                "makespan_s": round(stats.makespan_seconds, 3),
+                "wall_ms": round(wall_seconds * 1e3, 1),
+                "sum": round(result.scalar("sum_session_time").value, 1),
+            }
+        )
+    return rows
+
+
+def run_anytime_sweep(db):
+    rows = []
+    for deadline in DEADLINES:
+        result = db.query(f"{ANYTIME_SQL} WITHIN {deadline:g} SECONDS")
+        decision = result.metadata["decision"]
+        estimate = result.scalar()
+        stats = result.metadata.get("partitions")
+        rows.append(
+            {
+                "deadline_s": deadline,
+                "anytime": decision.anytime,
+                "coverage": round(decision.coverage_fraction, 3),
+                "merged": (
+                    f"{stats.merged_partitions}/{stats.num_partitions}"
+                    if stats is not None
+                    else "-"
+                ),
+                "latency_s": round(result.simulated_latency_seconds, 3),
+                "value": round(estimate.value, 1),
+                "error_bar": round(estimate.error_bar, 1),
+                "sample": result.sample_name,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="partition-parallel")
+def test_partition_parallel(benchmark, conviva_db):
+    worker_rows, anytime_rows = benchmark.pedantic(
+        lambda: (run_worker_sweep(conviva_db), run_anytime_sweep(conviva_db)),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_header(
+        f"Partition-parallel speedup — {NUM_PARTITIONS} partitions, serial-work "
+        "cost basis (reference_workers=1), stragglers + task overhead included"
+    )
+    print_table(worker_rows)
+    print_header("Anytime answers — error and coverage vs. WITHIN deadline")
+    print_table(anytime_rows)
+
+    by_workers = {row["sim_workers"]: row for row in worker_rows}
+    # Every worker count computes the same estimate (merge is exact).
+    assert len({row["sum"] for row in worker_rows}) == 1
+    # Acceptance: >1.5x simulated speedup at 4 workers vs. the 1-worker path.
+    speedup = by_workers[1]["makespan_s"] / by_workers[4]["makespan_s"]
+    assert speedup > 1.5, f"4-worker speedup {speedup:.2f}x"
+    # Makespan decreases monotonically with workers.
+    makespans = [row["makespan_s"] for row in worker_rows]
+    assert makespans == sorted(makespans, reverse=True)
+
+    # Acceptance: a tight WITHIN bound returns a partial-coverage estimate
+    # instead of blocking past its deadline.
+    tightest = anytime_rows[0]
+    assert tightest["anytime"]
+    assert tightest["coverage"] < 1.0
+    for row in anytime_rows:
+        assert row["latency_s"] <= row["deadline_s"] * 1.05
+    # Coverage grows monotonically as the deadline loosens.
+    coverages = [row["coverage"] for row in anytime_rows]
+    assert coverages == sorted(coverages)
+    # The tightest (least-covered) answer is the least certain one.
+    full_rows = [row for row in anytime_rows if not row["anytime"]]
+    assert full_rows, "the loosest deadline should be satisfiable"
+    assert tightest["error_bar"] > max(row["error_bar"] for row in full_rows)

@@ -188,7 +188,36 @@ class BlinkDBConfig:
     strict_bounds: bool = False
     # Fraction of sample storage allowed to churn on a re-solve (paper's r).
     maintenance_churn_fraction: float = 1.0
+    # -- partition-parallel execution pipeline ---------------------------------
+    # Threads in the runtime's shared partial-aggregation pool (<= 1 runs the
+    # partition stages inline on the calling thread).
+    partition_workers: int = 4
+    # Partition count heuristic: one partition per `min_partition_rows` rows,
+    # capped at `max_partitions` (and at the row count).
+    max_partitions: int = 32
+    min_partition_rows: int = 2048
+    # Anytime/progressive executions may split more finely than
+    # `max_partitions` — a deadline is only meetable if one partition task
+    # fits it — up to this cap.
+    max_anytime_partitions: int = 4096
+    # When a WITHIN time bound is unsatisfiable even by the smallest sample,
+    # answer anytime-style: merge the partitions finished by the deadline and
+    # widen the error bars for the missing coverage (instead of returning a
+    # full answer that blows through the bound).
+    anytime_enabled: bool = True
+    # Simulated per-partition slowdown spread: each partition task's scan time
+    # is inflated by up to this fraction (deterministic per partition), so the
+    # slowest wave dominates the pipeline's completion time.
+    straggler_spread: float = 0.2
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.maintenance_churn_fraction <= 1.0:
             raise ValueError("maintenance_churn_fraction must be in [0, 1]")
+        if self.max_partitions < 1:
+            raise ValueError("max_partitions must be >= 1")
+        if self.max_anytime_partitions < 1:
+            raise ValueError("max_anytime_partitions must be >= 1")
+        if self.min_partition_rows < 1:
+            raise ValueError("min_partition_rows must be >= 1")
+        if self.straggler_spread < 0.0:
+            raise ValueError("straggler_spread must be non-negative")

@@ -349,7 +349,9 @@ class BlinkDB:
         old samples must not be served afterwards.
         """
         with self._runtime_lock:
-            self._runtime = None
+            old_runtime, self._runtime = self._runtime, None
+        if old_runtime is not None:
+            old_runtime.close()
         self._data_version += 1
         with self._services_lock:
             services = list(self._services)

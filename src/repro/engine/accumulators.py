@@ -1,0 +1,658 @@
+"""Mergeable partial-aggregation states.
+
+The paper's engine never aggregates a table in one pass: samples are split
+into many small blocks (§2.2.1, Fig. 4), each map task computes a *partial*
+aggregate over its block, and the partials are merged into the final answer —
+the plan shape the cluster cost model prices (one partial-aggregate record
+per map task per group).  This module provides the algebra those partials
+live in: for every supported aggregate a state that can
+
+* ``update`` itself from a vector of (values, weights) — one partition's
+  matching rows,
+* ``merge`` with the state of another partition (associative and
+  commutative up to floating-point rounding), and
+* ``finalize`` into an :class:`~repro.estimation.estimators.Estimate` with
+  the same point value and variance the whole-table estimators in
+  :mod:`repro.estimation.estimators` produce.
+
+Means and variances use the Welford/Chan parallel-merge form (count, mean,
+M2) rather than raw power sums, so merging is numerically stable even when
+the values' mean dwarfs their spread.  Weighted second moments are kept
+*centered* for the same reason (see :class:`_CenteredMoment`).
+
+Anytime answers
+---------------
+``finalize`` accepts a ``weight_scale`` factor ``c >= 1``: when only a
+fraction of the partitions was merged (a query stopped at its deadline),
+every row's inverse-inclusion probability grows by the inverse of the
+covered fraction.  Scaling the weights by ``c`` keeps COUNT/SUM unbiased,
+leaves the ratio estimators (AVG, VARIANCE, quantiles) untouched, and —
+because ``rows_read`` shrinks with the coverage — widens every error bar
+exactly as the closed forms dictate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.estimation import closed_form
+from repro.estimation.estimators import (
+    Estimate,
+    estimate_quantile,
+    weights_nearly_uniform,
+)
+
+#: Retained-point budget of the quantile sketch.  Below this the sketch is
+#: exact (it simply keeps every point); above it, merged states are
+#: compressed to weighted centroids on the value axis.
+QUANTILE_SKETCH_SIZE = 8192
+
+
+# -- numerically stable building blocks -------------------------------------------
+
+
+@dataclass
+class ValueMoments:
+    """Welford/Chan moments of the (unweighted) matching values.
+
+    ``m2`` is the centered sum of squares ``Σ (x - mean)²``; the parallel
+    merge is Chan et al.'s update, which is what makes per-partition states
+    combinable without cancellation.
+    """
+
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "ValueMoments":
+        n = int(values.shape[0])
+        if n == 0:
+            return cls()
+        mean = float(np.mean(values))
+        m2 = float(np.sum((values - mean) ** 2))
+        return cls(n=n, mean=mean, m2=m2)
+
+    def merge(self, other: "ValueMoments") -> None:
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n, self.mean, self.m2 = other.n, other.mean, other.m2
+            return
+        total = self.n + other.n
+        delta = other.mean - self.mean
+        self.m2 = self.m2 + other.m2 + delta * delta * self.n * other.n / total
+        self.mean = self.mean + delta * other.n / total
+        self.n = total
+
+    @property
+    def sample_variance(self) -> float:
+        """``S²`` with ``ddof=1`` (``inf`` when fewer than two rows)."""
+        if self.n < 2:
+            return math.inf
+        return self.m2 / (self.n - 1)
+
+
+@dataclass
+class _CenteredMoment:
+    """``Σ a·(x - c)`` and ``Σ a·(x - c)²`` around a movable center ``c``.
+
+    ``a`` is an arbitrary per-row coefficient (``w`` or ``w²``).  Keeping the
+    quadratic centered lets :meth:`shifted_square` evaluate
+    ``Σ a·(x - μ)²`` at the *final* weighted mean μ without the catastrophic
+    cancellation a raw ``Σ a·x²`` expansion would suffer.
+    """
+
+    total: float = 0.0  # Σ a
+    linear: float = 0.0  # Σ a (x - c)
+    square: float = 0.0  # Σ a (x - c)²
+    center: float = 0.0
+
+    @classmethod
+    def from_arrays(cls, coeff: np.ndarray, values: np.ndarray) -> "_CenteredMoment":
+        if values.shape[0] == 0:
+            return cls()
+        center = float(np.mean(values))
+        deviations = values - center
+        return cls(
+            total=float(np.sum(coeff)),
+            linear=float(np.sum(coeff * deviations)),
+            square=float(np.sum(coeff * deviations**2)),
+            center=center,
+        )
+
+    def _rebased(self, new_center: float) -> tuple[float, float]:
+        """(linear, square) re-expressed around ``new_center``."""
+        shift = self.center - new_center
+        linear = self.linear + shift * self.total
+        square = self.square + 2.0 * shift * self.linear + shift * shift * self.total
+        return linear, square
+
+    def merge(self, other: "_CenteredMoment") -> None:
+        if other.total == 0.0 and other.square == 0.0 and other.linear == 0.0:
+            return
+        if self.total == 0.0 and self.square == 0.0 and self.linear == 0.0:
+            self.total, self.linear, self.square, self.center = (
+                other.total,
+                other.linear,
+                other.square,
+                other.center,
+            )
+            return
+        combined = self.total + other.total
+        if combined != 0.0:
+            new_center = (
+                self.center * self.total + other.center * other.total
+            ) / combined
+        else:
+            new_center = 0.5 * (self.center + other.center)
+        l_a, s_a = self._rebased(new_center)
+        l_b, s_b = other._rebased(new_center)
+        self.total = combined
+        self.linear = l_a + l_b
+        self.square = s_a + s_b
+        self.center = new_center
+
+    def shifted_square(self, at: float) -> float:
+        """``Σ a·(x - at)²``."""
+        _, square = self._rebased(at)
+        return max(0.0, square)
+
+
+@dataclass
+class WeightMoments:
+    """Weight-vector statistics every state needs.
+
+    Tracks the sums required by both variance regimes of the estimators: the
+    Horvitz–Thompson sums ``Σw(w-1)`` / ``Σw²`` and the min/max needed for
+    the uniform-weights test and the all-weights-one exactness test.
+    """
+
+    n: int = 0
+    sum_w: float = 0.0
+    sum_w2: float = 0.0
+    min_w: float = math.inf
+    max_w: float = 0.0
+
+    @classmethod
+    def from_array(cls, weights: np.ndarray) -> "WeightMoments":
+        n = int(weights.shape[0])
+        if n == 0:
+            return cls()
+        return cls(
+            n=n,
+            sum_w=float(np.sum(weights)),
+            sum_w2=float(np.sum(weights * weights)),
+            min_w=float(np.min(weights)),
+            max_w=float(np.max(weights)),
+        )
+
+    def merge(self, other: "WeightMoments") -> None:
+        self.n += other.n
+        self.sum_w += other.sum_w
+        self.sum_w2 += other.sum_w2
+        self.min_w = min(self.min_w, other.min_w)
+        self.max_w = max(self.max_w, other.max_w)
+
+    def uniform(self, scale: float = 1.0) -> bool:
+        if self.n == 0:
+            return True
+        return weights_nearly_uniform(self.min_w * scale, self.max_w * scale)
+
+    def sum_w_w_minus_1(self, scale: float = 1.0) -> float:
+        """``Σ (cw)(cw - 1)`` for the scaled weights."""
+        return scale * scale * self.sum_w2 - scale * self.sum_w
+
+
+# -- aggregate states --------------------------------------------------------------
+
+
+class AggregateState:
+    """Base interface of one aggregate's mergeable partial state."""
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        raise NotImplementedError
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        raise NotImplementedError
+
+
+class CountState(AggregateState):
+    """Mergeable state of ``COUNT(*)`` (mirrors ``estimate_count``)."""
+
+    def __init__(self) -> None:
+        self.weights = WeightMoments()
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        self.weights.merge(WeightMoments.from_array(weights))
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, CountState)
+        self.weights.merge(other.weights)
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        w = self.weights
+        c = weight_scale
+        n = w.n
+        value = c * w.sum_w
+        if exact:
+            return Estimate(value, 0.0, n, rows_read, value, exact=True)
+        if n == 0:
+            variance = float(population_read or rows_read or 1.0)
+            return Estimate(0.0, variance, 0, rows_read, 0.0, exact=False)
+        if population_read is None:
+            population_read = (c * w.sum_w / n) * max(rows_read, n)
+        if w.uniform(c) and rows_read > 0:
+            selectivity = n / rows_read
+            variance = closed_form.count_variance(population_read, rows_read, selectivity)
+        else:
+            selectivity = min(1.0, n / rows_read) if rows_read > 0 else 0.0
+            variance = w.sum_w_w_minus_1(c) * max(0.0, 1.0 - selectivity)
+        return Estimate(value, variance, n, rows_read, value, exact=False)
+
+
+class SumState(AggregateState):
+    """Mergeable state of ``SUM(x)`` (mirrors ``estimate_sum``)."""
+
+    def __init__(self) -> None:
+        self.weights = WeightMoments()
+        self.values = ValueMoments()
+        self.sum_wx = 0.0
+        #: Σ x²·w·(w-1) and Σ x²·w·max(w-1, 0): the HT variance and its
+        #: non-negative fallback, kept unscaled for the weight_scale == 1 path.
+        self.sum_x2_w_w1 = 0.0
+        self.sum_x2_w_w1_pos = 0.0
+        #: Σ x²·w² and Σ x²·w, from which the two sums above are rebuilt when
+        #: the weights are rescaled by an anytime coverage factor.
+        self.sum_x2_w2 = 0.0
+        self.sum_x2_w = 0.0
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        assert values is not None
+        self.weights.merge(WeightMoments.from_array(weights))
+        self.values.merge(ValueMoments.from_array(values))
+        self.sum_wx += float(np.sum(values * weights))
+        x2w = values * values * weights
+        self.sum_x2_w_w1 += float(np.sum(x2w * (weights - 1.0)))
+        self.sum_x2_w_w1_pos += float(np.sum(x2w * np.maximum(weights - 1.0, 0.0)))
+        self.sum_x2_w2 += float(np.sum(x2w * weights))
+        self.sum_x2_w += float(np.sum(x2w))
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, SumState)
+        self.weights.merge(other.weights)
+        self.values.merge(other.values)
+        self.sum_wx += other.sum_wx
+        self.sum_x2_w_w1 += other.sum_x2_w_w1
+        self.sum_x2_w_w1_pos += other.sum_x2_w_w1_pos
+        self.sum_x2_w2 += other.sum_x2_w2
+        self.sum_x2_w += other.sum_x2_w
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        w = self.weights
+        c = weight_scale
+        n = w.n
+        value = c * self.sum_wx
+        population_rows = c * w.sum_w
+        if exact:
+            return Estimate(value, 0.0, n, rows_read, population_rows, exact=True)
+        if n == 0:
+            return Estimate(0.0, math.inf, 0, rows_read, 0.0)
+        if population_read is None:
+            population_read = (c * w.sum_w / n) * max(rows_read, n)
+        if w.uniform(c) and rows_read > 0 and n > 1:
+            selectivity = n / rows_read
+            variance = closed_form.sum_variance(
+                population_read,
+                rows_read,
+                self.values.sample_variance,
+                selectivity,
+                self.values.mean,
+            )
+        else:
+            selectivity = min(1.0, n / rows_read) if rows_read > 0 else 0.0
+            if c == 1.0:
+                ht = self.sum_x2_w_w1
+                ht_pos = self.sum_x2_w_w1_pos
+            else:
+                ht = c * c * self.sum_x2_w2 - c * self.sum_x2_w
+                ht_pos = max(0.0, ht)
+            variance = ht * (max(0.0, 1.0 - selectivity) if selectivity < 1.0 else 0.0)
+            if variance == 0.0 and not w.uniform(c):
+                variance = ht_pos
+        return Estimate(value, variance, n, rows_read, population_rows)
+
+
+class AvgState(AggregateState):
+    """Mergeable state of ``AVG(x)`` (mirrors ``estimate_avg``)."""
+
+    def __init__(self) -> None:
+        self.weights = WeightMoments()
+        self.values = ValueMoments()
+        self.sum_wx = 0.0
+        #: Σ w²(x - c)… for the linearised non-uniform variance.
+        self.w2_moment = _CenteredMoment()
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        assert values is not None
+        self.weights.merge(WeightMoments.from_array(weights))
+        self.values.merge(ValueMoments.from_array(values))
+        self.sum_wx += float(np.sum(values * weights))
+        self.w2_moment.merge(_CenteredMoment.from_arrays(weights * weights, values))
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, AvgState)
+        self.weights.merge(other.weights)
+        self.values.merge(other.values)
+        self.sum_wx += other.sum_wx
+        self.w2_moment.merge(other.w2_moment)
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        w = self.weights
+        n = w.n
+        if n == 0:
+            return Estimate(math.nan, math.inf, 0, rows_read, 0.0)
+        weight_total = weight_scale * w.sum_w
+        value = self.sum_wx / w.sum_w  # the Hájek ratio: scale cancels
+        if exact:
+            return Estimate(value, 0.0, n, rows_read, weight_total, exact=True)
+        if n == 1:
+            return Estimate(value, math.inf, 1, rows_read, weight_total)
+        if w.uniform(weight_scale):
+            variance = closed_form.avg_variance(self.values.sample_variance, n)
+        else:
+            # Σ (w(x-μ))² / (Σw)²; the coverage scale cancels top and bottom.
+            variance = self.w2_moment.shifted_square(value) / (w.sum_w**2)
+        return Estimate(value, variance, n, rows_read, weight_total)
+
+
+class VarianceState(AggregateState):
+    """Mergeable state of ``VARIANCE(x)`` (mirrors ``estimate_variance``)."""
+
+    def __init__(self) -> None:
+        self.weights = WeightMoments()
+        self.sum_wx = 0.0
+        #: Σ w(x - c)… for the weighted second moment about the mean.
+        self.w_moment = _CenteredMoment()
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        assert values is not None
+        self.weights.merge(WeightMoments.from_array(weights))
+        self.sum_wx += float(np.sum(values * weights))
+        self.w_moment.merge(_CenteredMoment.from_arrays(weights, values))
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, VarianceState)
+        self.weights.merge(other.weights)
+        self.sum_wx += other.sum_wx
+        self.w_moment.merge(other.w_moment)
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        w = self.weights
+        n = w.n
+        if n < 2:
+            return Estimate(math.nan, math.inf, n, rows_read, 0.0)
+        weight_total = weight_scale * w.sum_w
+        mean = self.sum_wx / w.sum_w
+        value = self.w_moment.shifted_square(mean) / w.sum_w
+        value *= n / max(1, n - 1)
+        if exact:
+            return Estimate(value, 0.0, n, rows_read, weight_total, exact=True)
+        variance = closed_form.variance_of_sample_variance(value, n)
+        return Estimate(value, variance, n, rows_read, weight_total)
+
+
+class StddevState(AggregateState):
+    """Mergeable state of ``STDDEV(x)`` (derived from :class:`VarianceState`)."""
+
+    def __init__(self) -> None:
+        self.inner = VarianceState()
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        self.inner.update(values, weights)
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, StddevState)
+        self.inner.merge(other.inner)
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        var_estimate = self.inner.finalize(
+            rows_read, population_read, exact=exact, weight_scale=weight_scale
+        )
+        if math.isnan(var_estimate.value):
+            return var_estimate
+        value = math.sqrt(max(0.0, var_estimate.value))
+        if exact:
+            return Estimate(value, 0.0, var_estimate.sample_rows, rows_read,
+                            var_estimate.population_rows, exact=True)
+        variance = closed_form.stddev_variance(var_estimate.value, var_estimate.sample_rows)
+        return Estimate(value, variance, var_estimate.sample_rows, rows_read,
+                        var_estimate.population_rows)
+
+
+class QuantileState(AggregateState):
+    """Mergeable weighted quantile sketch.
+
+    Keeps every (value, weight) point until ``sketch_size`` is exceeded, at
+    which point the points are compressed into equally-weighted centroids
+    along the value axis (a GK/t-digest-style summary: each centroid is the
+    weighted mean of a contiguous value range carrying its total weight).
+    Below the threshold the sketch — and therefore the partitioned quantile —
+    is exact; above it the error is bounded by the centroid width.
+
+    Finalization sorts by (value, weight) so the result is independent of
+    the merge order even in the presence of duplicated values.
+    """
+
+    def __init__(self, p: float, sketch_size: int = QUANTILE_SKETCH_SIZE) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantile p must be in (0, 1)")
+        self.p = p
+        self.sketch_size = sketch_size
+        self._values: list[np.ndarray] = []
+        self._weights: list[np.ndarray] = []
+        self._points = 0
+        #: True matching-row count, preserved across compressions: the
+        #: variance must use the real ``n``, not the centroid count.
+        self._rows = 0
+        self.compressed = False
+
+    def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
+        assert values is not None
+        if values.shape[0] == 0:
+            return
+        self._values.append(np.asarray(values, dtype=np.float64))
+        self._weights.append(np.asarray(weights, dtype=np.float64))
+        self._points += int(values.shape[0])
+        self._rows += int(values.shape[0])
+        if self._points > self.sketch_size:
+            self._compress()
+
+    def merge(self, other: "AggregateState") -> None:
+        assert isinstance(other, QuantileState)
+        self._values.extend(other._values)
+        self._weights.extend(other._weights)
+        self._points += other._points
+        self._rows += other._rows
+        self.compressed = self.compressed or other.compressed
+        if self._points > self.sketch_size:
+            self._compress()
+
+    def _materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._values:
+            return np.zeros(0), np.zeros(0)
+        values = np.concatenate(self._values)
+        weights = np.concatenate(self._weights)
+        order = np.lexsort((weights, values))
+        return values[order], weights[order]
+
+    def _compress(self) -> None:
+        values, weights = self._materialize()
+        centroids = max(2, self.sketch_size // 2)
+        if values.shape[0] <= centroids:
+            self._values, self._weights = [values], [weights]
+            self._points = int(values.shape[0])
+            return
+        cumulative = np.cumsum(weights)
+        total = cumulative[-1]
+        # Equal-weight buckets along the CDF; each becomes one centroid.
+        edges = np.searchsorted(
+            cumulative, np.linspace(0.0, total, centroids + 1)[1:-1], side="left"
+        )
+        starts = np.concatenate(([0], np.unique(edges + 1)))
+        starts = starts[starts < values.shape[0]]
+        bucket_weight = np.add.reduceat(weights, starts)
+        bucket_wx = np.add.reduceat(weights * values, starts)
+        keep = bucket_weight > 0
+        self._values = [bucket_wx[keep] / bucket_weight[keep]]
+        self._weights = [bucket_weight[keep]]
+        self._points = int(self._values[0].shape[0])
+        self.compressed = True
+
+    def finalize(
+        self,
+        rows_read: int,
+        population_read: float | None,
+        exact: bool = False,
+        weight_scale: float = 1.0,
+    ) -> Estimate:
+        values, weights = self._materialize()
+        return estimate_quantile(
+            values,
+            weights * weight_scale,
+            self.p,
+            rows_read,
+            exact=exact,
+            sample_rows=self._rows,
+        )
+
+
+# -- factory -------------------------------------------------------------------------
+
+
+def make_state(function: str, quantile: float | None = None) -> AggregateState:
+    """Build the empty partial state for an aggregate (by lowercase name)."""
+    name = function.lower()
+    if name == "count":
+        return CountState()
+    if name == "sum":
+        return SumState()
+    if name == "avg":
+        return AvgState()
+    if name in ("quantile", "median"):
+        return QuantileState(quantile if quantile is not None else 0.5)
+    if name == "stddev":
+        return StddevState()
+    if name == "variance":
+        return VarianceState()
+    raise ValueError(f"unknown aggregate function {function!r}")
+
+
+@dataclass
+class GroupPartial:
+    """Partial aggregation of one GROUP BY key across merged partitions."""
+
+    key: tuple
+    states: list[AggregateState]
+    rows: int = 0
+    min_weight: float = math.inf
+    max_weight: float = 0.0
+
+    def observe_weights(self, weights: np.ndarray) -> None:
+        if weights.shape[0] == 0:
+            return
+        self.rows += int(weights.shape[0])
+        self.min_weight = min(self.min_weight, float(np.min(weights)))
+        self.max_weight = max(self.max_weight, float(np.max(weights)))
+
+    def merge(self, other: "GroupPartial") -> None:
+        for mine, theirs in zip(self.states, other.states):
+            mine.merge(theirs)
+        self.rows += other.rows
+        self.min_weight = min(self.min_weight, other.min_weight)
+        self.max_weight = max(self.max_weight, other.max_weight)
+
+    def unit_weight(self, scale: float = 1.0) -> bool:
+        """All observed weights (after scaling) are ≈ 1.0 (an exact stratum)."""
+        if self.rows == 0:
+            return False
+        tolerance = 1e-8 + 1e-5  # mirrors np.isclose(weight, 1.0) defaults
+        return (
+            abs(self.min_weight * scale - 1.0) <= tolerance
+            and abs(self.max_weight * scale - 1.0) <= tolerance
+        )
+
+
+@dataclass
+class PartialAggregation:
+    """All per-group partial states of one partition (or a merge of many).
+
+    ``rows_scanned`` / ``weight_scanned`` count *every* row fed into the
+    partition stage — matching or not — so a merged subset of partitions
+    knows what fraction of the input (in rows and in represented population)
+    it covers.
+    """
+
+    group_columns: tuple[str, ...]
+    groups: dict[tuple, GroupPartial] = field(default_factory=dict)
+    rows_scanned: int = 0
+    weight_scanned: float = 0.0
+    partitions: int = 1
+    has_weights: bool = False
+
+    def merge(self, other: "PartialAggregation") -> "PartialAggregation":
+        if other.group_columns != self.group_columns:
+            raise ValueError("cannot merge partials of different group-by shapes")
+        for key, theirs in other.groups.items():
+            mine = self.groups.get(key)
+            if mine is None:
+                self.groups[key] = theirs
+            else:
+                mine.merge(theirs)
+        self.rows_scanned += other.rows_scanned
+        self.weight_scanned += other.weight_scanned
+        self.partitions += other.partitions
+        self.has_weights = self.has_weights or other.has_weights
+        return self

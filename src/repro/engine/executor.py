@@ -1,13 +1,25 @@
-"""The query executor.
+"""The query executor: a partition-wise pipeline over in-memory tables.
 
 The executor evaluates a parsed BlinkQL query against one in-memory table —
 either the base table (exact answers, zero-width error bars) or a sample
 table carrying per-row weights (approximate answers with Table-2 error bars).
-Joins against dimension tables are applied first (broadcast hash join), then
-the WHERE mask, then grouped aggregation.
+Execution is staged the way the paper's map/merge plan is (§2.2.1, and the
+plan shape the cluster cost model prices):
 
-The same executor is used by the exact baselines, the ELP probing phase, and
-the final approximate execution, which keeps all answer paths consistent.
+1. **partial aggregation** (:meth:`QueryExecutor.partial_aggregate`) — for
+   one partition of the input: join dimension tables, apply the WHERE mask,
+   assign group codes, and fold the matching rows of every group into
+   mergeable aggregation states (:mod:`repro.engine.accumulators`);
+2. **state merge** — :meth:`~repro.engine.accumulators.PartialAggregation.merge`
+   combines partials associatively, in any order;
+3. **estimate** (:meth:`QueryExecutor.finalize`) — turn the merged states
+   into point estimates with error bars, optionally rescaling weights when
+   only part of the input was covered (anytime answers).
+
+:meth:`QueryExecutor.execute` composes the stages; the legacy whole-table
+execution is simply the one-partition special case.  The same executor is
+used by the exact baselines, the ELP probing phase, and the final
+approximate execution, which keeps all answer paths consistent.
 """
 
 from __future__ import annotations
@@ -18,11 +30,17 @@ from typing import Mapping
 import numpy as np
 
 from repro.common.errors import ExecutionError, PlanningError
+from repro.engine.accumulators import (
+    AggregateState,
+    GroupPartial,
+    PartialAggregation,
+    make_state,
+)
 from repro.engine.expressions import evaluate_predicate
 from repro.engine.operators import hash_join
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
-from repro.estimation.estimators import Estimate, estimate_aggregate
 from repro.sql.ast import AggregateCall, AggregateFunction, Query
+from repro.storage.block import TablePartition
 from repro.storage.table import Table
 
 _FUNCTION_NAMES = {
@@ -85,10 +103,16 @@ class QueryExecutor:
         data: Table,
         context: ExecutionContext | None = None,
         confidence: float | None = None,
+        num_partitions: int | None = None,
     ) -> QueryResult:
-        """Execute ``query`` against ``data`` under the given context."""
+        """Execute ``query`` against ``data`` under the given context.
+
+        ``num_partitions`` splits the input into that many row ranges, runs
+        the partial-aggregation stage per partition, and merges the states —
+        the result is the same as the single-partition path (up to
+        floating-point rounding of the merges).
+        """
         context = context or ExecutionContext(exact=True)
-        confidence = self._reporting_confidence(query, confidence)
 
         weights = context.weights
         if weights is not None:
@@ -103,6 +127,47 @@ class QueryExecutor:
             population_read = float(np.sum(weights))
         else:
             population_read = float(rows_read)
+
+        if num_partitions is None or num_partitions <= 1:
+            partial = self.partial_aggregate(query, data, weights)
+        else:
+            partial = None
+            for partition in data.partitions(weights=weights, num_partitions=num_partitions):
+                piece = self.partial_aggregate_partition(query, partition)
+                partial = piece if partial is None else partial.merge(piece)
+            assert partial is not None
+
+        return self.finalize(
+            query,
+            partial,
+            context,
+            confidence,
+            rows_read=rows_read,
+            population_read=population_read,
+        )
+
+    # -- stage 1: per-partition partial aggregation ------------------------------------
+    def partial_aggregate_partition(
+        self, query: Query, partition: TablePartition
+    ) -> PartialAggregation:
+        """Partial-aggregate one zero-copy partition (its rows and weights)."""
+        return self.partial_aggregate(query, partition.table, partition.weights)
+
+    def partial_aggregate(
+        self,
+        query: Query,
+        data: Table,
+        weights: np.ndarray | None = None,
+    ) -> PartialAggregation:
+        """Join → filter → group → fold one partition into mergeable states."""
+        has_weights = weights is not None
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape[0] != data.num_rows:
+                raise ExecutionError("weights length does not match table row count")
+
+        rows_scanned = data.num_rows
+        weight_scanned = float(np.sum(weights)) if weights is not None else float(rows_scanned)
 
         # 1. Joins against dimension tables.
         working, weights = self._apply_joins(query, data, weights)
@@ -120,33 +185,94 @@ class QueryExecutor:
         else:
             codes = np.zeros(matched.num_rows, dtype=np.int64)
             keys = [()]
-            if matched.num_rows == 0:
-                codes = np.zeros(0, dtype=np.int64)
 
-        # 4. Per-group aggregation.
-        groups: list[GroupResult] = []
+        # Resolve every aggregate's input column once for the partition.
+        columns: dict[str, np.ndarray] = {}
+        for call in query.aggregates:
+            if call.function is AggregateFunction.COUNT and call.column is None:
+                continue
+            if call.column is None:
+                raise PlanningError(f"aggregate {call.function.value} requires a column")
+            if call.column.name not in columns:
+                columns[call.column.name] = matched.column(call.column.name).numeric()
+
+        if matched_weights is None:
+            matched_weights = np.ones(matched.num_rows, dtype=np.float64)
+
+        partial = PartialAggregation(
+            group_columns=tuple(group_columns),
+            rows_scanned=rows_scanned,
+            weight_scanned=weight_scanned,
+            has_weights=has_weights,
+        )
+
+        # 4. Per-group folds via a single argsort-of-codes partitioning pass
+        #    (one O(n log n) sort instead of one O(n) mask per group).
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.searchsorted(sorted_codes, np.arange(len(keys) + 1))
         for group_id, key in enumerate(keys):
-            group_mask = codes == group_id
-            group_rows = np.nonzero(group_mask)[0]
-            group_weights = (
-                matched_weights[group_rows] if matched_weights is not None else None
-            )
-            group_exact = context.exact or (
+            rows = order[boundaries[group_id]:boundaries[group_id + 1]]
+            group_weights = matched_weights[rows]
+            group = GroupPartial(key=key, states=self._make_states(query))
+            group.observe_weights(group_weights)
+            for call, state in zip(query.aggregates, group.states):
+                if call.function is AggregateFunction.COUNT and call.column is None:
+                    values = None
+                else:
+                    assert call.column is not None
+                    values = columns[call.column.name][rows]
+                state.update(values, group_weights)
+            partial.groups[key] = group
+        return partial
+
+    # -- stage 3: merged states → estimates ---------------------------------------------
+    def finalize(
+        self,
+        query: Query,
+        partial: PartialAggregation,
+        context: ExecutionContext | None = None,
+        confidence: float | None = None,
+        *,
+        rows_read: int | None = None,
+        population_read: float | None = None,
+        weight_scale: float = 1.0,
+    ) -> QueryResult:
+        """Turn merged partial states into a :class:`QueryResult`.
+
+        ``weight_scale`` is the anytime coverage correction: when only a
+        subset of the partitions was merged, scaling every weight by the
+        inverse covered fraction keeps COUNT/SUM unbiased while the reduced
+        ``rows_read``/``sample_rows`` widen the error bars.  A partially
+        covered result is never marked exact.
+        """
+        context = context or ExecutionContext(exact=True)
+        confidence = self._reporting_confidence(query, confidence)
+        if rows_read is None:
+            rows_read = partial.rows_scanned
+        if population_read is None:
+            population_read = weight_scale * partial.weight_scanned
+
+        full_coverage = weight_scale == 1.0
+        groups_partial = dict(partial.groups)
+        if not query.group_by and () not in groups_partial:
+            # A global aggregate always reports one group, even with no rows.
+            groups_partial[()] = GroupPartial(key=(), states=self._make_states(query))
+
+        groups: list[GroupResult] = []
+        for key, group in groups_partial.items():
+            group_exact = (context.exact and full_coverage) or (
                 context.unit_weight_exact
-                and group_weights is not None
-                and group_rows.size > 0
-                and bool(np.all(np.isclose(group_weights, 1.0)))
+                and partial.has_weights
+                and group.unit_weight(weight_scale)
             )
             aggregates: dict[str, AggregateValue] = {}
-            for call in query.aggregates:
-                estimate = self._aggregate_group(
-                    call,
-                    matched,
-                    group_rows,
-                    group_weights,
-                    rows_read=rows_read,
-                    population_read=population_read,
+            for call, state in zip(query.aggregates, group.states):
+                estimate = state.finalize(
+                    rows_read,
+                    population_read,
                     exact=group_exact,
+                    weight_scale=weight_scale,
                 )
                 name = call.output_name()
                 aggregates[name] = AggregateValue(name, estimate, confidence)
@@ -157,13 +283,19 @@ class QueryExecutor:
             groups = groups[: query.limit]
 
         return QueryResult(
-            group_by=tuple(group_columns),
+            group_by=tuple(c.name for c in query.group_by),
             groups=tuple(groups),
             rows_read=rows_read,
             sample_name=context.sample_name,
         )
 
     # -- internals ---------------------------------------------------------------
+    def _make_states(self, query: Query) -> list[AggregateState]:
+        return [
+            make_state(_FUNCTION_NAMES[call.function], call.quantile)
+            for call in query.aggregates
+        ]
+
     def _reporting_confidence(self, query: Query, override: float | None) -> float:
         if override is not None:
             return override
@@ -190,49 +322,6 @@ class QueryExecutor:
             if weights is not None:
                 weights = weights[left_rows]
         return working, weights
-
-    def _aggregate_group(
-        self,
-        call: AggregateCall,
-        matched: Table,
-        group_rows: np.ndarray,
-        group_weights: np.ndarray | None,
-        rows_read: int,
-        population_read: float,
-        exact: bool,
-    ) -> Estimate:
-        function_name = _FUNCTION_NAMES[call.function]
-        values: np.ndarray | None = None
-        if call.function is AggregateFunction.COUNT and call.column is None:
-            values = None
-        else:
-            if call.column is None:
-                raise PlanningError(f"aggregate {call.function.value} requires a column")
-            column = matched.column(call.column.name)
-            values = column.numeric()[group_rows]
-        if function_name == "count":
-            weights = (
-                group_weights
-                if group_weights is not None
-                else np.ones(group_rows.size, dtype=np.float64)
-            )
-            return estimate_aggregate(
-                "count",
-                None,
-                weights,
-                rows_read=rows_read,
-                population_read=population_read,
-                exact=exact,
-            )
-        return estimate_aggregate(
-            function_name,
-            values,
-            group_weights,
-            rows_read=rows_read,
-            population_read=population_read,
-            quantile=call.quantile,
-            exact=exact,
-        )
 
 
 def execute_exact(

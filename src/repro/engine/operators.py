@@ -41,30 +41,41 @@ def hash_join(
     left_column = left.column(left_key)
     right_column = right.column(right_key)
 
-    right_values = right_column.values()
-    left_values = left_column.values()
+    right_values = np.asarray(right_column.values())
+    left_values = np.asarray(left_column.values())
 
-    # Build the dimension-side hash table: key value -> right row index.
-    key_to_right_row: dict[object, int] = {}
-    for index, value in enumerate(right_values):
-        key = value.item() if hasattr(value, "item") else value
-        if key in key_to_right_row:
-            raise ExecutionError(
-                f"join key {right_key!r} is not unique in dimension table {right.name!r}"
-            )
-        key_to_right_row[key] = index
+    # Build the (sorted) dimension side: sorting the unique keys once lets the
+    # probe be a vectorised binary search instead of a per-row dict lookup.
+    # equal_nan=False: NaN keys are distinct (NaN != NaN), so several NaN rows
+    # are not a key-uniqueness violation — they simply never match a probe.
+    if right_values.dtype.kind == "f":
+        unique_keys, first_rows = np.unique(
+            right_values, return_index=True, equal_nan=False
+        )
+    else:
+        unique_keys, first_rows = np.unique(right_values, return_index=True)
+    if unique_keys.shape[0] != right_values.shape[0]:
+        raise ExecutionError(
+            f"join key {right_key!r} is not unique in dimension table {right.name!r}"
+        )
 
-    left_indices: list[int] = []
-    right_indices: list[int] = []
-    for index, value in enumerate(left_values):
-        key = value.item() if hasattr(value, "item") else value
-        match = key_to_right_row.get(key)
-        if match is not None:
-            left_indices.append(index)
-            right_indices.append(match)
+    if unique_keys.shape[0] == 0:
+        matched = np.zeros(left_values.shape[0], dtype=bool)
+        positions = np.zeros(left_values.shape[0], dtype=np.int64)
+    else:
+        try:
+            positions = np.searchsorted(unique_keys, left_values)
+        except (TypeError, np.exceptions.DTypePromotionError):
+            # Incomparable key types (e.g. strings vs numbers) match nothing,
+            # matching the behaviour of a hash probe across types.
+            positions = np.zeros(left_values.shape[0], dtype=np.int64)
+            matched = np.zeros(left_values.shape[0], dtype=bool)
+        else:
+            positions = np.minimum(positions, unique_keys.shape[0] - 1)
+            matched = unique_keys[positions] == left_values
 
-    left_rows = np.asarray(left_indices, dtype=np.int64)
-    right_rows = np.asarray(right_indices, dtype=np.int64)
+    left_rows = np.nonzero(matched)[0].astype(np.int64)
+    right_rows = first_rows[positions[left_rows]].astype(np.int64)
 
     joined_columns: list[Column] = [c.take(left_rows) for c in left.columns()]
     existing = {c.name for c in joined_columns}

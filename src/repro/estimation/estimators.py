@@ -90,10 +90,22 @@ def _as_arrays(values, weights, n: int) -> tuple[np.ndarray, np.ndarray]:
     return values, weights
 
 
+def weights_nearly_uniform(min_weight: float, max_weight: float) -> bool:
+    """Whether a weight vector with this min/max counts as uniform.
+
+    Shared with the mergeable partial-aggregation states
+    (:mod:`repro.engine.accumulators`): expressing the test through the
+    min/max keeps it invariant under merge order, so a partitioned execution
+    picks the same variance regime as the whole-table path.
+    """
+    spread = max_weight - min_weight
+    return bool(spread <= _UNIFORM_WEIGHT_TOLERANCE * max(1.0, abs(min_weight)))
+
+
 def _weights_uniform(weights: np.ndarray) -> bool:
     if weights.size == 0:
         return True
-    return bool(np.ptp(weights) <= _UNIFORM_WEIGHT_TOLERANCE * max(1.0, abs(float(weights[0]))))
+    return weights_nearly_uniform(float(np.min(weights)), float(np.max(weights)))
 
 
 def estimate_count(
@@ -202,6 +214,7 @@ def estimate_quantile(
     p: float,
     rows_read: int,
     exact: bool = False,
+    sample_rows: int | None = None,
 ) -> Estimate:
     """Estimate the ``p``-quantile of the population distribution of ``values``.
 
@@ -209,11 +222,16 @@ def estimate_quantile(
     weighted empirical CDF).  The variance follows Table 2:
     ``p(1−p)/(n·f(x_p)²)`` with the density ``f`` at the quantile estimated by
     a central finite difference of nearby sample quantiles.
+
+    ``sample_rows`` overrides the matching-row count ``n`` used for the
+    variance when ``values``/``weights`` are a *summary* of more rows than
+    they have entries (a compressed quantile sketch): the distribution shape
+    comes from the summary, the uncertainty from the true row count.
     """
     if not 0.0 < p < 1.0:
         raise ValueError("quantile p must be in (0, 1)")
     values, weights = _as_arrays(values, weights, 0)
-    n = int(values.shape[0])
+    n = int(values.shape[0]) if sample_rows is None else int(sample_rows)
     if n == 0:
         return Estimate(math.nan, math.inf, 0, rows_read, 0.0)
     order = np.argsort(values, kind="mergesort")

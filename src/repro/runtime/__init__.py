@@ -16,12 +16,22 @@ This package implements §4 of the paper:
 """
 
 from repro.runtime.execution import BlinkDBRuntime, RuntimeDecision
+from repro.runtime.partitioned import (
+    PartitionPipeline,
+    PartitionRunStats,
+    PartitionTiming,
+    ProgressiveSnapshot,
+)
 from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
 from repro.runtime.sizing import ErrorLatencyProfile, ProfileEntry, SampleSizer
 
 __all__ = [
     "BlinkDBRuntime",
     "RuntimeDecision",
+    "PartitionPipeline",
+    "PartitionRunStats",
+    "PartitionTiming",
+    "ProgressiveSnapshot",
     "FamilySelection",
     "ProbeResult",
     "SampleFamilySelector",

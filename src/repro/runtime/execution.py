@@ -13,6 +13,26 @@
    into disjoint conjunctive branches, answers each on its own best family,
    and combines the partial answers with propagated uncertainty (§4.1.2).
 
+Partition-parallel and anytime execution
+----------------------------------------
+The runtime owns a :class:`~repro.runtime.partitioned.PartitionPipeline`
+and a shared partial-aggregation thread pool.  Two paths use it:
+
+* **anytime answers** — when a ``WITHIN`` time bound cannot be satisfied by
+  any resolution (and ``strict_bounds`` is off), the query runs
+  partition-parallel on the smallest viable sample and *stops at the
+  deadline*: the partitions whose simulated completion fits the bound are
+  merged and the estimate is returned with correctly widened error bars and
+  a coverage fraction in the decision metadata, instead of an answer that
+  blows through its deadline;
+* **progressive answers** — callers passing ``progress=`` to
+  :meth:`BlinkDBRuntime.execute` (the service layer's progressive tickets)
+  get one snapshot per partition merge.
+
+:meth:`BlinkDBRuntime.execute_partitioned` exposes the pipeline directly
+with explicit partition/worker counts (used by benchmarks to measure
+speedup vs. per-query parallelism).
+
 Thread safety
 -------------
 :meth:`BlinkDBRuntime.execute` is reentrant: every per-query decision lives
@@ -27,7 +47,9 @@ the facade's read/write state lock, not by the runtime.
 
 from __future__ import annotations
 
+import math
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
@@ -37,6 +59,7 @@ from repro.cluster.simulator import ClusterSimulator
 from repro.engine.executor import ExecutionContext, QueryExecutor
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
 from repro.estimation.propagation import combine_sum
+from repro.runtime.partitioned import PartitionPipeline, ProgressCallback
 from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
 from repro.runtime.sizing import ErrorLatencyProfile, SampleSizer
 from repro.sampling.resolution import SampleResolution
@@ -60,6 +83,12 @@ class RuntimeDecision:
     profile: ErrorLatencyProfile | None = field(default=None, compare=False)
     probed_families: tuple[str, ...] = ()
     branches: int = 1
+    #: Partition-pipeline provenance: how many partitions executed, whether
+    #: the answer is an anytime (deadline-cut) answer, and what fraction of
+    #: the sample's represented population the merged partitions cover.
+    partitions: int = 1
+    anytime: bool = False
+    coverage_fraction: float = 1.0
 
 
 class BlinkDBRuntime:
@@ -78,14 +107,31 @@ class BlinkDBRuntime:
         self.executor = QueryExecutor(dimension_tables)
         self.selector = SampleFamilySelector(catalog, self.executor)
         self.sizer = SampleSizer(simulator)
+        self.pipeline = PartitionPipeline(
+            self.executor,
+            straggler_spread=self.config.straggler_spread,
+            seed=self.config.seed,
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._queries_executed = 0
         self._exact_queries_executed = 0
         self._disjunctive_queries_executed = 0
+        self._anytime_queries_executed = 0
 
     # -- public API -------------------------------------------------------------------
-    def execute(self, query: Query | str) -> QueryResult:
-        """Answer a query approximately, honouring its error/time bound."""
+    def execute(
+        self, query: Query | str, progress: ProgressCallback | None = None
+    ) -> QueryResult:
+        """Answer a query approximately, honouring its error/time bound.
+
+        ``progress`` — when given — routes the execution through the
+        partition pipeline and receives one
+        :class:`~repro.runtime.partitioned.ProgressiveSnapshot` per partition
+        merge (disjunctive queries fall back to a single final snapshot-less
+        answer).
+        """
         if isinstance(query, str):
             query = parse_query(query)
 
@@ -107,8 +153,34 @@ class BlinkDBRuntime:
                 f"requested bound for query: {query.raw_sql or query}"
             )
 
-        result = self._run_on_resolution(query, selection, resolution)
-        result = self._attach_latency(result, selection, resolution, probe)
+        anytime = (
+            not satisfied
+            and query.time_bound is not None
+            and self.config.anytime_enabled
+        )
+        if anytime or progress is not None:
+            deadline = query.time_bound.seconds if anytime else None
+            result, stats = self._run_pipeline(
+                query,
+                selection,
+                resolution,
+                probe,
+                deadline_seconds=deadline,
+                progress=progress,
+            )
+            partitions_run = stats.num_partitions
+            coverage = stats.coverage_population_fraction
+            if anytime and coverage < 1.0:
+                # Count only answers that are *actually* partial: a deadline
+                # the schedule happened to fit completely is a full answer.
+                with self._stats_lock:
+                    self._anytime_queries_executed += 1
+        else:
+            result = self._run_on_resolution(query, selection, resolution)
+            result = self._attach_latency(result, selection, resolution, probe)
+            partitions_run = 1
+            coverage = 1.0
+            anytime = False
 
         entry_error = None
         entry_latency = None
@@ -126,8 +198,61 @@ class BlinkDBRuntime:
             predicted_latency_seconds=entry_latency,
             profile=profile,
             probed_families=tuple(p.resolution.name for p in selection.probes),
+            partitions=partitions_run,
+            anytime=anytime and coverage < 1.0,
+            coverage_fraction=coverage,
         )
         result.metadata["decision"] = decision
+        return result
+
+    def execute_partitioned(
+        self,
+        query: Query | str,
+        *,
+        num_partitions: int | None = None,
+        sim_workers: int | None = None,
+        reference_workers: int | None = None,
+        deadline_seconds: float | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> QueryResult:
+        """Answer a query through the partition pipeline with explicit knobs.
+
+        ``sim_workers`` is the number of per-query task slots the simulated
+        cluster grants the query; ``reference_workers`` calibrates which slot
+        count corresponds to the cluster simulator's full-scan latency
+        (defaults to ``sim_workers``).  Used by benchmarks to measure
+        partition-parallel speedup and anytime error/deadline trade-offs.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        with self._stats_lock:
+            self._queries_executed += 1
+        selection = self.selector.select(query)
+        probe = selection.probe or self.selector.probe(query, selection.family.smallest)
+        resolution, profile, satisfied = self._choose_resolution(query, selection, probe)
+        result, stats = self._run_pipeline(
+            query,
+            selection,
+            resolution,
+            probe,
+            deadline_seconds=deadline_seconds,
+            progress=progress,
+            num_partitions=num_partitions,
+            sim_workers=sim_workers,
+            reference_workers=reference_workers,
+        )
+        result.metadata["decision"] = RuntimeDecision(
+            family_key=self._family_key(selection),
+            family_reason=selection.reason,
+            resolution_name=resolution.name,
+            resolution_rows=resolution.num_rows,
+            bound_satisfied=satisfied,
+            profile=profile,
+            probed_families=tuple(p.resolution.name for p in selection.probes),
+            partitions=stats.num_partitions,
+            anytime=not stats.complete,
+            coverage_fraction=stats.coverage_population_fraction,
+        )
         return result
 
     def execute_exact(self, query: Query | str) -> QueryResult:
@@ -154,6 +279,7 @@ class BlinkDBRuntime:
                 "queries_executed": self._queries_executed,
                 "exact_queries_executed": self._exact_queries_executed,
                 "disjunctive_queries_executed": self._disjunctive_queries_executed,
+                "anytime_queries_executed": self._anytime_queries_executed,
             }
 
     # -- internals: single-family path -----------------------------------------------------
@@ -196,6 +322,122 @@ class BlinkDBRuntime:
         )
         return self.executor.execute(query, resolution.table, context)
 
+    # -- internals: partition pipeline ---------------------------------------------------
+    def _run_pipeline(
+        self,
+        query: Query,
+        selection: FamilySelection,
+        resolution: SampleResolution,
+        probe: ProbeResult,
+        *,
+        deadline_seconds: float | None,
+        progress: ProgressCallback | None,
+        num_partitions: int | None = None,
+        sim_workers: int | None = None,
+        reference_workers: int | None = None,
+    ):
+        """Run one resolution through the partition pipeline."""
+        context = ExecutionContext(
+            weights=resolution.weights,
+            exact=False,
+            unit_weight_exact=selection.covers_query,
+            rows_read=resolution.num_rows,
+            population_read=resolution.represented_rows,
+            sample_name=resolution.name,
+        )
+        scan_latency = None
+        scan_nodes = None
+        task_overhead = 0.0
+        if self.simulator is not None and self.simulator.has_dataset(resolution.name):
+            rows_to_read, reuse_rows = self._scan_parameters(selection, resolution, probe)
+            execution = self.simulator.simulate_scan(
+                resolution.name,
+                rows_to_read=rows_to_read,
+                output_groups=max(1, probe.num_groups),
+                reuse_rows=reuse_rows,
+            )
+            scan_latency = execution.latency_seconds
+            task_overhead = self.simulator.config.task_startup_seconds
+            # Scanning is disk-bound per node: one pipeline lane per node that
+            # holds input data, each draining its blocks sequentially.
+            slots = self.simulator.config.scheduler_slots_per_node
+            scan_nodes = max(1, execution.estimate.parallelism // max(1, slots))
+
+        if num_partitions is None:
+            anytime_cap = max(self.config.max_partitions, self.config.max_anytime_partitions)
+            num_partitions = self._default_partitions(resolution.num_rows)
+            if deadline_seconds is not None or progress is not None:
+                # Anytime cuts and progressive snapshots need merge granularity
+                # even on small resolutions: never fewer than 8 partitions
+                # (bounded by the row count and the anytime cap).
+                floor = min(8, resolution.num_rows, anytime_cap)
+                num_partitions = max(num_partitions, floor)
+            if deadline_seconds is not None and scan_latency is not None:
+                # Split finely enough that one partition task (startup plus
+                # its share of the per-lane scan work) fits the deadline, so
+                # a tight bound yields partial coverage rather than a single
+                # oversized task that blows through it.
+                work = max(0.0, scan_latency - task_overhead)
+                budget = deadline_seconds - task_overhead
+                if work > 0.0 and budget > 0.0:
+                    # A task can run up to (1 + spread) slower than its share;
+                    # budget for the worst case so stragglers still fit.
+                    serial = work * (scan_nodes or 1) * (1.0 + self.config.straggler_spread)
+                    needed = math.ceil(serial / budget)
+                    num_partitions = max(num_partitions, min(needed, anytime_cap))
+            num_partitions = max(1, min(num_partitions, resolution.num_rows))
+        if sim_workers is None:
+            # One lane per data-holding node: the full merge then reproduces
+            # the simulator's whole-scan latency, and finer partitions give
+            # shorter waves within each lane.
+            sim_workers = min(num_partitions, scan_nodes or num_partitions)
+
+        result = self.pipeline.run(
+            query,
+            resolution.table,
+            context,
+            num_partitions=num_partitions,
+            sim_workers=sim_workers,
+            reference_workers=reference_workers,
+            scan_latency_seconds=scan_latency,
+            task_overhead_seconds=task_overhead,
+            deadline_seconds=deadline_seconds,
+            pool=self._partition_pool(),
+            progress=progress,
+        )
+        stats = result.metadata["partitions"]
+        return result, stats
+
+    def _default_partitions(self, num_rows: int) -> int:
+        config = self.config
+        by_rows = max(1, num_rows // config.min_partition_rows)
+        return max(1, min(config.max_partitions, by_rows, max(1, num_rows)))
+
+    def _partition_pool(self) -> ThreadPoolExecutor | None:
+        """The shared partial-aggregation pool (None when configured inline)."""
+        if self.config.partition_workers <= 1:
+            return None
+        if self._pool is None:
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.config.partition_workers,
+                        thread_name_prefix="blinkdb-partition",
+                    )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the partial-aggregation pool (idempotent).
+
+        The facade calls this whenever it discards a runtime (sample
+        rebuilds, data reloads) so partition worker threads never outlive
+        the runtime that started them.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
     def _attach_latency(
         self,
         result: QueryResult,
@@ -205,24 +447,7 @@ class BlinkDBRuntime:
     ) -> QueryResult:
         if self.simulator is None or not self.simulator.has_dataset(resolution.name):
             return result
-        reuse_rows = 0
-        if probe.resolution.name != resolution.name and self._same_family(
-            selection, probe.resolution
-        ):
-            # §4.4: blocks scanned while probing the smaller resolution of the
-            # same family do not need to be re-read.
-            reuse_rows = int(
-                probe.resolution.num_rows
-                * self._scale_ratio(resolution, probe.resolution)
-            )
-        rows_to_read = None
-        if selection.covers_query and probe.rows_read > 0 and probe.selectivity < 1.0:
-            # Clustered layout (§3.1): only the matching strata are scanned,
-            # both by this execution and by the probe whose work is reused.
-            info = self.simulator.dataset(resolution.name)
-            scale = info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
-            rows_to_read = int(max(1, resolution.num_rows * probe.selectivity * scale))
-            reuse_rows = int(reuse_rows * probe.selectivity)
+        rows_to_read, reuse_rows = self._scan_parameters(selection, resolution, probe)
         execution = self.simulator.simulate_scan(
             resolution.name,
             rows_to_read=rows_to_read,
@@ -230,6 +455,38 @@ class BlinkDBRuntime:
             reuse_rows=reuse_rows,
         )
         return replace(result, simulated_latency_seconds=execution.latency_seconds)
+
+    def _scan_parameters(
+        self,
+        selection: FamilySelection,
+        resolution: SampleResolution,
+        probe: ProbeResult,
+    ) -> tuple[int | None, int]:
+        """(rows_to_read, reuse_rows) of a simulated scan of ``resolution``.
+
+        Shared by the plain and partition-pipeline paths so both report the
+        same latency for the same work: ``rows_to_read`` confines a clustered
+        scan to the matching strata (§3.1), ``reuse_rows`` discounts the
+        blocks already read while probing a smaller resolution of the same
+        family (§4.4).  Requires the resolution to be registered with the
+        simulator.
+        """
+        assert self.simulator is not None
+        reuse_rows = 0
+        if probe.resolution.name != resolution.name and self._same_family(
+            selection, probe.resolution
+        ):
+            reuse_rows = int(
+                probe.resolution.num_rows
+                * self._scale_ratio(resolution, probe.resolution)
+            )
+        rows_to_read = None
+        if selection.covers_query and probe.rows_read > 0 and probe.selectivity < 1.0:
+            info = self.simulator.dataset(resolution.name)
+            scale = info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
+            rows_to_read = int(max(1, resolution.num_rows * probe.selectivity * scale))
+            reuse_rows = int(reuse_rows * probe.selectivity)
+        return rows_to_read, reuse_rows
 
     def _scale_ratio(
         self, resolution: SampleResolution, probe_resolution: SampleResolution

@@ -1,0 +1,339 @@
+"""The partition-parallel execution pipeline with anytime answers.
+
+The paper's engine runs a query as many small map tasks — one per sample
+block (§2.2.1, Fig. 4) — whose partial aggregates are merged into the final
+answer.  :class:`PartitionPipeline` reproduces that plan shape on top of the
+staged executor: it splits the chosen sample into zero-copy
+:class:`~repro.storage.block.TablePartition` views, computes one mergeable
+partial state per partition (optionally fanned out over a shared thread
+pool), and merges the partials in the order the *simulated* cluster would
+complete them.
+
+Simulated partition schedule
+----------------------------
+Each partition becomes one task whose simulated cost is its share of the
+query's serial scan work plus a per-task overhead, inflated by a
+deterministic straggler factor.  Tasks are placed greedily on
+``sim_workers`` lanes (the per-query task slots the cluster grants the
+query), so the pipeline's completion time is the busy time of the slowest
+lane — the slowest wave dominates, as on a real cluster.  The serial work is
+calibrated from the cluster simulator's full-scan latency: running with
+``reference_workers`` lanes reproduces the simulator's whole-scan latency,
+and other worker counts scale it accordingly.
+
+Anytime answers
+---------------
+Given a ``deadline_seconds`` (the query's ``WITHIN`` bound, on the simulated
+clock), only the partitions whose simulated completion time fits the deadline
+are merged; the estimate is finalized with the coverage-corrected weight
+scale so COUNT/SUM stay unbiased and the error bars widen to reflect the
+rows that were never seen.  At least one partition is always merged.  A
+``progress`` callback observes one :class:`ProgressiveSnapshot` per merge,
+which is how the service layer exposes progressively refining answers.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import Executor
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.engine.accumulators import PartialAggregation
+from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.result import QueryResult
+from repro.sql.ast import Query
+from repro.storage.block import TablePartition
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class PartitionTiming:
+    """Simulated schedule entry of one partition task."""
+
+    index: int
+    rows: int
+    cost_seconds: float
+    start_seconds: float
+    completion_seconds: float
+    lane: int
+    merged: bool
+
+
+@dataclass(frozen=True)
+class ProgressiveSnapshot:
+    """One progressively refined answer, emitted after each state merge."""
+
+    partitions_merged: int
+    num_partitions: int
+    coverage_fraction: float
+    simulated_seconds: float
+    result: QueryResult
+
+    @property
+    def fraction_merged(self) -> float:
+        if self.num_partitions == 0:
+            return 1.0
+        return self.partitions_merged / self.num_partitions
+
+
+@dataclass(frozen=True)
+class PartitionRunStats:
+    """Everything the pipeline decided and observed for one query."""
+
+    num_partitions: int
+    merged_partitions: int
+    coverage_row_fraction: float
+    coverage_population_fraction: float
+    makespan_seconds: float
+    merged_seconds: float
+    deadline_seconds: float | None
+    sim_workers: int
+    reference_workers: int
+    timings: tuple[PartitionTiming, ...]
+
+    @property
+    def complete(self) -> bool:
+        return self.merged_partitions == self.num_partitions
+
+
+ProgressCallback = Callable[[ProgressiveSnapshot], None]
+
+
+class PartitionPipeline:
+    """Partition → partial state → merge → estimate, on a simulated clock."""
+
+    def __init__(
+        self,
+        executor: QueryExecutor,
+        *,
+        straggler_spread: float = 0.2,
+        seed: int = 7,
+    ) -> None:
+        self.executor = executor
+        self.straggler_spread = straggler_spread
+        self.seed = seed
+
+    def run(
+        self,
+        query: Query,
+        table: Table,
+        context: ExecutionContext,
+        *,
+        num_partitions: int,
+        sim_workers: int,
+        reference_workers: int | None = None,
+        scan_latency_seconds: float | None = None,
+        task_overhead_seconds: float = 0.0,
+        deadline_seconds: float | None = None,
+        confidence: float | None = None,
+        pool: Executor | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> QueryResult:
+        """Execute ``query`` partition-parallel; see the module docstring.
+
+        The returned result carries the merged estimate, a simulated latency
+        equal to the completion time of the last merged partition, and a
+        :class:`PartitionRunStats` under ``metadata["partitions"]``.
+        """
+        weights = context.weights
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+
+        num_partitions = max(1, min(num_partitions, max(1, table.num_rows)))
+        sim_workers = max(1, min(sim_workers, num_partitions))
+        if reference_workers is None:
+            reference_workers = sim_workers
+        reference_workers = max(1, reference_workers)
+
+        partitions = table.partitions(weights=weights, num_partitions=num_partitions)
+        timings = self._schedule(
+            partitions,
+            sim_workers=sim_workers,
+            reference_workers=reference_workers,
+            scan_latency_seconds=scan_latency_seconds,
+            task_overhead_seconds=task_overhead_seconds,
+        )
+        makespan = max(t.completion_seconds for t in timings)
+
+        merge_order = sorted(timings, key=lambda t: (t.completion_seconds, t.index))
+        if deadline_seconds is None:
+            merged_timings = merge_order
+        else:
+            merged_timings = [
+                t for t in merge_order if t.completion_seconds <= deadline_seconds
+            ]
+            if not merged_timings:
+                # An anytime answer always reports *something*: the earliest
+                # completing partition, even if it misses the deadline.
+                merged_timings = merge_order[:1]
+        merged_set = {t.index for t in merged_timings}
+        timings = tuple(replace(t, merged=t.index in merged_set) for t in timings)
+
+        # The real computation: partial-aggregate only the partitions the
+        # simulated schedule managed to complete, fanned over the pool.
+        to_aggregate = [partitions[t.index] for t in merged_timings]
+        partials = self._aggregate(query, to_aggregate, pool)
+
+        rows_total = table.num_rows
+        if context.population_read is not None:
+            population_full = float(context.population_read)
+        elif weights is not None:
+            population_full = float(np.sum(weights))
+        else:
+            population_full = float(rows_total)
+        rows_read_full = context.rows_read if context.rows_read is not None else rows_total
+
+        merged: PartialAggregation | None = None
+        merged_count = 0
+        result: QueryResult | None = None
+        for timing, partial in zip(merged_timings, partials):
+            merged = partial if merged is None else merged.merge(partial)
+            merged_count += 1
+            if progress is None and merged_count < len(merged_timings):
+                continue  # only the final merge needs finalizing
+            result = self._finalize_merged(
+                query,
+                merged,
+                context,
+                confidence,
+                rows_total=rows_total,
+                rows_read_full=rows_read_full,
+                population_full=population_full,
+                complete=merged_count == num_partitions,
+            )
+            result = replace(
+                result, simulated_latency_seconds=timing.completion_seconds
+            )
+            if progress is not None:
+                coverage = (
+                    merged.weight_scanned / population_full if population_full > 0 else 1.0
+                )
+                progress(
+                    ProgressiveSnapshot(
+                        partitions_merged=merged_count,
+                        num_partitions=num_partitions,
+                        coverage_fraction=min(1.0, coverage),
+                        simulated_seconds=timing.completion_seconds,
+                        result=result,
+                    )
+                )
+        assert merged is not None and result is not None
+
+        coverage_rows = merged.rows_scanned / rows_total if rows_total else 1.0
+        coverage_population = (
+            merged.weight_scanned / population_full if population_full > 0 else 1.0
+        )
+        stats = PartitionRunStats(
+            num_partitions=num_partitions,
+            merged_partitions=merged_count,
+            coverage_row_fraction=min(1.0, coverage_rows),
+            coverage_population_fraction=min(1.0, coverage_population),
+            makespan_seconds=makespan,
+            merged_seconds=merged_timings[-1].completion_seconds,
+            deadline_seconds=deadline_seconds,
+            sim_workers=sim_workers,
+            reference_workers=reference_workers,
+            timings=timings,
+        )
+        result.metadata["partitions"] = stats
+        return result
+
+    # -- internals -----------------------------------------------------------------
+    def _schedule(
+        self,
+        partitions: Sequence[TablePartition],
+        *,
+        sim_workers: int,
+        reference_workers: int,
+        scan_latency_seconds: float | None,
+        task_overhead_seconds: float,
+    ) -> list[PartitionTiming]:
+        """Greedy least-loaded placement of partition tasks on simulated lanes."""
+        rows_total = sum(p.num_rows for p in partitions)
+        if scan_latency_seconds is None:
+            # No simulator: the sizing layer's linear proxy (1M rows/second).
+            scan_latency_seconds = rows_total / 1e6 + task_overhead_seconds
+        work_seconds = max(0.0, scan_latency_seconds - task_overhead_seconds)
+        # Serial scan work, calibrated so `reference_workers` lanes reproduce
+        # the simulator's full-scan latency.
+        serial_work = work_seconds * reference_workers
+
+        jitter = 1.0 + self.straggler_spread * make_rng(self.seed).random(len(partitions))
+        lanes = [0.0] * sim_workers
+        timings: list[PartitionTiming] = []
+        # Dispatch in bit-reversed order so the earliest wave spans the whole
+        # table: stratified samples are stored sorted by their column set, and
+        # an anytime cut that merged only a *prefix* of row ranges would
+        # systematically miss the strata stored last.
+        for index in _spread_order(len(partitions)):
+            partition = partitions[index]
+            share = partition.num_rows / rows_total if rows_total else 0.0
+            cost = task_overhead_seconds + float(jitter[index]) * share * serial_work
+            lane = min(range(sim_workers), key=lanes.__getitem__)
+            start = lanes[lane]
+            lanes[lane] = start + cost
+            timings.append(
+                PartitionTiming(
+                    index=index,
+                    rows=partition.num_rows,
+                    cost_seconds=cost,
+                    start_seconds=start,
+                    completion_seconds=start + cost,
+                    lane=lane,
+                    merged=False,
+                )
+            )
+        timings.sort(key=lambda t: t.index)
+        return timings
+
+    def _aggregate(
+        self,
+        query: Query,
+        partitions: Sequence[TablePartition],
+        pool: Executor | None,
+    ) -> list[PartialAggregation]:
+        aggregate = self.executor.partial_aggregate_partition
+        if pool is None or len(partitions) <= 1:
+            return [aggregate(query, p) for p in partitions]
+        return list(pool.map(lambda p: aggregate(query, p), partitions))
+
+    def _finalize_merged(
+        self,
+        query: Query,
+        merged: PartialAggregation,
+        context: ExecutionContext,
+        confidence: float | None,
+        *,
+        rows_total: int,
+        rows_read_full: int,
+        population_full: float,
+        complete: bool,
+    ) -> QueryResult:
+        if complete or merged.weight_scanned <= 0:
+            weight_scale = 1.0
+            rows_read = rows_read_full
+        else:
+            weight_scale = max(1.0, population_full / merged.weight_scanned)
+            rows_read = merged.rows_scanned
+        return self.executor.finalize(
+            query,
+            merged,
+            context,
+            confidence,
+            rows_read=rows_read,
+            population_read=population_full,
+            weight_scale=weight_scale,
+        )
+
+
+def _spread_order(n: int) -> list[int]:
+    """Indices 0..n-1 in bit-reversed order (maximally spread out)."""
+    if n <= 2:
+        return list(range(n))
+    bits = (n - 1).bit_length()
+    reversed_keys = [int(format(i, f"0{bits}b")[::-1], 2) for i in range(n)]
+    return sorted(range(n), key=lambda i: (reversed_keys[i], i))

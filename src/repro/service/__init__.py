@@ -12,6 +12,7 @@ pool serving tickets (:mod:`~repro.service.server`), load generators
 Entry points: ``BlinkDB.serve()`` and ``BlinkDB.connect()``.
 """
 
+from repro.runtime.partitioned import ProgressiveSnapshot
 from repro.service.cache import ResultCache, cache_key, template_label
 from repro.service.loadgen import LoadReport, mixed_bound_trace, run_closed_loop, run_open_loop
 from repro.service.metrics import Counter, LatencyHistogram, ServiceMetrics
@@ -26,6 +27,7 @@ __all__ = [
     "DeadlineScheduler",
     "LatencyHistogram",
     "LoadReport",
+    "ProgressiveSnapshot",
     "QueryRecord",
     "QueryService",
     "QueryTicket",

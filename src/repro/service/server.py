@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import QueryRejectedError
 from repro.engine.result import QueryResult
+from repro.runtime.partitioned import ProgressiveSnapshot
 from repro.service.cache import ResultCache, cache_key, template_label
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import Admission, DeadlineScheduler, ScheduledItem, SchedulerClosed
@@ -80,18 +81,36 @@ class TicketMetrics:
 
 
 class QueryTicket:
-    """A future for one submitted query."""
+    """A future for one submitted query.
 
-    def __init__(self, sql: str, query: Query, session: ClientSession | None) -> None:
+    A *progressive* ticket (``service.submit(..., progressive=True)``)
+    additionally exposes the partition pipeline's refining answers: one
+    :class:`~repro.runtime.partitioned.ProgressiveSnapshot` lands per state
+    merge (partial result plus fraction-of-partitions-merged), readable at
+    any time through :meth:`snapshots` / :meth:`latest_snapshot` while the
+    query is still running.  Cache hits resolve instantly and carry no
+    snapshots.
+    """
+
+    def __init__(
+        self,
+        sql: str,
+        query: Query,
+        session: ClientSession | None,
+        progressive: bool = False,
+    ) -> None:
         self.ticket_id = next(_ticket_ids)
         self.sql = sql
         self.query = query
         self.session = session
+        self.progressive = progressive
         self.submitted_at = time.monotonic()
         self.metrics = TicketMetrics()
         self._done = threading.Event()
         self._result: QueryResult | None = None
         self._error: BaseException | None = None
+        self._snapshots: list[ProgressiveSnapshot] = []
+        self._snapshots_lock = threading.Lock()
 
     # -- future API --------------------------------------------------------------
     def done(self) -> bool:
@@ -120,6 +139,29 @@ class QueryTicket:
         if self._error is None:
             return "completed"
         return "shed" if isinstance(self._error, QueryRejectedError) else "failed"
+
+    # -- progressive snapshots ------------------------------------------------------
+    def snapshots(self) -> list[ProgressiveSnapshot]:
+        """All progressive snapshots observed so far (oldest first)."""
+        with self._snapshots_lock:
+            return list(self._snapshots)
+
+    def latest_snapshot(self) -> ProgressiveSnapshot | None:
+        """The most recent progressive snapshot, or ``None`` before the first merge."""
+        with self._snapshots_lock:
+            return self._snapshots[-1] if self._snapshots else None
+
+    @property
+    def progress_fraction(self) -> float:
+        """Fraction of partitions merged (1.0 once the ticket is resolved)."""
+        if self._done.is_set():
+            return 1.0
+        snapshot = self.latest_snapshot()
+        return snapshot.fraction_merged if snapshot is not None else 0.0
+
+    def _on_progress(self, snapshot: ProgressiveSnapshot) -> None:
+        with self._snapshots_lock:
+            self._snapshots.append(snapshot)
 
     # -- resolution (service-internal) --------------------------------------------
     def _resolve(self, result: QueryResult) -> None:
@@ -158,6 +200,8 @@ class QueryTicket:
             "sql": self.sql,
             "status": self.status,
             "session": self.session.name if self.session is not None else None,
+            "progressive": self.progressive,
+            "progress_fraction": self.progress_fraction,
             "metrics": self.metrics.describe(),
         }
 
@@ -169,6 +213,7 @@ class _WorkItem:
     ticket: QueryTicket
     key: str
     label: str
+    progressive: bool = False
 
 
 class QueryService:
@@ -273,12 +318,20 @@ class QueryService:
             return list(self._sessions)
 
     # -- submission --------------------------------------------------------------
-    def submit(self, sql: str | Query, session: ClientSession | None = None) -> QueryTicket:
+    def submit(
+        self,
+        sql: str | Query,
+        session: ClientSession | None = None,
+        progressive: bool = False,
+    ) -> QueryTicket:
         """Parse, admit, and enqueue one query; returns its ticket immediately.
 
         Cache hits resolve the ticket synchronously without touching the
         queue.  Shed queries resolve synchronously with a
-        :class:`~repro.common.errors.QueryRejectedError`.
+        :class:`~repro.common.errors.QueryRejectedError`.  ``progressive``
+        routes the execution through the partition pipeline so the ticket
+        streams :class:`~repro.runtime.partitioned.ProgressiveSnapshot`
+        updates while it runs.
         """
         if self._closed:
             raise QueryRejectedError("query service is closed", reason="closed")
@@ -286,7 +339,7 @@ class QueryService:
         if session is not None:
             query = session.apply_defaults(query)
         raw = sql if isinstance(sql, str) else (query.raw_sql or str(query))
-        ticket = QueryTicket(raw, query, session)
+        ticket = QueryTicket(raw, query, session, progressive=progressive)
         self.metrics.submitted.increment()
 
         key = cache_key(query)
@@ -311,7 +364,7 @@ class QueryService:
         time_bound = query.time_bound.seconds if query.time_bound is not None else None
         predicted = self._predict_seconds(label, time_bound)
         ticket.metrics.predicted_latency_seconds = predicted
-        work = _WorkItem(ticket=ticket, key=key, label=label)
+        work = _WorkItem(ticket=ticket, key=key, label=label, progressive=progressive)
         try:
             admission, _ = self.scheduler.try_admit(
                 work, predicted_seconds=predicted, time_bound_seconds=time_bound
@@ -381,9 +434,10 @@ class QueryService:
             self.cache.generation_for(ticket.query.table) if self.cache is not None else 0
         )
         started = time.monotonic()
+        progress = ticket._on_progress if work.progressive else None
         try:
             with self.db.state_lock.read_locked():
-                result = self.db.runtime.execute(ticket.query)
+                result = self.db.runtime.execute(ticket.query, progress=progress)
         except Exception as error:  # noqa: BLE001 - the ticket transports the error
             ticket.metrics.service_seconds = time.monotonic() - started
             self.metrics.failed.increment()

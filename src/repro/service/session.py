@@ -102,9 +102,13 @@ class ClientSession:
         self._history: deque[QueryRecord] = deque(maxlen=history_limit)
 
     # -- querying ----------------------------------------------------------------
-    def submit(self, sql: str | Query) -> "QueryTicket":
-        """Submit a query asynchronously; returns the service ticket."""
-        return self.service.submit(sql, session=self)
+    def submit(self, sql: str | Query, progressive: bool = False) -> "QueryTicket":
+        """Submit a query asynchronously; returns the service ticket.
+
+        ``progressive`` tickets stream partial answers (one snapshot per
+        partition merge) readable via ``ticket.latest_snapshot()``.
+        """
+        return self.service.submit(sql, session=self, progressive=progressive)
 
     def execute(self, sql: str | Query, timeout: float | None = None) -> QueryResult:
         """Submit a query and block for its answer (raises if shed/failed)."""

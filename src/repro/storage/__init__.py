@@ -6,7 +6,13 @@ the sample-selection optimizer), the HDFS-like block abstraction, and a
 catalog that tracks base tables plus the samples built over them.
 """
 
-from repro.storage.block import Block, BlockSet, split_into_blocks
+from repro.storage.block import (
+    Block,
+    BlockSet,
+    TablePartition,
+    split_into_blocks,
+    split_into_row_ranges,
+)
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.schema import ColumnType, Schema
@@ -16,7 +22,9 @@ from repro.storage.table import Table
 __all__ = [
     "Block",
     "BlockSet",
+    "TablePartition",
     "split_into_blocks",
+    "split_into_row_ranges",
     "Catalog",
     "Column",
     "ColumnType",

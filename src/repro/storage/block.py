@@ -7,16 +7,24 @@ of a smaller sample are a prefix of the blocks of the next-larger sample, so
 intermediate data computed while probing a small sample can be reused when
 the query is re-run on a larger one (§4.4).
 
-In this reproduction a :class:`Block` is pure metadata — a row range within a
-logical dataset plus an estimated byte size — because the actual row data
-lives in in-memory :class:`~repro.storage.table.Table` objects.  The cluster
-simulator consumes blocks to model scan parallelism and locality.
+A :class:`Block` itself is pure metadata — a row range within a logical
+dataset plus an estimated byte size — which is what the cluster simulator
+consumes to model scan parallelism and locality.  :class:`TablePartition`
+attaches a block to the in-memory :class:`~repro.storage.table.Table` that
+holds its rows: a zero-copy view of the block's row range (and of the
+aligned per-row weights), which is the unit of work of the
+partition-parallel execution pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.storage.table import Table
 
 
 @dataclass(frozen=True)
@@ -106,6 +114,82 @@ class BlockSet:
         other_keys = {(b.dataset, b.index) for b in other}
         remaining = [b for b in self._blocks if (b.dataset, b.index) not in other_keys]
         return BlockSet(self.dataset, remaining)
+
+
+@dataclass(frozen=True)
+class TablePartition:
+    """One block's rows of a table, as a zero-copy view.
+
+    ``table`` materialises the block's row range of ``source`` by slicing
+    every column's backing array — NumPy basic slices, so no row data is
+    copied.  ``weights`` is the aligned slice of the per-row weights when the
+    source rows carry any (``None`` otherwise).
+    """
+
+    source: "Table"
+    block: Block
+    weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.block.row_end > self.source.num_rows:
+            raise ValueError(
+                f"block rows [{self.block.row_start}, {self.block.row_end}) exceed "
+                f"table {self.source.name!r} with {self.source.num_rows} rows"
+            )
+
+    @property
+    def index(self) -> int:
+        return self.block.index
+
+    @property
+    def num_rows(self) -> int:
+        return self.block.num_rows
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.size_bytes
+
+    @property
+    def table(self) -> "Table":
+        return self.source.slice_rows(self.block.row_start, self.block.row_end)
+
+    @property
+    def row_fraction(self) -> float:
+        """This partition's share of the source table's rows."""
+        if self.source.num_rows == 0:
+            return 0.0
+        return self.num_rows / self.source.num_rows
+
+
+def split_into_row_ranges(dataset: str, num_rows: int, num_partitions: int) -> BlockSet:
+    """Split ``num_rows`` rows into ``num_partitions`` near-equal row ranges.
+
+    The row-count-based sibling of :func:`split_into_blocks`, used when the
+    caller wants an exact partition count (e.g. one partition per pipeline
+    worker) rather than a byte-sized block.  ``size_bytes`` is left at the
+    per-row granularity of one byte so relative sizes stay meaningful.
+    """
+    if num_rows < 0:
+        raise ValueError("num_rows must be non-negative")
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    num_partitions = min(num_partitions, max(1, num_rows))
+    edges = np.linspace(0, num_rows, num_partitions + 1).astype(int)
+    blocks = [
+        Block(
+            dataset=dataset,
+            index=i,
+            row_start=int(start),
+            row_end=int(end),
+            size_bytes=int(end - start),
+        )
+        for i, (start, end) in enumerate(zip(edges[:-1], edges[1:]))
+        if end > start
+    ]
+    if not blocks:
+        blocks = [Block(dataset=dataset, index=0, row_start=0, row_end=num_rows,
+                        size_bytes=num_rows)]
+    return BlockSet(dataset, blocks)
 
 
 def split_into_blocks(

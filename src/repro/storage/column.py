@@ -119,6 +119,10 @@ class Column:
         """A new column containing only rows where ``mask`` is True."""
         return Column(self.name, self.ctype, self._data[mask], self._dictionary)
 
+    def slice_rows(self, start: int, stop: int) -> "Column":
+        """The rows ``[start, stop)`` as a zero-copy view of this column."""
+        return Column(self.name, self.ctype, self._data[start:stop], self._dictionary)
+
     def rename(self, new_name: str) -> "Column":
         return Column(new_name, self.ctype, self._data, self._dictionary)
 

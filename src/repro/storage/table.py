@@ -14,6 +14,12 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.common.errors import SchemaError
+from repro.storage.block import (
+    BlockSet,
+    TablePartition,
+    split_into_blocks,
+    split_into_row_ranges,
+)
 from repro.storage.column import Column
 from repro.storage.schema import ColumnDef, ColumnType, Schema
 
@@ -108,6 +114,67 @@ class Table:
     def head(self, n: int) -> "Table":
         """The first ``n`` rows."""
         return self.take(np.arange(min(n, self._num_rows)))
+
+    def slice_rows(self, start: int, stop: int, name: str | None = None) -> "Table":
+        """The rows ``[start, stop)`` as a zero-copy view of this table.
+
+        Every column's backing array is sliced with a basic (view) slice, so
+        the returned table shares memory with this one.  This is what makes
+        :class:`~repro.storage.block.TablePartition` iteration free.
+        """
+        start = max(0, min(start, self._num_rows))
+        stop = max(start, min(stop, self._num_rows))
+        return Table(
+            name or self.name,
+            [c.slice_rows(start, stop) for c in self.columns()],
+            self.schema,
+        )
+
+    # -- partitioning ---------------------------------------------------------------
+    def block_set(self, block_bytes: int | None = None,
+                  num_partitions: int | None = None) -> BlockSet:
+        """Split this table's rows into blocks (§2.2.1's "many small files").
+
+        Exactly one of ``block_bytes`` (byte-sized HDFS-style blocks) or
+        ``num_partitions`` (an exact partition count) must be given.
+        """
+        if (block_bytes is None) == (num_partitions is None):
+            raise ValueError("pass exactly one of block_bytes or num_partitions")
+        if block_bytes is not None:
+            return split_into_blocks(
+                self.name, self._num_rows, self.row_width_bytes, block_bytes
+            )
+        return split_into_row_ranges(self.name, self._num_rows, int(num_partitions))
+
+    def partitions(
+        self,
+        block_set: BlockSet | None = None,
+        weights: np.ndarray | None = None,
+        num_partitions: int | None = None,
+    ) -> list[TablePartition]:
+        """This table's rows as zero-copy :class:`TablePartition` views.
+
+        ``block_set`` defaults to a row-balanced split into ``num_partitions``
+        ranges (one partition when neither is given).  ``weights`` — per-row
+        inverse sampling rates aligned with this table — are sliced alongside
+        the rows so each partition carries its own weight view.
+        """
+        if block_set is None:
+            block_set = self.block_set(num_partitions=num_partitions or 1)
+        if weights is not None:
+            weights = np.asarray(weights)
+            if weights.shape[0] != self._num_rows:
+                raise SchemaError("weights length does not match table row count")
+        return [
+            TablePartition(
+                source=self,
+                block=block,
+                weights=(
+                    weights[block.row_start:block.row_end] if weights is not None else None
+                ),
+            )
+            for block in block_set
+        ]
 
     def project(self, names: Iterable[str], name: str | None = None) -> "Table":
         """A new table containing only the named columns."""

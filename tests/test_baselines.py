@@ -136,3 +136,66 @@ class TestOnlineAggregation:
         assert ola.time_to_reach_error(
             "SELECT AVG(session_time) FROM sessions GROUP BY city", 0.001
         ) is None
+
+    def test_incremental_steps_match_fresh_baseline(self, table):
+        # Extending a stream must give the same answer as a fresh baseline
+        # that jumps straight to the larger prefix.
+        sql = "SELECT COUNT(*), AVG(session_time) FROM sessions WHERE dt = 5"
+        incremental = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10))
+        for rows in (1_000, 4_000, 12_000):
+            incremental.step(sql, rows)
+        extended = incremental.step(sql, 20_000)
+        fresh = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10)).step(
+            sql, 20_000
+        )
+        for name in ("count_star", "avg_session_time"):
+            assert extended.result.scalar(name).value == pytest.approx(
+                fresh.result.scalar(name).value, rel=1e-9
+            )
+            assert extended.result.scalar(name).error_bar == pytest.approx(
+                fresh.result.scalar(name).error_bar, rel=1e-6
+            )
+
+    def test_shrinking_prefix_restarts_stream(self, table):
+        sql = "SELECT COUNT(*) FROM sessions WHERE dt = 5"
+        ola = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10))
+        big = ola.step(sql, 10_000)
+        small = ola.step(sql, 2_000)
+        assert small.rows_scanned == 2_000
+        assert small.worst_relative_error >= big.worst_relative_error
+
+    def test_count_scales_to_population(self, table):
+        sql = "SELECT COUNT(*) FROM sessions"
+        ola = OnlineAggregationBaseline(table, ClusterConfig(num_nodes=10))
+        step = ola.step(sql, 5_000)
+        # All scanned rows match, so the scaled count is exactly the table size.
+        assert step.result.scalar().value == pytest.approx(table.num_rows)
+
+    def test_cached_fraction_discount_applied_once(self, table):
+        # A fully cached table pays no random-I/O penalty: the latency must
+        # equal the plain cost-model estimate of the same bytes, not a
+        # doubly-discounted one.
+        from repro.cluster.cost_model import CostModel
+
+        cluster = ClusterConfig(num_nodes=10)
+        ola = OnlineAggregationBaseline(
+            table, cluster, simulated_rows=1_000_000_000, cached_fraction=1.0
+        )
+        scale = ola.simulated_rows / table.num_rows
+        bytes_scanned = int(1_000_000 * scale * table.row_width_bytes)
+        expected = CostModel(cluster).estimate(
+            bytes_scanned=bytes_scanned, cached_fraction=1.0
+        )
+        assert ola.latency_for_rows(1_000_000) == pytest.approx(
+            expected.total_seconds, rel=1e-9
+        )
+
+    def test_partially_cached_latency_between_extremes(self, table):
+        cluster = ClusterConfig(num_nodes=10)
+        latencies = {
+            fraction: OnlineAggregationBaseline(
+                table, cluster, simulated_rows=1_000_000_000, cached_fraction=fraction
+            ).latency_for_rows(1_000_000)
+            for fraction in (0.0, 0.5, 1.0)
+        }
+        assert latencies[0.0] > latencies[0.5] > latencies[1.0]

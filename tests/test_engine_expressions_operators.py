@@ -89,6 +89,16 @@ class TestHashJoin:
         with pytest.raises(ExecutionError):
             hash_join(left, right, "k", "k")
 
+    def test_nan_dimension_keys_are_not_duplicates(self):
+        # NaN != NaN: several NaN keys are legal, they just never match.
+        left = Table.from_dict("fact", {"k": [1.0, float("nan"), 2.0]})
+        right = Table.from_dict(
+            "dim", {"k": [1.0, float("nan"), float("nan")], "w": [5, 6, 7]}
+        )
+        joined, left_rows = hash_join(left, right, "k", "k")
+        assert left_rows.tolist() == [0]
+        assert joined.column("w").values().tolist() == [5]
+
     def test_name_collision_gets_prefixed(self):
         left = Table.from_dict("fact", {"k": [1], "v": [10]})
         right = Table.from_dict("dim", {"k": [1], "v": [99]})

@@ -1,0 +1,279 @@
+"""Property-based tests for the partition-parallel aggregation algebra.
+
+Three families of invariants:
+
+* **Merge semantics** — partial-state merge is associative and commutative
+  (up to floating-point rounding), verified with hypothesis-generated
+  value/weight vectors.
+* **Split-vs-whole equivalence** — for every supported aggregate, executing
+  a query through N partitions (any N, any merge order) produces the same
+  estimates and error bars as the whole-table path, verified over randomized
+  tables/weights driven by seeds.
+* **Anytime error bars** — finalizing fewer merged partitions (with the
+  coverage-corrected weight scale) never shrinks an error bar: uncertainty
+  widens monotonically as coverage drops.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common.rng import make_rng
+from repro.engine.accumulators import make_state
+from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.sql.parser import parse_query
+from repro.storage.table import Table
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_weights = st.floats(
+    min_value=1.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+AGGREGATES = ["count", "sum", "avg", "variance", "stddev", "quantile"]
+
+
+def chunked_data(min_chunks=2, max_chunks=5):
+    """(chunk list) strategy: a few (values, weights) vectors to merge."""
+
+    def one_chunk(n):
+        return st.tuples(
+            arrays(np.float64, n, elements=finite_floats),
+            arrays(np.float64, n, elements=positive_weights),
+        )
+
+    return st.lists(
+        st.integers(min_value=0, max_value=30).flatmap(one_chunk),
+        min_size=min_chunks,
+        max_size=max_chunks,
+    )
+
+
+def _build(name, chunks):
+    state = make_state(name, 0.5)
+    for values, weights in chunks:
+        state.update(values, weights)
+    return state
+
+
+def _merge_all(name, chunk_groups, order):
+    states = [_build(name, [chunk_groups[i]]) for i in order]
+    merged = states[0]
+    for state in states[1:]:
+        merged.merge(state)
+    return merged
+
+
+def _comparable(a, b):
+    """Estimates agree in value and variance (NaN/inf-aware)."""
+    if math.isnan(a.value):
+        assert math.isnan(b.value)
+    else:
+        assert b.value == pytest.approx(a.value, rel=1e-9, abs=1e-9)
+    if not math.isfinite(a.variance):
+        assert not math.isfinite(b.variance)
+    else:
+        assert b.variance == pytest.approx(a.variance, rel=1e-6, abs=1e-9)
+
+
+class TestMergeSemantics:
+    @pytest.mark.parametrize("name", AGGREGATES)
+    @given(chunks=chunked_data(min_chunks=2, max_chunks=2))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_commutes(self, name, chunks):
+        rows_read = sum(len(v) for v, _ in chunks) * 2 + 1
+        ab = _merge_all(name, chunks, [0, 1]).finalize(rows_read, None)
+        ba = _merge_all(name, chunks, [1, 0]).finalize(rows_read, None)
+        _comparable(ab, ba)
+
+    @pytest.mark.parametrize("name", AGGREGATES)
+    @given(chunks=chunked_data(min_chunks=3, max_chunks=3))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_associates(self, name, chunks):
+        rows_read = sum(len(v) for v, _ in chunks) * 2 + 1
+        left = _build(name, [chunks[0]])
+        left.merge(_build(name, [chunks[1]]))
+        left.merge(_build(name, [chunks[2]]))
+        right_tail = _build(name, [chunks[1]])
+        right_tail.merge(_build(name, [chunks[2]]))
+        right = _build(name, [chunks[0]])
+        right.merge(right_tail)
+        _comparable(left.finalize(rows_read, None), right.finalize(rows_read, None))
+
+    @pytest.mark.parametrize("name", AGGREGATES)
+    @given(chunks=chunked_data())
+    @settings(max_examples=30, deadline=None)
+    def test_split_equals_whole_vectors(self, name, chunks):
+        values = np.concatenate([v for v, _ in chunks])
+        weights = np.concatenate([w for _, w in chunks])
+        rows_read = len(values) * 2 + 1
+        whole = _build(name, [(values, weights)]).finalize(rows_read, None)
+        order = list(range(len(chunks)))
+        merged = _merge_all(name, chunks, order).finalize(rows_read, None)
+        _comparable(whole, merged)
+
+
+SPLIT_SQL = (
+    "SELECT COUNT(*), SUM(x), AVG(x), VARIANCE(x), STDDEV(x), QUANTILE(x, 0.8) "
+    "FROM t WHERE f < 6 GROUP BY g"
+)
+
+
+def _random_table(seed, rows=3_000):
+    rng = make_rng(seed)
+    table = Table.from_dict(
+        "t",
+        {
+            "g": [f"g{i}" for i in rng.integers(0, 5, rows)],
+            "x": rng.lognormal(2.0, 0.8, rows).tolist(),
+            "f": rng.integers(0, 10, rows).tolist(),
+        },
+    )
+    weights = np.where(rng.random(rows) < 0.3, 1.0, rng.uniform(2.0, 40.0, rows))
+    return table, weights
+
+
+class TestSplitVsWholeExecution:
+    """Acceptance criterion: N partitions, any N and merge order == whole path."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    @pytest.mark.parametrize("num_partitions", [2, 5, 16])
+    def test_partitioned_execute_matches_whole(self, seed, num_partitions):
+        table, weights = _random_table(seed)
+        executor = QueryExecutor()
+        query = parse_query(SPLIT_SQL)
+        context = ExecutionContext(weights=weights, rows_read=table.num_rows)
+        whole = executor.execute(query, table, context)
+        split = executor.execute(query, table, context, num_partitions=num_partitions)
+        assert [g.key for g in whole] == [g.key for g in split]
+        for g_whole, g_split in zip(whole, split):
+            for name in g_whole.aggregates:
+                assert g_split[name].value == pytest.approx(
+                    g_whole[name].value, rel=1e-9
+                ), (seed, num_partitions, name)
+                assert g_split[name].error_bar == pytest.approx(
+                    g_whole[name].error_bar, rel=1e-6
+                ), (seed, num_partitions, name)
+
+    @pytest.mark.parametrize("seed", [5, 89])
+    def test_merge_order_does_not_matter(self, seed):
+        table, weights = _random_table(seed, rows=1_500)
+        executor = QueryExecutor()
+        query = parse_query(SPLIT_SQL)
+        partitions = table.partitions(weights=weights, num_partitions=6)
+
+        def merged_result(order):
+            partials = [
+                executor.partial_aggregate_partition(query, partitions[i]) for i in order
+            ]
+            merged = partials[0]
+            for piece in partials[1:]:
+                merged = merged.merge(piece)
+            return executor.finalize(
+                query,
+                merged,
+                ExecutionContext(weights=weights),
+                rows_read=table.num_rows,
+                population_read=float(np.sum(weights)),
+            )
+
+        forward = merged_result(list(range(6)))
+        shuffled = merged_result([3, 0, 5, 1, 4, 2])
+        for g_a, g_b in zip(forward, shuffled):
+            assert g_a.key == g_b.key
+            for name in g_a.aggregates:
+                assert g_b[name].value == pytest.approx(g_a[name].value, rel=1e-9)
+                assert g_b[name].error_bar == pytest.approx(
+                    g_a[name].error_bar, rel=1e-6
+                )
+
+    @pytest.mark.parametrize("seed", [7, 31])
+    def test_exact_path_matches_through_partitions(self, seed):
+        table, _ = _random_table(seed, rows=1_000)
+        executor = QueryExecutor()
+        query = parse_query("SELECT COUNT(*), SUM(x) FROM t GROUP BY g")
+        whole = executor.execute(query, table)
+        split = executor.execute(query, table, num_partitions=7)
+        assert whole.is_exact and split.is_exact
+        for g_whole, g_split in zip(whole, split):
+            assert g_split["count_star"].value == g_whole["count_star"].value
+            assert g_split["sum_x"].value == pytest.approx(g_whole["sum_x"].value)
+
+
+class TestAnytimeWidening:
+    """Error bars widen monotonically as fewer partitions are merged."""
+
+    NUM_PARTITIONS = 8
+
+    def _table(self):
+        # Each partition holds an identical copy of one value pattern, so the
+        # per-prefix sample variance is stable and the widening is driven
+        # purely by the shrinking coverage.
+        pattern = np.concatenate([np.linspace(10.0, 50.0, 100)] * 1)
+        values = np.tile(pattern, self.NUM_PARTITIONS)
+        table = Table.from_dict("t", {"x": values.tolist()})
+        weights = np.full(values.shape[0], 4.0)
+        return table, weights
+
+    @pytest.mark.parametrize("aggregate", ["COUNT(*)", "SUM(x)", "AVG(x)"])
+    def test_error_bar_monotone_in_coverage(self, aggregate):
+        table, weights = self._table()
+        executor = QueryExecutor()
+        query = parse_query(f"SELECT {aggregate} FROM t")
+        context = ExecutionContext(weights=weights, rows_read=table.num_rows)
+        partitions = table.partitions(weights=weights, num_partitions=self.NUM_PARTITIONS)
+        population = float(np.sum(weights))
+
+        error_bars = []
+        merged = None
+        for k, partition in enumerate(partitions, start=1):
+            piece = executor.partial_aggregate_partition(query, partition)
+            merged = piece if merged is None else merged.merge(piece)
+            scale = population / merged.weight_scanned if k < len(partitions) else 1.0
+            result = executor.finalize(
+                query,
+                merged,
+                context,
+                rows_read=merged.rows_scanned,
+                population_read=population,
+                weight_scale=scale,
+            )
+            error_bars.append(result.scalar().error_bar)
+
+        # error_bars[k-1] is the anytime answer after k merges: fewer merged
+        # partitions must never give a tighter bar.
+        for narrower, wider in zip(error_bars[1:], error_bars[:-1]):
+            assert wider >= narrower * (1.0 - 1e-9)
+
+    def test_partial_coverage_point_estimates_stay_unbiased(self):
+        table, weights = self._table()
+        executor = QueryExecutor()
+        query = parse_query("SELECT COUNT(*), AVG(x) FROM t")
+        context = ExecutionContext(weights=weights, rows_read=table.num_rows)
+        partitions = table.partitions(weights=weights, num_partitions=self.NUM_PARTITIONS)
+        population = float(np.sum(weights))
+
+        merged = executor.partial_aggregate_partition(query, partitions[0])
+        merged = merged.merge(executor.partial_aggregate_partition(query, partitions[1]))
+        partial = executor.finalize(
+            query,
+            merged,
+            context,
+            rows_read=merged.rows_scanned,
+            population_read=population,
+            weight_scale=population / merged.weight_scanned,
+        )
+        full = executor.execute(query, table, context)
+        # The pattern repeats per partition, so the scaled partial answer
+        # lands exactly on the full-coverage answer.
+        assert partial.groups[0]["count_star"].value == pytest.approx(
+            full.groups[0]["count_star"].value
+        )
+        assert partial.groups[0]["avg_x"].value == pytest.approx(
+            full.groups[0]["avg_x"].value
+        )

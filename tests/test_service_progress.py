@@ -1,0 +1,88 @@
+"""Tests for progressive tickets: snapshots streamed while a query runs."""
+
+import pytest
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.core.blinkdb import BlinkDB
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+@pytest.fixture(scope="module")
+def db():
+    table = generate_sessions_table(num_rows=30_000, seed=7, num_cities=40)
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=400, min_cap=25, uniform_sample_fraction=0.08),
+        cluster=ClusterConfig(num_nodes=20),
+    )
+    instance = BlinkDB(config)
+    instance.load_table(table, simulated_rows=2_000_000_000)
+    instance.register_workload(templates=conviva_query_templates())
+    instance.build_samples(storage_budget_fraction=0.5)
+    return instance
+
+
+@pytest.fixture()
+def service(db):
+    svc = db.serve(num_workers=2, cache=False)
+    yield svc
+    svc.close()
+
+
+SQL = "SELECT COUNT(*) FROM sessions WHERE dt = 5"
+
+
+class TestProgressiveTickets:
+    def test_progressive_ticket_collects_snapshots(self, service):
+        ticket = service.submit(SQL, progressive=True)
+        result = ticket.result(timeout=30)
+        snapshots = ticket.snapshots()
+        assert ticket.progressive
+        assert len(snapshots) >= 2
+        fractions = [s.fraction_merged for s in snapshots]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        # The last snapshot *is* the final answer.
+        assert snapshots[-1].result.scalar().value == result.scalar().value
+        assert ticket.latest_snapshot() is snapshots[-1]
+        assert ticket.progress_fraction == 1.0
+
+    def test_snapshots_expose_partial_results_with_coverage(self, service):
+        ticket = service.submit(SQL, progressive=True)
+        ticket.result(timeout=30)
+        first = ticket.snapshots()[0]
+        assert 0.0 < first.coverage_fraction < 1.0
+        assert first.partitions_merged == 1
+        assert first.result.scalar().error_bar >= ticket.snapshots()[-1].result.scalar().error_bar
+
+    def test_non_progressive_ticket_has_no_snapshots(self, service):
+        ticket = service.submit(SQL)
+        ticket.result(timeout=30)
+        assert not ticket.progressive
+        assert ticket.snapshots() == []
+        assert ticket.latest_snapshot() is None
+        assert ticket.progress_fraction == 1.0  # resolved tickets report done
+
+    def test_describe_reports_progress(self, service):
+        ticket = service.submit(SQL, progressive=True)
+        ticket.result(timeout=30)
+        description = ticket.describe()
+        assert description["progressive"] is True
+        assert description["progress_fraction"] == 1.0
+
+    def test_session_submit_passes_progressive_flag(self, service):
+        session = service.connect(name="dash")
+        ticket = session.submit(SQL, progressive=True)
+        ticket.result(timeout=30)
+        assert ticket.snapshots()
+
+    def test_cache_hit_resolves_without_snapshots(self, db):
+        svc = db.serve(num_workers=1, cache=True)
+        try:
+            svc.submit(SQL, progressive=True).result(timeout=30)
+            hit = svc.submit(SQL, progressive=True)
+            hit.result(timeout=30)
+            assert hit.metrics.cache_hit
+            assert hit.snapshots() == []
+            assert hit.progress_fraction == 1.0
+        finally:
+            svc.close()
