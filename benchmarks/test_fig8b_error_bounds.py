@@ -13,7 +13,6 @@ import math
 import pytest
 
 from benchmarks._report import print_header, print_table
-from repro.workloads.conviva import conviva_query_templates
 from repro.workloads.tracegen import generate_trace
 
 ERROR_BOUNDS = (0.02, 0.04, 0.08, 0.16, 0.32)

@@ -1,0 +1,100 @@
+"""Planning overhead: plan cost as a fraction of end-to-end query latency.
+
+Not a figure from the paper — this guards the query-planning layer this
+reproduction adds (AST -> LogicalPlan -> PhysicalPlan).  Planning includes
+predicate canonicalization, fingerprinting, family selection, and — on a
+probe-cache miss — executing the query on every family's smallest
+resolution.  The benchmark measures, per template:
+
+* cold planning (first query of a template: probes run), and
+* warm planning (probe memo hits),
+
+against the wall-clock cost of actually answering the query, and asserts
+that warm planning stays a small fraction of query latency.  Run directly
+for the full sweep; set ``REPRO_BENCH_QUICK=1`` (the CI smoke job does) to
+shrink it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from benchmarks._report import print_header, print_table
+from repro.planner.logical import LogicalPlan
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 5 if QUICK else 20
+
+#: Warm planning must cost at most this fraction of end-to-end execution.
+MAX_WARM_PLAN_FRACTION = 0.5
+
+QUERIES = [
+    "SELECT COUNT(*) FROM sessions WHERE city = 'city_0003' GROUP BY os",
+    "SELECT AVG(session_time) FROM sessions WHERE genre = 'g2' AND os = 'os_1'",
+    "SELECT SUM(jointimems) FROM sessions WHERE dt = 11 ERROR WITHIN 10% AT CONFIDENCE 95%",
+    "SELECT COUNT(*) FROM sessions WHERE city = 'city_0001' WITHIN 5 SECONDS",
+]
+
+
+def _time(callable_, repeats: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        callable_()
+    return (time.perf_counter() - start) / repeats
+
+
+def run_planning_sweep(db):
+    rows = []
+    for sql in QUERIES if not QUICK else QUERIES[:2]:
+        logical = LogicalPlan.of(sql)
+        runtime = db.runtime
+        # Normalization alone: text -> canonical LogicalPlan + fingerprint.
+        normalize_s = _time(
+            lambda: LogicalPlan.from_query(_parse(sql)).fingerprint(), REPEATS
+        )
+        # Cold physical planning: fresh runtime state, probes really run.
+        cold_start = time.perf_counter()
+        runtime.explain(logical)
+        cold_plan_s = time.perf_counter() - cold_start
+        # Warm physical planning: probe memo hits.
+        warm_plan_s = _time(lambda: runtime.explain(logical), REPEATS)
+        # End-to-end execution (planning included), warm.
+        execute_s = _time(lambda: db.query(sql), REPEATS)
+        rows.append(
+            {
+                "template": logical.describe()[:48],
+                "normalize_us": round(normalize_s * 1e6, 1),
+                "cold_plan_ms": round(cold_plan_s * 1e3, 2),
+                "warm_plan_ms": round(warm_plan_s * 1e3, 2),
+                "execute_ms": round(execute_s * 1e3, 2),
+                "warm_fraction": round(warm_plan_s / execute_s, 3) if execute_s else 0.0,
+            }
+        )
+    return rows
+
+
+def _parse(sql: str):
+    from repro.sql.parser import parse_query
+
+    return parse_query(sql)
+
+
+@pytest.mark.benchmark(group="planning-overhead")
+def test_planning_overhead(benchmark, conviva_db):
+    rows = benchmark.pedantic(
+        lambda: run_planning_sweep(conviva_db), rounds=1, iterations=1
+    )
+
+    print_header(
+        "Planning overhead — logical normalization, cold/warm physical "
+        "planning, and end-to-end execution per template"
+    )
+    print_table(rows)
+
+    for row in rows:
+        # Planning is memoized and cheap: a warm plan must stay a small
+        # fraction of actually answering the query.
+        assert row["warm_fraction"] <= MAX_WARM_PLAN_FRACTION, row

@@ -22,10 +22,9 @@ from dataclasses import dataclass
 
 from repro.cluster.cost_model import CostModel
 from repro.common.config import ClusterConfig
-from repro.engine.executor import QueryExecutor
+from repro.engine.executor import Plannable, QueryExecutor
 from repro.engine.result import QueryResult
-from repro.sql.ast import Query
-from repro.sql.parser import parse_query
+from repro.planner.logical import LogicalPlan
 from repro.storage.table import Table
 
 
@@ -93,12 +92,16 @@ class FullScanBaseline:
         self.simulated_rows = simulated_rows or table.num_rows
         self._executor = QueryExecutor()
 
-    def execute(self, query: Query | str, engine: BaselineEngine) -> FullScanResult:
-        """Exact answer plus the engine's simulated latency for the full scan."""
-        if isinstance(query, str):
-            query = parse_query(query)
+    def execute(self, query: Plannable, engine: BaselineEngine) -> FullScanResult:
+        """Exact answer plus the engine's simulated latency for the full scan.
+
+        The same :class:`~repro.planner.logical.LogicalPlan` the approximate
+        runtime executes is bound here to the full base table — the exact
+        baselines and the sampled paths answer one plan, not two ASTs.
+        """
+        plan = LogicalPlan.of(query)
         profile = _ENGINE_PROFILES[engine]
-        result = self._executor.execute(query, self.table)
+        result = self._executor.execute(plan, self.table)
 
         bytes_scanned = self.simulated_rows * self.table.row_width_bytes
         cached_fraction = 0.0
@@ -119,6 +122,7 @@ class FullScanBaseline:
             cached_fraction=cached_fraction,
         )
 
-    def latency_sweep(self, query: Query | str) -> dict[BaselineEngine, float]:
+    def latency_sweep(self, query: Plannable) -> dict[BaselineEngine, float]:
         """Latency of every engine for one query (the Fig. 6(c) bars)."""
-        return {engine: self.execute(query, engine).latency_seconds for engine in BaselineEngine}
+        plan = LogicalPlan.of(query)
+        return {engine: self.execute(plan, engine).latency_seconds for engine in BaselineEngine}

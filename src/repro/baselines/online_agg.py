@@ -34,10 +34,9 @@ from repro.cluster.cost_model import CostModel
 from repro.common.config import ClusterConfig
 from repro.common.rng import make_rng
 from repro.engine.accumulators import PartialAggregation
-from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
 from repro.engine.result import QueryResult
-from repro.sql.ast import Query
-from repro.sql.parser import parse_query
+from repro.planner.logical import LogicalPlan
 from repro.storage.table import Table
 
 #: Random-order reads achieve a fraction of sequential disk bandwidth; OLA
@@ -57,9 +56,9 @@ class OnlineAggregationStep:
 
 @dataclass
 class _QueryStream:
-    """The incremental state of one query over the randomised row stream."""
+    """The incremental state of one plan over the randomised row stream."""
 
-    query: Query
+    plan: LogicalPlan
     partial: PartialAggregation | None = None
     rows_consumed: int = 0
 
@@ -90,24 +89,23 @@ class OnlineAggregationBaseline:
         self._streams: dict[str, _QueryStream] = {}
 
     # -- estimate quality -----------------------------------------------------------
-    def step(self, query: Query | str, rows_scanned: int) -> OnlineAggregationStep:
+    def step(self, query: Plannable, rows_scanned: int) -> OnlineAggregationStep:
         """The estimate after the first ``rows_scanned`` rows of the random order.
 
-        Growing prefixes extend the query's accumulator stream with only the
+        Growing prefixes extend the plan's accumulator stream with only the
         newly arrived rows; asking for a shorter prefix than already consumed
         restarts the stream (OLA cannot un-see rows).
         """
-        if isinstance(query, str):
-            query = parse_query(query)
+        plan = LogicalPlan.of(query)
         rows_scanned = int(min(max(1, rows_scanned), self.table.num_rows))
 
-        stream = self._stream_for(query)
+        stream = self._stream_for(plan)
         if stream.partial is None or rows_scanned < stream.rows_consumed:
             stream.partial = None
             stream.rows_consumed = 0
         if rows_scanned > stream.rows_consumed:
             chunk = self._randomized_table().slice_rows(stream.rows_consumed, rows_scanned)
-            piece = self._executor.partial_aggregate(query, chunk)
+            piece = self._executor.partial_aggregate(plan, chunk)
             stream.partial = (
                 piece if stream.partial is None else stream.partial.merge(piece)
             )
@@ -120,7 +118,7 @@ class OnlineAggregationBaseline:
             sample_name=f"{self.table.name}/ola/{rows_scanned}",
         )
         result = self._executor.finalize(
-            query,
+            plan,
             stream.partial,
             context,
             rows_read=rows_scanned,
@@ -134,13 +132,15 @@ class OnlineAggregationBaseline:
             result=result,
         )
 
-    def _stream_for(self, query: Query) -> _QueryStream:
-        key = query.raw_sql or repr(query)
+    def _stream_for(self, plan: LogicalPlan) -> _QueryStream:
+        # Keyed by the logical-plan fingerprint: equivalent query texts
+        # (whitespace, predicate order, GROUP BY order) share one stream.
+        key = plan.fingerprint()
         stream = self._streams.get(key)
         if stream is None:
             if len(self._streams) >= self._MAX_STREAMS:
                 self._streams.pop(next(iter(self._streams)))
-            stream = _QueryStream(query=query)
+            stream = _QueryStream(plan=plan)
             self._streams[key] = stream
         return stream
 
@@ -151,7 +151,7 @@ class OnlineAggregationBaseline:
         return self._randomized
 
     def rows_to_reach_error(
-        self, query: Query | str, target_relative_error: float, grid_points: int = 18
+        self, query: Plannable, target_relative_error: float, grid_points: int = 18
     ) -> int | None:
         """Rows of random-order input needed to reach the target error."""
         budgets = np.unique(
@@ -195,15 +195,14 @@ class OnlineAggregationBaseline:
         return estimate.total_seconds
 
     def time_to_reach_error(
-        self, query: Query | str, target_relative_error: float
+        self, query: Plannable, target_relative_error: float
     ) -> float | None:
         """Simulated seconds OLA needs to reach the target error (None if never)."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        rows = self.rows_to_reach_error(query, target_relative_error)
+        plan = LogicalPlan.of(query)
+        rows = self.rows_to_reach_error(plan, target_relative_error)
         if rows is None:
             return None
-        step = self.step(query, rows)
+        step = self.step(plan, rows)
         return self.latency_for_rows(rows, output_groups=max(1, len(step.result.groups)))
 
 

@@ -22,7 +22,7 @@ Example
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.concurrency import ReadWriteLock
 from repro.common.config import BlinkDBConfig
@@ -30,11 +30,12 @@ from repro.common.errors import CatalogError, PlanningError
 from repro.cluster.simulator import ClusterSimulator
 from repro.engine.result import QueryResult
 from repro.optimizer.planner import SamplePlan, SampleSelectionPlanner
+from repro.planner.physical import ExplainResult, PhysicalPlan
 from repro.runtime.execution import BlinkDBRuntime
 from repro.sampling.builder import BuildReport, SampleBuilder
 from repro.sampling.maintenance import MaintenanceAction, SampleMaintenance
-from repro.sql.ast import Query
-from repro.sql.parser import parse_query
+from repro.sql.ast import ExplainQuery, Query
+from repro.sql.parser import parse_query, parse_statement
 from repro.sql.templates import QueryTemplate, extract_template, normalize_weights, templates_from_trace
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
@@ -193,31 +194,56 @@ class BlinkDB:
         return self._plans.get(table_name)
 
     # -- querying -------------------------------------------------------------------------------
-    def query(self, sql: str | Query) -> QueryResult:
-        """Answer a BlinkQL query approximately using the built samples.
+    def query(self, sql: str | Query | ExplainQuery) -> QueryResult | ExplainResult:
+        """Answer a BlinkQL statement approximately using the built samples.
 
-        Safe to call from many threads at once; queries share the state lock
-        with sample builds so an in-flight query never sees a half-rebuilt
-        catalog.
+        ``EXPLAIN SELECT ...`` statements return an
+        :class:`~repro.planner.physical.ExplainResult` (the rendered
+        physical plan) without executing; everything else returns a
+        :class:`~repro.engine.result.QueryResult`.  Safe to call from many
+        threads at once; queries share the state lock with sample builds so
+        an in-flight query never sees a half-rebuilt catalog.
         """
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ExplainQuery):
+            return self.explain_plan(statement.query)
         with self.state_lock.read_locked():
-            return self.runtime.execute(sql)
+            return self.runtime.execute(statement)
 
     def query_exact(self, sql: str | Query) -> QueryResult:
         """Answer a query exactly from the base table (no sampling)."""
         with self.state_lock.read_locked():
             return self.runtime.execute_exact(sql)
 
+    def explain_plan(self, sql: str | Query) -> ExplainResult:
+        """Plan a query without executing it (what ``EXPLAIN SELECT`` returns)."""
+        with self.state_lock.read_locked():
+            plan: PhysicalPlan = self.runtime.explain(sql)
+        return ExplainResult(plan=plan, text=plan.render())
+
     def explain(self, sql: str | Query) -> dict[str, object]:
-        """Run a query and return the runtime's decision alongside the answer."""
-        result = self.query(sql)
+        """Run a query and return the physical plan alongside the answer.
+
+        For planning without execution, use :meth:`explain_plan` (or the
+        ``EXPLAIN SELECT ...`` statement).
+        """
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ExplainQuery):
+            # explain() always runs the query; an EXPLAIN wrapper only asks
+            # for the plan, which the returned dict carries anyway.
+            statement = statement.query
+        result = self.query(statement)
+        assert isinstance(result, QueryResult)
         decision = result.metadata.get("decision")
+        plan = result.metadata.get("plan")
         return {
             "result": result,
             "sample": result.sample_name,
             "rows_read": result.rows_read,
             "simulated_latency_seconds": result.simulated_latency_seconds,
             "decision": decision,
+            "plan": plan,
+            "plan_text": plan.render() if plan is not None else None,
         }
 
     # -- maintenance -------------------------------------------------------------------------------

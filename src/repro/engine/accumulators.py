@@ -42,6 +42,7 @@ from repro.estimation import closed_form
 from repro.estimation.estimators import (
     Estimate,
     estimate_quantile,
+    weight_is_unit,
     weights_nearly_uniform,
 )
 
@@ -618,10 +619,8 @@ class GroupPartial:
         """All observed weights (after scaling) are ≈ 1.0 (an exact stratum)."""
         if self.rows == 0:
             return False
-        tolerance = 1e-8 + 1e-5  # mirrors np.isclose(weight, 1.0) defaults
-        return (
-            abs(self.min_weight * scale - 1.0) <= tolerance
-            and abs(self.max_weight * scale - 1.0) <= tolerance
+        return weight_is_unit(self.min_weight * scale) and weight_is_unit(
+            self.max_weight * scale
         )
 
 

@@ -1,11 +1,17 @@
 """The query executor: a partition-wise pipeline over in-memory tables.
 
-The executor evaluates a parsed BlinkQL query against one in-memory table —
+The executor evaluates a **logical plan** against one in-memory table —
 either the base table (exact answers, zero-width error bars) or a sample
 table carrying per-row weights (approximate answers with Table-2 error bars).
-Execution is staged the way the paper's map/merge plan is (§2.2.1, and the
-plan shape the cluster cost model prices):
+Every public entry point accepts a :class:`~repro.planner.logical.LogicalPlan`
+(raw :class:`~repro.sql.ast.Query` objects and SQL strings are normalized at
+the boundary), so no execution stage ever consumes the raw AST.  Execution
+is staged the way the paper's map/merge plan is (§2.2.1, and the plan shape
+the cluster cost model prices):
 
+0. **column pruning** — only the plan's referenced columns are materialized
+   through the scan (zero-copy projection; filters and group-by fancy
+   indexing then touch just those arrays);
 1. **partial aggregation** (:meth:`QueryExecutor.partial_aggregate`) — for
    one partition of the input: join dimension tables, apply the WHERE mask,
    assign group codes, and fold the matching rows of every group into
@@ -25,7 +31,7 @@ approximate execution, which keeps all answer paths consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Union
 
 import numpy as np
 
@@ -39,7 +45,8 @@ from repro.engine.accumulators import (
 from repro.engine.expressions import evaluate_predicate
 from repro.engine.operators import hash_join
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
-from repro.sql.ast import AggregateCall, AggregateFunction, Query
+from repro.planner.logical import LogicalPlan
+from repro.sql.ast import AggregateFunction, Query
 from repro.storage.block import TablePartition
 from repro.storage.table import Table
 
@@ -52,6 +59,9 @@ _FUNCTION_NAMES = {
     AggregateFunction.STDDEV: "stddev",
     AggregateFunction.VARIANCE: "variance",
 }
+
+#: Anything the executor can answer: a plan, a parsed query, or SQL text.
+Plannable = Union[LogicalPlan, Query, str]
 
 
 @dataclass(frozen=True)
@@ -88,7 +98,7 @@ class ExecutionContext:
 
 
 class QueryExecutor:
-    """Executes queries against tables, resolving dimension tables by name."""
+    """Executes logical plans against tables, resolving dimension tables by name."""
 
     def __init__(self, tables: Mapping[str, Table] | None = None) -> None:
         self._tables = dict(tables or {})
@@ -99,19 +109,20 @@ class QueryExecutor:
     # -- public API -----------------------------------------------------------
     def execute(
         self,
-        query: Query,
+        plan: Plannable,
         data: Table,
         context: ExecutionContext | None = None,
         confidence: float | None = None,
         num_partitions: int | None = None,
     ) -> QueryResult:
-        """Execute ``query`` against ``data`` under the given context.
+        """Execute ``plan`` against ``data`` under the given context.
 
         ``num_partitions`` splits the input into that many row ranges, runs
         the partial-aggregation stage per partition, and merges the states —
         the result is the same as the single-partition path (up to
         floating-point rounding of the merges).
         """
+        plan = LogicalPlan.of(plan)
         context = context or ExecutionContext(exact=True)
 
         weights = context.weights
@@ -129,16 +140,16 @@ class QueryExecutor:
             population_read = float(rows_read)
 
         if num_partitions is None or num_partitions <= 1:
-            partial = self.partial_aggregate(query, data, weights)
+            partial = self.partial_aggregate(plan, data, weights)
         else:
             partial = None
             for partition in data.partitions(weights=weights, num_partitions=num_partitions):
-                piece = self.partial_aggregate_partition(query, partition)
+                piece = self.partial_aggregate_partition(plan, partition)
                 partial = piece if partial is None else partial.merge(piece)
             assert partial is not None
 
         return self.finalize(
-            query,
+            plan,
             partial,
             context,
             confidence,
@@ -148,18 +159,19 @@ class QueryExecutor:
 
     # -- stage 1: per-partition partial aggregation ------------------------------------
     def partial_aggregate_partition(
-        self, query: Query, partition: TablePartition
+        self, plan: Plannable, partition: TablePartition
     ) -> PartialAggregation:
         """Partial-aggregate one zero-copy partition (its rows and weights)."""
-        return self.partial_aggregate(query, partition.table, partition.weights)
+        return self.partial_aggregate(plan, partition.table, partition.weights)
 
     def partial_aggregate(
         self,
-        query: Query,
+        plan: Plannable,
         data: Table,
         weights: np.ndarray | None = None,
     ) -> PartialAggregation:
-        """Join → filter → group → fold one partition into mergeable states."""
+        """Prune -> join -> filter -> group -> fold one partition into states."""
+        plan = LogicalPlan.of(plan)
         has_weights = weights is not None
         if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)
@@ -169,16 +181,19 @@ class QueryExecutor:
         rows_scanned = data.num_rows
         weight_scanned = float(np.sum(weights)) if weights is not None else float(rows_scanned)
 
+        # 0. Column pruning: materialize only the columns the plan touches.
+        data = self.prune(plan, data)
+
         # 1. Joins against dimension tables.
-        working, weights = self._apply_joins(query, data, weights)
+        working, weights = self._apply_joins(plan, data, weights)
 
         # 2. WHERE mask.
-        mask = evaluate_predicate(query.where, working)
+        mask = evaluate_predicate(plan.where, working)
         matched = working.filter(mask)
         matched_weights = weights[mask] if weights is not None else None
 
-        # 3. Group assignment.
-        group_columns = [c.name for c in query.group_by]
+        # 3. Group assignment (plan.group_by is already canonical).
+        group_columns = list(plan.group_by)
         if group_columns:
             matched.schema.validate_columns(group_columns)
             codes, keys = matched.group_codes(group_columns)
@@ -188,7 +203,7 @@ class QueryExecutor:
 
         # Resolve every aggregate's input column once for the partition.
         columns: dict[str, np.ndarray] = {}
-        for call in query.aggregates:
+        for call in plan.aggregates:
             if call.function is AggregateFunction.COUNT and call.column is None:
                 continue
             if call.column is None:
@@ -214,9 +229,9 @@ class QueryExecutor:
         for group_id, key in enumerate(keys):
             rows = order[boundaries[group_id]:boundaries[group_id + 1]]
             group_weights = matched_weights[rows]
-            group = GroupPartial(key=key, states=self._make_states(query))
+            group = GroupPartial(key=key, states=self._make_states(plan))
             group.observe_weights(group_weights)
-            for call, state in zip(query.aggregates, group.states):
+            for call, state in zip(plan.aggregates, group.states):
                 if call.function is AggregateFunction.COUNT and call.column is None:
                     values = None
                 else:
@@ -226,10 +241,27 @@ class QueryExecutor:
             partial.groups[key] = group
         return partial
 
-    # -- stage 3: merged states → estimates ---------------------------------------------
+    # -- stage 0: column pruning --------------------------------------------------------
+    def prune(self, plan: LogicalPlan, data: Table) -> Table:
+        """Project ``data`` down to the plan's referenced columns (zero-copy).
+
+        Columns satisfied by a joined dimension table are simply absent from
+        ``data``'s schema and are skipped; a plan that touches no column at
+        all (``COUNT(*)`` with no filters) keeps one carrier column so the
+        row count survives.
+        """
+        referenced = plan.referenced_columns
+        names = [n for n in data.schema.names if n in referenced]
+        if len(names) == len(data.schema.names):
+            return data
+        if not names:
+            names = data.schema.names[:1]
+        return data.project(names)
+
+    # -- stage 3: merged states -> estimates ---------------------------------------------
     def finalize(
         self,
-        query: Query,
+        plan: Plannable,
         partial: PartialAggregation,
         context: ExecutionContext | None = None,
         confidence: float | None = None,
@@ -246,8 +278,9 @@ class QueryExecutor:
         ``rows_read``/``sample_rows`` widen the error bars.  A partially
         covered result is never marked exact.
         """
+        plan = LogicalPlan.of(plan)
         context = context or ExecutionContext(exact=True)
-        confidence = self._reporting_confidence(query, confidence)
+        confidence = self._reporting_confidence(plan, confidence)
         if rows_read is None:
             rows_read = partial.rows_scanned
         if population_read is None:
@@ -255,9 +288,9 @@ class QueryExecutor:
 
         full_coverage = weight_scale == 1.0
         groups_partial = dict(partial.groups)
-        if not query.group_by and () not in groups_partial:
+        if not plan.group_by and () not in groups_partial:
             # A global aggregate always reports one group, even with no rows.
-            groups_partial[()] = GroupPartial(key=(), states=self._make_states(query))
+            groups_partial[()] = GroupPartial(key=(), states=self._make_states(plan))
 
         groups: list[GroupResult] = []
         for key, group in groups_partial.items():
@@ -267,7 +300,7 @@ class QueryExecutor:
                 and group.unit_weight(weight_scale)
             )
             aggregates: dict[str, AggregateValue] = {}
-            for call, state in zip(query.aggregates, group.states):
+            for call, state in zip(plan.aggregates, group.states):
                 estimate = state.finalize(
                     rows_read,
                     population_read,
@@ -279,35 +312,35 @@ class QueryExecutor:
             groups.append(GroupResult(key=key, aggregates=aggregates))
 
         groups.sort(key=lambda g: tuple(str(k) for k in g.key))
-        if query.limit is not None:
-            groups = groups[: query.limit]
+        if plan.limit is not None:
+            groups = groups[: plan.limit]
 
         return QueryResult(
-            group_by=tuple(c.name for c in query.group_by),
+            group_by=plan.group_by,
             groups=tuple(groups),
             rows_read=rows_read,
             sample_name=context.sample_name,
         )
 
     # -- internals ---------------------------------------------------------------
-    def _make_states(self, query: Query) -> list[AggregateState]:
+    def _make_states(self, plan: LogicalPlan) -> list[AggregateState]:
         return [
             make_state(_FUNCTION_NAMES[call.function], call.quantile)
-            for call in query.aggregates
+            for call in plan.aggregates
         ]
 
-    def _reporting_confidence(self, query: Query, override: float | None) -> float:
+    def _reporting_confidence(self, plan: LogicalPlan, override: float | None) -> float:
         if override is not None:
             return override
-        if query.error_bound is not None:
-            return query.error_bound.confidence
+        if plan.error_bound is not None:
+            return plan.error_bound.confidence
         return 0.95
 
     def _apply_joins(
-        self, query: Query, data: Table, weights: np.ndarray | None
+        self, plan: LogicalPlan, data: Table, weights: np.ndarray | None
     ) -> tuple[Table, np.ndarray | None]:
         working = data
-        for join in query.joins:
+        for join in plan.joins:
             right = self._tables.get(join.right_table)
             if right is None:
                 raise PlanningError(
@@ -318,17 +351,35 @@ class QueryExecutor:
             if left_key not in working.schema and right_key in working.schema:
                 # The user wrote the keys in the other order; swap them.
                 left_key, right_key = right_key, left_key
+            right = self._prune_dimension(plan, right, right_key)
             working, left_rows = hash_join(working, right, left_key, right_key)
             if weights is not None:
                 weights = weights[left_rows]
         return working, weights
 
+    def _prune_dimension(self, plan: LogicalPlan, right: Table, right_key: str) -> Table:
+        """Prune a dimension table to the join key plus referenced columns.
+
+        A dimension column is kept when the plan references it by its own
+        name or by the collision-prefixed name ``{table}_{column}`` that
+        :func:`~repro.engine.operators.hash_join` assigns on name clashes.
+        """
+        referenced = plan.referenced_columns
+        names = [
+            n
+            for n in right.schema.names
+            if n == right_key or n in referenced or f"{right.name}_{n}" in referenced
+        ]
+        if len(names) == len(right.schema.names):
+            return right
+        return right.project(names)
+
 
 def execute_exact(
-    query: Query,
+    plan: Plannable,
     table: Table,
     dimension_tables: Mapping[str, Table] | None = None,
 ) -> QueryResult:
-    """Execute a query exactly against the full base table."""
+    """Execute a plan exactly against the full base table."""
     executor = QueryExecutor(dimension_tables)
-    return executor.execute(query, table, ExecutionContext(exact=True, sample_name=None))
+    return executor.execute(plan, table, ExecutionContext(exact=True, sample_name=None))

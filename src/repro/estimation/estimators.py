@@ -90,6 +90,22 @@ def _as_arrays(values, weights, n: int) -> tuple[np.ndarray, np.ndarray]:
     return values, weights
 
 
+#: Tolerance of the unit-weight exactness test (np.isclose(x, 1.0) defaults:
+#: atol + rtol for a target of 1.0).
+_UNIT_WEIGHT_TOLERANCE = 1e-8 + 1e-5
+
+
+def weight_is_unit(weight: float) -> bool:
+    """Whether one (scaled) weight counts as exactly 1.0.
+
+    Shared with the mergeable partial-aggregation states
+    (:mod:`repro.engine.accumulators`): the §3.1 "exact stratum" test must
+    use one tolerance on both the serial and the partitioned path, or a
+    partitioned run could mark a group exact where the serial run does not.
+    """
+    return abs(weight - 1.0) <= _UNIT_WEIGHT_TOLERANCE
+
+
 def weights_nearly_uniform(min_weight: float, max_weight: float) -> bool:
     """Whether a weight vector with this min/max counts as uniform.
 

@@ -1,0 +1,47 @@
+"""Query planning: AST -> LogicalPlan -> PhysicalPlan.
+
+The planning layer sits between the SQL front end and the execution
+engine.  :class:`~repro.planner.logical.LogicalPlan` is the canonical,
+normalized form of a parsed query (stable fingerprints, disjoint OR
+branches, referenced-column sets);
+:class:`~repro.planner.physical.PhysicalPlan` binds it to concrete
+execution choices (sample family and resolution with ELP rationale,
+partition layout, pruned columns); and
+:class:`~repro.planner.planner.QueryPlanner` is the cost-based,
+sample-aware planner that produces the binding.  Every answer path in the
+system — approximate, exact, partitioned, disjunctive — consumes plans,
+never the raw AST.
+
+Submodule exports are resolved lazily (PEP 562): the execution engine
+imports :mod:`repro.planner.logical`, and the planner imports the engine,
+so the package initializer must not import either eagerly.
+"""
+
+_EXPORTS = {
+    "LogicalPlan": "repro.planner.logical",
+    "canonicalize_predicate": "repro.planner.logical",
+    "disjoint_branches": "repro.planner.logical",
+    "predicate_key": "repro.planner.logical",
+    "BranchPlan": "repro.planner.physical",
+    "ExplainResult": "repro.planner.physical",
+    "PartitionSpec": "repro.planner.physical",
+    "PhysicalPlan": "repro.planner.physical",
+    "PlanMode": "repro.planner.physical",
+    "QueryPlanner": "repro.planner.planner",
+    "per_branch_bound": "repro.planner.planner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

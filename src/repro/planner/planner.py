@@ -1,0 +1,465 @@
+"""The cost-based, sample-aware query planner.
+
+:class:`QueryPlanner` turns a :class:`~repro.planner.logical.LogicalPlan`
+into a :class:`~repro.planner.physical.PhysicalPlan`.  It owns every
+per-query decision the runtime used to make inline:
+
+1. **family selection** (§4.1) — superset match on the φ column set, or a
+   probe of every family's smallest resolution (memoized, see below);
+2. **resolution choice** (§4.2) — build the Error-Latency Profile from the
+   probe and pick the resolution that satisfies the query's error or time
+   bound at minimal cost;
+3. **disjunctive decomposition** (§4.1.2) — plan each disjoint OR branch on
+   its own best family with a per-branch tightened error bound;
+4. **anytime partition layout** — when a ``WITHIN`` bound is predicted
+   unsatisfiable (or the caller wants progressive snapshots), compute the
+   partition count and simulated lane count for the deadline-cut pipeline;
+5. **column pruning** — record the subset of the table's columns the
+   executor must materialize.
+
+Probe memoization
+-----------------
+Probing runs the query on every family's smallest resolution, which
+previously happened on *each* unbounded query.  Probe results are
+deterministic given the plan (sans bound) and the resolution, so the
+planner's selector memoizes them keyed by
+``(plan.probe_fingerprint(), resolution.name)``.  The memo lives on the
+selector, whose lifetime is the runtime's; the facade discards the runtime
+whenever samples or data change (``build_samples`` / ``replan_samples`` /
+``load_table``), so a stale probe can never survive a data generation.
+Hit/miss counters surface through ``runtime.stats`` and the service metrics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.common.config import BlinkDBConfig
+from repro.engine.executor import QueryExecutor
+from repro.planner.logical import LogicalPlan
+from repro.planner.physical import (
+    BranchPlan,
+    PartitionSpec,
+    PhysicalPlan,
+    PlanMode,
+)
+from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
+from repro.runtime.sizing import ErrorLatencyProfile, SampleSizer
+from repro.sampling.resolution import SampleResolution
+from repro.sql.ast import AggregateFunction, ErrorBound
+from repro.storage.catalog import Catalog
+
+
+class QueryPlanner:
+    """Plans queries against the samples registered in a catalog."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        executor: QueryExecutor,
+        config: BlinkDBConfig | None = None,
+        simulator: ClusterSimulator | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or BlinkDBConfig()
+        self.simulator = simulator
+        self.selector = SampleFamilySelector(catalog, executor)
+        self.sizer = SampleSizer(simulator)
+
+    # -- public API -----------------------------------------------------------------
+    def plan(
+        self,
+        logical: LogicalPlan,
+        *,
+        progressive: bool = False,
+    ) -> PhysicalPlan:
+        """Bind a logical plan to concrete execution choices."""
+        if self.should_split_disjunction(logical):
+            return self._plan_disjunctive(logical)
+
+        rationale: list[str] = []
+        selection = self.selector.select(logical)
+        rationale.append(_selection_rationale(selection))
+        probe = selection.probe or self.selector.probe(logical, selection.family.smallest)
+        resolution, profile, satisfied = self._choose_resolution(
+            logical, selection, probe
+        )
+        rationale.append(_resolution_rationale(logical, resolution, profile, satisfied))
+
+        anytime = (
+            not satisfied
+            and logical.time_bound is not None
+            and self.config.anytime_enabled
+        )
+        partitioning = None
+        if anytime or progressive:
+            deadline = logical.time_bound.seconds if anytime else None
+            partitioning = self.partition_spec(
+                logical, selection, resolution, probe, deadline_seconds=deadline
+            )
+            if anytime:
+                rationale.append(
+                    f"WITHIN {logical.time_bound.seconds:g}s unsatisfiable by any "
+                    f"resolution: anytime deadline-cut over "
+                    f"{partitioning.num_partitions} partitions"
+                )
+
+        return PhysicalPlan(
+            logical=logical,
+            mode=PlanMode.APPROXIMATE,
+            selection=selection,
+            probe=probe,
+            resolution=resolution,
+            profile=profile,
+            bound_satisfied=satisfied,
+            clustered_scan=self.clustered_scan(logical, selection),
+            anytime=anytime,
+            partitioning=partitioning,
+            pruned_columns=self.pruned_columns(logical),
+            rationale=tuple(rationale),
+        )
+
+    def plan_partitioned(
+        self,
+        logical: LogicalPlan,
+        *,
+        num_partitions: int | None = None,
+        sim_workers: int | None = None,
+        reference_workers: int | None = None,
+        deadline_seconds: float | None = None,
+    ) -> PhysicalPlan:
+        """Plan with an explicit partition layout (benchmark knobs)."""
+        selection = self.selector.select(logical)
+        probe = selection.probe or self.selector.probe(logical, selection.family.smallest)
+        resolution, profile, satisfied = self._choose_resolution(
+            logical, selection, probe
+        )
+        partitioning = self.partition_spec(
+            logical,
+            selection,
+            resolution,
+            probe,
+            deadline_seconds=deadline_seconds,
+            num_partitions=num_partitions,
+            sim_workers=sim_workers,
+            reference_workers=reference_workers,
+        )
+        return PhysicalPlan(
+            logical=logical,
+            mode=PlanMode.APPROXIMATE,
+            selection=selection,
+            probe=probe,
+            resolution=resolution,
+            profile=profile,
+            bound_satisfied=satisfied,
+            clustered_scan=self.clustered_scan(logical, selection),
+            anytime=deadline_seconds is not None,
+            partitioning=partitioning,
+            pruned_columns=self.pruned_columns(logical),
+            rationale=(
+                f"explicit partition layout: {partitioning.num_partitions} partitions "
+                f"on {partitioning.sim_workers} lanes",
+            ),
+        )
+
+    def plan_exact(self, logical: LogicalPlan) -> PhysicalPlan:
+        """Bind a logical plan to the full base table (exact baselines)."""
+        return PhysicalPlan(
+            logical=logical,
+            mode=PlanMode.EXACT,
+            bound_satisfied=True,
+            pruned_columns=self.pruned_columns(logical),
+            rationale=("full-resolution binding: exact scan of the base table",),
+        )
+
+    # -- planning building blocks ------------------------------------------------------
+    def should_split_disjunction(self, logical: LogicalPlan) -> bool:
+        """Whether the plan is answered as a union of disjoint branches (§4.1.2)."""
+        if logical.group_by:
+            return False
+        if len(logical.branches) <= 1:
+            return False
+        allowed = {AggregateFunction.COUNT, AggregateFunction.SUM}
+        return all(call.function in allowed for call in logical.aggregates)
+
+    def _plan_disjunctive(self, logical: LogicalPlan) -> PhysicalPlan:
+        branches = logical.branches
+        branch_bound = per_branch_bound(logical.error_bound, len(branches))
+        rationale = [
+            f"disjunctive WHERE: union of {len(branches)} disjoint conjunctive branches"
+        ]
+        if branch_bound is not None and logical.error_bound is not None:
+            rationale.append(
+                f"per-branch error bound tightened to "
+                f"{branch_bound.error:.4g} (= {logical.error_bound.error:g}/sqrt"
+                f"({len(branches)})) so the union still meets the bound"
+            )
+        plans: list[BranchPlan] = []
+        for branch in branches:
+            branch_logical = logical.for_branch(branch, branch_bound)
+            selection = self.selector.select_for_columns(
+                branch_logical, logical.branch_columns(branch)
+            )
+            probe = selection.probe or self.selector.probe(
+                branch_logical, selection.family.smallest
+            )
+            resolution, _, satisfied = self._choose_resolution(
+                branch_logical, selection, probe
+            )
+            rationale.append(
+                f"branch on {_selection_rationale(selection)} -> {resolution.name}"
+            )
+            plans.append(
+                BranchPlan(
+                    branch=branch,
+                    logical=branch_logical,
+                    selection=selection,
+                    probe=probe,
+                    resolution=resolution,
+                    satisfied=satisfied,
+                )
+            )
+        return PhysicalPlan(
+            logical=logical,
+            mode=PlanMode.DISJUNCTIVE,
+            bound_satisfied=all(p.satisfied for p in plans),
+            pruned_columns=self.pruned_columns(logical),
+            branch_plans=tuple(plans),
+            rationale=tuple(rationale),
+        )
+
+    def _choose_resolution(
+        self, logical: LogicalPlan, selection: FamilySelection, probe: ProbeResult
+    ) -> tuple[SampleResolution, ErrorLatencyProfile | None, bool]:
+        family = selection.family
+        clustered = self.clustered_scan(logical, selection)
+        if logical.error_bound is not None:
+            return self.sizer.resolution_for_error(
+                family, probe, logical.error_bound, clustered_scan=clustered
+            )
+        if logical.time_bound is not None:
+            return self.sizer.resolution_for_time(
+                family, probe, logical.time_bound, clustered_scan=clustered
+            )
+        profile = self.sizer.build_profile(family, probe, clustered_scan=clustered)
+        return self.sizer.default_resolution(family, probe), profile, True
+
+    @staticmethod
+    def clustered_scan(logical: LogicalPlan, selection: FamilySelection) -> bool:
+        """Whether the scan can be confined to the query's matching strata.
+
+        Stratified samples are stored sorted by their column set (§3.1), so
+        when that column set covers the query's WHERE columns the matching
+        rows are contiguous and only they need to be read.
+        """
+        return selection.covers_query and logical.where is not None
+
+    def pruned_columns(self, logical: LogicalPlan) -> tuple[str, ...]:
+        """Schema-ordered columns the executor materializes for this query."""
+        try:
+            table = self.catalog.table(logical.table)
+        except Exception:
+            return tuple(sorted(logical.referenced_columns))
+        referenced = logical.referenced_columns
+        pruned = tuple(n for n in table.schema.names if n in referenced)
+        if not pruned:
+            # COUNT(*) with no filters touches no columns; one carrier column
+            # is still needed to count rows.
+            pruned = tuple(table.schema.names[:1])
+        return pruned
+
+    # -- partition layout --------------------------------------------------------------
+    def partition_spec(
+        self,
+        logical: LogicalPlan,
+        selection: FamilySelection,
+        resolution: SampleResolution,
+        probe: ProbeResult,
+        *,
+        deadline_seconds: float | None = None,
+        num_partitions: int | None = None,
+        sim_workers: int | None = None,
+        reference_workers: int | None = None,
+    ) -> PartitionSpec:
+        """The partition layout of a pipeline execution of ``resolution``.
+
+        Partition count heuristics: one partition per
+        ``config.min_partition_rows`` rows capped at ``config.max_partitions``;
+        anytime/progressive runs get at least 8 partitions for merge
+        granularity, and a deadline splits finely enough that one straggling
+        partition task still fits it (bounded by
+        ``config.max_anytime_partitions``).  Lanes default to one per
+        data-holding simulated node so a full merge reproduces the cluster
+        simulator's whole-scan latency.
+        """
+        config = self.config
+        scan_latency = None
+        scan_nodes = None
+        task_overhead = 0.0
+        if self.simulator is not None and self.simulator.has_dataset(resolution.name):
+            rows_to_read, reuse_rows = self.scan_parameters(selection, resolution, probe)
+            execution = self.simulator.simulate_scan(
+                resolution.name,
+                rows_to_read=rows_to_read,
+                output_groups=max(1, probe.num_groups),
+                reuse_rows=reuse_rows,
+            )
+            scan_latency = execution.latency_seconds
+            task_overhead = self.simulator.config.task_startup_seconds
+            # Scanning is disk-bound per node: one pipeline lane per node that
+            # holds input data, each draining its blocks sequentially.
+            slots = self.simulator.config.scheduler_slots_per_node
+            scan_nodes = max(1, execution.estimate.parallelism // max(1, slots))
+
+        if num_partitions is None:
+            anytime_cap = max(config.max_partitions, config.max_anytime_partitions)
+            num_partitions = self._default_partitions(resolution.num_rows)
+            # Anytime cuts and progressive snapshots need merge granularity
+            # even on small resolutions: never fewer than 8 partitions
+            # (bounded by the row count and the anytime cap).
+            floor = min(8, resolution.num_rows, anytime_cap)
+            num_partitions = max(num_partitions, floor)
+            if deadline_seconds is not None and scan_latency is not None:
+                # Split finely enough that one partition task (startup plus
+                # its share of the per-lane scan work) fits the deadline, so
+                # a tight bound yields partial coverage rather than a single
+                # oversized task that blows through it.
+                work = max(0.0, scan_latency - task_overhead)
+                budget = deadline_seconds - task_overhead
+                if work > 0.0 and budget > 0.0:
+                    # A task can run up to (1 + spread) slower than its share;
+                    # budget for the worst case so stragglers still fit.
+                    serial = work * (scan_nodes or 1) * (1.0 + config.straggler_spread)
+                    needed = math.ceil(serial / budget)
+                    num_partitions = max(num_partitions, min(needed, anytime_cap))
+            num_partitions = max(1, min(num_partitions, resolution.num_rows))
+        if sim_workers is None:
+            # One lane per data-holding node: the full merge then reproduces
+            # the simulator's whole-scan latency, and finer partitions give
+            # shorter waves within each lane.
+            sim_workers = min(num_partitions, scan_nodes or num_partitions)
+        return PartitionSpec(
+            num_partitions=num_partitions,
+            sim_workers=sim_workers,
+            scan_latency_seconds=scan_latency,
+            task_overhead_seconds=task_overhead,
+            deadline_seconds=deadline_seconds,
+            reference_workers=reference_workers,
+        )
+
+    def _default_partitions(self, num_rows: int) -> int:
+        config = self.config
+        by_rows = max(1, num_rows // config.min_partition_rows)
+        return max(1, min(config.max_partitions, by_rows, max(1, num_rows)))
+
+    # -- simulated-scan accounting ------------------------------------------------------
+    def scan_parameters(
+        self,
+        selection: FamilySelection,
+        resolution: SampleResolution,
+        probe: ProbeResult,
+    ) -> tuple[int | None, int]:
+        """(rows_to_read, reuse_rows) of a simulated scan of ``resolution``.
+
+        Shared by the plain and partition-pipeline paths so both report the
+        same latency for the same work: ``rows_to_read`` confines a clustered
+        scan to the matching strata (§3.1), ``reuse_rows`` discounts the
+        blocks already read while probing a smaller resolution of the same
+        family (§4.4).  Requires the resolution to be registered with the
+        simulator.
+        """
+        assert self.simulator is not None
+        reuse_rows = 0
+        if probe.resolution.name != resolution.name and _same_family(
+            selection, probe.resolution
+        ):
+            reuse_rows = int(
+                probe.resolution.num_rows
+                * self._scale_ratio(probe.resolution)
+            )
+        rows_to_read = None
+        if selection.covers_query and probe.rows_read > 0 and probe.selectivity < 1.0:
+            info = self.simulator.dataset(resolution.name)
+            scale = info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
+            rows_to_read = int(max(1, resolution.num_rows * probe.selectivity * scale))
+            reuse_rows = int(reuse_rows * probe.selectivity)
+        return rows_to_read, reuse_rows
+
+    def _scale_ratio(self, probe_resolution: SampleResolution) -> float:
+        """Convert probe rows into the simulator's (possibly scaled) row space."""
+        if self.simulator is None:
+            return 1.0
+        if not self.simulator.has_dataset(probe_resolution.name):
+            return 1.0
+        info = self.simulator.dataset(probe_resolution.name)
+        if probe_resolution.num_rows == 0:
+            return 1.0
+        return info.num_rows / probe_resolution.num_rows
+
+
+def per_branch_bound(bound: ErrorBound | None, num_branches: int) -> ErrorBound | None:
+    """Tighten the error bound per branch so the union still meets it.
+
+    Independent branch variances add; answering each branch within
+    ``ε/√b`` of its truth keeps the union within ``ε`` (standard deviations
+    combine in quadrature).
+    """
+    if bound is None or num_branches <= 1:
+        return bound
+    from dataclasses import replace
+
+    return replace(bound, error=bound.error / (num_branches**0.5))
+
+
+def _same_family(selection: FamilySelection, resolution: SampleResolution) -> bool:
+    return any(r.name == resolution.name for r in selection.family.resolutions)
+
+
+def _selection_rationale(selection: FamilySelection) -> str:
+    columns = getattr(selection.family, "columns", None)
+    label = f"stratified[{','.join(columns)}]" if columns else "uniform"
+    if selection.reason == "superset-match":
+        return f"family {label}: smallest column superset of the query's phi set"
+    if selection.reason == "probe-best-ratio":
+        assert selection.probe is not None
+        return (
+            f"family {label}: best rows-selected/rows-read ratio "
+            f"({selection.probe.selectivity:.3f}) across "
+            f"{len(selection.probes)} probed families"
+        )
+    if selection.reason == "no-filter-uniform":
+        return f"family {label}: no filters or grouping, uniform is unbiased"
+    return f"family {label}: {selection.reason}"
+
+
+def _resolution_rationale(
+    logical: LogicalPlan,
+    resolution: SampleResolution,
+    profile: ErrorLatencyProfile | None,
+    satisfied: bool,
+) -> str:
+    if logical.error_bound is not None:
+        target = logical.error_bound
+        kind = f"{target.error:.2%} relative" if target.relative else f"{target.error:g} absolute"
+        if satisfied:
+            return (
+                f"ELP: {resolution.name} is the smallest resolution predicted to "
+                f"meet the {kind} error bound (minimizes latency)"
+            )
+        return (
+            f"ELP: no resolution predicted to meet the {kind} error bound; "
+            f"falling back to the largest ({resolution.name})"
+        )
+    if logical.time_bound is not None:
+        if satisfied:
+            return (
+                f"ELP: {resolution.name} is the largest resolution predicted to "
+                f"finish within {logical.time_bound.seconds:g}s (minimizes error)"
+            )
+        return (
+            f"ELP: no resolution predicted to finish within "
+            f"{logical.time_bound.seconds:g}s; falling back to the smallest "
+            f"({resolution.name})"
+        )
+    return f"no bound: default to the family's largest resolution ({resolution.name})"

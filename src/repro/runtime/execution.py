@@ -1,53 +1,40 @@
-"""The end-to-end BlinkDB runtime (paper §4).
+"""The end-to-end BlinkDB runtime (paper §4): plan, then dispatch.
 
-:class:`BlinkDBRuntime` receives a parsed (or raw) BlinkQL query and:
+:class:`BlinkDBRuntime` receives a BlinkQL query (raw text, parsed AST, or
+an already-normalized :class:`~repro.planner.logical.LogicalPlan`), hands it
+to the cost-based :class:`~repro.planner.planner.QueryPlanner`, and then
+*dispatches* the resulting :class:`~repro.planner.physical.PhysicalPlan`:
 
-1. selects a sample family (§4.1) — superset match or probe,
-2. builds an Error-Latency Profile and picks a resolution that satisfies the
-   query's error or time bound (§4.2),
-3. executes the query on that resolution with per-row weight bias correction
-   (§4.3),
-4. attaches the simulated cluster latency, reusing the probe's work when the
-   chosen resolution belongs to the probed family (§4.4),
-5. for disjunctive COUNT/SUM queries without GROUP BY, rewrites the query
-   into disjoint conjunctive branches, answers each on its own best family,
-   and combines the partial answers with propagated uncertainty (§4.1.2).
+* ``APPROXIMATE`` plans run on the chosen sample resolution — serially, or
+  through the partition pipeline when the plan carries a partition layout
+  (anytime deadline cuts, progressive snapshots);
+* ``DISJUNCTIVE`` plans run one sub-plan per disjoint OR branch and combine
+  the partial answers with propagated uncertainty (§4.1.2);
+* ``EXACT`` plans run the same logical plan bound to the full base table
+  (the no-sampling baseline).
 
-Partition-parallel and anytime execution
-----------------------------------------
-The runtime owns a :class:`~repro.runtime.partitioned.PartitionPipeline`
-and a shared partial-aggregation thread pool.  Two paths use it:
-
-* **anytime answers** — when a ``WITHIN`` time bound cannot be satisfied by
-  any resolution (and ``strict_bounds`` is off), the query runs
-  partition-parallel on the smallest viable sample and *stops at the
-  deadline*: the partitions whose simulated completion fits the bound are
-  merged and the estimate is returned with correctly widened error bars and
-  a coverage fraction in the decision metadata, instead of an answer that
-  blows through its deadline;
-* **progressive answers** — callers passing ``progress=`` to
-  :meth:`BlinkDBRuntime.execute` (the service layer's progressive tickets)
-  get one snapshot per partition merge.
-
-:meth:`BlinkDBRuntime.execute_partitioned` exposes the pipeline directly
-with explicit partition/worker counts (used by benchmarks to measure
-speedup vs. per-query parallelism).
+All decision logic — family selection (§4.1), Error-Latency-Profile
+resolution sizing (§4.2), anytime partition layout, column pruning — lives
+in the planner; the runtime only executes plans and attaches simulated
+cluster latencies (§4.4).  :meth:`BlinkDBRuntime.explain` returns the
+PhysicalPlan without executing it (the ``EXPLAIN`` statement).
 
 Thread safety
 -------------
 :meth:`BlinkDBRuntime.execute` is reentrant: every per-query decision lives
-in locals and in the per-call :class:`~repro.engine.executor.ExecutionContext`
-— the selector, sizer, and executor are stateless after construction, and
-the catalog/simulator are only read.  The service layer
-(:mod:`repro.service`) therefore shares one runtime across its whole worker
-pool; the only synchronised state here is the lifetime statistics counter.
-Mutations of the catalog (sample rebuilds) are serialised against queries by
-the facade's read/write state lock, not by the runtime.
+in the plan and the per-call :class:`~repro.engine.executor.ExecutionContext`
+— the planner, selector, sizer, and executor are stateless after
+construction apart from the probe memo (internally locked), and the
+catalog/simulator are only read.  The service layer (:mod:`repro.service`)
+therefore shares one runtime across its whole worker pool; the only other
+synchronised state here is the lifetime statistics counter.  Mutations of
+the catalog (sample rebuilds) are serialised against queries by the facade's
+read/write state lock, not by the runtime — the facade discards the runtime
+(and with it the probe memo) whenever samples or data change.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -56,15 +43,16 @@ from typing import Mapping
 from repro.common.config import BlinkDBConfig
 from repro.common.errors import ConstraintUnsatisfiableError
 from repro.cluster.simulator import ClusterSimulator
-from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
 from repro.estimation.propagation import combine_sum
+from repro.planner.logical import LogicalPlan
+from repro.planner.physical import PartitionSpec, PhysicalPlan, PlanMode
+from repro.planner.planner import QueryPlanner
 from repro.runtime.partitioned import PartitionPipeline, ProgressCallback
-from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
-from repro.runtime.sizing import ErrorLatencyProfile, SampleSizer
+from repro.runtime.selection import FamilySelection, ProbeResult
+from repro.runtime.sizing import ErrorLatencyProfile
 from repro.sampling.resolution import SampleResolution
-from repro.sql.ast import AggregateFunction, Query
-from repro.sql.parser import parse_query
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
@@ -89,6 +77,8 @@ class RuntimeDecision:
     partitions: int = 1
     anytime: bool = False
     coverage_fraction: float = 1.0
+    #: The physical plan the answer was computed from (EXPLAIN provenance).
+    plan: PhysicalPlan | None = field(default=None, compare=False)
 
 
 class BlinkDBRuntime:
@@ -105,8 +95,13 @@ class BlinkDBRuntime:
         self.config = config or BlinkDBConfig()
         self.simulator = simulator
         self.executor = QueryExecutor(dimension_tables)
-        self.selector = SampleFamilySelector(catalog, self.executor)
-        self.sizer = SampleSizer(simulator)
+        self.planner = QueryPlanner(
+            catalog, self.executor, config=self.config, simulator=simulator
+        )
+        # Shared with the planner: the selector (probe memo) and sizer are
+        # planner-owned; the runtime exposes them for tests and tooling.
+        self.selector = self.planner.selector
+        self.sizer = self.planner.sizer
         self.pipeline = PartitionPipeline(
             self.executor,
             straggler_spread=self.config.straggler_spread,
@@ -121,8 +116,13 @@ class BlinkDBRuntime:
         self._anytime_queries_executed = 0
 
     # -- public API -------------------------------------------------------------------
+    def explain(self, query: Plannable) -> PhysicalPlan:
+        """Plan a query without executing it (the ``EXPLAIN`` statement)."""
+        logical = LogicalPlan.of(query)
+        return self.planner.plan(logical)
+
     def execute(
-        self, query: Query | str, progress: ProgressCallback | None = None
+        self, query: Plannable, progress: ProgressCallback | None = None
     ) -> QueryResult:
         """Answer a query approximately, honouring its error/time bound.
 
@@ -132,42 +132,32 @@ class BlinkDBRuntime:
         merge (disjunctive queries fall back to a single final snapshot-less
         answer).
         """
-        if isinstance(query, str):
-            query = parse_query(query)
+        logical = LogicalPlan.of(query)
+        plan = self.planner.plan(logical, progressive=progress is not None)
 
-        if self._should_split_disjunction(query):
+        if plan.mode is PlanMode.DISJUNCTIVE:
             with self._stats_lock:
                 self._queries_executed += 1
                 self._disjunctive_queries_executed += 1
-            return self._execute_disjunctive(query)
+            if not plan.bound_satisfied and self.config.strict_bounds:
+                raise ConstraintUnsatisfiableError(
+                    "one or more disjunctive branches cannot satisfy the requested bound"
+                )
+            return self._execute_disjunctive(plan)
         with self._stats_lock:
             self._queries_executed += 1
 
-        selection = self.selector.select(query)
-        probe = selection.probe or self.selector.probe(query, selection.family.smallest)
-        resolution, profile, satisfied = self._choose_resolution(query, selection, probe)
-
-        if not satisfied and self.config.strict_bounds:
+        if not plan.bound_satisfied and self.config.strict_bounds:
             raise ConstraintUnsatisfiableError(
-                f"no resolution of family {self._family_key(selection)} satisfies the "
-                f"requested bound for query: {query.raw_sql or query}"
+                f"no resolution of family {plan.family_key} satisfies the "
+                f"requested bound for query: {logical.raw_sql or logical.describe()}"
             )
 
-        anytime = (
-            not satisfied
-            and query.time_bound is not None
-            and self.config.anytime_enabled
-        )
-        if anytime or progress is not None:
-            deadline = query.time_bound.seconds if anytime else None
-            result, stats = self._run_pipeline(
-                query,
-                selection,
-                resolution,
-                probe,
-                deadline_seconds=deadline,
-                progress=progress,
-            )
+        assert plan.selection is not None
+        assert plan.probe is not None and plan.resolution is not None
+        anytime = plan.anytime
+        if plan.partitioning is not None:
+            result, stats = self._run_pipeline(plan, progress=progress)
             partitions_run = stats.num_partitions
             coverage = stats.coverage_population_fraction
             if anytime and coverage < 1.0:
@@ -176,38 +166,44 @@ class BlinkDBRuntime:
                 with self._stats_lock:
                     self._anytime_queries_executed += 1
         else:
-            result = self._run_on_resolution(query, selection, resolution)
-            result = self._attach_latency(result, selection, resolution, probe)
+            result = self._run_on_resolution(
+                plan.logical, plan.selection, plan.resolution
+            )
+            result = self._attach_latency(
+                result, plan.selection, plan.resolution, plan.probe
+            )
             partitions_run = 1
             coverage = 1.0
             anytime = False
 
         entry_error = None
         entry_latency = None
-        if profile is not None:
-            entry = profile.entry_for(resolution)
+        if plan.profile is not None:
+            entry = plan.profile.entry_for(plan.resolution)
             entry_error = entry.predicted_relative_error
             entry_latency = entry.predicted_latency_seconds
         decision = RuntimeDecision(
-            family_key=self._family_key(selection),
-            family_reason=selection.reason,
-            resolution_name=resolution.name,
-            resolution_rows=resolution.num_rows,
-            bound_satisfied=satisfied,
+            family_key=plan.family_key,
+            family_reason=plan.selection.reason,
+            resolution_name=plan.resolution.name,
+            resolution_rows=plan.resolution.num_rows,
+            bound_satisfied=plan.bound_satisfied,
             predicted_relative_error=entry_error,
             predicted_latency_seconds=entry_latency,
-            profile=profile,
-            probed_families=tuple(p.resolution.name for p in selection.probes),
+            profile=plan.profile,
+            probed_families=plan.probed_resolutions,
             partitions=partitions_run,
             anytime=anytime and coverage < 1.0,
             coverage_fraction=coverage,
+            plan=plan,
         )
         result.metadata["decision"] = decision
+        result.metadata["plan"] = plan
         return result
 
     def execute_partitioned(
         self,
-        query: Query | str,
+        query: Plannable,
         *,
         num_partitions: int | None = None,
         sim_workers: int | None = None,
@@ -223,94 +219,70 @@ class BlinkDBRuntime:
         (defaults to ``sim_workers``).  Used by benchmarks to measure
         partition-parallel speedup and anytime error/deadline trade-offs.
         """
-        if isinstance(query, str):
-            query = parse_query(query)
+        logical = LogicalPlan.of(query)
         with self._stats_lock:
             self._queries_executed += 1
-        selection = self.selector.select(query)
-        probe = selection.probe or self.selector.probe(query, selection.family.smallest)
-        resolution, profile, satisfied = self._choose_resolution(query, selection, probe)
-        result, stats = self._run_pipeline(
-            query,
-            selection,
-            resolution,
-            probe,
-            deadline_seconds=deadline_seconds,
-            progress=progress,
+        plan = self.planner.plan_partitioned(
+            logical,
             num_partitions=num_partitions,
             sim_workers=sim_workers,
             reference_workers=reference_workers,
+            deadline_seconds=deadline_seconds,
         )
+        assert plan.selection is not None and plan.resolution is not None
+        result, stats = self._run_pipeline(plan, progress=progress)
         result.metadata["decision"] = RuntimeDecision(
-            family_key=self._family_key(selection),
-            family_reason=selection.reason,
-            resolution_name=resolution.name,
-            resolution_rows=resolution.num_rows,
-            bound_satisfied=satisfied,
-            profile=profile,
-            probed_families=tuple(p.resolution.name for p in selection.probes),
+            family_key=plan.family_key,
+            family_reason=plan.selection.reason,
+            resolution_name=plan.resolution.name,
+            resolution_rows=plan.resolution.num_rows,
+            bound_satisfied=plan.bound_satisfied,
+            profile=plan.profile,
+            probed_families=plan.probed_resolutions,
             partitions=stats.num_partitions,
             anytime=not stats.complete,
             coverage_fraction=stats.coverage_population_fraction,
+            plan=plan,
         )
+        result.metadata["plan"] = plan
         return result
 
-    def execute_exact(self, query: Query | str) -> QueryResult:
+    def execute_exact(self, query: Plannable) -> QueryResult:
         """Answer a query exactly from the base table (the no-sampling baseline)."""
-        if isinstance(query, str):
-            query = parse_query(query)
+        logical = LogicalPlan.of(query)
+        plan = self.planner.plan_exact(logical)
         with self._stats_lock:
             self._exact_queries_executed += 1
-        table = self.catalog.table(query.table)
+        table = self.catalog.table(logical.table)
         context = ExecutionContext(exact=True, sample_name=None)
-        result = self.executor.execute(query, table, context)
+        result = self.executor.execute(plan.logical, table, context)
         if self.simulator is not None and self.simulator.has_dataset(table.name):
             execution = self.simulator.simulate_scan(
                 table.name, output_groups=max(1, len(result.groups))
             )
             result = replace(result, simulated_latency_seconds=execution.latency_seconds)
+        result.metadata["plan"] = plan
         return result
 
     @property
     def stats(self) -> dict[str, int]:
         """Lifetime execution counters (thread-safe snapshot)."""
         with self._stats_lock:
-            return {
+            counters = {
                 "queries_executed": self._queries_executed,
                 "exact_queries_executed": self._exact_queries_executed,
                 "disjunctive_queries_executed": self._disjunctive_queries_executed,
                 "anytime_queries_executed": self._anytime_queries_executed,
             }
+        counters.update(self.selector.probe_cache_stats)
+        return counters
 
-    # -- internals: single-family path -----------------------------------------------------
-    def _choose_resolution(
-        self, query: Query, selection: FamilySelection, probe: ProbeResult
-    ) -> tuple[SampleResolution, ErrorLatencyProfile | None, bool]:
-        family = selection.family
-        clustered = self._clustered_scan(query, selection)
-        if query.error_bound is not None:
-            return self.sizer.resolution_for_error(
-                family, probe, query.error_bound, clustered_scan=clustered
-            )
-        if query.time_bound is not None:
-            return self.sizer.resolution_for_time(
-                family, probe, query.time_bound, clustered_scan=clustered
-            )
-        profile = self.sizer.build_profile(family, probe, clustered_scan=clustered)
-        return self.sizer.default_resolution(family, probe), profile, True
-
-    @staticmethod
-    def _clustered_scan(query: Query, selection: FamilySelection) -> bool:
-        """Whether the scan can be confined to the query's matching strata.
-
-        Stratified samples are stored sorted by their column set (§3.1), so
-        when that column set covers the query's WHERE columns the matching
-        rows are contiguous and only they need to be read.
-        """
-        return selection.covers_query and query.where is not None
-
+    # -- internals: single-plan path -----------------------------------------------------
     def _run_on_resolution(
-        self, query: Query, selection: FamilySelection, resolution: SampleResolution
+        self,
+        logical: LogicalPlan,
+        selection: FamilySelection,
+        resolution: SampleResolution,
     ) -> QueryResult:
         context = ExecutionContext(
             weights=resolution.weights,
@@ -320,98 +292,42 @@ class BlinkDBRuntime:
             population_read=resolution.represented_rows,
             sample_name=resolution.name,
         )
-        return self.executor.execute(query, resolution.table, context)
+        return self.executor.execute(logical, resolution.table, context)
 
     # -- internals: partition pipeline ---------------------------------------------------
     def _run_pipeline(
         self,
-        query: Query,
-        selection: FamilySelection,
-        resolution: SampleResolution,
-        probe: ProbeResult,
+        plan: PhysicalPlan,
         *,
-        deadline_seconds: float | None,
         progress: ProgressCallback | None,
-        num_partitions: int | None = None,
-        sim_workers: int | None = None,
-        reference_workers: int | None = None,
     ):
-        """Run one resolution through the partition pipeline."""
+        """Run a physical plan's partition layout through the pipeline."""
+        assert plan.selection is not None and plan.resolution is not None
+        spec: PartitionSpec = plan.partitioning or PartitionSpec(1, 1)
+        resolution = plan.resolution
         context = ExecutionContext(
             weights=resolution.weights,
             exact=False,
-            unit_weight_exact=selection.covers_query,
+            unit_weight_exact=plan.selection.covers_query,
             rows_read=resolution.num_rows,
             population_read=resolution.represented_rows,
             sample_name=resolution.name,
         )
-        scan_latency = None
-        scan_nodes = None
-        task_overhead = 0.0
-        if self.simulator is not None and self.simulator.has_dataset(resolution.name):
-            rows_to_read, reuse_rows = self._scan_parameters(selection, resolution, probe)
-            execution = self.simulator.simulate_scan(
-                resolution.name,
-                rows_to_read=rows_to_read,
-                output_groups=max(1, probe.num_groups),
-                reuse_rows=reuse_rows,
-            )
-            scan_latency = execution.latency_seconds
-            task_overhead = self.simulator.config.task_startup_seconds
-            # Scanning is disk-bound per node: one pipeline lane per node that
-            # holds input data, each draining its blocks sequentially.
-            slots = self.simulator.config.scheduler_slots_per_node
-            scan_nodes = max(1, execution.estimate.parallelism // max(1, slots))
-
-        if num_partitions is None:
-            anytime_cap = max(self.config.max_partitions, self.config.max_anytime_partitions)
-            num_partitions = self._default_partitions(resolution.num_rows)
-            if deadline_seconds is not None or progress is not None:
-                # Anytime cuts and progressive snapshots need merge granularity
-                # even on small resolutions: never fewer than 8 partitions
-                # (bounded by the row count and the anytime cap).
-                floor = min(8, resolution.num_rows, anytime_cap)
-                num_partitions = max(num_partitions, floor)
-            if deadline_seconds is not None and scan_latency is not None:
-                # Split finely enough that one partition task (startup plus
-                # its share of the per-lane scan work) fits the deadline, so
-                # a tight bound yields partial coverage rather than a single
-                # oversized task that blows through it.
-                work = max(0.0, scan_latency - task_overhead)
-                budget = deadline_seconds - task_overhead
-                if work > 0.0 and budget > 0.0:
-                    # A task can run up to (1 + spread) slower than its share;
-                    # budget for the worst case so stragglers still fit.
-                    serial = work * (scan_nodes or 1) * (1.0 + self.config.straggler_spread)
-                    needed = math.ceil(serial / budget)
-                    num_partitions = max(num_partitions, min(needed, anytime_cap))
-            num_partitions = max(1, min(num_partitions, resolution.num_rows))
-        if sim_workers is None:
-            # One lane per data-holding node: the full merge then reproduces
-            # the simulator's whole-scan latency, and finer partitions give
-            # shorter waves within each lane.
-            sim_workers = min(num_partitions, scan_nodes or num_partitions)
-
         result = self.pipeline.run(
-            query,
+            plan.logical,
             resolution.table,
             context,
-            num_partitions=num_partitions,
-            sim_workers=sim_workers,
-            reference_workers=reference_workers,
-            scan_latency_seconds=scan_latency,
-            task_overhead_seconds=task_overhead,
-            deadline_seconds=deadline_seconds,
+            num_partitions=spec.num_partitions,
+            sim_workers=spec.sim_workers,
+            reference_workers=spec.reference_workers,
+            scan_latency_seconds=spec.scan_latency_seconds,
+            task_overhead_seconds=spec.task_overhead_seconds,
+            deadline_seconds=spec.deadline_seconds,
             pool=self._partition_pool(),
             progress=progress,
         )
         stats = result.metadata["partitions"]
         return result, stats
-
-    def _default_partitions(self, num_rows: int) -> int:
-        config = self.config
-        by_rows = max(1, num_rows // config.min_partition_rows)
-        return max(1, min(config.max_partitions, by_rows, max(1, num_rows)))
 
     def _partition_pool(self) -> ThreadPoolExecutor | None:
         """The shared partial-aggregation pool (None when configured inline)."""
@@ -447,7 +363,9 @@ class BlinkDBRuntime:
     ) -> QueryResult:
         if self.simulator is None or not self.simulator.has_dataset(resolution.name):
             return result
-        rows_to_read, reuse_rows = self._scan_parameters(selection, resolution, probe)
+        rows_to_read, reuse_rows = self.planner.scan_parameters(
+            selection, resolution, probe
+        )
         execution = self.simulator.simulate_scan(
             resolution.name,
             rows_to_read=rows_to_read,
@@ -456,93 +374,20 @@ class BlinkDBRuntime:
         )
         return replace(result, simulated_latency_seconds=execution.latency_seconds)
 
-    def _scan_parameters(
-        self,
-        selection: FamilySelection,
-        resolution: SampleResolution,
-        probe: ProbeResult,
-    ) -> tuple[int | None, int]:
-        """(rows_to_read, reuse_rows) of a simulated scan of ``resolution``.
-
-        Shared by the plain and partition-pipeline paths so both report the
-        same latency for the same work: ``rows_to_read`` confines a clustered
-        scan to the matching strata (§3.1), ``reuse_rows`` discounts the
-        blocks already read while probing a smaller resolution of the same
-        family (§4.4).  Requires the resolution to be registered with the
-        simulator.
-        """
-        assert self.simulator is not None
-        reuse_rows = 0
-        if probe.resolution.name != resolution.name and self._same_family(
-            selection, probe.resolution
-        ):
-            reuse_rows = int(
-                probe.resolution.num_rows
-                * self._scale_ratio(resolution, probe.resolution)
-            )
-        rows_to_read = None
-        if selection.covers_query and probe.rows_read > 0 and probe.selectivity < 1.0:
-            info = self.simulator.dataset(resolution.name)
-            scale = info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
-            rows_to_read = int(max(1, resolution.num_rows * probe.selectivity * scale))
-            reuse_rows = int(reuse_rows * probe.selectivity)
-        return rows_to_read, reuse_rows
-
-    def _scale_ratio(
-        self, resolution: SampleResolution, probe_resolution: SampleResolution
-    ) -> float:
-        """Convert probe rows into the simulator's (possibly scaled) row space."""
-        if self.simulator is None:
-            return 1.0
-        if not self.simulator.has_dataset(probe_resolution.name):
-            return 1.0
-        info = self.simulator.dataset(probe_resolution.name)
-        if probe_resolution.num_rows == 0:
-            return 1.0
-        return info.num_rows / probe_resolution.num_rows
-
-    @staticmethod
-    def _same_family(selection: FamilySelection, resolution: SampleResolution) -> bool:
-        return any(r.name == resolution.name for r in selection.family.resolutions)
-
-    @staticmethod
-    def _family_key(selection: FamilySelection) -> tuple[str, ...] | None:
-        return getattr(selection.family, "key", None)
-
     # -- internals: disjunctive path (§4.1.2) --------------------------------------------------
-    def _should_split_disjunction(self, query: Query) -> bool:
-        if query.group_by:
-            return False
-        branches = self.selector.disjunctive_branches(query)
-        if len(branches) <= 1:
-            return False
-        allowed = {AggregateFunction.COUNT, AggregateFunction.SUM}
-        return all(call.function in allowed for call in query.aggregates)
-
-    def _execute_disjunctive(self, query: Query) -> QueryResult:
-        branches = self.selector.disjunctive_branches(query)
+    def _execute_disjunctive(self, plan: PhysicalPlan) -> QueryResult:
         branch_results: list[QueryResult] = []
         total_rows_read = 0
         total_latency = 0.0
         any_latency = False
-        satisfied_all = True
 
-        branch_bound = self._per_branch_bound(query, len(branches))
-        for branch in branches:
-            branch_query = replace(
-                query,
-                where=branch,
-                error_bound=branch_bound if query.error_bound is not None else None,
-                time_bound=query.time_bound,
+        for branch_plan in plan.branch_plans:
+            result = self._run_on_resolution(
+                branch_plan.logical, branch_plan.selection, branch_plan.resolution
             )
-            selection = self.selector.select_for_branch(branch_query, branch)
-            probe = selection.probe or self.selector.probe(
-                branch_query, selection.family.smallest
+            result = self._attach_latency(
+                result, branch_plan.selection, branch_plan.resolution, branch_plan.probe
             )
-            resolution, _, satisfied = self._choose_resolution(branch_query, selection, probe)
-            satisfied_all = satisfied_all and satisfied
-            result = self._run_on_resolution(branch_query, selection, resolution)
-            result = self._attach_latency(result, selection, resolution, probe)
             branch_results.append(result)
             total_rows_read += result.rows_read
             if result.simulated_latency_seconds is not None:
@@ -551,16 +396,12 @@ class BlinkDBRuntime:
                 # branch dominates.
                 total_latency = max(total_latency, result.simulated_latency_seconds)
 
-        if not satisfied_all and self.config.strict_bounds:
-            raise ConstraintUnsatisfiableError(
-                "one or more disjunctive branches cannot satisfy the requested bound"
-            )
-
+        logical = plan.logical
         confidence = (
-            query.error_bound.confidence if query.error_bound is not None else 0.95
+            logical.error_bound.confidence if logical.error_bound is not None else 0.95
         )
         aggregates: dict[str, AggregateValue] = {}
-        for call in query.aggregates:
+        for call in logical.aggregates:
             name = call.output_name()
             estimates = [r.groups[0].aggregates[name].estimate for r in branch_results if r.groups]
             combined = combine_sum(estimates)
@@ -578,19 +419,9 @@ class BlinkDBRuntime:
             family_reason="disjunctive-union",
             resolution_name="union",
             resolution_rows=total_rows_read,
-            bound_satisfied=satisfied_all,
-            branches=len(branches),
+            bound_satisfied=plan.bound_satisfied,
+            branches=len(plan.branch_plans),
+            plan=plan,
         )
+        result.metadata["plan"] = plan
         return result
-
-    @staticmethod
-    def _per_branch_bound(query: Query, num_branches: int):
-        """Tighten the error bound per branch so the union still meets it.
-
-        Independent branch variances add; answering each branch within
-        ``ε/√b`` of its truth keeps the union within ``ε`` (standard
-        deviations combine in quadrature).
-        """
-        if query.error_bound is None or num_branches <= 1:
-            return query.error_bound
-        return replace(query.error_bound, error=query.error_bound.error / (num_branches**0.5))

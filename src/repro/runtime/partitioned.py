@@ -34,7 +34,6 @@ which is how the service layer exposes progressively refining answers.
 
 from __future__ import annotations
 
-import math
 from concurrent.futures import Executor
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
@@ -43,9 +42,9 @@ import numpy as np
 
 from repro.common.rng import make_rng
 from repro.engine.accumulators import PartialAggregation
-from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
 from repro.engine.result import QueryResult
-from repro.sql.ast import Query
+from repro.planner.logical import LogicalPlan
 from repro.storage.block import TablePartition
 from repro.storage.table import Table
 
@@ -119,7 +118,7 @@ class PartitionPipeline:
 
     def run(
         self,
-        query: Query,
+        plan: Plannable,
         table: Table,
         context: ExecutionContext,
         *,
@@ -133,12 +132,13 @@ class PartitionPipeline:
         pool: Executor | None = None,
         progress: ProgressCallback | None = None,
     ) -> QueryResult:
-        """Execute ``query`` partition-parallel; see the module docstring.
+        """Execute ``plan`` partition-parallel; see the module docstring.
 
         The returned result carries the merged estimate, a simulated latency
         equal to the completion time of the last merged partition, and a
         :class:`PartitionRunStats` under ``metadata["partitions"]``.
         """
+        plan = LogicalPlan.of(plan)
         weights = context.weights
         if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)
@@ -176,7 +176,7 @@ class PartitionPipeline:
         # The real computation: partial-aggregate only the partitions the
         # simulated schedule managed to complete, fanned over the pool.
         to_aggregate = [partitions[t.index] for t in merged_timings]
-        partials = self._aggregate(query, to_aggregate, pool)
+        partials = self._aggregate(plan, to_aggregate, pool)
 
         rows_total = table.num_rows
         if context.population_read is not None:
@@ -196,7 +196,7 @@ class PartitionPipeline:
             if progress is None and merged_count < len(merged_timings):
                 continue  # only the final merge needs finalizing
             result = self._finalize_merged(
-                query,
+                plan,
                 merged,
                 context,
                 confidence,
@@ -292,18 +292,18 @@ class PartitionPipeline:
 
     def _aggregate(
         self,
-        query: Query,
+        plan: LogicalPlan,
         partitions: Sequence[TablePartition],
         pool: Executor | None,
     ) -> list[PartialAggregation]:
         aggregate = self.executor.partial_aggregate_partition
         if pool is None or len(partitions) <= 1:
-            return [aggregate(query, p) for p in partitions]
-        return list(pool.map(lambda p: aggregate(query, p), partitions))
+            return [aggregate(plan, p) for p in partitions]
+        return list(pool.map(lambda p: aggregate(plan, p), partitions))
 
     def _finalize_merged(
         self,
-        query: Query,
+        plan: LogicalPlan,
         merged: PartialAggregation,
         context: ExecutionContext,
         confidence: float | None,
@@ -320,7 +320,7 @@ class PartitionPipeline:
             weight_scale = max(1.0, population_full / merged.weight_scanned)
             rows_read = merged.rows_scanned
         return self.executor.finalize(
-            query,
+            plan,
             merged,
             context,
             confidence,

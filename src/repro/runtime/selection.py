@@ -1,10 +1,10 @@
 """Run-time sample-family selection (paper §4.1).
 
-Given a query, the selector decides which family — the uniform family or one
-of the stratified families — the query should run on:
+Given a logical plan, the selector decides which family — the uniform family
+or one of the stratified families — the query should run on:
 
 1. If one or more stratified families exist whose column set is a superset of
-   the query's WHERE/GROUP BY column set φ, the one with the fewest columns
+   the plan's WHERE/GROUP BY column set φ, the one with the fewest columns
    is chosen (§4.1.1): its strata align with the query's filter, so answers
    converge fastest and rare groups are guaranteed present.
 2. Otherwise the query is executed on the *smallest* resolution of every
@@ -13,25 +13,41 @@ of the stratified families — the query should run on:
    response time grows with rows read while the error shrinks with rows
    selected.
 
-Disjunctive WHERE clauses are rewritten into disjoint conjunctive branches
-(§4.1.2); each branch gets its own family selection so the runtime can
-aggregate the partial answers.
+Disjunctive WHERE clauses are already hoisted into disjoint conjunctive
+branches by the logical plan (§4.1.2); each branch gets its own family
+selection so the runtime can aggregate the partial answers.
+
+Probe memoization
+-----------------
+Probe outcomes are deterministic given the plan (sans bounds) and the
+resolution, so they are memoized in a small LRU keyed by
+``(plan.probe_fingerprint(), resolution.name)``.  The memo's lifetime is
+the selector's — the facade discards the whole runtime (and with it this
+selector) whenever samples or base data change, so a probe can never
+outlive the data generation it measured.  Hit/miss counters feed
+``runtime.stats`` and the service metrics.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.errors import SampleNotFoundError
-from repro.engine.executor import ExecutionContext, QueryExecutor
+from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
 from repro.engine.expressions import evaluate_predicate
 from repro.engine.result import QueryResult
+from repro.planner.logical import LogicalPlan
 from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
 from repro.sampling.resolution import SampleResolution
-from repro.sql.ast import CompoundPredicate, LogicalOp, NotPredicate, Predicate, Query, predicate_columns, to_disjunctive_branches
+
 from repro.storage.catalog import Catalog
+
+#: Probe memo capacity; probes are tiny but hold a full QueryResult each.
+_PROBE_CACHE_ENTRIES = 512
 
 
 @dataclass(frozen=True)
@@ -97,22 +113,28 @@ class FamilySelection:
 
 
 class SampleFamilySelector:
-    """Implements the family-selection policy of §4.1."""
+    """Implements the family-selection policy of §4.1 (probe-memoized)."""
 
     def __init__(self, catalog: Catalog, executor: QueryExecutor) -> None:
         self.catalog = catalog
         self.executor = executor
+        self._probe_cache: OrderedDict[tuple[str, str], ProbeResult] = OrderedDict()
+        self._probe_lock = threading.Lock()
+        self._probe_hits = 0
+        self._probe_misses = 0
 
     # -- public API ---------------------------------------------------------------
-    def select(self, query: Query, probe_on_miss: bool = True) -> FamilySelection:
-        """Select the family for a query, probing when no superset family exists."""
-        columns = query.template_columns()
-        return self.select_for_columns(query, columns, probe_on_miss)
+    def select(self, plan: Plannable, probe_on_miss: bool = True) -> FamilySelection:
+        """Select the family for a plan, probing when no superset family exists."""
+        plan = LogicalPlan.of(plan)
+        columns = plan.template_columns()
+        return self.select_for_columns(plan, columns, probe_on_miss)
 
     def select_for_columns(
-        self, query: Query, columns: set[str], probe_on_miss: bool = True
+        self, plan: Plannable, columns: set[str], probe_on_miss: bool = True
     ) -> FamilySelection:
-        table_name = query.table
+        plan = LogicalPlan.of(plan)
+        table_name = plan.table
         families = self._all_families(table_name)
         if not families:
             raise SampleNotFoundError(
@@ -142,7 +164,7 @@ class SampleFamilySelector:
 
         probes: list[tuple[FamilySelection, ProbeResult]] = []
         for family in families:
-            probe = self.probe(query, family.smallest)
+            probe = self.probe(plan, family.smallest)
             probes.append((FamilySelection(family=family, reason="probe"), probe))
         best_selection, best_probe = max(
             probes, key=lambda item: (item[1].selectivity, -len(getattr(item[0].family, "columns", ())))
@@ -154,8 +176,30 @@ class SampleFamilySelector:
             probes=tuple(p for _, p in probes),
         )
 
-    def probe(self, query: Query, resolution: SampleResolution) -> ProbeResult:
-        """Run the query on one resolution and collect selectivity statistics."""
+    def probe(self, plan: Plannable, resolution: SampleResolution) -> ProbeResult:
+        """Run the plan on one resolution and collect selectivity statistics.
+
+        Memoized: identical plans (up to bounds) probing the same resolution
+        return the cached outcome instead of re-executing.
+        """
+        plan = LogicalPlan.of(plan)
+        key = (plan.probe_fingerprint(), resolution.name)
+        with self._probe_lock:
+            cached = self._probe_cache.get(key)
+            if cached is not None:
+                self._probe_cache.move_to_end(key)
+                self._probe_hits += 1
+                return cached
+            self._probe_misses += 1
+        probe = self._probe_uncached(plan, resolution)
+        with self._probe_lock:
+            self._probe_cache[key] = probe
+            self._probe_cache.move_to_end(key)
+            while len(self._probe_cache) > _PROBE_CACHE_ENTRIES:
+                self._probe_cache.popitem(last=False)
+        return probe
+
+    def _probe_uncached(self, plan: LogicalPlan, resolution: SampleResolution) -> ProbeResult:
         context = ExecutionContext(
             weights=resolution.weights,
             exact=False,
@@ -164,8 +208,8 @@ class SampleFamilySelector:
             population_read=resolution.represented_rows,
             sample_name=resolution.name,
         )
-        result = self.executor.execute(query, resolution.table, context)
-        mask = evaluate_predicate(query.where, resolution.table)
+        result = self.executor.execute(plan, resolution.table, context)
+        mask = evaluate_predicate(plan.where, resolution.table)
         rows_matched = int(np.count_nonzero(mask))
         return ProbeResult(
             resolution=resolution,
@@ -175,41 +219,29 @@ class SampleFamilySelector:
             num_groups=max(1, len(result.groups)),
         )
 
-    # -- disjunctive rewriting (§4.1.2) ----------------------------------------------
-    def disjunctive_branches(self, query: Query) -> list[Predicate | None]:
-        """Split the WHERE clause into *disjoint* conjunctive branches.
+    @property
+    def probe_cache_stats(self) -> dict[str, int]:
+        """Thread-safe snapshot of the probe memo's hit/miss/size counters."""
+        with self._probe_lock:
+            return {
+                "probe_cache_hits": self._probe_hits,
+                "probe_cache_misses": self._probe_misses,
+                "probe_cache_entries": len(self._probe_cache),
+            }
 
-        The paper rewrites a disjunctive query into a union of conjunctive
-        queries; to keep the union's partial aggregates addable we make the
-        branches disjoint by conjoining each branch with the negation of all
-        earlier branches (inclusion–exclusion by construction).
-        """
-        raw_branches = to_disjunctive_branches(query.where)
-        if len(raw_branches) <= 1:
-            return raw_branches
-        disjoint: list[Predicate | None] = []
-        previous: list[Predicate] = []
-        for branch in raw_branches:
-            assert branch is not None
-            if previous:
-                negations = tuple(NotPredicate(inner=p) for p in previous)
-                disjoint.append(
-                    CompoundPredicate(op=LogicalOp.AND, operands=(branch, *negations))
-                )
-            else:
-                disjoint.append(branch)
-            previous.append(branch)
-        return disjoint
+    # -- disjunctive branches (§4.1.2) ----------------------------------------------
+    def disjunctive_branches(self, plan: Plannable):
+        """The plan's disjoint conjunctive branches (hoisted by the logical plan)."""
+        return list(LogicalPlan.of(plan).branches)
 
     def select_for_branch(
-        self, query: Query, branch: Predicate | None, probe_on_miss: bool = True
+        self, plan: Plannable, branch, probe_on_miss: bool = True
     ) -> FamilySelection:
         """Family selection for one disjunctive branch (its own column set)."""
-        columns = set()
-        if branch is not None:
-            columns |= predicate_columns(branch)
-        columns |= query.group_by_columns()
-        return self.select_for_columns(query, columns, probe_on_miss)
+        plan = LogicalPlan.of(plan)
+        return self.select_for_columns(
+            plan.for_branch(branch), plan.branch_columns(branch), probe_on_miss
+        )
 
     # -- internals -----------------------------------------------------------------------
     def _all_families(self, table_name: str) -> list[UniformSampleFamily | StratifiedSampleFamily]:

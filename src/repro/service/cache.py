@@ -5,13 +5,15 @@ workload assumption: templates are stable, constants recur), so a small LRU
 of fully-computed :class:`~repro.engine.result.QueryResult` objects absorbs a
 large share of a dashboard-style load.
 
-Keys are derived from the *parsed* query, not its text: whitespace, keyword
-case, and the order of commutative AND/OR operands do not matter, while
-predicate constants, group-by order, aggregates, and error/time bounds all
-do.  Every cached answer is tagged with the cache *generation*; sample
-rebuilds (``build_samples``/``replan_samples``/data reloads) bump the
-generation, so stale answers can never be served — see
-:meth:`ResultCache.invalidate`.
+Keys are the **logical-plan fingerprint**
+(:meth:`~repro.planner.logical.LogicalPlan.fingerprint`): whitespace,
+keyword case, the order of commutative AND/OR operands, *and GROUP BY
+order* do not matter, while predicate constants, aggregates, and error/time
+bounds all do.  The cache therefore shares one notion of query equivalence
+with the planner instead of keeping a private predicate serialization.
+Every cached answer is tagged with the cache *generation*; sample rebuilds
+(``build_samples``/``replan_samples``/data reloads) bump the generation, so
+stale answers can never be served — see :meth:`ResultCache.invalidate`.
 """
 
 from __future__ import annotations
@@ -21,81 +23,23 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.engine.result import QueryResult
-from repro.sql.ast import (
-    AggregateCall,
-    BetweenPredicate,
-    BinaryPredicate,
-    CompoundPredicate,
-    InPredicate,
-    NotPredicate,
-    Predicate,
-    Query,
-)
+from repro.planner.logical import LogicalPlan
 from repro.sql.templates import extract_template
 
 
-def _literal(value: object) -> str:
-    """Canonical rendering of one predicate constant (type-tagged)."""
-    return f"{type(value).__name__}:{value!r}"
+def cache_key(query: "LogicalPlan | object") -> str:
+    """The normalized cache key of a query (plan, AST, or SQL text).
 
-
-def _predicate_key(predicate: Predicate) -> str:
-    """Canonical rendering of a predicate tree.
-
-    AND/OR are commutative, so compound operands are sorted; IN value lists
-    are set-like, so they are sorted too.  ``x = 1 AND y = 2`` and
-    ``y = 2 AND x = 1`` therefore share a cache entry.
+    Two queries share a key iff their logical plans have the same
+    fingerprint: the same aggregates over the same table with canonically
+    equal predicates, the same grouping *set* (``GROUP BY a, b`` and
+    ``GROUP BY b, a`` share an entry), and the same error/time bound —
+    regardless of how the SQL text was written.
     """
-    if isinstance(predicate, BinaryPredicate):
-        return f"{predicate.column}{predicate.op.value}{_literal(predicate.value)}"
-    if isinstance(predicate, InPredicate):
-        values = ",".join(sorted(_literal(v) for v in predicate.values))
-        return f"{predicate.column} in[{values}]"
-    if isinstance(predicate, BetweenPredicate):
-        return f"{predicate.column} between[{_literal(predicate.low)},{_literal(predicate.high)}]"
-    if isinstance(predicate, NotPredicate):
-        return f"not({_predicate_key(predicate.inner)})"
-    if isinstance(predicate, CompoundPredicate):
-        operands = sorted(_predicate_key(p) for p in predicate.operands)
-        return f"{predicate.op.value}({'|'.join(operands)})"
-    raise TypeError(f"unknown predicate type {type(predicate)!r}")
+    return LogicalPlan.of(query).fingerprint()
 
 
-def _aggregate_key(call: AggregateCall) -> str:
-    column = str(call.column) if call.column is not None else "*"
-    quantile = f"@{call.quantile:g}" if call.quantile is not None else ""
-    return f"{call.function.value}({column}){quantile}>{call.output_name()}"
-
-
-def cache_key(query: Query) -> str:
-    """The normalized cache key of a parsed query.
-
-    Two queries share a key iff they ask for the same aggregates over the
-    same table with semantically equal predicates, the same grouping, and
-    the same error/time bound — regardless of how the SQL text was written.
-    """
-    parts = [query.table]
-    parts.append(";".join(_aggregate_key(call) for call in query.aggregates))
-    parts.append(",".join(str(c) for c in query.group_by))
-    parts.append(_predicate_key(query.where) if query.where is not None else "")
-    parts.append(
-        ";".join(
-            f"join:{j.right_table}:{j.left_column}={j.right_column}" for j in query.joins
-        )
-    )
-    if query.error_bound is not None:
-        bound = query.error_bound
-        kind = "rel" if bound.relative else "abs"
-        parts.append(f"err:{kind}:{bound.error:g}@{bound.confidence:g}")
-    elif query.time_bound is not None:
-        parts.append(f"time:{query.time_bound.seconds:g}")
-    else:
-        parts.append("")
-    parts.append(f"limit:{query.limit}" if query.limit is not None else "")
-    return "|".join(parts)
-
-
-def template_label(query: Query) -> str:
+def template_label(query) -> str:
     """The query's template label (table + φ column set), for per-template stats."""
     return extract_template(query).label()
 

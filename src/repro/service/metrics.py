@@ -50,6 +50,31 @@ class Counter:
             return self._value
 
 
+class Gauge:
+    """A thread-safe last-value gauge (mirrors counters owned elsewhere).
+
+    The probe-memo counters live on the runtime's selector (they survive
+    across services and are fenced by the runtime's lifetime); the service
+    mirrors them here so one ``ServiceMetrics.describe()`` call captures the
+    whole serving surface.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = int(value)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
 class LatencyHistogram:
     """Latency observations with exact percentiles over a sliding window.
 
@@ -96,7 +121,10 @@ class LatencyHistogram:
             maximum = self._max
             window = list(self._window)
         ordered = sorted(window)
-        quantile = (lambda f: _indexed_percentile(ordered, f)) if ordered else (lambda f: 0.0)
+
+        def quantile(f: float) -> float:
+            return _indexed_percentile(ordered, f) if ordered else 0.0
+
         return {
             "count": count,
             "mean_s": mean,
@@ -121,6 +149,9 @@ class ServiceMetrics:
         self.cache_hits = Counter()
         self.cache_misses = Counter()
         self.cache_invalidations = Counter()
+        self.explained = Counter()
+        self.probe_cache_hits = Gauge()
+        self.probe_cache_misses = Gauge()
         self.queue_wait = LatencyHistogram()
         self.service_time = LatencyHistogram()
         self.total_latency = LatencyHistogram()
@@ -155,6 +186,11 @@ class ServiceMetrics:
         lookups = hits + self.cache_misses.value
         return hits / lookups if lookups else 0.0
 
+    def update_probe_cache(self, hits: int, misses: int) -> None:
+        """Mirror the runtime's probe-memo counters (see :class:`Gauge`)."""
+        self.probe_cache_hits.set(hits)
+        self.probe_cache_misses.set(misses)
+
     def describe(self) -> dict[str, object]:
         """A JSON-friendly snapshot of every counter and histogram."""
         return {
@@ -163,6 +199,7 @@ class ServiceMetrics:
                 "admitted": self.admitted.value,
                 "completed": self.completed.value,
                 "failed": self.failed.value,
+                "explained": self.explained.value,
                 "shed_deadline": self.shed_deadline.value,
                 "shed_queue_full": self.shed_queue_full.value,
             },
@@ -171,6 +208,10 @@ class ServiceMetrics:
                 "misses": self.cache_misses.value,
                 "hit_ratio": round(self.cache_hit_ratio(), 4),
                 "invalidations": self.cache_invalidations.value,
+            },
+            "probe_cache": {
+                "hits": self.probe_cache_hits.value,
+                "misses": self.probe_cache_misses.value,
             },
             "latency": {
                 "queue_wait": self.queue_wait.summary(),

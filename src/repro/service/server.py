@@ -34,13 +34,14 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import QueryRejectedError
 from repro.engine.result import QueryResult
+from repro.planner.physical import ExplainResult
 from repro.runtime.partitioned import ProgressiveSnapshot
 from repro.service.cache import ResultCache, cache_key, template_label
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import Admission, DeadlineScheduler, ScheduledItem, SchedulerClosed
 from repro.service.session import ClientSession, QueryRecord, SessionDefaults
-from repro.sql.ast import Query
-from repro.sql.parser import parse_query
+from repro.sql.ast import ExplainQuery, Query
+from repro.sql.parser import parse_statement
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports service lazily)
     from repro.core.blinkdb import BlinkDB
@@ -107,7 +108,7 @@ class QueryTicket:
         self.submitted_at = time.monotonic()
         self.metrics = TicketMetrics()
         self._done = threading.Event()
-        self._result: QueryResult | None = None
+        self._result: QueryResult | ExplainResult | None = None
         self._error: BaseException | None = None
         self._snapshots: list[ProgressiveSnapshot] = []
         self._snapshots_lock = threading.Lock()
@@ -119,8 +120,13 @@ class QueryTicket:
     def wait(self, timeout: float | None = None) -> bool:
         return self._done.wait(timeout)
 
-    def result(self, timeout: float | None = None) -> QueryResult:
-        """Block until the answer is ready; raises if the query was shed/failed."""
+    def result(self, timeout: float | None = None) -> QueryResult | ExplainResult:
+        """Block until the answer is ready; raises if the query was shed/failed.
+
+        EXPLAIN tickets resolve with an
+        :class:`~repro.planner.physical.ExplainResult`; everything else with
+        a :class:`~repro.engine.result.QueryResult`.
+        """
         if not self._done.wait(timeout):
             raise TimeoutError(f"ticket {self.ticket_id} not finished within {timeout}s")
         if self._error is not None:
@@ -153,10 +159,14 @@ class QueryTicket:
 
     @property
     def progress_fraction(self) -> float:
-        """Fraction of partitions merged (1.0 once the ticket is resolved)."""
-        if self._done.is_set():
-            return 1.0
+        """Fraction of partitions merged (1.0 once the ticket has an answer).
+
+        A shed or failed ticket reports the progress it actually made (its
+        last snapshot's fraction, or 0.0), never a misleading 1.0.
+        """
         snapshot = self.latest_snapshot()
+        if self._done.is_set() and self._error is None:
+            return 1.0
         return snapshot.fraction_merged if snapshot is not None else 0.0
 
     def _on_progress(self, snapshot: ProgressiveSnapshot) -> None:
@@ -164,7 +174,7 @@ class QueryTicket:
             self._snapshots.append(snapshot)
 
     # -- resolution (service-internal) --------------------------------------------
-    def _resolve(self, result: QueryResult) -> None:
+    def _resolve(self, result: QueryResult | ExplainResult) -> None:
         self.metrics.total_seconds = time.monotonic() - self.submitted_at
         self._result = result
         self._done.set()
@@ -320,22 +330,28 @@ class QueryService:
     # -- submission --------------------------------------------------------------
     def submit(
         self,
-        sql: str | Query,
+        sql: "str | Query | ExplainQuery",
         session: ClientSession | None = None,
         progressive: bool = False,
     ) -> QueryTicket:
-        """Parse, admit, and enqueue one query; returns its ticket immediately.
+        """Parse, admit, and enqueue one statement; returns its ticket immediately.
 
         Cache hits resolve the ticket synchronously without touching the
         queue.  Shed queries resolve synchronously with a
         :class:`~repro.common.errors.QueryRejectedError`.  ``progressive``
         routes the execution through the partition pipeline so the ticket
         streams :class:`~repro.runtime.partitioned.ProgressiveSnapshot`
-        updates while it runs.
+        updates while it runs.  An ``EXPLAIN SELECT ...`` statement resolves
+        synchronously with an
+        :class:`~repro.planner.physical.ExplainResult` — the rendered
+        physical plan — without executing or queueing anything.
         """
         if self._closed:
             raise QueryRejectedError("query service is closed", reason="closed")
-        query = parse_query(sql) if isinstance(sql, str) else sql
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, ExplainQuery):
+            return self._explain(sql, statement, session)
+        query = statement
         if session is not None:
             query = session.apply_defaults(query)
         raw = sql if isinstance(sql, str) else (query.raw_sql or str(query))
@@ -389,9 +405,42 @@ class QueryService:
         self.metrics.admitted.increment()
         return ticket
 
+    def _explain(
+        self,
+        sql: "str | Query | ExplainQuery",
+        statement: ExplainQuery,
+        session: ClientSession | None,
+    ) -> QueryTicket:
+        """Resolve an EXPLAIN statement synchronously with its rendered plan.
+
+        Planning probes at most the smallest resolution of each family
+        (memoized), so EXPLAIN is answered inline instead of queueing behind
+        real queries; the read lock still fences it against sample rebuilds.
+        """
+        query = statement.query
+        if session is not None:
+            query = session.apply_defaults(query)
+        raw = sql if isinstance(sql, str) else (statement.raw_sql or str(statement))
+        ticket = QueryTicket(raw, query, session, progressive=False)
+        self.metrics.submitted.increment()
+        ticket.metrics.admission = "explain"
+        started = time.monotonic()
+        try:
+            with self.db.state_lock.read_locked():
+                plan = self.db.runtime.explain(query)
+        except Exception as error:  # noqa: BLE001 - the ticket transports the error
+            self.metrics.failed.increment()
+            ticket._fail(error)
+            return ticket
+        ticket.metrics.service_seconds = time.monotonic() - started
+        ticket.metrics.queue_wait_seconds = 0.0
+        self.metrics.explained.increment()
+        ticket._resolve(ExplainResult(plan=plan, text=plan.render()))
+        return ticket
+
     def execute(
         self,
-        sql: str | Query,
+        sql: "str | Query | ExplainQuery",
         session: ClientSession | None = None,
         timeout: float | None = None,
     ) -> QueryResult:
@@ -505,6 +554,11 @@ class QueryService:
     # -- introspection ----------------------------------------------------------------
     def describe(self) -> dict[str, object]:
         """A JSON-friendly snapshot of the service, its queue, and its cache."""
+        runtime_stats = self.db.runtime.stats
+        self.metrics.update_probe_cache(
+            hits=runtime_stats.get("probe_cache_hits", 0),
+            misses=runtime_stats.get("probe_cache_misses", 0),
+        )
         return {
             "name": self.name,
             "num_workers": self.num_workers,

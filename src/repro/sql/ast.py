@@ -210,6 +210,21 @@ class Query:
         return self.where_columns() | self.group_by_columns()
 
 
+@dataclass(frozen=True)
+class ExplainQuery:
+    """``EXPLAIN SELECT ...`` — render the physical plan instead of executing."""
+
+    query: Query
+
+    @property
+    def raw_sql(self) -> str:
+        return self.query.raw_sql
+
+
+#: A top-level BlinkQL statement: a query, or an EXPLAIN wrapper around one.
+Statement = Union[Query, ExplainQuery]
+
+
 def predicate_columns(predicate: Predicate) -> set[str]:
     """All column names referenced by a predicate tree."""
     if isinstance(predicate, BinaryPredicate):

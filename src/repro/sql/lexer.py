@@ -8,6 +8,7 @@ from dataclasses import dataclass
 from repro.common.errors import ParseError
 
 KEYWORDS = {
+    "EXPLAIN",
     "SELECT",
     "FROM",
     "WHERE",

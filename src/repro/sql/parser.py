@@ -34,12 +34,14 @@ from repro.sql.ast import (
     ComparisonOp,
     CompoundPredicate,
     ErrorBound,
+    ExplainQuery,
     InPredicate,
     JoinClause,
     LogicalOp,
     NotPredicate,
     Predicate,
     Query,
+    Statement,
     TimeBound,
 )
 from repro.sql.lexer import AGGREGATE_NAMES, Token, TokenType, tokenize
@@ -146,6 +148,11 @@ class _Parser:
 
     # -- query -------------------------------------------------------------------
     def parse(self) -> Query:
+        if self.peek().is_keyword("EXPLAIN"):
+            raise ParseError(
+                "EXPLAIN is a statement, not a query; parse it with parse_statement()",
+                self.peek().position,
+            )
         self.expect_keyword("SELECT")
         aggregates, report_error, projected_columns = self._parse_select_list()
         self.expect_keyword("FROM")
@@ -399,3 +406,18 @@ def parse_query(text: str) -> Query:
     """Parse a BlinkQL string into a :class:`~repro.sql.ast.Query`."""
     tokens = tokenize(text)
     return _Parser(tokens, text).parse()
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a top-level BlinkQL statement.
+
+    ``EXPLAIN SELECT ...`` yields an :class:`~repro.sql.ast.ExplainQuery`
+    wrapping the inner query; anything else parses as a plain
+    :class:`~repro.sql.ast.Query`.
+    """
+    tokens = tokenize(text)
+    parser = _Parser(tokens, text)
+    if parser.peek().is_keyword("EXPLAIN"):
+        parser.advance()
+        return ExplainQuery(query=parser.parse())
+    return parser.parse()

@@ -57,8 +57,13 @@ class QueryTemplate:
         return f"{self.table}[{','.join(self.columns)}]"
 
 
-def extract_template(query: Query | str, weight: float = 1.0) -> QueryTemplate:
-    """Extract the :class:`QueryTemplate` of a query (parsed or SQL text)."""
+def extract_template(query, weight: float = 1.0) -> QueryTemplate:
+    """Extract the :class:`QueryTemplate` of a query.
+
+    Accepts SQL text, a parsed :class:`~repro.sql.ast.Query`, or a
+    :class:`~repro.planner.logical.LogicalPlan` — anything exposing
+    ``table`` and ``template_columns()``.
+    """
     if isinstance(query, str):
         query = parse_query(query)
     columns = tuple(sorted(query.template_columns()))

@@ -6,15 +6,10 @@ import numpy as np
 import pytest
 
 from repro.engine.accumulators import (
-    AvgState,
-    CountState,
     GroupPartial,
     PartialAggregation,
     QuantileState,
-    StddevState,
-    SumState,
     ValueMoments,
-    VarianceState,
     WeightMoments,
     make_state,
 )

@@ -1,0 +1,329 @@
+"""Tests for the query planning layer: LogicalPlan, PhysicalPlan, EXPLAIN."""
+
+import pytest
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.common.errors import ParseError
+from repro.core.blinkdb import BlinkDB
+from repro.planner import (
+    ExplainResult,
+    LogicalPlan,
+    PlanMode,
+    canonicalize_predicate,
+    predicate_key,
+)
+from repro.planner.physical import PhysicalPlan
+from repro.service.cache import cache_key
+from repro.sql.ast import (
+    BinaryPredicate,
+    CompoundPredicate,
+    ExplainQuery,
+    InPredicate,
+    LogicalOp,
+    NotPredicate,
+)
+from repro.sql.parser import parse_query, parse_statement
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+@pytest.fixture(scope="module")
+def planner_db():
+    table = generate_sessions_table(num_rows=20_000, seed=7, num_cities=20)
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=300, min_cap=25, uniform_sample_fraction=0.08),
+        cluster=ClusterConfig(num_nodes=10),
+    )
+    db = BlinkDB(config)
+    db.load_table(table, simulated_rows=1_000_000_000)
+    db.register_workload(templates=conviva_query_templates())
+    db.build_samples(storage_budget_fraction=0.5)
+    return db
+
+
+# -- logical plan canonicalization ----------------------------------------------------
+
+
+class TestCanonicalPredicates:
+    def test_and_operands_sorted_and_flattened(self):
+        a = parse_query("SELECT COUNT(*) FROM t WHERE (a = 1 AND b = 2) AND c = 3").where
+        b = parse_query("SELECT COUNT(*) FROM t WHERE c = 3 AND (b = 2 AND a = 1)").where
+        assert canonicalize_predicate(a) == canonicalize_predicate(b)
+
+    def test_or_operands_sorted(self):
+        a = parse_query("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2").where
+        b = parse_query("SELECT COUNT(*) FROM t WHERE b = 2 OR a = 1").where
+        assert canonicalize_predicate(a) == canonicalize_predicate(b)
+
+    def test_duplicate_operands_removed(self):
+        a = parse_query("SELECT COUNT(*) FROM t WHERE a = 1 AND a = 1").where
+        canonical = canonicalize_predicate(a)
+        assert isinstance(canonical, BinaryPredicate)
+
+    def test_double_negation_collapses(self):
+        inner = parse_query("SELECT COUNT(*) FROM t WHERE a = 1").where
+        double = NotPredicate(inner=NotPredicate(inner=inner))
+        assert canonicalize_predicate(double) == inner
+
+    def test_in_list_sorted_and_deduplicated(self):
+        a = parse_query("SELECT COUNT(*) FROM t WHERE a IN (3, 1, 2, 1)").where
+        b = parse_query("SELECT COUNT(*) FROM t WHERE a IN (1, 2, 3)").where
+        canonical = canonicalize_predicate(a)
+        assert canonical == canonicalize_predicate(b)
+        assert isinstance(canonical, InPredicate)
+        assert canonical.values == (1, 2, 3)
+
+    def test_single_element_in_becomes_equality(self):
+        a = parse_query("SELECT COUNT(*) FROM t WHERE a IN (7)").where
+        b = parse_query("SELECT COUNT(*) FROM t WHERE a = 7").where
+        assert canonicalize_predicate(a) == b
+
+    def test_predicate_key_distinguishes_types(self):
+        int_pred = parse_query("SELECT COUNT(*) FROM t WHERE a = 1").where
+        str_pred = parse_query("SELECT COUNT(*) FROM t WHERE a = '1'").where
+        assert predicate_key(int_pred) != predicate_key(str_pred)
+
+
+class TestLogicalPlan:
+    def test_group_by_canonicalized_sorted(self):
+        plan = LogicalPlan.of("SELECT COUNT(*) FROM t GROUP BY z, a, m")
+        assert plan.group_by == ("a", "m", "z")
+
+    def test_fingerprint_ignores_group_by_order(self):
+        a = LogicalPlan.of("SELECT COUNT(*) FROM t GROUP BY a, b")
+        b = LogicalPlan.of("SELECT COUNT(*) FROM t GROUP BY b, a")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_ignores_whitespace_and_predicate_order(self):
+        a = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2")
+        b = LogicalPlan.of("select   count(*)  from t  where b = 2 and a = 1")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_constants_and_bounds(self):
+        base = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 1")
+        other = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 2")
+        bounded = LogicalPlan.of(
+            "SELECT COUNT(*) FROM t WHERE a = 1 ERROR WITHIN 10% AT CONFIDENCE 95%"
+        )
+        timed = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 1 WITHIN 5 SECONDS")
+        assert len({base.fingerprint(), other.fingerprint(),
+                    bounded.fingerprint(), timed.fingerprint()}) == 4
+
+    def test_fingerprint_keeps_select_list_order(self):
+        # Execution preserves select-list order, so the fingerprint must too:
+        # a cached answer may not be served to a permuted select list.
+        a = LogicalPlan.of("SELECT COUNT(*), SUM(x) FROM t WHERE a = 1")
+        b = LogicalPlan.of("SELECT SUM(x), COUNT(*) FROM t WHERE a = 1")
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_probe_fingerprint_ignores_bounds(self):
+        plain = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 1")
+        timed = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 1 WITHIN 5 SECONDS")
+        bounded = LogicalPlan.of(
+            "SELECT COUNT(*) FROM t WHERE a = 1 ERROR WITHIN 5% AT CONFIDENCE 95%"
+        )
+        low_conf = LogicalPlan.of(
+            "SELECT COUNT(*) FROM t WHERE a = 1 ERROR WITHIN 5% AT CONFIDENCE 90%"
+        )
+        assert plain.probe_fingerprint() == timed.probe_fingerprint()
+        assert plain.probe_fingerprint() == bounded.probe_fingerprint()
+        # A different reporting confidence changes the probe's error bars.
+        assert plain.probe_fingerprint() != low_conf.probe_fingerprint()
+
+    def test_branches_are_disjoint(self):
+        plan = LogicalPlan.of("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2")
+        assert len(plan.branches) == 2
+        first, second = plan.branches
+        assert isinstance(second, CompoundPredicate)
+        assert second.op is LogicalOp.AND
+        assert any(isinstance(op, NotPredicate) for op in second.operands)
+        assert first is not None
+
+    def test_referenced_columns_cover_all_clauses(self):
+        plan = LogicalPlan.of(
+            "SELECT AVG(x) FROM t JOIN d ON k = dk WHERE a = 1 GROUP BY g"
+        )
+        assert plan.referenced_columns == {"x", "k", "dk", "a", "g"}
+
+    def test_of_is_idempotent(self):
+        plan = LogicalPlan.of("SELECT COUNT(*) FROM t")
+        assert LogicalPlan.of(plan) is plan
+
+
+# -- cache-key regressions ------------------------------------------------------------
+
+
+class TestCacheKeyGroupByOrder:
+    def test_group_by_order_shares_cache_key(self):
+        # Regression: cache_key used to join group_by in text order, so
+        # `GROUP BY a, b` and `GROUP BY b, a` missed each other's entries.
+        a = parse_query("SELECT COUNT(*) FROM t WHERE x = 1 GROUP BY a, b")
+        b = parse_query("SELECT COUNT(*) FROM t WHERE x = 1 GROUP BY b, a")
+        assert cache_key(a) == cache_key(b)
+
+    def test_group_by_set_still_distinguishes(self):
+        a = parse_query("SELECT COUNT(*) FROM t GROUP BY a")
+        b = parse_query("SELECT COUNT(*) FROM t GROUP BY a, b")
+        assert cache_key(a) != cache_key(b)
+
+    def test_service_cache_hit_across_group_by_orders(self, planner_db):
+        service = planner_db.serve(num_workers=1)
+        try:
+            first = service.execute(
+                "SELECT COUNT(*) FROM sessions WHERE dt = 5 GROUP BY city, genre"
+            )
+            hits_before = service.metrics.cache_hits.value
+            second = service.execute(
+                "SELECT COUNT(*) FROM sessions WHERE dt = 5 GROUP BY genre, city"
+            )
+            assert service.metrics.cache_hits.value == hits_before + 1
+            assert first is second  # the very same cached object
+        finally:
+            service.close()
+
+
+# -- physical plans and EXPLAIN --------------------------------------------------------
+
+
+class TestPhysicalPlan:
+    def test_plan_attached_to_results(self, planner_db):
+        result = planner_db.query("SELECT COUNT(*) FROM sessions WHERE dt = 5")
+        plan = result.metadata["plan"]
+        assert isinstance(plan, PhysicalPlan)
+        assert plan.mode is PlanMode.APPROXIMATE
+        assert plan.resolution is not None
+        assert plan.resolution.name == result.sample_name
+        assert result.metadata["decision"].plan is plan
+
+    def test_pruned_columns_subset_of_schema(self, planner_db):
+        plan = planner_db.runtime.explain(
+            "SELECT AVG(session_time) FROM sessions WHERE dt = 5 GROUP BY city"
+        )
+        assert set(plan.pruned_columns) == {"session_time", "dt", "city"}
+
+    def test_count_star_keeps_carrier_column(self, planner_db):
+        plan = planner_db.runtime.explain("SELECT COUNT(*) FROM sessions")
+        assert len(plan.pruned_columns) == 1
+
+    def test_exact_plan_mode(self, planner_db):
+        result = planner_db.query_exact("SELECT COUNT(*) FROM sessions")
+        plan = result.metadata["plan"]
+        assert plan.mode is PlanMode.EXACT
+        assert plan.resolution is None
+
+    def test_disjunctive_plan_has_branch_plans(self, planner_db):
+        plan = planner_db.runtime.explain(
+            "SELECT COUNT(*) FROM sessions WHERE genre = 'g3' OR dt = 5"
+        )
+        assert plan.mode is PlanMode.DISJUNCTIVE
+        assert len(plan.branch_plans) == 2
+        for branch in plan.branch_plans:
+            assert branch.resolution is not None
+        rendered = plan.render()
+        assert "disjoint union" in rendered
+
+    def test_render_contains_elp_and_rationale(self, planner_db):
+        plan = planner_db.runtime.explain(
+            "SELECT COUNT(*) FROM sessions WHERE dt = 5 WITHIN 5 SECONDS"
+        )
+        rendered = plan.render()
+        assert "PhysicalPlan [approximate]" in rendered
+        assert "fingerprint:" in rendered
+        assert "resolution:" in rendered
+        assert "latency~" in rendered  # the ELP table
+        assert "stages:" in rendered
+        assert plan.rationale  # at least selection + sizing rationale
+
+    def test_anytime_plan_carries_partition_spec(self, planner_db):
+        plan = planner_db.runtime.explain(
+            "SELECT COUNT(*) FROM sessions WHERE dt = 5 WITHIN 0.05 SECONDS"
+        )
+        assert plan.anytime
+        assert not plan.bound_satisfied
+        assert plan.partitioning is not None
+        assert plan.partitioning.deadline_seconds == pytest.approx(0.05)
+        assert plan.partitioning.num_partitions > 1
+
+
+class TestExplainStatement:
+    def test_parse_statement_wraps_query(self):
+        statement = parse_statement("EXPLAIN SELECT COUNT(*) FROM t WHERE a = 1")
+        assert isinstance(statement, ExplainQuery)
+        assert statement.query.table == "t"
+
+    def test_parse_statement_plain_query_passthrough(self):
+        statement = parse_statement("SELECT COUNT(*) FROM t")
+        assert not isinstance(statement, ExplainQuery)
+
+    def test_parse_query_rejects_explain(self):
+        with pytest.raises(ParseError, match="parse_statement"):
+            parse_query("EXPLAIN SELECT COUNT(*) FROM t")
+
+    def test_explain_keyword_still_contextual_identifier(self):
+        query = parse_query("SELECT COUNT(explain) FROM explain GROUP BY explain")
+        assert query.table == "explain"
+
+    def test_facade_explain_returns_rendered_plan_without_executing(self, planner_db):
+        executed_before = planner_db.runtime.stats["queries_executed"]
+        result = planner_db.query("EXPLAIN SELECT COUNT(*) FROM sessions WHERE dt = 5")
+        assert isinstance(result, ExplainResult)
+        assert "PhysicalPlan" in result.text
+        assert str(result) == result.text
+        assert planner_db.runtime.stats["queries_executed"] == executed_before
+
+    def test_service_explain_ticket(self, planner_db):
+        service = planner_db.serve(num_workers=1)
+        try:
+            ticket = service.submit("EXPLAIN SELECT COUNT(*) FROM sessions WHERE dt = 5")
+            assert ticket.metrics.admission == "explain"
+            result = ticket.result(timeout=5)
+            assert isinstance(result, ExplainResult)
+            assert result.plan.mode is PlanMode.APPROXIMATE
+            assert service.metrics.explained.value == 1
+        finally:
+            service.close()
+
+
+# -- probe memoization ----------------------------------------------------------------
+
+
+class TestProbeMemoization:
+    def test_repeated_unbounded_queries_hit_probe_cache(self, planner_db):
+        sql = "SELECT COUNT(*) FROM sessions WHERE dt = 7"
+        stats_before = planner_db.runtime.stats
+        planner_db.query(sql)
+        after_first = planner_db.runtime.stats
+        new_misses = (
+            after_first["probe_cache_misses"] - stats_before["probe_cache_misses"]
+        )
+        assert new_misses >= 1  # first run really probed
+        planner_db.query(sql)
+        after_second = planner_db.runtime.stats
+        assert after_second["probe_cache_misses"] == after_first["probe_cache_misses"]
+        assert after_second["probe_cache_hits"] > after_first["probe_cache_hits"]
+
+    def test_different_constants_do_not_share_probes(self, planner_db):
+        planner_db.query("SELECT COUNT(*) FROM sessions WHERE dt = 11")
+        misses = planner_db.runtime.stats["probe_cache_misses"]
+        planner_db.query("SELECT COUNT(*) FROM sessions WHERE dt = 12")
+        assert planner_db.runtime.stats["probe_cache_misses"] > misses
+
+    def test_rebuild_discards_probe_memo(self, planner_db):
+        planner_db.query("SELECT COUNT(*) FROM sessions WHERE dt = 9")
+        assert planner_db.runtime.stats["probe_cache_entries"] > 0
+        planner_db.build_samples("sessions", storage_budget_fraction=0.5)
+        # The runtime (and with it the memo) was replaced wholesale.
+        assert planner_db.runtime.stats["probe_cache_entries"] == 0
+
+    def test_service_metrics_mirror_probe_counters(self, planner_db):
+        service = planner_db.serve(num_workers=1)
+        try:
+            service.execute("SELECT COUNT(*) FROM sessions WHERE dt = 3")
+            service.execute("SELECT COUNT(*) FROM sessions WHERE dt = 3 WITHIN 30 SECONDS")
+            description = service.describe()
+            probe = description["metrics"]["probe_cache"]
+            runtime_stats = planner_db.runtime.stats
+            assert probe["hits"] == runtime_stats["probe_cache_hits"]
+            assert probe["misses"] == runtime_stats["probe_cache_misses"]
+            assert probe["hits"] >= 1  # the second query reused the probe
+        finally:
+            service.close()

@@ -7,9 +7,8 @@ import pytest
 from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
 from repro.common.errors import CatalogError, ConstraintUnsatisfiableError, PlanningError
 from repro.core.blinkdb import BlinkDB
-from repro.sql.parser import parse_query
-from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
-from repro.workloads.tpch import generate_lineitem_table, generate_orders_table, tpch_query_templates
+from repro.workloads.conviva import conviva_query_templates
+from repro.workloads.tpch import tpch_query_templates
 
 
 class TestRuntimeDecisions:

@@ -86,3 +86,15 @@ class TestProgressiveTickets:
             assert hit.progress_fraction == 1.0
         finally:
             svc.close()
+
+
+class TestFailedTicketProgress:
+    def test_failed_ticket_reports_zero_progress(self, service):
+        # A query against an unknown table fails in the worker; the resolved
+        # ticket must not pretend it fully merged (progress_fraction == 1.0).
+        ticket = service.submit(
+            "SELECT COUNT(*) FROM no_such_table", progressive=True
+        )
+        assert ticket.exception(timeout=30) is not None
+        assert ticket.status == "failed"
+        assert ticket.progress_fraction == 0.0

@@ -13,8 +13,6 @@ from repro.workloads.conviva import (
 )
 from repro.workloads.tpch import (
     generate_customer_table,
-    generate_lineitem_table,
-    generate_orders_table,
     tpch_query_templates,
     tpch_query_trace,
 )
