@@ -209,6 +209,14 @@ class BlinkDBConfig:
     # is inflated by up to this fraction (deterministic per partition), so the
     # slowest wave dominates the pipeline's completion time.
     straggler_spread: float = 0.2
+    # -- scan acceleration (zone maps + compiled predicate kernels) -------------
+    # When True, join-free WHERE clauses are compiled once per (table, plan)
+    # into kernels that consult block zone maps to skip provably
+    # non-matching blocks and return selection vectors instead of full-width
+    # masks.  Answers are identical either way; only speed changes.
+    scan_acceleration: bool = True
+    # Rows per zone-map block (the granularity of skip decisions).
+    zone_block_rows: int = 4096
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.maintenance_churn_fraction <= 1.0:
@@ -221,3 +229,5 @@ class BlinkDBConfig:
             raise ValueError("min_partition_rows must be >= 1")
         if self.straggler_spread < 0.0:
             raise ValueError("straggler_spread must be non-negative")
+        if self.zone_block_rows < 1:
+            raise ValueError("zone_block_rows must be >= 1")

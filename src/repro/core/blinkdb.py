@@ -109,6 +109,10 @@ class BlinkDB:
         with self.state_lock.write_locked():
             self._builder.scale_factor = scale
             self._builder.register_base_table(table, cache=cache)
+            if self.config.scan_acceleration:
+                # Build the scan-acceleration metadata once, at load time, so
+                # the first query pays only O(num_blocks) triage work.
+                table.zone_map_index(self.config.zone_block_rows)
             self._invalidate_runtime()
 
     def load_dimension_table(self, table: Table) -> None:
@@ -176,6 +180,13 @@ class BlinkDB:
             plan = planner.plan(templates, storage_budget_fraction=storage_budget_fraction)
             self._plans[table_name] = plan
             self._builder.build_from_column_sets(table, plan.column_sets)
+            if self.config.scan_acceleration:
+                # Zone maps are sample-build-time metadata: compute them for
+                # every resolution table now (stratified samples are stored
+                # sorted by φ, so their blocks have tight, skippable ranges).
+                for _, family in self.catalog.iter_families(table_name):
+                    for resolution in family.resolutions:
+                        resolution.table.zone_map_index(self.config.zone_block_rows)
             self._invalidate_runtime()
         return plan
 

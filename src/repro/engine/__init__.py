@@ -8,7 +8,13 @@ objects.
 """
 
 from repro.engine.executor import QueryExecutor, execute_exact
-from repro.engine.expressions import evaluate_predicate
+from repro.engine.expressions import evaluate_predicate, measure_selectivity
+from repro.engine.kernels import (
+    CompiledPredicate,
+    RangeTriage,
+    ScanCounters,
+    compile_predicate,
+)
 from repro.engine.operators import hash_join
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
 
@@ -16,6 +22,11 @@ __all__ = [
     "QueryExecutor",
     "execute_exact",
     "evaluate_predicate",
+    "measure_selectivity",
+    "CompiledPredicate",
+    "RangeTriage",
+    "ScanCounters",
+    "compile_predicate",
     "hash_join",
     "AggregateValue",
     "GroupResult",

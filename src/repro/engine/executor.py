@@ -30,8 +30,11 @@ approximate execution, which keeps all answer paths consistent.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -43,12 +46,14 @@ from repro.engine.accumulators import (
     make_state,
 )
 from repro.engine.expressions import evaluate_predicate
+from repro.engine.kernels import CompiledPredicate, RangeTriage, ScanCounters
 from repro.engine.operators import hash_join
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
 from repro.planner.logical import LogicalPlan
-from repro.sql.ast import AggregateFunction, Query
+from repro.sql.ast import AggregateFunction, Predicate, Query
 from repro.storage.block import TablePartition
 from repro.storage.table import Table
+from repro.storage.zonemaps import ZoneDecision
 
 _FUNCTION_NAMES = {
     AggregateFunction.COUNT: "count",
@@ -62,6 +67,11 @@ _FUNCTION_NAMES = {
 
 #: Anything the executor can answer: a plan, a parsed query, or SQL text.
 Plannable = Union[LogicalPlan, Query, str]
+
+#: Compiled kernels retained per table.  Templated workloads bind fresh
+#: literals per query, each a distinct canonical predicate; the LRU bounds
+#: what a long-running service can accumulate (compare the probe memo).
+_KERNEL_CACHE_ENTRIES = 128
 
 
 @dataclass(frozen=True)
@@ -98,13 +108,132 @@ class ExecutionContext:
 
 
 class QueryExecutor:
-    """Executes logical plans against tables, resolving dimension tables by name."""
+    """Executes logical plans against tables, resolving dimension tables by name.
 
-    def __init__(self, tables: Mapping[str, Table] | None = None) -> None:
+    ``scan_acceleration`` enables the zone-map + compiled-kernel scan path
+    (:mod:`repro.engine.kernels`): WHERE clauses of join-free plans are
+    lowered once per (table, predicate) into a cached kernel that skips
+    provably non-matching blocks and returns selection vectors instead of
+    full-width masks.  The accelerated path selects exactly the rows the
+    interpretive path would — turning it off only changes speed, never
+    answers.  Lifetime scan counters are exposed via :attr:`scan_stats`.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Table] | None = None,
+        *,
+        scan_acceleration: bool = True,
+        zone_block_rows: int | None = None,
+    ) -> None:
         self._tables = dict(tables or {})
+        self.scan_acceleration = scan_acceleration
+        self.zone_block_rows = zone_block_rows
+        # Compiled kernels keyed by (source table -> canonical predicate).
+        # Weak table keys fence kernels (and the zone indexes they hold) to
+        # the life of the data they were compiled against; kernels hold no
+        # reference back to their table, so the weak keys actually die.  The
+        # per-table LRU bounds growth under templated workloads.
+        self._kernels: "weakref.WeakKeyDictionary[Table, OrderedDict[Predicate, CompiledPredicate]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._kernel_lock = threading.Lock()
+        self._scan_lock = threading.Lock()
+        self._scan_totals = ScanCounters()
 
     def register_table(self, table: Table) -> None:
         self._tables[table.name] = table
+
+    # -- scan acceleration ------------------------------------------------------------
+    def predicate_kernel(self, predicate: Predicate, source: Table) -> CompiledPredicate:
+        """The compiled kernel of ``predicate`` over ``source`` (cached, LRU)."""
+        with self._kernel_lock:
+            per_table = self._kernels.get(source)
+            if per_table is None:
+                per_table = OrderedDict()
+                self._kernels[source] = per_table
+            kernel = per_table.get(predicate)
+            if kernel is not None:
+                per_table.move_to_end(predicate)
+        if kernel is None:
+            zone_index = (
+                source.zone_map_index(self.zone_block_rows)
+                if source.num_rows > 0
+                else None
+            )
+            kernel = CompiledPredicate(predicate, source, zone_index)
+            with self._kernel_lock:
+                per_table[predicate] = kernel
+                per_table.move_to_end(predicate)
+                while len(per_table) > _KERNEL_CACHE_ENTRIES:
+                    per_table.popitem(last=False)
+        return kernel
+
+    def _accelerable(self, plan: LogicalPlan) -> bool:
+        return self.scan_acceleration and plan.where is not None and not plan.joins
+
+    def partition_triage(
+        self, plan: Plannable, partitions: Sequence[TablePartition]
+    ) -> list[RangeTriage] | None:
+        """Zone-map verdict per partition, or ``None`` when not applicable.
+
+        Used by the partition pipeline to complete fully-skippable
+        partitions without dispatching any work.  Scan counters for the
+        skipped partitions are recorded here (their blocks never reach the
+        evaluation path); partially-skippable partitions are recorded when
+        they are actually aggregated.
+        """
+        plan = LogicalPlan.of(plan)
+        if not partitions or not self._accelerable(plan):
+            return None
+        source = partitions[0].source
+        if any(p.source is not source for p in partitions):
+            return None
+        try:
+            kernel = self.predicate_kernel(plan.where, source)
+        except Exception:
+            return None
+        return [self._triage_partition(kernel, p) for p in partitions]
+
+    @staticmethod
+    def _triage_partition(
+        kernel: CompiledPredicate, partition: TablePartition
+    ) -> RangeTriage:
+        """One partition's zone verdict.
+
+        A partition whose block carries its own zone maps (a
+        ``BlockSet.with_zones`` split) gets a one-shot whole-partition
+        check against them first; the source table's zone-map index then
+        refines partial skips for the blocks overlapping the row range.
+        """
+        zones = partition.block.zones
+        if zones is not None and kernel.classify_block(zones) is ZoneDecision.SKIP:
+            rows = partition.num_rows
+            return RangeTriage(
+                rows=rows, rows_skipped=rows, blocks=1, blocks_skipped=1
+            )
+        return kernel.triage_range(partition.block.row_start, partition.block.row_end)
+
+    def record_skipped_scan(self, rows: int, blocks: int, row_width: int) -> None:
+        """Account blocks proven skippable outside the evaluation path."""
+        counters = ScanCounters(
+            blocks_total=blocks,
+            blocks_skipped=blocks,
+            rows_total=rows,
+            rows_skipped=rows,
+            bytes_total=rows * row_width,
+        )
+        self._record_scan(counters)
+
+    def _record_scan(self, counters: ScanCounters) -> None:
+        with self._scan_lock:
+            self._scan_totals.merge(counters)
+
+    @property
+    def scan_stats(self) -> dict[str, int]:
+        """Lifetime zone-mapped scan counters (thread-safe snapshot)."""
+        with self._scan_lock:
+            return self._scan_totals.as_dict()
 
     # -- public API -----------------------------------------------------------
     def execute(
@@ -162,15 +291,23 @@ class QueryExecutor:
         self, plan: Plannable, partition: TablePartition
     ) -> PartialAggregation:
         """Partial-aggregate one zero-copy partition (its rows and weights)."""
-        return self.partial_aggregate(plan, partition.table, partition.weights)
+        return self.partial_aggregate(
+            plan, partition.table, partition.weights, origin=partition
+        )
 
     def partial_aggregate(
         self,
         plan: Plannable,
         data: Table,
         weights: np.ndarray | None = None,
+        origin: TablePartition | None = None,
     ) -> PartialAggregation:
-        """Prune -> join -> filter -> group -> fold one partition into states."""
+        """Prune -> join -> filter -> group -> fold one partition into states.
+
+        ``origin`` identifies ``data`` as a zero-copy row-range view of a
+        source table, which lets the accelerated filter consult the source's
+        block zone maps; without it ``data`` is treated as its own source.
+        """
         plan = LogicalPlan.of(plan)
         has_weights = weights is not None
         if weights is not None:
@@ -182,15 +319,19 @@ class QueryExecutor:
         weight_scanned = float(np.sum(weights)) if weights is not None else float(rows_scanned)
 
         # 0. Column pruning: materialize only the columns the plan touches.
+        # The pre-prune table anchors the kernel cache and zone maps — it is
+        # the stable object (a sample resolution or base table), while the
+        # pruned projection is rebuilt per call.
+        unpruned = data
         data = self.prune(plan, data)
 
         # 1. Joins against dimension tables.
         working, weights = self._apply_joins(plan, data, weights)
 
-        # 2. WHERE mask.
-        mask = evaluate_predicate(plan.where, working)
-        matched = working.filter(mask)
-        matched_weights = weights[mask] if weights is not None else None
+        # 2. WHERE: zone-mapped kernel scan when possible, mask fallback else.
+        matched, matched_weights = self._filter_stage(
+            plan, working, weights, origin=origin, fallback_source=unpruned
+        )
 
         # 3. Group assignment (plan.group_by is already canonical).
         group_columns = list(plan.group_by)
@@ -257,6 +398,88 @@ class QueryExecutor:
         if not names:
             names = data.schema.names[:1]
         return data.project(names)
+
+    # -- stage 2: WHERE filtering --------------------------------------------------------
+    def _filter_stage(
+        self,
+        plan: LogicalPlan,
+        working: Table,
+        weights: np.ndarray | None,
+        origin: TablePartition | None,
+        fallback_source: Table | None = None,
+    ) -> tuple[Table, np.ndarray | None]:
+        """The rows of ``working`` matching the plan's WHERE clause.
+
+        The accelerated path compiles the predicate once per (source table,
+        predicate), triages each zone block (skip / take-all / evaluate),
+        and gathers by selection vector; it is taken whenever the plan has a
+        join-free WHERE and ``working`` still maps 1:1 onto a row range of
+        its source.  Either path selects the same rows in the same order.
+        """
+        if plan.where is None:
+            return working, weights
+        if self._accelerable(plan):
+            if origin is not None:
+                source = origin.source
+                row_start = origin.block.row_start
+                row_end = origin.block.row_end
+            else:
+                source = fallback_source if fallback_source is not None else working
+                row_start, row_end = 0, working.num_rows
+            if row_end - row_start == working.num_rows:
+                try:
+                    kernel = self.predicate_kernel(plan.where, source)
+                    counters = ScanCounters()
+                    selection = kernel.select_range(
+                        working,
+                        row_start,
+                        row_end,
+                        counters=counters,
+                        row_width=working.row_width_bytes,
+                    )
+                except ExecutionError:
+                    # A predicate form the kernel compiler does not support
+                    # yet: acceleration must degrade to the interpretive
+                    # path, never fail a query the mask path can answer.
+                    pass
+                else:
+                    self._record_scan(counters)
+                    matched = working.take(selection)
+                    matched_weights = (
+                        weights[selection] if weights is not None else None
+                    )
+                    return matched, matched_weights
+        mask = evaluate_predicate(plan.where, working)
+        matched = working.filter(mask)
+        matched_weights = weights[mask] if weights is not None else None
+        return matched, matched_weights
+
+    def count_matching(self, plan: Plannable, data: Table, record: bool = True) -> int:
+        """Number of rows of ``data`` matching the plan's WHERE clause.
+
+        The probing phase uses this instead of materializing a full-width
+        mask: skip and take-all blocks contribute their row counts without
+        any predicate evaluation.  ``record=False`` leaves the lifetime scan
+        counters untouched (for callers that already accounted the scan).
+        """
+        plan = LogicalPlan.of(plan)
+        if plan.where is None:
+            return data.num_rows
+        if self._accelerable(plan):
+            try:
+                kernel = self.predicate_kernel(plan.where, data)
+                counters = ScanCounters()
+                selection = kernel.select_range(
+                    data, 0, data.num_rows, counters=counters,
+                    row_width=data.row_width_bytes,
+                )
+            except ExecutionError:
+                pass  # unsupported predicate form: count interpretively
+            else:
+                if record:
+                    self._record_scan(counters)
+                return int(selection.size)
+        return int(np.count_nonzero(evaluate_predicate(plan.where, data)))
 
     # -- stage 3: merged states -> estimates ---------------------------------------------
     def finalize(
@@ -379,7 +602,12 @@ def execute_exact(
     plan: Plannable,
     table: Table,
     dimension_tables: Mapping[str, Table] | None = None,
+    scan_acceleration: bool = True,
 ) -> QueryResult:
-    """Execute a plan exactly against the full base table."""
-    executor = QueryExecutor(dimension_tables)
+    """Execute a plan exactly against the full base table.
+
+    ``scan_acceleration`` mirrors ``config.scan_acceleration`` for callers
+    of this standalone helper; answers are identical either way.
+    """
+    executor = QueryExecutor(dimension_tables, scan_acceleration=scan_acceleration)
     return executor.execute(plan, table, ExecutionContext(exact=True, sample_name=None))

@@ -36,10 +36,23 @@ def evaluate_predicate(predicate: Predicate | None, table: Table) -> np.ndarray:
     if isinstance(predicate, NotPredicate):
         return ~evaluate_predicate(predicate.inner, table)
     if isinstance(predicate, CompoundPredicate):
-        masks = [evaluate_predicate(op, table) for op in predicate.operands]
-        combined = masks[0]
-        for mask in masks[1:]:
-            combined = combined & mask if predicate.op is LogicalOp.AND else combined | mask
+        # Short-circuit: once an AND mask is empty (or an OR mask is full)
+        # no later operand can change it, so stop evaluating them.
+        combined: np.ndarray | None = None
+        for operand in predicate.operands:
+            if combined is not None:
+                if predicate.op is LogicalOp.AND and not combined.any():
+                    break
+                if predicate.op is LogicalOp.OR and combined.all():
+                    break
+            mask = evaluate_predicate(operand, table)
+            if combined is None:
+                combined = mask
+            elif predicate.op is LogicalOp.AND:
+                combined = combined & mask
+            else:
+                combined = combined | mask
+        assert combined is not None
         return combined
     raise ExecutionError(f"unsupported predicate type {type(predicate)!r}")
 
@@ -61,6 +74,16 @@ def _evaluate_binary(predicate: BinaryPredicate, table: Table) -> np.ndarray:
         return _compare(values, op, str(predicate.value))
     data = column.data
     literal = column.encode_lookup(predicate.value)
+    return _compare(data, op, literal)
+
+
+def compare_op(data: np.ndarray, op: ComparisonOp, literal: object) -> np.ndarray:
+    """Vectorized ``data <op> literal`` — the one comparison dispatch.
+
+    Shared by this interpretive path and the compiled kernels
+    (:mod:`repro.engine.kernels`), so operator semantics can never diverge
+    between them.
+    """
     return _compare(data, op, literal)
 
 
@@ -103,8 +126,14 @@ def _evaluate_between(predicate: BetweenPredicate, table: Table) -> np.ndarray:
     return (data >= low) & (data <= high)
 
 
-def estimate_selectivity(predicate: Predicate | None, table: Table) -> float:
-    """Fraction of rows of ``table`` selected by ``predicate``."""
+def measure_selectivity(predicate: Predicate | None, table: Table) -> float:
+    """*Exact* fraction of rows of ``table`` selected by ``predicate``.
+
+    This evaluates the whole predicate over the whole table — O(table) — so
+    it is for tests and offline baselines only.  The planning path must
+    never call it; plans are costed with the statistics-based
+    :func:`repro.planner.selectivity.estimate_selectivity` instead.
+    """
     if table.num_rows == 0:
         return 0.0
     mask = evaluate_predicate(predicate, table)

@@ -1,0 +1,804 @@
+"""Compiled predicate kernels: zone-map triage + selection-vector evaluation.
+
+:func:`compile_predicate` lowers a canonical predicate tree **once per
+(plan, table)** into a :class:`CompiledPredicate` — a reusable closure that
+replaces the interpretive :func:`~repro.engine.expressions.evaluate_predicate`
+walk on the scan hot path.  The compiled form buys three things the
+interpreter cannot:
+
+1. **Block triage via zone maps.**  Before a block's data is touched, the
+   kernel classifies it against the block's per-column min/max zones
+   (:mod:`repro.storage.zonemaps`) as *skip* (no row can match — the block
+   is never read), *take-all* (every row provably matches — selected without
+   evaluating), or *evaluate*.  On the sorted stratified samples the planner
+   prefers (§3.1), selective predicates skip most blocks outright.
+2. **Selection vectors instead of full-width masks.**  Evaluation returns
+   sorted row-index arrays.  AND chains run cheapest-selectivity-first and
+   each conjunct is evaluated only on the rows that survived the previous
+   one, so a selective leading conjunct collapses the work of every later
+   conjunct — no O(num_rows) boolean mask per operand.
+3. **Literal pre-encoding and leaf memoization.**  Literals are encoded into
+   each column's internal representation once at compile time; string range
+   and BETWEEN comparisons become per-dictionary-code truth tables computed
+   from the *decoded* dictionary values (correct for any dictionary order —
+   ``Column.from_codes`` tables carry dictionaries in arbitrary label
+   order).  Leaf comparison results are memoized per candidate set so
+   identical leaves shared by several OR branches are computed once.
+
+The kernel is **answer-preserving** by construction: for every predicate and
+table it selects exactly the rows ``evaluate_predicate`` would, in the same
+(ascending) order — zone maps may only make a scan faster, never change it.
+Property tests assert bitwise-identical results between the two paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import ExecutionError
+from repro.engine.expressions import compare_op as _apply_compare
+from repro.planner import selectivity
+from repro.sql.ast import (
+    BetweenPredicate,
+    BinaryPredicate,
+    ComparisonOp,
+    CompoundPredicate,
+    InPredicate,
+    LogicalOp,
+    NotPredicate,
+    Predicate,
+)
+from repro.storage.schema import ColumnType
+from repro.storage.table import Table
+from repro.storage.zonemaps import ColumnZone, ZoneDecision, ZoneMapIndex
+
+#: Densely-covered integer zones narrower than this are checked value-by-value
+#: for IN take-all classification.
+_DENSE_IN_SPAN = 64
+
+
+# -- scan accounting ----------------------------------------------------------------
+
+
+@dataclass
+class ScanCounters:
+    """What one (or many, merged) zone-mapped scans touched and skipped."""
+
+    blocks_total: int = 0
+    blocks_skipped: int = 0
+    blocks_take_all: int = 0
+    blocks_evaluated: int = 0
+    rows_total: int = 0
+    rows_skipped: int = 0
+    bytes_total: int = 0
+    bytes_scanned: int = 0
+
+    @property
+    def rows_scanned(self) -> int:
+        return self.rows_total - self.rows_skipped
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of rows proven skippable (0.0 when nothing was scanned)."""
+        if self.rows_total == 0:
+            return 0.0
+        return self.rows_skipped / self.rows_total
+
+    def observe_block(self, decision: ZoneDecision, rows: int, row_width: int) -> None:
+        self.blocks_total += 1
+        self.rows_total += rows
+        self.bytes_total += rows * row_width
+        if decision is ZoneDecision.SKIP:
+            self.blocks_skipped += 1
+            self.rows_skipped += rows
+        else:
+            if decision is ZoneDecision.TAKE_ALL:
+                self.blocks_take_all += 1
+            else:
+                self.blocks_evaluated += 1
+            self.bytes_scanned += rows * row_width
+
+    def merge(self, other: "ScanCounters") -> "ScanCounters":
+        self.blocks_total += other.blocks_total
+        self.blocks_skipped += other.blocks_skipped
+        self.blocks_take_all += other.blocks_take_all
+        self.blocks_evaluated += other.blocks_evaluated
+        self.rows_total += other.rows_total
+        self.rows_skipped += other.rows_skipped
+        self.bytes_total += other.bytes_total
+        self.bytes_scanned += other.bytes_scanned
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "blocks_total": self.blocks_total,
+            "blocks_skipped": self.blocks_skipped,
+            "blocks_take_all": self.blocks_take_all,
+            "blocks_evaluated": self.blocks_evaluated,
+            "rows_total": self.rows_total,
+            "rows_skipped": self.rows_skipped,
+            "bytes_total": self.bytes_total,
+            "bytes_scanned": self.bytes_scanned,
+        }
+
+
+@dataclass(frozen=True)
+class RangeTriage:
+    """Zone-map verdict over one row range, without any evaluation."""
+
+    rows: int
+    rows_skipped: int
+    blocks: int
+    blocks_skipped: int
+
+    @property
+    def all_skipped(self) -> bool:
+        """Every row of the range is provably non-matching."""
+        return self.rows > 0 and self.rows_skipped == self.rows
+
+    @property
+    def scan_rows(self) -> int:
+        return self.rows - self.rows_skipped
+
+
+# -- evaluation context -------------------------------------------------------------
+
+# Candidate rows are either a half-open local range ``(start, stop)`` — the
+# whole block, gathered as zero-copy slices — or a sorted index array.
+
+
+def _rows_size(rows) -> int:
+    if isinstance(rows, tuple):
+        return rows[1] - rows[0]
+    return int(rows.shape[0])
+
+
+def _rows_array(rows) -> np.ndarray:
+    if isinstance(rows, tuple):
+        return np.arange(rows[0], rows[1], dtype=np.int64)
+    return rows
+
+
+class _EvalContext:
+    """Per-scan scratch state: column arrays and memoized leaf results."""
+
+    __slots__ = ("view", "_columns", "memo")
+
+    def __init__(self, view: Table) -> None:
+        self.view = view
+        self._columns: dict[str, np.ndarray] = {}
+        # (leaf key, candidate token) -> (candidate ref, result).  The
+        # candidate ref pins index arrays so an id() can never be recycled
+        # into a stale hit within one scan.
+        self.memo: dict[tuple, tuple[object, np.ndarray]] = {}
+
+    def column(self, name: str) -> np.ndarray:
+        data = self._columns.get(name)
+        if data is None:
+            data = self.view.column(name).data
+            self._columns[name] = data
+        return data
+
+
+# -- compiled nodes -----------------------------------------------------------------
+
+
+class _Node:
+    """One compiled predicate-tree node."""
+
+    __slots__ = ("est", "key")
+
+    est: float  # estimated selectivity in [0, 1], for AND ordering
+    key: str  # stable identity for leaf memoization
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        raise NotImplementedError
+
+    def select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        """The sorted subset of ``rows`` satisfying this node."""
+        raise NotImplementedError
+
+
+class _Leaf(_Node):
+    """Leaf with per-candidate-set memoization (OR-branch comparison reuse)."""
+
+    __slots__ = ()
+
+    def select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        token = rows if isinstance(rows, tuple) else id(rows)
+        entry = ctx.memo.get((self.key, token))
+        if entry is not None and (isinstance(rows, tuple) or entry[0] is rows):
+            return entry[1]
+        result = self._select(ctx, rows)
+        ctx.memo[(self.key, token)] = (rows, result)
+        return result
+
+    def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _Always(_Leaf):
+    """A predicate proven constant at compile time (e.g. EQ on an absent string)."""
+
+    __slots__ = ("truth",)
+
+    def __init__(self, truth: bool) -> None:
+        self.truth = truth
+        self.est = 1.0 if truth else 0.0
+        self.key = f"always:{truth}"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        return ZoneDecision.TAKE_ALL if self.truth else ZoneDecision.SKIP
+
+    def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        if self.truth:
+            return _rows_array(rows)
+        return np.empty(0, dtype=np.int64)
+
+
+class _Compare(_Leaf):
+    """``column <op> literal`` with the literal pre-encoded at compile time."""
+
+    __slots__ = ("column", "op", "literal")
+
+    def __init__(self, column: str, op: ComparisonOp, literal: object, est: float) -> None:
+        self.column = column
+        self.op = op
+        self.literal = literal
+        self.est = est
+        self.key = f"{column}{op.value}{literal!r}"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        zone = zones.get(self.column)
+        if zone is None:
+            return ZoneDecision.EVALUATE
+        return _classify_compare(self.op, self.literal, zone.minimum, zone.maximum)
+
+    def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        data = ctx.column(self.column)
+        if isinstance(rows, tuple):
+            start, stop = rows
+            mask = _apply_compare(data[start:stop], self.op, self.literal)
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+        mask = _apply_compare(data[rows], self.op, self.literal)
+        return rows[mask]
+
+
+def _classify_compare(op: ComparisonOp, lit, lo, hi) -> ZoneDecision:
+    # Every branch requires an explicitly-true comparison; NaN bounds (a
+    # float block containing NaNs) fail them all and fall to EVALUATE.
+    try:
+        if op is ComparisonOp.EQ:
+            if lit < lo or lit > hi:
+                return ZoneDecision.SKIP
+            if lo == hi and lo == lit:
+                return ZoneDecision.TAKE_ALL
+            return ZoneDecision.EVALUATE
+        if op is ComparisonOp.NE:
+            if lit < lo or lit > hi:
+                return ZoneDecision.TAKE_ALL
+            if lo == hi and lo == lit:
+                return ZoneDecision.SKIP
+            return ZoneDecision.EVALUATE
+        if op is ComparisonOp.LT:
+            if hi < lit:
+                return ZoneDecision.TAKE_ALL
+            if lo >= lit:
+                return ZoneDecision.SKIP
+            return ZoneDecision.EVALUATE
+        if op is ComparisonOp.LE:
+            if hi <= lit:
+                return ZoneDecision.TAKE_ALL
+            if lo > lit:
+                return ZoneDecision.SKIP
+            return ZoneDecision.EVALUATE
+        if op is ComparisonOp.GT:
+            if lo > lit:
+                return ZoneDecision.TAKE_ALL
+            if hi <= lit:
+                return ZoneDecision.SKIP
+            return ZoneDecision.EVALUATE
+        if op is ComparisonOp.GE:
+            if lo >= lit:
+                return ZoneDecision.TAKE_ALL
+            if hi < lit:
+                return ZoneDecision.SKIP
+            return ZoneDecision.EVALUATE
+    except TypeError:
+        # Incomparable literal/zone types (mixed-type column edge cases):
+        # never skip what we cannot prove.
+        return ZoneDecision.EVALUATE
+    return ZoneDecision.EVALUATE
+
+
+class _Range(_Leaf):
+    """``low <= column <= high`` on the internal representation (BETWEEN)."""
+
+    __slots__ = ("column", "low", "high")
+
+    def __init__(self, column: str, low: object, high: object, est: float) -> None:
+        self.column = column
+        self.low = low
+        self.high = high
+        self.est = est
+        self.key = f"{column} in[{low!r},{high!r}]"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        zone = zones.get(self.column)
+        if zone is None:
+            return ZoneDecision.EVALUATE
+        lo, hi = zone.minimum, zone.maximum
+        try:
+            if hi < self.low or lo > self.high:
+                return ZoneDecision.SKIP
+            if lo >= self.low and hi <= self.high:
+                return ZoneDecision.TAKE_ALL
+        except TypeError:
+            return ZoneDecision.EVALUATE
+        return ZoneDecision.EVALUATE
+
+    def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        data = ctx.column(self.column)
+        if isinstance(rows, tuple):
+            start, stop = rows
+            block = data[start:stop]
+            mask = (block >= self.low) & (block <= self.high)
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+        gathered = data[rows]
+        mask = (gathered >= self.low) & (gathered <= self.high)
+        return rows[mask]
+
+
+class _CodeLookup(_Leaf):
+    """A string predicate lowered to a per-dictionary-code truth table.
+
+    ``allowed[c]`` is the predicate's verdict on dictionary entry ``c`` —
+    computed once at compile time by comparing the *decoded* dictionary
+    values, so it is correct for any dictionary order (``Column.from_codes``
+    tables carry dictionaries in arbitrary label order).  Evaluation is one
+    boolean gather; classification slices ``allowed`` over the block's code
+    range, which is sound because every code in the block lies within its
+    zone's ``[min, max]``.
+    """
+
+    __slots__ = ("column", "allowed")
+
+    def __init__(self, column: str, allowed: np.ndarray, key: str, est: float) -> None:
+        self.column = column
+        self.allowed = allowed
+        self.est = est
+        self.key = key
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        zone = zones.get(self.column)
+        if zone is None:
+            return ZoneDecision.EVALUATE
+        lo, hi = zone.minimum, zone.maximum
+        try:
+            window = self.allowed[int(lo):int(hi) + 1]
+        except (TypeError, ValueError):
+            return ZoneDecision.EVALUATE
+        if window.size == 0:
+            return ZoneDecision.EVALUATE
+        if not window.any():
+            return ZoneDecision.SKIP
+        if window.all():
+            return ZoneDecision.TAKE_ALL
+        return ZoneDecision.EVALUATE
+
+    def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        data = ctx.column(self.column)
+        if isinstance(rows, tuple):
+            start, stop = rows
+            mask = self.allowed[data[start:stop]]
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+        mask = self.allowed[data[rows]]
+        return rows[mask]
+
+
+class _In(_Leaf):
+    """``column IN (...)`` with the value list pre-encoded."""
+
+    __slots__ = ("column", "values", "value_set", "integral")
+
+    def __init__(
+        self, column: str, values: Sequence[object], integral: bool, est: float
+    ) -> None:
+        self.column = column
+        self.values = np.asarray(list(values))
+        self.value_set = set(values)
+        self.integral = integral
+        self.est = est
+        self.key = f"{column} in{sorted(map(repr, values))}"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        zone = zones.get(self.column)
+        if zone is None:
+            return ZoneDecision.EVALUATE
+        lo, hi = zone.minimum, zone.maximum
+        if lo != lo or hi != hi:
+            # NaN-poisoned bounds (the block holds NaNs): every comparison
+            # below would be False, which the candidate filter would
+            # misread as a provable SKIP — never skip what we cannot prove.
+            return ZoneDecision.EVALUATE
+        try:
+            candidates = [v for v in self.value_set if lo <= v <= hi]
+            if not candidates:
+                return ZoneDecision.SKIP
+            if lo == hi and lo in self.value_set:
+                return ZoneDecision.TAKE_ALL
+            if self.integral and 0 <= hi - lo < _DENSE_IN_SPAN:
+                if all(v in self.value_set for v in range(int(lo), int(hi) + 1)):
+                    return ZoneDecision.TAKE_ALL
+        except TypeError:
+            return ZoneDecision.EVALUATE
+        return ZoneDecision.EVALUATE
+
+    def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        data = ctx.column(self.column)
+        if isinstance(rows, tuple):
+            start, stop = rows
+            mask = np.isin(data[start:stop], self.values)
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+        mask = np.isin(data[rows], self.values)
+        return rows[mask]
+
+
+class _Not(_Node):
+    __slots__ = ("child",)
+
+    def __init__(self, child: _Node) -> None:
+        self.child = child
+        self.est = max(0.0, min(1.0, 1.0 - child.est))
+        self.key = f"not({child.key})"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        return self.child.classify(zones).invert()
+
+    def select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        selected = self.child.select(ctx, rows)
+        if isinstance(rows, tuple):
+            start, stop = rows
+            mask = np.ones(stop - start, dtype=bool)
+            mask[selected - start] = False
+            return np.flatnonzero(mask).astype(np.int64, copy=False) + start
+        mask = np.isin(rows, selected, assume_unique=True)
+        return rows[~mask]
+
+
+class _And(_Node):
+    """Conjunction, evaluated cheapest-estimated-selectivity-first.
+
+    Each conjunct sees only the rows that survived the previous conjuncts,
+    so the chain's cost collapses with its most selective member; an empty
+    survivor set short-circuits the rest entirely.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[_Node]) -> None:
+        self.children = tuple(sorted(children, key=lambda c: c.est))
+        product = 1.0
+        for child in self.children:
+            product *= child.est
+        self.est = product
+        self.key = f"and({'|'.join(sorted(c.key for c in self.children))})"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        result = ZoneDecision.TAKE_ALL
+        for child in self.children:
+            decision = child.classify(zones)
+            if decision is ZoneDecision.SKIP:
+                return ZoneDecision.SKIP
+            if decision is ZoneDecision.EVALUATE:
+                result = ZoneDecision.EVALUATE
+        return result
+
+    def select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        alive = rows
+        for child in self.children:
+            if _rows_size(alive) == 0:
+                break
+            alive = child.select(ctx, alive)
+        return _rows_array(alive)
+
+
+class _Or(_Node):
+    """Disjunction: branches share one candidate set so leaf memo hits land."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence[_Node]) -> None:
+        self.children = tuple(children)
+        miss = 1.0
+        for child in self.children:
+            miss *= 1.0 - child.est
+        self.est = max(0.0, min(1.0, 1.0 - miss))
+        self.key = f"or({'|'.join(sorted(c.key for c in self.children))})"
+
+    def classify(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        result = ZoneDecision.SKIP
+        for child in self.children:
+            decision = child.classify(zones)
+            if decision is ZoneDecision.TAKE_ALL:
+                return ZoneDecision.TAKE_ALL
+            if decision is ZoneDecision.EVALUATE:
+                result = ZoneDecision.EVALUATE
+        return result
+
+    def select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        parts = [child.select(ctx, rows) for child in self.children]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.unique(np.concatenate(parts))
+
+
+# -- selectivity estimates (compile-time AND ordering) -------------------------------
+#
+# The fraction math is shared with the planner's statistics-based estimator
+# (:mod:`repro.planner.selectivity`) so kernel AND-ordering and plan costing
+# use one set of formulas; these thin wrappers only adapt ColumnZone facts.
+
+
+def _compare_estimate(op: ComparisonOp, lit, zone: ColumnZone | None) -> float:
+    if zone is None:
+        if op is ComparisonOp.EQ:
+            return selectivity.DEFAULT_EQ
+        if op is ComparisonOp.NE:
+            return 1.0 - selectivity.DEFAULT_EQ
+        return selectivity.DEFAULT_RANGE
+    if op is ComparisonOp.EQ or op is ComparisonOp.NE:
+        eq = selectivity.equality_fraction(
+            lit, zone.minimum, zone.maximum, zone.distinct_estimate
+        )
+        return eq if op is ComparisonOp.EQ else 1.0 - eq
+    return selectivity.comparison_fraction(op, lit, zone.minimum, zone.maximum)
+
+
+def _range_estimate(low, high, zone: ColumnZone | None) -> float:
+    if zone is None:
+        return selectivity.DEFAULT_BETWEEN
+    return selectivity.between_fraction(low, high, zone.minimum, zone.maximum)
+
+
+def _in_estimate(num_values: int, zone: ColumnZone | None) -> float:
+    if zone is None:
+        return min(1.0, selectivity.DEFAULT_IN * num_values)
+    return selectivity.in_fraction(num_values, zone.distinct_estimate)
+
+
+# -- lowering -----------------------------------------------------------------------
+
+
+def _lower(
+    predicate: Predicate, table: Table, column_zones: Mapping[str, ColumnZone]
+) -> _Node:
+    if isinstance(predicate, BinaryPredicate):
+        return _lower_binary(predicate, table, column_zones)
+    if isinstance(predicate, InPredicate):
+        return _lower_in(predicate, table, column_zones)
+    if isinstance(predicate, BetweenPredicate):
+        return _lower_between(predicate, table, column_zones)
+    if isinstance(predicate, NotPredicate):
+        return _Not(_lower(predicate.inner, table, column_zones))
+    if isinstance(predicate, CompoundPredicate):
+        children = [_lower(op, table, column_zones) for op in predicate.operands]
+        return _And(children) if predicate.op is LogicalOp.AND else _Or(children)
+    raise ExecutionError(f"unsupported predicate type {type(predicate)!r}")
+
+
+def _code_lookup(name: str, allowed: np.ndarray, key: str) -> _CodeLookup:
+    """Build a :class:`_CodeLookup` with an allowed-fraction selectivity estimate."""
+    fraction = float(allowed.mean()) if allowed.size else 0.0
+    return _CodeLookup(name, allowed, key, fraction)
+
+
+def _lower_binary(
+    predicate: BinaryPredicate, table: Table, column_zones: Mapping[str, ColumnZone]
+) -> _Node:
+    name = predicate.column.name
+    column = table.column(name)
+    zone = column_zones.get(name)
+    op = predicate.op
+    if column.ctype is ColumnType.STRING and op not in (ComparisonOp.EQ, ComparisonOp.NE):
+        # String range comparisons: precompute the predicate's verdict per
+        # dictionary entry by comparing the *decoded* values.  Dictionaries
+        # from `Column.from_codes` are in arbitrary label order, so no
+        # order-based (searchsorted) lowering is sound here.
+        dictionary = column.dictionary
+        assert dictionary is not None
+        allowed = _apply_compare(dictionary, op, str(predicate.value))
+        key = f"{name}{op.value}{str(predicate.value)!r}"
+        return _code_lookup(name, np.asarray(allowed, dtype=bool), key)
+    literal = column.encode_lookup(predicate.value)
+    return _Compare(name, op, literal, _compare_estimate(op, literal, zone))
+
+
+def _lower_in(
+    predicate: InPredicate, table: Table, column_zones: Mapping[str, ColumnZone]
+) -> _Node:
+    name = predicate.column.name
+    column = table.column(name)
+    zone = column_zones.get(name)
+    literals = [column.encode_lookup(v) for v in predicate.values]
+    if column.ctype is ColumnType.STRING:
+        literals = [code for code in literals if code != -1]
+        if not literals:
+            return _Always(False)
+    integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+    return _In(name, literals, integral, _in_estimate(len(literals), zone))
+
+
+def _lower_between(
+    predicate: BetweenPredicate, table: Table, column_zones: Mapping[str, ColumnZone]
+) -> _Node:
+    name = predicate.column.name
+    column = table.column(name)
+    zone = column_zones.get(name)
+    if column.ctype is ColumnType.STRING:
+        # As with string ranges: the dictionary may be in arbitrary label
+        # order, so BETWEEN becomes a per-code truth table over the decoded
+        # dictionary values.
+        dictionary = column.dictionary
+        assert dictionary is not None
+        allowed = (dictionary >= str(predicate.low)) & (dictionary <= str(predicate.high))
+        key = f"{name} between[{str(predicate.low)!r},{str(predicate.high)!r}]"
+        return _code_lookup(name, np.asarray(allowed, dtype=bool), key)
+    low = column.encode_lookup(predicate.low)
+    high = column.encode_lookup(predicate.high)
+    return _Range(name, low, high, _range_estimate(low, high, zone))
+
+
+# -- the compiled predicate ---------------------------------------------------------
+
+
+class CompiledPredicate:
+    """One predicate lowered against one table, with optional zone-map triage.
+
+    The object is immutable after construction and safe to share across
+    threads (evaluation state lives in a per-call :class:`_EvalContext`);
+    the executor caches one per (table, canonical predicate).
+    """
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        table: Table,
+        zone_index: ZoneMapIndex | None = None,
+    ) -> None:
+        self.predicate = predicate
+        # Only scalar facts of the table are kept — never the table itself.
+        # Kernels are cached in a weak-keyed map by their table; a strong
+        # reference here would pin the key (and all its column arrays) alive
+        # forever, defeating the weak cache.
+        self.num_rows = table.num_rows
+        self.row_width_bytes = table.row_width_bytes
+        self.zone_index = zone_index
+        column_zones = zone_index.column_zones if zone_index is not None else {}
+        self.root = _lower(predicate, table, column_zones)
+        self._classification: ScanCounters | None = None
+
+    @property
+    def estimated_selectivity(self) -> float:
+        """Compile-time selectivity estimate of the whole predicate."""
+        return self.root.est
+
+    def classify_block(self, zones: Mapping[str, ColumnZone]) -> ZoneDecision:
+        """Triage one block's zone maps: skip / take-all / evaluate."""
+        return self.root.classify(zones)
+
+    def triage_range(self, row_start: int, row_end: int) -> RangeTriage:
+        """Zone-only verdict over ``[row_start, row_end)`` — no data touched."""
+        rows = max(0, row_end - row_start)
+        if self.zone_index is None or not self.zone_index.blocks:
+            return RangeTriage(rows=rows, rows_skipped=0, blocks=1 if rows else 0,
+                               blocks_skipped=0)
+        blocks = 0
+        blocks_skipped = 0
+        rows_skipped = 0
+        for bz in self.zone_index.overlapping(row_start, row_end):
+            blocks += 1
+            overlap = min(bz.row_end, row_end) - max(bz.row_start, row_start)
+            if self.root.classify(bz.zones) is ZoneDecision.SKIP:
+                blocks_skipped += 1
+                rows_skipped += overlap
+        return RangeTriage(
+            rows=rows, rows_skipped=rows_skipped, blocks=blocks,
+            blocks_skipped=blocks_skipped,
+        )
+
+    def scan_classification(self, row_width: int | None = None) -> ScanCounters:
+        """Classify every block of the table (planner scan estimation).
+
+        The result is deterministic per kernel, so the default-width call —
+        the planner issues one per plan *and* per executed query — is
+        computed once and cached (a benign construction race at worst).
+        Callers receive a copy: :class:`ScanCounters` is a mutable
+        accumulator, and handing out the memo by reference would let one
+        caller's ``merge`` corrupt every later scan estimate.
+        """
+        if row_width is None and self._classification is not None:
+            return ScanCounters(**self._classification.as_dict())
+        width = row_width if row_width is not None else self.row_width_bytes
+        counters = ScanCounters()
+        if self.zone_index is None or not self.zone_index.blocks:
+            if self.num_rows:
+                counters.observe_block(ZoneDecision.EVALUATE, self.num_rows, width)
+        else:
+            for bz in self.zone_index.blocks:
+                counters.observe_block(self.root.classify(bz.zones), bz.num_rows, width)
+        if row_width is None:
+            # Cache a private copy: the returned object stays the caller's.
+            self._classification = ScanCounters(**counters.as_dict())
+        return counters
+
+    def select_range(
+        self,
+        view: Table,
+        row_start: int,
+        row_end: int,
+        counters: ScanCounters | None = None,
+        row_width: int | None = None,
+    ) -> np.ndarray:
+        """Selection vector of the matching rows of ``view``.
+
+        ``view``'s row ``i`` must correspond to row ``row_start + i`` of the
+        table the kernel was compiled against (a zero-copy partition view);
+        the returned indices are local to ``view`` and sorted ascending.
+        """
+        total = row_end - row_start
+        width = row_width if row_width is not None else view.row_width_bytes
+        ctx = _EvalContext(view)
+        index = self.zone_index
+        if index is None or not index.blocks:
+            if counters is not None and total:
+                counters.observe_block(ZoneDecision.EVALUATE, total, width)
+            return self.root.select(ctx, (0, total))
+        triaged: list[tuple[int, int, ZoneDecision]] = []
+        undecided = 0
+        for bz in index.overlapping(row_start, row_end):
+            start = max(bz.row_start, row_start) - row_start
+            stop = min(bz.row_end, row_end) - row_start
+            decision = self.root.classify(bz.zones)
+            if counters is not None:
+                counters.observe_block(decision, stop - start, width)
+            if decision is ZoneDecision.EVALUATE:
+                undecided += 1
+            triaged.append((start, stop, decision))
+        if undecided == len(triaged):
+            # Nothing decidable: one whole-range evaluation beats a
+            # per-block loop (fewer kernel invocations, one concat-free
+            # selection).
+            return self.root.select(ctx, (0, total))
+        parts: list[np.ndarray] = []
+        for start, stop, decision in triaged:
+            if decision is ZoneDecision.SKIP:
+                continue
+            if decision is ZoneDecision.TAKE_ALL:
+                parts.append(np.arange(start, stop, dtype=np.int64))
+                continue
+            selected = self.root.select(ctx, (start, stop))
+            if selected.size:
+                parts.append(selected)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        # Blocks are disjoint and visited in ascending order, so the
+        # concatenation is already sorted — no re-sort needed.
+        return np.concatenate(parts)
+
+
+def compile_predicate(
+    predicate: Predicate,
+    table: Table,
+    zone_index: ZoneMapIndex | None = None,
+) -> CompiledPredicate:
+    """Lower ``predicate`` against ``table`` into a reusable scan kernel."""
+    return CompiledPredicate(predicate, table, zone_index)

@@ -27,8 +27,10 @@ _EXPORTS = {
     "PartitionSpec": "repro.planner.physical",
     "PhysicalPlan": "repro.planner.physical",
     "PlanMode": "repro.planner.physical",
+    "ScanEstimate": "repro.planner.physical",
     "QueryPlanner": "repro.planner.planner",
     "per_branch_bound": "repro.planner.planner",
+    "estimate_selectivity": "repro.planner.selectivity",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -55,6 +55,50 @@ class PartitionSpec:
 
 
 @dataclass(frozen=True)
+class ScanEstimate:
+    """Zone-map based scan accounting of one plan — estimated, not measured.
+
+    Produced by the planner from the chosen resolution's block zone maps
+    without evaluating the predicate: how many blocks the compiled kernel is
+    expected to *skip* outright, *take all* rows from without evaluation,
+    or *evaluate*, plus the statistics-based selectivity estimate.  ELP
+    sizing discounts predicted scan latencies by :attr:`scan_fraction`, and
+    EXPLAIN surfaces the numbers.
+    """
+
+    blocks_total: int
+    blocks_skipped: int
+    blocks_take_all: int
+    rows_total: int
+    rows_skipped: int
+    estimated_selectivity: float | None = None
+
+    @property
+    def skip_fraction(self) -> float:
+        """Estimated fraction of rows skipped without being read."""
+        if self.rows_total == 0:
+            return 0.0
+        return self.rows_skipped / self.rows_total
+
+    @property
+    def scan_fraction(self) -> float:
+        """Estimated fraction of rows that must actually be read."""
+        return 1.0 - self.skip_fraction
+
+    def describe(self) -> str:
+        parts = [
+            f"zone-blocks={self.blocks_total}",
+            f"skipped~{self.blocks_skipped}",
+        ]
+        if self.blocks_take_all:
+            parts.append(f"take-all~{self.blocks_take_all}")
+        parts.append(f"rows-skipped~{self.rows_skipped:,} ({self.skip_fraction:.1%})")
+        if self.estimated_selectivity is not None:
+            parts.append(f"est-selectivity~{self.estimated_selectivity:.3f}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
 class BranchPlan:
     """One disjoint OR branch of a disjunctive plan, fully bound."""
 
@@ -90,6 +134,9 @@ class PhysicalPlan:
     partitioning: PartitionSpec | None = None
     #: Columns the executor materializes (column pruning); () means all.
     pruned_columns: tuple[str, ...] = ()
+    #: Zone-map scan accounting for the chosen resolution (None when the
+    #: plan has no join-free WHERE or acceleration is disabled).
+    scan_estimate: ScanEstimate | None = None
     #: Per-branch plans of a DISJUNCTIVE plan.
     branch_plans: tuple[BranchPlan, ...] = ()
     #: Human-readable planner decisions, one line each (EXPLAIN rationale).
@@ -154,6 +201,8 @@ class PhysicalPlan:
         if self.mode is PlanMode.EXACT:
             scan = "full-table"
         lines.append(f"  scan: {scan}; columns: {columns}")
+        if self.scan_estimate is not None:
+            lines.append(f"  scan-estimate: {self.scan_estimate.describe()}")
         lines.append(f"  stages: {self._stages()}")
         if self.partitioning is not None:
             spec = self.partitioning

@@ -43,7 +43,9 @@ from repro.planner.physical import (
     PartitionSpec,
     PhysicalPlan,
     PlanMode,
+    ScanEstimate,
 )
+from repro.planner.selectivity import estimate_selectivity
 from repro.runtime.selection import FamilySelection, ProbeResult, SampleFamilySelector
 from repro.runtime.sizing import ErrorLatencyProfile, SampleSizer
 from repro.sampling.resolution import SampleResolution
@@ -64,6 +66,7 @@ class QueryPlanner:
         self.catalog = catalog
         self.config = config or BlinkDBConfig()
         self.simulator = simulator
+        self.executor = executor
         self.selector = SampleFamilySelector(catalog, executor)
         self.sizer = SampleSizer(simulator)
 
@@ -105,6 +108,15 @@ class QueryPlanner:
                     f"{partitioning.num_partitions} partitions"
                 )
 
+        scan_estimate = self.scan_estimate(logical, resolution)
+        if scan_estimate is not None and scan_estimate.blocks_skipped > 0:
+            rationale.append(
+                f"zone maps: ~{scan_estimate.blocks_skipped}/"
+                f"{scan_estimate.blocks_total} blocks "
+                f"({scan_estimate.skip_fraction:.0%} of rows) provably "
+                f"non-matching, skipped without reading"
+            )
+
         return PhysicalPlan(
             logical=logical,
             mode=PlanMode.APPROXIMATE,
@@ -117,6 +129,7 @@ class QueryPlanner:
             anytime=anytime,
             partitioning=partitioning,
             pruned_columns=self.pruned_columns(logical),
+            scan_estimate=scan_estimate,
             rationale=tuple(rationale),
         )
 
@@ -157,6 +170,7 @@ class QueryPlanner:
             anytime=deadline_seconds is not None,
             partitioning=partitioning,
             pruned_columns=self.pruned_columns(logical),
+            scan_estimate=self.scan_estimate(logical, resolution),
             rationale=(
                 f"explicit partition layout: {partitioning.num_partitions} partitions "
                 f"on {partitioning.sim_workers} lanes",
@@ -234,16 +248,62 @@ class QueryPlanner:
     ) -> tuple[SampleResolution, ErrorLatencyProfile | None, bool]:
         family = selection.family
         clustered = self.clustered_scan(logical, selection)
+        # Zone-map skip discount on predicted latencies: estimated on the
+        # family's smallest resolution (the one already probed); the skip
+        # fraction is a property of the data distribution, so it transfers
+        # across resolutions of one family.
+        scan_fraction = 1.0
+        if not clustered:
+            estimate = self.scan_estimate(logical, family.smallest)
+            if estimate is not None:
+                scan_fraction = estimate.scan_fraction
         if logical.error_bound is not None:
             return self.sizer.resolution_for_error(
-                family, probe, logical.error_bound, clustered_scan=clustered
+                family, probe, logical.error_bound, clustered_scan=clustered,
+                scan_fraction=scan_fraction,
             )
         if logical.time_bound is not None:
             return self.sizer.resolution_for_time(
-                family, probe, logical.time_bound, clustered_scan=clustered
+                family, probe, logical.time_bound, clustered_scan=clustered,
+                scan_fraction=scan_fraction,
             )
-        profile = self.sizer.build_profile(family, probe, clustered_scan=clustered)
+        profile = self.sizer.build_profile(
+            family, probe, clustered_scan=clustered, scan_fraction=scan_fraction
+        )
         return self.sizer.default_resolution(family, probe), profile, True
+
+    # -- zone-map scan estimation ---------------------------------------------------------
+    def scan_estimate(
+        self, logical: LogicalPlan, resolution: SampleResolution
+    ) -> ScanEstimate | None:
+        """Zone-map scan accounting of ``logical`` on ``resolution``.
+
+        Costing only: the predicate is *never evaluated* — the compiled
+        kernel classifies each block's zone maps (O(num_blocks) metadata
+        work) and the selectivity estimate comes from aggregated column
+        statistics.  Returns ``None`` when the plan has no join-free WHERE
+        clause or scan acceleration is disabled.
+        """
+        if logical.where is None or logical.joins:
+            return None
+        if not getattr(self.config, "scan_acceleration", True):
+            return None
+        if self.executor is None or resolution.table.num_rows == 0:
+            return None
+        try:
+            kernel = self.executor.predicate_kernel(logical.where, resolution.table)
+        except Exception:
+            return None
+        counters = kernel.scan_classification()
+        estimated = estimate_selectivity(logical.where, kernel.zone_index)
+        return ScanEstimate(
+            blocks_total=counters.blocks_total,
+            blocks_skipped=counters.blocks_skipped,
+            blocks_take_all=counters.blocks_take_all,
+            rows_total=counters.rows_total,
+            rows_skipped=counters.rows_skipped,
+            estimated_selectivity=estimated,
+        )
 
     @staticmethod
     def clustered_scan(logical: LogicalPlan, selection: FamilySelection) -> bool:
@@ -298,7 +358,9 @@ class QueryPlanner:
         scan_nodes = None
         task_overhead = 0.0
         if self.simulator is not None and self.simulator.has_dataset(resolution.name):
-            rows_to_read, reuse_rows = self.scan_parameters(selection, resolution, probe)
+            rows_to_read, reuse_rows = self.scan_parameters(
+                selection, resolution, probe, logical
+            )
             execution = self.simulator.simulate_scan(
                 resolution.name,
                 rows_to_read=rows_to_read,
@@ -359,6 +421,7 @@ class QueryPlanner:
         selection: FamilySelection,
         resolution: SampleResolution,
         probe: ProbeResult,
+        logical: LogicalPlan | None = None,
     ) -> tuple[int | None, int]:
         """(rows_to_read, reuse_rows) of a simulated scan of ``resolution``.
 
@@ -366,8 +429,10 @@ class QueryPlanner:
         same latency for the same work: ``rows_to_read`` confines a clustered
         scan to the matching strata (§3.1), ``reuse_rows`` discounts the
         blocks already read while probing a smaller resolution of the same
-        family (§4.4).  Requires the resolution to be registered with the
-        simulator.
+        family (§4.4), and — when ``logical`` is given and the scan is not
+        already strata-confined — zone maps discount the blocks the kernel
+        is predicted to skip.  Requires the resolution to be registered with
+        the simulator.
         """
         assert self.simulator is not None
         reuse_rows = 0
@@ -384,6 +449,16 @@ class QueryPlanner:
             scale = info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
             rows_to_read = int(max(1, resolution.num_rows * probe.selectivity * scale))
             reuse_rows = int(reuse_rows * probe.selectivity)
+        elif logical is not None:
+            estimate = self.scan_estimate(logical, resolution)
+            if estimate is not None and estimate.rows_skipped > 0:
+                info = self.simulator.dataset(resolution.name)
+                scale = (
+                    info.num_rows / resolution.num_rows if resolution.num_rows else 1.0
+                )
+                rows_to_read = int(
+                    max(1, resolution.num_rows * estimate.scan_fraction * scale)
+                )
         return rows_to_read, reuse_rows
 
     def _scale_ratio(self, probe_resolution: SampleResolution) -> float:

@@ -1,0 +1,212 @@
+"""Statistics-based selectivity estimation — costing plans without scans.
+
+The planner used to have no way to reason about a predicate's selectivity
+short of evaluating it (O(table)); :func:`estimate_selectivity` replaces
+that with classic System-R style estimation over per-column statistics
+(min/max/distinct from :class:`~repro.storage.statistics.TableStatistics`
+or an aggregated :class:`~repro.storage.zonemaps.ZoneMapIndex`):
+
+* ``col = v``   → ``1 / distinct`` (0 when ``v`` is outside the column range)
+* ``col < v``   → the fraction of ``[min, max]`` below ``v``
+* ``BETWEEN``   → the covered fraction of ``[min, max]``
+* ``IN (…)``    → ``len(values) / distinct``
+* ``NOT p``     → ``1 - sel(p)``
+* ``AND`` / ``OR`` → independence: product / inclusion-exclusion
+
+Estimates are clamped to ``[0, 1]`` and degrade gracefully to fixed priors
+when a column or a comparison is unknown.  The *exact* selectivity — a full
+predicate evaluation — remains available as
+:func:`repro.engine.expressions.measure_selectivity` for tests and offline
+baselines; nothing on the planning path may call it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.sql.ast import (
+    BetweenPredicate,
+    BinaryPredicate,
+    ComparisonOp,
+    CompoundPredicate,
+    InPredicate,
+    LogicalOp,
+    NotPredicate,
+    Predicate,
+)
+from repro.storage.statistics import TableStatistics
+from repro.storage.zonemaps import ZoneMapIndex
+
+#: Priors used when a column (or a comparison) cannot be estimated.  The
+#: predicate kernels (:mod:`repro.engine.kernels`) share these constants and
+#: the fraction helpers below for their AND-ordering estimates, so planner
+#: costing and kernel ordering can never drift apart.
+DEFAULT_EQ = 0.1
+DEFAULT_RANGE = 1.0 / 3.0
+DEFAULT_IN = 0.2
+DEFAULT_BETWEEN = 0.25
+
+
+def _clamp(value: float) -> float:
+    if not math.isfinite(value):
+        return 1.0
+    return max(0.0, min(1.0, value))
+
+
+# -- shared fraction primitives (over raw min/max/distinct facts) --------------------
+
+
+def interval_position(literal: object, minimum: object, maximum: object) -> float | None:
+    """Where ``literal`` falls in ``[minimum, maximum]``, clamped to [0, 1].
+
+    ``None`` when the bounds are degenerate, non-numeric, or non-finite.
+    """
+    try:
+        lo = float(minimum)  # type: ignore[arg-type]
+        hi = float(maximum)  # type: ignore[arg-type]
+        value = float(literal)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+    span = hi - lo
+    if not math.isfinite(span) or span <= 0:
+        return None
+    return max(0.0, min(1.0, (value - lo) / span))
+
+
+def equality_fraction(
+    literal: object, minimum: object, maximum: object, distinct: int
+) -> float:
+    """Estimated fraction matching ``col = literal``: 1/distinct, 0 outside."""
+    try:
+        if literal < minimum or literal > maximum:  # type: ignore[operator]
+            return 0.0
+    except TypeError:
+        pass
+    return 1.0 / max(1, distinct)
+
+
+def comparison_fraction(
+    op: ComparisonOp, literal: object, minimum: object, maximum: object
+) -> float:
+    """Estimated fraction matching a LT/LE/GT/GE comparison."""
+    position = interval_position(literal, minimum, maximum)
+    if position is None:
+        return DEFAULT_RANGE
+    below = op in (ComparisonOp.LT, ComparisonOp.LE)
+    return position if below else 1.0 - position
+
+
+def between_fraction(
+    low: object, high: object, minimum: object, maximum: object
+) -> float:
+    """Estimated fraction matching ``col BETWEEN low AND high``."""
+    low_position = interval_position(low, minimum, maximum)
+    high_position = interval_position(high, minimum, maximum)
+    if low_position is None or high_position is None:
+        return DEFAULT_BETWEEN
+    return max(0.0, high_position - low_position)
+
+
+def in_fraction(num_values: int, distinct: int) -> float:
+    """Estimated fraction matching ``col IN (…)`` with ``num_values`` values."""
+    return min(1.0, num_values / max(1, distinct))
+
+
+class _ColumnFacts:
+    """(min, max, distinct) of one column, whatever the statistics source."""
+
+    __slots__ = ("minimum", "maximum", "distinct")
+
+    def __init__(self, minimum: object, maximum: object, distinct: int) -> None:
+        self.minimum = minimum
+        self.maximum = maximum
+        self.distinct = max(1, int(distinct))
+
+
+def _facts_from(
+    statistics: TableStatistics | ZoneMapIndex | Mapping[str, object] | None,
+) -> Mapping[str, _ColumnFacts]:
+    if statistics is None:
+        return {}
+    if isinstance(statistics, TableStatistics):
+        return {
+            name: _ColumnFacts(c.min_value, c.max_value, c.distinct_count)
+            for name, c in statistics.columns.items()
+        }
+    if isinstance(statistics, ZoneMapIndex):
+        return {
+            name: _ColumnFacts(z.minimum, z.maximum, z.distinct_estimate)
+            for name, z in statistics.column_zones.items()
+        }
+    return {
+        name: _ColumnFacts(
+            getattr(c, "min_value", None),
+            getattr(c, "max_value", None),
+            getattr(c, "distinct_count", 1),
+        )
+        for name, c in dict(statistics).items()
+    }
+
+
+def _estimate_binary(predicate: BinaryPredicate, facts: _ColumnFacts | None) -> float:
+    op = predicate.op
+    if facts is None:
+        if op is ComparisonOp.EQ:
+            return DEFAULT_EQ
+        if op is ComparisonOp.NE:
+            return 1.0 - DEFAULT_EQ
+        return DEFAULT_RANGE
+    if op in (ComparisonOp.EQ, ComparisonOp.NE):
+        eq = equality_fraction(
+            predicate.value, facts.minimum, facts.maximum, facts.distinct
+        )
+        return eq if op is ComparisonOp.EQ else 1.0 - eq
+    return comparison_fraction(op, predicate.value, facts.minimum, facts.maximum)
+
+
+def _estimate_between(predicate: BetweenPredicate, facts: _ColumnFacts | None) -> float:
+    if facts is None:
+        return DEFAULT_BETWEEN
+    return between_fraction(predicate.low, predicate.high, facts.minimum, facts.maximum)
+
+
+def estimate_selectivity(
+    predicate: Predicate | None,
+    statistics: TableStatistics | ZoneMapIndex | Mapping[str, object] | None,
+) -> float:
+    """Estimated fraction of rows selected by ``predicate`` — O(predicate).
+
+    ``statistics`` may be a :class:`TableStatistics`, a
+    :class:`ZoneMapIndex` (its aggregated column zones are used), or any
+    mapping of column name to an object with ``min_value`` / ``max_value`` /
+    ``distinct_count``.  ``None`` statistics fall back to fixed priors.
+    """
+    return _estimate(predicate, _facts_from(statistics))
+
+
+def _estimate(predicate: Predicate | None, facts: Mapping[str, _ColumnFacts]) -> float:
+    if predicate is None:
+        return 1.0
+    if isinstance(predicate, BinaryPredicate):
+        return _clamp(_estimate_binary(predicate, facts.get(predicate.column.name)))
+    if isinstance(predicate, InPredicate):
+        column = facts.get(predicate.column.name)
+        if column is None:
+            return _clamp(DEFAULT_IN * len(predicate.values))
+        return _clamp(in_fraction(len(predicate.values), column.distinct))
+    if isinstance(predicate, BetweenPredicate):
+        return _clamp(_estimate_between(predicate, facts.get(predicate.column.name)))
+    if isinstance(predicate, NotPredicate):
+        return _clamp(1.0 - _estimate(predicate.inner, facts))
+    if isinstance(predicate, CompoundPredicate):
+        if predicate.op is LogicalOp.AND:
+            product = 1.0
+            for operand in predicate.operands:
+                product *= _estimate(operand, facts)
+            return _clamp(product)
+        miss = 1.0
+        for operand in predicate.operands:
+            miss *= 1.0 - _estimate(operand, facts)
+        return _clamp(1.0 - miss)
+    raise TypeError(f"unknown predicate type {type(predicate)!r}")

@@ -94,7 +94,11 @@ class BlinkDBRuntime:
         self.catalog = catalog
         self.config = config or BlinkDBConfig()
         self.simulator = simulator
-        self.executor = QueryExecutor(dimension_tables)
+        self.executor = QueryExecutor(
+            dimension_tables,
+            scan_acceleration=self.config.scan_acceleration,
+            zone_block_rows=self.config.zone_block_rows,
+        )
         self.planner = QueryPlanner(
             catalog, self.executor, config=self.config, simulator=simulator
         )
@@ -170,7 +174,7 @@ class BlinkDBRuntime:
                 plan.logical, plan.selection, plan.resolution
             )
             result = self._attach_latency(
-                result, plan.selection, plan.resolution, plan.probe
+                result, plan.selection, plan.resolution, plan.probe, plan.logical
             )
             partitions_run = 1
             coverage = 1.0
@@ -266,7 +270,12 @@ class BlinkDBRuntime:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Lifetime execution counters (thread-safe snapshot)."""
+        """Lifetime execution counters (thread-safe snapshot).
+
+        Includes the zone-mapped scan counters (``blocks_total`` /
+        ``blocks_skipped`` / ``bytes_scanned`` …) accumulated by the
+        executor's accelerated filter path.
+        """
         with self._stats_lock:
             counters = {
                 "queries_executed": self._queries_executed,
@@ -275,6 +284,7 @@ class BlinkDBRuntime:
                 "anytime_queries_executed": self._anytime_queries_executed,
             }
         counters.update(self.selector.probe_cache_stats)
+        counters.update(self.executor.scan_stats)
         return counters
 
     # -- internals: single-plan path -----------------------------------------------------
@@ -360,11 +370,12 @@ class BlinkDBRuntime:
         selection: FamilySelection,
         resolution: SampleResolution,
         probe: ProbeResult,
+        logical: LogicalPlan | None = None,
     ) -> QueryResult:
         if self.simulator is None or not self.simulator.has_dataset(resolution.name):
             return result
         rows_to_read, reuse_rows = self.planner.scan_parameters(
-            selection, resolution, probe
+            selection, resolution, probe, logical
         )
         execution = self.simulator.simulate_scan(
             resolution.name,
@@ -386,7 +397,11 @@ class BlinkDBRuntime:
                 branch_plan.logical, branch_plan.selection, branch_plan.resolution
             )
             result = self._attach_latency(
-                result, branch_plan.selection, branch_plan.resolution, branch_plan.probe
+                result,
+                branch_plan.selection,
+                branch_plan.resolution,
+                branch_plan.probe,
+                branch_plan.logical,
             )
             branch_results.append(result)
             total_rows_read += result.rows_read

@@ -51,7 +51,13 @@ from repro.storage.table import Table
 
 @dataclass(frozen=True)
 class PartitionTiming:
-    """Simulated schedule entry of one partition task."""
+    """Simulated schedule entry of one partition task.
+
+    A *skipped* partition is one whose blocks the zone maps proved entirely
+    non-matching: no task is dispatched for it (``lane`` is ``-1``), it
+    completes at time zero for free, and it still counts as merged coverage
+    — its rows were scanned-for-free.
+    """
 
     index: int
     rows: int
@@ -60,6 +66,7 @@ class PartitionTiming:
     completion_seconds: float
     lane: int
     merged: bool
+    skipped: bool = False
 
 
 @dataclass(frozen=True)
@@ -93,6 +100,12 @@ class PartitionRunStats:
     sim_workers: int
     reference_workers: int
     timings: tuple[PartitionTiming, ...]
+    #: Partitions completed without dispatching work (all blocks zone-map
+    #: skippable); ``rows_skipped`` is the row total of exactly those
+    #: partitions — covered, scanned for free.  (Blocks skipped *inside*
+    #: dispatched partitions are accounted by the executor's scan counters.)
+    skipped_partitions: int = 0
+    rows_skipped: int = 0
 
     @property
     def complete(self) -> bool:
@@ -150,12 +163,18 @@ class PartitionPipeline:
         reference_workers = max(1, reference_workers)
 
         partitions = table.partitions(weights=weights, num_partitions=num_partitions)
+        # Zone-map triage: partitions whose blocks are all provably
+        # non-matching complete without dispatching work, and partially
+        # skippable ones carry proportionally less simulated scan cost.
+        triage = self.executor.partition_triage(plan, partitions)
+        scan_rows = None if triage is None else [t.scan_rows for t in triage]
         timings = self._schedule(
             partitions,
             sim_workers=sim_workers,
             reference_workers=reference_workers,
             scan_latency_seconds=scan_latency_seconds,
             task_overhead_seconds=task_overhead_seconds,
+            scan_rows=scan_rows,
         )
         makespan = max(t.completion_seconds for t in timings)
 
@@ -166,17 +185,38 @@ class PartitionPipeline:
             merged_timings = [
                 t for t in merge_order if t.completion_seconds <= deadline_seconds
             ]
-            if not merged_timings:
-                # An anytime answer always reports *something*: the earliest
-                # completing partition, even if it misses the deadline.
-                merged_timings = merge_order[:1]
+            # An anytime answer always reports *something informative*: at
+            # least one *evaluated* partition.  Zone-map-skipped partitions
+            # are provably match-free, so a merge of only those says nothing
+            # about the regions where matches can live.
+            if not any(not t.skipped for t in merged_timings):
+                first_evaluated = next(
+                    (t for t in merge_order if not t.skipped), None
+                )
+                if first_evaluated is not None:
+                    merged_timings.append(first_evaluated)
+                    merged_timings.sort(
+                        key=lambda t: (t.completion_seconds, t.index)
+                    )
+                elif not merged_timings:
+                    merged_timings = merge_order[:1]
         merged_set = {t.index for t in merged_timings}
         timings = tuple(replace(t, merged=t.index in merged_set) for t in timings)
 
         # The real computation: partial-aggregate only the partitions the
         # simulated schedule managed to complete, fanned over the pool.
-        to_aggregate = [partitions[t.index] for t in merged_timings]
-        partials = self._aggregate(plan, to_aggregate, pool)
+        # Skipped partitions get a synthetic empty partial carrying their
+        # row/weight coverage — no data of theirs is ever read.
+        to_aggregate = [partitions[t.index] for t in merged_timings if not t.skipped]
+        real_partials = iter(self._aggregate(plan, to_aggregate, pool))
+        partials = [
+            self._skipped_partial(plan, partitions[t.index])
+            if t.skipped
+            else next(real_partials)
+            for t in merged_timings
+        ]
+        if triage is not None:
+            self._record_skipped(plan, table, partitions, triage, timings)
 
         rows_total = table.num_rows
         if context.population_read is not None:
@@ -189,10 +229,15 @@ class PartitionPipeline:
 
         merged: PartialAggregation | None = None
         merged_count = 0
+        skipped_rows_merged = 0
+        skipped_weight_merged = 0.0
         result: QueryResult | None = None
         for timing, partial in zip(merged_timings, partials):
             merged = partial if merged is None else merged.merge(partial)
             merged_count += 1
+            if timing.skipped:
+                skipped_rows_merged += partial.rows_scanned
+                skipped_weight_merged += partial.weight_scanned
             if progress is None and merged_count < len(merged_timings):
                 continue  # only the final merge needs finalizing
             result = self._finalize_merged(
@@ -204,6 +249,8 @@ class PartitionPipeline:
                 rows_read_full=rows_read_full,
                 population_full=population_full,
                 complete=merged_count == num_partitions,
+                skipped_rows=skipped_rows_merged,
+                skipped_weight=skipped_weight_merged,
             )
             result = replace(
                 result, simulated_latency_seconds=timing.completion_seconds
@@ -238,6 +285,8 @@ class PartitionPipeline:
             sim_workers=sim_workers,
             reference_workers=reference_workers,
             timings=timings,
+            skipped_partitions=sum(1 for t in timings if t.skipped),
+            rows_skipped=sum(t.rows for t in timings if t.skipped),
         )
         result.metadata["partitions"] = stats
         return result
@@ -251,12 +300,26 @@ class PartitionPipeline:
         reference_workers: int,
         scan_latency_seconds: float | None,
         task_overhead_seconds: float,
+        scan_rows: Sequence[int] | None = None,
     ) -> list[PartitionTiming]:
-        """Greedy least-loaded placement of partition tasks on simulated lanes."""
+        """Greedy least-loaded placement of partition tasks on simulated lanes.
+
+        ``scan_rows`` — when zone-map triage ran — is the per-partition count
+        of rows that must actually be read.  A partition with zero scan rows
+        dispatches no task at all (it completes, for free, at time zero);
+        partially skippable partitions carry proportionally less cost.
+        ``scan_latency_seconds`` is the simulated cost of the work that must
+        actually be done — the planner's scan accounting already discounts
+        it for predicted skips — so shares are normalized over the
+        *effective* (non-skipped) row total: the skipped rows never
+        contribute lane busy time, and the discount is applied exactly once.
+        """
         rows_total = sum(p.num_rows for p in partitions)
+        effective_total = rows_total if scan_rows is None else sum(scan_rows)
         if scan_latency_seconds is None:
-            # No simulator: the sizing layer's linear proxy (1M rows/second).
-            scan_latency_seconds = rows_total / 1e6 + task_overhead_seconds
+            # No simulator: the sizing layer's linear proxy (1M rows/second)
+            # over the rows that actually need scanning.
+            scan_latency_seconds = effective_total / 1e6 + task_overhead_seconds
         work_seconds = max(0.0, scan_latency_seconds - task_overhead_seconds)
         # Serial scan work, calibrated so `reference_workers` lanes reproduce
         # the simulator's full-scan latency.
@@ -271,7 +334,25 @@ class PartitionPipeline:
         # systematically miss the strata stored last.
         for index in _spread_order(len(partitions)):
             partition = partitions[index]
-            share = partition.num_rows / rows_total if rows_total else 0.0
+            effective_rows = (
+                partition.num_rows if scan_rows is None else scan_rows[index]
+            )
+            if scan_rows is not None and effective_rows == 0:
+                # Every block provably non-matching: no task is dispatched.
+                timings.append(
+                    PartitionTiming(
+                        index=index,
+                        rows=partition.num_rows,
+                        cost_seconds=0.0,
+                        start_seconds=0.0,
+                        completion_seconds=0.0,
+                        lane=-1,
+                        merged=False,
+                        skipped=True,
+                    )
+                )
+                continue
+            share = effective_rows / effective_total if effective_total else 0.0
             cost = task_overhead_seconds + float(jitter[index]) * share * serial_work
             lane = min(range(sim_workers), key=lanes.__getitem__)
             start = lanes[lane]
@@ -301,6 +382,52 @@ class PartitionPipeline:
             return [aggregate(plan, p) for p in partitions]
         return list(pool.map(lambda p: aggregate(plan, p), partitions))
 
+    @staticmethod
+    def _skipped_partial(
+        plan: LogicalPlan, partition: TablePartition
+    ) -> PartialAggregation:
+        """The partial of a fully zone-map-skipped partition: coverage, no rows.
+
+        Matches exactly what :meth:`QueryExecutor.partial_aggregate` would
+        produce for the partition (its predicate provably matches no row):
+        the scanned row/weight totals, and no group contributions.
+        """
+        weights = partition.weights
+        if weights is not None:
+            weight_scanned = float(np.sum(np.asarray(weights, dtype=np.float64)))
+        else:
+            weight_scanned = float(partition.num_rows)
+        return PartialAggregation(
+            group_columns=tuple(plan.group_by),
+            rows_scanned=partition.num_rows,
+            weight_scanned=weight_scanned,
+            has_weights=weights is not None,
+        )
+
+    def _record_skipped(
+        self,
+        plan: LogicalPlan,
+        table: Table,
+        partitions: Sequence[TablePartition],
+        triage,
+        timings: Sequence[PartitionTiming],
+    ) -> None:
+        """Account fully-skipped partitions in the executor's scan counters.
+
+        Their blocks never reach the evaluation path, so they are recorded
+        here; partially skippable partitions record themselves when
+        aggregated.
+        """
+        skipped = [t.index for t in timings if t.skipped]
+        if not skipped:
+            return
+        row_width = self.executor.prune(plan, table).row_width_bytes
+        for index in skipped:
+            verdict = triage[index]
+            self.executor.record_skipped_scan(
+                rows=verdict.rows, blocks=verdict.blocks, row_width=row_width
+            )
+
     def _finalize_merged(
         self,
         plan: LogicalPlan,
@@ -312,13 +439,31 @@ class PartitionPipeline:
         rows_read_full: int,
         population_full: float,
         complete: bool,
+        skipped_rows: int = 0,
+        skipped_weight: float = 0.0,
     ) -> QueryResult:
+        """Finalize a (possibly partial) merge with coverage correction.
+
+        Zone-map-skipped coverage is *non-representative by construction* —
+        those regions provably hold no matching rows, while every match
+        lives in the evaluated ones.  The inverse-coverage weight scale and
+        the ``rows_read`` that drives error-bar widths are therefore
+        computed over the *scannable* (non-skipped) population only: the
+        skipped regions contribute their exact zero, and the uncertainty
+        reflects just the evaluated-but-unmerged remainder.
+        """
         if complete or merged.weight_scanned <= 0:
             weight_scale = 1.0
             rows_read = rows_read_full
         else:
-            weight_scale = max(1.0, population_full / merged.weight_scanned)
-            rows_read = merged.rows_scanned
+            scannable_population = max(0.0, population_full - skipped_weight)
+            merged_scannable = merged.weight_scanned - skipped_weight
+            if merged_scannable <= 0:
+                weight_scale = 1.0
+                rows_read = max(0, merged.rows_scanned - skipped_rows)
+            else:
+                weight_scale = max(1.0, scannable_population / merged_scannable)
+                rows_read = max(1, merged.rows_scanned - skipped_rows)
         return self.executor.finalize(
             plan,
             merged,

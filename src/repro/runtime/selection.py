@@ -38,7 +38,6 @@ import numpy as np
 
 from repro.common.errors import SampleNotFoundError
 from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
-from repro.engine.expressions import evaluate_predicate
 from repro.engine.result import QueryResult
 from repro.planner.logical import LogicalPlan
 from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
@@ -209,8 +208,13 @@ class SampleFamilySelector:
             sample_name=resolution.name,
         )
         result = self.executor.execute(plan, resolution.table, context)
-        mask = evaluate_predicate(plan.where, resolution.table)
-        rows_matched = int(np.count_nonzero(mask))
+        # Kernel-backed count: zone maps let skip/take-all blocks contribute
+        # without evaluation, and no full-width mask is materialized.  The
+        # execute() above already accounted this scan in the lifetime
+        # counters, so the count does not record it a second time.
+        rows_matched = self.executor.count_matching(
+            plan, resolution.table, record=False
+        )
         return ProbeResult(
             resolution=resolution,
             result=result,

@@ -88,6 +88,7 @@ class SampleSizer:
         probe: ProbeResult,
         confidence: float = 0.95,
         clustered_scan: bool = False,
+        scan_fraction: float = 1.0,
     ) -> ErrorLatencyProfile:
         """Extrapolate the probe's error/latency to every resolution of the family.
 
@@ -102,6 +103,10 @@ class SampleSizer:
         family's column set covers the query's filter columns, the rows of
         each matching stratum are contiguous on disk, so the query only scans
         the matching fraction of the resolution instead of all of it.
+        ``scan_fraction`` (< 1.0) is the zone-map discount for non-clustered
+        scans: the fraction of blocks the compiled predicate kernel is
+        predicted to actually read after skipping provably non-matching
+        ones.
         """
         probe_rows_matched = max(1, probe.rows_matched)
         probe_error = probe.worst_relative_error
@@ -130,6 +135,8 @@ class SampleSizer:
             rows_to_scan = None
             if clustered_scan and probe.rows_read > 0 and probe.selectivity < 1.0:
                 rows_to_scan = int(max(1, resolution.num_rows * probe.selectivity))
+            elif 0.0 <= scan_fraction < 1.0:
+                rows_to_scan = int(max(1, resolution.num_rows * scan_fraction))
             latency = self._predict_latency(resolution, probe, rows_to_scan)
             entries.append(
                 ProfileEntry(
@@ -148,6 +155,7 @@ class SampleSizer:
         probe: ProbeResult,
         bound: ErrorBound,
         clustered_scan: bool = False,
+        scan_fraction: float = 1.0,
     ) -> tuple[SampleResolution, ErrorLatencyProfile, bool]:
         """Pick the smallest resolution predicted to satisfy an error bound.
 
@@ -155,7 +163,9 @@ class SampleSizer:
         False when even the largest resolution is predicted to miss the bound
         (the caller then reports the best achievable answer).
         """
-        profile = self.build_profile(family, probe, bound.confidence, clustered_scan)
+        profile = self.build_profile(
+            family, probe, bound.confidence, clustered_scan, scan_fraction
+        )
         target = bound.error if bound.relative else self._absolute_to_relative(bound, probe)
         entry = profile.smallest_meeting_error(target)
         if entry is not None:
@@ -168,9 +178,12 @@ class SampleSizer:
         probe: ProbeResult,
         bound: TimeBound,
         clustered_scan: bool = False,
+        scan_fraction: float = 1.0,
     ) -> tuple[SampleResolution, ErrorLatencyProfile, bool]:
         """Pick the largest resolution predicted to finish within a time bound."""
-        profile = self.build_profile(family, probe, clustered_scan=clustered_scan)
+        profile = self.build_profile(
+            family, probe, clustered_scan=clustered_scan, scan_fraction=scan_fraction
+        )
         entry = profile.largest_meeting_latency(bound.seconds)
         if entry is not None:
             return entry.resolution, profile, True

@@ -152,6 +152,12 @@ class ServiceMetrics:
         self.explained = Counter()
         self.probe_cache_hits = Gauge()
         self.probe_cache_misses = Gauge()
+        # Zone-mapped scan counters, mirrored from the runtime's executor
+        # (they are fenced by the runtime's lifetime, like the probe memo).
+        self.scan_blocks_total = Gauge()
+        self.scan_blocks_skipped = Gauge()
+        self.scan_bytes_scanned = Gauge()
+        self.scan_bytes_skipped = Gauge()
         self.queue_wait = LatencyHistogram()
         self.service_time = LatencyHistogram()
         self.total_latency = LatencyHistogram()
@@ -191,6 +197,19 @@ class ServiceMetrics:
         self.probe_cache_hits.set(hits)
         self.probe_cache_misses.set(misses)
 
+    def update_scan_counters(
+        self,
+        blocks_total: int,
+        blocks_skipped: int,
+        bytes_scanned: int,
+        bytes_skipped: int = 0,
+    ) -> None:
+        """Mirror the runtime's zone-mapped scan counters (see :class:`Gauge`)."""
+        self.scan_blocks_total.set(blocks_total)
+        self.scan_blocks_skipped.set(blocks_skipped)
+        self.scan_bytes_scanned.set(bytes_scanned)
+        self.scan_bytes_skipped.set(bytes_skipped)
+
     def describe(self) -> dict[str, object]:
         """A JSON-friendly snapshot of every counter and histogram."""
         return {
@@ -212,6 +231,12 @@ class ServiceMetrics:
             "probe_cache": {
                 "hits": self.probe_cache_hits.value,
                 "misses": self.probe_cache_misses.value,
+            },
+            "scan": {
+                "blocks_total": self.scan_blocks_total.value,
+                "blocks_skipped": self.scan_blocks_skipped.value,
+                "bytes_scanned": self.scan_bytes_scanned.value,
+                "bytes_skipped": self.scan_bytes_skipped.value,
             },
             "latency": {
                 "queue_wait": self.queue_wait.summary(),

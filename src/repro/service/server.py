@@ -559,6 +559,13 @@ class QueryService:
             hits=runtime_stats.get("probe_cache_hits", 0),
             misses=runtime_stats.get("probe_cache_misses", 0),
         )
+        self.metrics.update_scan_counters(
+            blocks_total=runtime_stats.get("blocks_total", 0),
+            blocks_skipped=runtime_stats.get("blocks_skipped", 0),
+            bytes_scanned=runtime_stats.get("bytes_scanned", 0),
+            bytes_skipped=runtime_stats.get("bytes_total", 0)
+            - runtime_stats.get("bytes_scanned", 0),
+        )
         return {
             "name": self.name,
             "num_workers": self.num_workers,

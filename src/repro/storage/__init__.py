@@ -18,6 +18,14 @@ from repro.storage.column import Column
 from repro.storage.schema import ColumnType, Schema
 from repro.storage.statistics import ColumnStatistics, TableStatistics, compute_statistics
 from repro.storage.table import Table
+from repro.storage.zonemaps import (
+    DEFAULT_ZONE_BLOCK_ROWS,
+    BlockZones,
+    ColumnZone,
+    ZoneDecision,
+    ZoneMapIndex,
+    build_zone_map_index,
+)
 
 __all__ = [
     "Block",
@@ -33,4 +41,10 @@ __all__ = [
     "TableStatistics",
     "compute_statistics",
     "Table",
+    "DEFAULT_ZONE_BLOCK_ROWS",
+    "BlockZones",
+    "ColumnZone",
+    "ZoneDecision",
+    "ZoneMapIndex",
+    "build_zone_map_index",
 ]

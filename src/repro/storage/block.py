@@ -18,13 +18,14 @@ partition-parallel execution pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.storage.table import Table
+    from repro.storage.zonemaps import ColumnZone
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,11 @@ class Block:
         Half-open row range ``[row_start, row_end)`` covered by the block.
     size_bytes:
         Estimated serialized size of the block.
+    zones:
+        Optional per-column zone maps (min/max/null-count/distinct estimate)
+        of the block's rows, attached by :meth:`BlockSet.with_zones`.
+        Metadata only — excluded from equality so annotated and bare blocks
+        still compare as the same row range.
     """
 
     dataset: str
@@ -48,6 +54,7 @@ class Block:
     row_start: int
     row_end: int
     size_bytes: int
+    zones: "Mapping[str, ColumnZone] | None" = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.row_end < self.row_start:
@@ -104,6 +111,25 @@ class BlockSet:
             covered += block.num_rows
         return BlockSet(self.dataset, selected)
 
+    def with_zones(self, table: "Table") -> "BlockSet":
+        """A copy of this block set with per-column zone maps on every block.
+
+        ``table`` must hold the rows the blocks describe.  For callers that
+        split once and reuse the blocks, the executor's partition triage
+        consults the attached zones for a one-shot whole-partition skip
+        check; the per-query pipeline paths instead use the table's cached
+        :meth:`~repro.storage.table.Table.zone_map_index` (annotating a
+        fresh split per query would re-scan the data the index already
+        summarizes).
+        """
+        from repro.storage.zonemaps import zones_for_range
+
+        annotated = [
+            replace(block, zones=zones_for_range(table, block.row_start, block.row_end))
+            for block in self._blocks
+        ]
+        return BlockSet(self.dataset, annotated)
+
     def difference(self, other: "BlockSet") -> "BlockSet":
         """Blocks in ``self`` that are not present in ``other``.
 
@@ -152,6 +178,11 @@ class TablePartition:
     @property
     def table(self) -> "Table":
         return self.source.slice_rows(self.block.row_start, self.block.row_end)
+
+    @property
+    def zones(self) -> "Mapping[str, ColumnZone] | None":
+        """The block's zone maps, when they were attached at split time."""
+        return self.block.zones
 
     @property
     def row_fraction(self) -> float:

@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.storage.table import Table
+from repro.storage.zonemaps import ZoneMapIndex
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,8 @@ class TableStatistics:
     num_rows: int
     row_width_bytes: int
     columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+    #: Block-level zone maps (scan-acceleration metadata), when computed.
+    zone_index: ZoneMapIndex | None = field(default=None, compare=False)
 
     @property
     def size_bytes(self) -> int:
@@ -71,11 +74,24 @@ class TableStatistics:
         return [c.name for c in ranked[:limit]]
 
 
-def compute_statistics(table: Table, top_k: int = 16) -> TableStatistics:
-    """Compute :class:`TableStatistics` for every column of ``table``."""
+def compute_statistics(
+    table: Table,
+    top_k: int = 16,
+    with_zone_maps: bool = False,
+    zone_block_rows: int | None = None,
+) -> TableStatistics:
+    """Compute :class:`TableStatistics` for every column of ``table``.
+
+    ``with_zone_maps=True`` additionally attaches the table's block-level
+    :class:`~repro.storage.zonemaps.ZoneMapIndex` (built through the table's
+    cache, so repeated calls share one index).
+    """
     column_stats: dict[str, ColumnStatistics] = {}
     for column in table.columns():
         data = column.data
+        null_count = (
+            int(np.count_nonzero(np.isnan(data))) if data.dtype.kind == "f" else 0
+        )
         distinct, counts = np.unique(data, return_counts=True)
         counts_sorted = np.sort(counts)[::-1]
         top = tuple(int(c) for c in counts_sorted[:top_k])
@@ -99,18 +115,20 @@ def compute_statistics(table: Table, top_k: int = 16) -> TableStatistics:
             name=column.name,
             num_rows=len(column),
             distinct_count=int(distinct.size),
-            null_count=0,
+            null_count=null_count,
             min_value=min_value,
             max_value=max_value,
             mean=mean,
             std=std,
             top_frequencies=top,
         )
+    zone_index = table.zone_map_index(zone_block_rows) if with_zone_maps else None
     return TableStatistics(
         table_name=table.name,
         num_rows=table.num_rows,
         row_width_bytes=table.row_width_bytes,
         columns=column_stats,
+        zone_index=zone_index,
     )
 
 

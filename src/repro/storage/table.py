@@ -22,6 +22,11 @@ from repro.storage.block import (
 )
 from repro.storage.column import Column
 from repro.storage.schema import ColumnDef, ColumnType, Schema
+from repro.storage.zonemaps import (
+    DEFAULT_ZONE_BLOCK_ROWS,
+    ZoneMapIndex,
+    build_zone_map_index,
+)
 
 
 class Table:
@@ -43,6 +48,10 @@ class Table:
             )
         self.schema = schema
         self._num_rows = lengths.pop()
+        # Zone-map indexes keyed by block granularity, built lazily.  The
+        # table is immutable, so a computed index never goes stale; a benign
+        # double-build under concurrency just replaces equal metadata.
+        self._zone_indexes: dict[int, ZoneMapIndex] = {}
 
     # -- construction -----------------------------------------------------------
     @classmethod
@@ -130,21 +139,49 @@ class Table:
             self.schema,
         )
 
+    # -- zone maps -------------------------------------------------------------------
+    def zone_map_index(self, block_rows: int | None = None) -> ZoneMapIndex:
+        """Block-level zone maps of this table, built once and cached.
+
+        The index is the scan-acceleration metadata: per ``block_rows``-sized
+        block, every column's min/max/null-count/distinct estimate, computed
+        in one vectorized pass per column.  Subsequent calls with the same
+        granularity return the cached index (the table is immutable).
+        """
+        rows = int(block_rows) if block_rows else DEFAULT_ZONE_BLOCK_ROWS
+        index = self._zone_indexes.get(rows)
+        if index is None:
+            index = build_zone_map_index(self, rows)
+            self._zone_indexes[rows] = index
+        return index
+
+    def has_zone_map_index(self, block_rows: int | None = None) -> bool:
+        """Whether a zone-map index at this granularity was already built."""
+        rows = int(block_rows) if block_rows else DEFAULT_ZONE_BLOCK_ROWS
+        return rows in self._zone_indexes
+
     # -- partitioning ---------------------------------------------------------------
     def block_set(self, block_bytes: int | None = None,
-                  num_partitions: int | None = None) -> BlockSet:
+                  num_partitions: int | None = None,
+                  zone_maps: bool = False) -> BlockSet:
         """Split this table's rows into blocks (§2.2.1's "many small files").
 
         Exactly one of ``block_bytes`` (byte-sized HDFS-style blocks) or
         ``num_partitions`` (an exact partition count) must be given.
+        ``zone_maps=True`` annotates every block with its per-column zone
+        maps (see :meth:`repro.storage.block.BlockSet.with_zones`).
         """
         if (block_bytes is None) == (num_partitions is None):
             raise ValueError("pass exactly one of block_bytes or num_partitions")
         if block_bytes is not None:
-            return split_into_blocks(
+            blocks = split_into_blocks(
                 self.name, self._num_rows, self.row_width_bytes, block_bytes
             )
-        return split_into_row_ranges(self.name, self._num_rows, int(num_partitions))
+        else:
+            blocks = split_into_row_ranges(self.name, self._num_rows, int(num_partitions))
+        if zone_maps:
+            blocks = blocks.with_zones(self)
+        return blocks
 
     def partitions(
         self,

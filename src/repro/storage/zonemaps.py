@@ -1,0 +1,279 @@
+"""Block-level zone maps: min/max/null/distinct statistics per column.
+
+Every columnar engine earns its scan speed the same way: before a block of
+rows is touched, a handful of per-block statistics — the *zone map* — decides
+whether the block can possibly contain matching rows at all.  BlinkDB's
+latency story (§2.2.1: samples are "many small files" scanned by many short
+map tasks) makes the technique doubly attractive here: stratified samples are
+stored **sorted by their column set** (§3.1), so the blocks of the very
+samples the planner prefers have tight, disjoint value ranges and selective
+predicates skip most of them outright.
+
+A :class:`ZoneMapIndex` covers one table at a fixed block granularity and is
+computed in a single vectorized pass per column (``np.minimum.reduceat``).
+It is built once per table — at load/sample-build time through the facade, or
+lazily on first accelerated scan — and cached on the :class:`Table` object,
+so every later query pays only O(num_blocks) metadata work.
+
+The classification contract (used by :mod:`repro.engine.kernels`):
+
+* ``SKIP`` — *no* row of the block can satisfy the predicate (provable from
+  the zones); the block's data is never read.
+* ``TAKE_ALL`` — *every* row of the block satisfies the predicate; the rows
+  are selected without evaluating anything.
+* ``EVALUATE`` — the zones are inconclusive; the predicate kernel runs over
+  the block's rows.
+
+Soundness note: all interval tests are written so that NaN bounds (a float
+block containing NaNs poisons its min/max) fail the explicit comparisons and
+fall through to ``EVALUATE`` — a zone map may only ever make a scan faster,
+never change its answer.
+
+Values are stored in each column's *internal* representation: dictionary
+codes for STRING columns.  Code-space min/max bound the set of codes a block
+contains regardless of dictionary order (``Column.from_codes`` dictionaries
+are in arbitrary label order); the predicate kernels classify string
+equality against the bounds directly and string ranges via per-code truth
+tables sliced over them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.storage.table import Table
+
+#: Default rows per zone-map block.  Small enough that selective predicates
+#: on clustered columns skip most blocks, large enough that the per-block
+#: metadata overhead stays negligible.
+DEFAULT_ZONE_BLOCK_ROWS = 4096
+
+
+class ZoneDecision(enum.Enum):
+    """What a zone map proves about one block under one predicate."""
+
+    SKIP = "skip"  # no row can match: do not read the block
+    TAKE_ALL = "take-all"  # every row matches: select without evaluating
+    EVALUATE = "evaluate"  # inconclusive: run the predicate kernel
+
+    def invert(self) -> "ZoneDecision":
+        """The decision for the *negation* of the classified predicate."""
+        if self is ZoneDecision.SKIP:
+            return ZoneDecision.TAKE_ALL
+        if self is ZoneDecision.TAKE_ALL:
+            return ZoneDecision.SKIP
+        return ZoneDecision.EVALUATE
+
+
+@dataclass(frozen=True)
+class ColumnZone:
+    """Zone statistics of one column over one block of rows.
+
+    ``minimum``/``maximum`` are in the column's internal representation
+    (dictionary codes for STRING columns, raw values otherwise).  For float
+    columns containing NaNs the bounds are NaN, which every classification
+    treats as inconclusive.  ``distinct_estimate`` is an upper-bound style
+    estimate (range width for integral data, row count otherwise) — cheap to
+    compute and only ever used for cost estimation, never for correctness.
+    """
+
+    minimum: object
+    maximum: object
+    null_count: int = 0
+    distinct_estimate: int = 1
+
+    def merge(self, other: "ColumnZone") -> "ColumnZone":
+        """The zone of the union of two row ranges.
+
+        NaN bounds poison the merge regardless of argument order (Python's
+        ``min(1.0, nan)`` would silently drop the poison), preserving the
+        invariant that a NaN-containing column's bounds stay inconclusive.
+        """
+        return ColumnZone(
+            minimum=_nan_poisoning(self.minimum, other.minimum, min),
+            maximum=_nan_poisoning(self.maximum, other.maximum, max),
+            null_count=self.null_count + other.null_count,
+            distinct_estimate=self.distinct_estimate + other.distinct_estimate,
+        )
+
+
+def _nan_poisoning(a, b, combine):
+    """``combine(a, b)`` where a NaN on either side wins."""
+    if a != a:
+        return a
+    if b != b:
+        return b
+    return combine(a, b)
+
+
+@dataclass(frozen=True)
+class BlockZones:
+    """The zone maps of every column over one block of rows."""
+
+    index: int
+    row_start: int
+    row_end: int
+    zones: Mapping[str, ColumnZone]
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_end - self.row_start
+
+
+@dataclass(frozen=True)
+class ZoneMapIndex:
+    """All block zone maps of one table at a fixed block granularity.
+
+    ``column_zones`` aggregates the per-block zones into whole-column
+    bounds; the predicate kernels use them to order AND chains by estimated
+    selectivity and the planner's estimator uses them to cost scans without
+    touching data.
+    """
+
+    table_name: str
+    num_rows: int
+    block_rows: int
+    blocks: tuple[BlockZones, ...]
+    column_zones: Mapping[str, ColumnZone]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def overlapping(self, row_start: int, row_end: int) -> tuple[BlockZones, ...]:
+        """The blocks intersecting the half-open row range ``[row_start, row_end)``.
+
+        Blocks are fixed-width, so this is pure index arithmetic — no scan.
+        """
+        if row_end <= row_start or not self.blocks:
+            return ()
+        first = max(0, row_start // self.block_rows)
+        last = min(len(self.blocks), -(-row_end // self.block_rows))
+        return self.blocks[first:last]
+
+
+def _block_offsets(num_rows: int, block_rows: int) -> np.ndarray:
+    return np.arange(0, num_rows, block_rows, dtype=np.int64)
+
+
+def _column_block_zones(
+    data: np.ndarray,
+    offsets: np.ndarray,
+    num_rows: int,
+    block_rows: int,
+    integral: bool,
+) -> list[ColumnZone]:
+    """Per-block zones of one column in one vectorized pass."""
+    mins = np.minimum.reduceat(data, offsets)
+    maxs = np.maximum.reduceat(data, offsets)
+    if data.dtype.kind == "f":
+        null_counts = np.add.reduceat(np.isnan(data), offsets)
+    else:
+        null_counts = np.zeros(offsets.shape[0], dtype=np.int64)
+    zones: list[ColumnZone] = []
+    for i, start in enumerate(offsets):
+        rows = int(min(num_rows, int(start) + block_rows) - int(start))
+        lo = mins[i].item()
+        hi = maxs[i].item()
+        if integral and hi == hi and lo == lo:  # NaN-safe
+            distinct = int(min(rows, int(hi) - int(lo) + 1))
+        else:
+            distinct = rows
+        zones.append(
+            ColumnZone(
+                minimum=lo,
+                maximum=hi,
+                null_count=int(null_counts[i]),
+                distinct_estimate=max(1, distinct),
+            )
+        )
+    return zones
+
+
+def build_zone_map_index(
+    table: "Table", block_rows: int = DEFAULT_ZONE_BLOCK_ROWS
+) -> ZoneMapIndex:
+    """Compute the :class:`ZoneMapIndex` of ``table`` at ``block_rows`` granularity."""
+    if block_rows <= 0:
+        raise ValueError("block_rows must be positive")
+    num_rows = table.num_rows
+    if num_rows == 0:
+        return ZoneMapIndex(
+            table_name=table.name,
+            num_rows=0,
+            block_rows=block_rows,
+            blocks=(),
+            column_zones={},
+        )
+    offsets = _block_offsets(num_rows, block_rows)
+    per_column: dict[str, list[ColumnZone]] = {}
+    integral_columns: set[str] = set()
+    for column in table.columns():
+        integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+        if integral:
+            integral_columns.add(column.name)
+        per_column[column.name] = _column_block_zones(
+            column.data, offsets, num_rows, block_rows, integral
+        )
+    blocks: list[BlockZones] = []
+    for i, start in enumerate(offsets):
+        row_start = int(start)
+        row_end = int(min(num_rows, row_start + block_rows))
+        blocks.append(
+            BlockZones(
+                index=i,
+                row_start=row_start,
+                row_end=row_end,
+                zones={name: zones[i] for name, zones in per_column.items()},
+            )
+        )
+    column_zones: dict[str, ColumnZone] = {}
+    for name, zones in per_column.items():
+        merged = zones[0]
+        for zone in zones[1:]:
+            merged = merged.merge(zone)
+        # Summed per-block distinct estimates overcount when block value
+        # ranges overlap (unsorted data); for integral domains the global
+        # range width is a tighter upper bound.
+        distinct = min(merged.distinct_estimate, num_rows)
+        lo, hi = merged.minimum, merged.maximum
+        if name in integral_columns and lo == lo and hi == hi:  # NaN-safe
+            distinct = min(distinct, int(hi) - int(lo) + 1)
+        column_zones[name] = ColumnZone(
+            minimum=lo,
+            maximum=hi,
+            null_count=merged.null_count,
+            distinct_estimate=max(1, distinct),
+        )
+    return ZoneMapIndex(
+        table_name=table.name,
+        num_rows=num_rows,
+        block_rows=block_rows,
+        blocks=tuple(blocks),
+        column_zones=column_zones,
+    )
+
+
+def zones_for_range(table: "Table", row_start: int, row_end: int) -> Mapping[str, ColumnZone]:
+    """The zone maps of one explicit row range (used to annotate ``Block``s).
+
+    Delegates to the same :func:`_column_block_zones` pass the index builder
+    uses — the row range is treated as one block — so there is exactly one
+    soundness-critical zone computation in the codebase.
+    """
+    zones: dict[str, ColumnZone] = {}
+    if row_end <= row_start:
+        return zones
+    rows = row_end - row_start
+    offsets = np.zeros(1, dtype=np.int64)
+    for column in table.columns():
+        integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+        zones[column.name] = _column_block_zones(
+            column.data[row_start:row_end], offsets, rows, rows, integral
+        )[0]
+    return zones

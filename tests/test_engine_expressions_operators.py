@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ExecutionError
-from repro.engine.expressions import estimate_selectivity, evaluate_predicate
+from repro.engine.expressions import evaluate_predicate, measure_selectivity
 from repro.engine.operators import hash_join, semi_join_mask
 from repro.sql.parser import parse_query
 from repro.storage.table import Table
@@ -64,8 +64,18 @@ class TestPredicateEvaluation:
         assert mask.sum() == 3
 
     def test_selectivity(self, table):
-        assert estimate_selectivity(where("city = 'NY'"), table) == pytest.approx(0.5)
-        assert estimate_selectivity(None, table) == 1.0
+        assert measure_selectivity(where("city = 'NY'"), table) == pytest.approx(0.5)
+        assert measure_selectivity(None, table) == 1.0
+
+    def test_compound_short_circuit_preserves_semantics(self, table):
+        # An AND whose first (sorted-canonical) operand empties the mask and
+        # an OR whose first operand fills it must still return exact masks.
+        assert evaluate_predicate(
+            where("city = 'Boston' AND visits > 5"), table
+        ).sum() == 0
+        assert evaluate_predicate(
+            where("visits >= 0 OR city = 'Boston'"), table
+        ).sum() == 6
 
 
 class TestHashJoin:

@@ -126,6 +126,36 @@ class TestPartitionPipeline:
         assert stats.merged_partitions == 1
         assert result.scalar().value > 0
 
+    def test_deadline_cut_with_skipping_is_not_biased_low(self):
+        # Regression: on a sorted table, zone maps skip every partition
+        # except the one holding all matches.  A deadline that drops the
+        # evaluated partitions must not report a near-zero answer with
+        # narrow bars off the (provably match-free) skipped coverage —
+        # at least one *evaluated* partition is always merged, and the
+        # coverage correction renormalizes over the scannable region only.
+        rows = 20_000
+        table = Table.from_dict("t", {"x": sorted(range(rows))})
+        true_count = sum(1 for v in range(rows) if v > rows - 250)
+        query = parse_query(f"SELECT COUNT(*) FROM t WHERE x > {rows - 250}")
+        pipeline = PartitionPipeline(
+            QueryExecutor(scan_acceleration=True, zone_block_rows=256)
+        )
+        result = pipeline.run(
+            query, table, ExecutionContext(exact=True),
+            num_partitions=16, sim_workers=2,
+            scan_latency_seconds=8.0, task_overhead_seconds=0.1,
+            deadline_seconds=1.0,
+        )
+        stats = result.metadata["partitions"]
+        assert stats.skipped_partitions > 0
+        assert any(not t.skipped and t.merged for t in stats.timings)
+        # Every match lives in evaluated partitions; the coverage-scaled
+        # estimate must be in the right ballpark, not collapsed to ~0.
+        assert result.scalar().value >= 0.5 * true_count
+        assert stats.rows_skipped == sum(
+            t.rows for t in stats.timings if t.skipped
+        )
+
     def test_progress_snapshots_monotone(self, pipeline_inputs):
         table, _, context = pipeline_inputs
         pipeline = PartitionPipeline(QueryExecutor())

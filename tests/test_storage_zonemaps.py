@@ -1,0 +1,131 @@
+"""Tests for block-level zone maps (storage layer)."""
+
+import numpy as np
+import pytest
+
+from repro.storage.statistics import compute_statistics
+from repro.storage.table import Table
+from repro.storage.zonemaps import (
+    ColumnZone,
+    ZoneDecision,
+    build_zone_map_index,
+)
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_dict(
+        "t",
+        {
+            "a": list(range(100)),  # sorted: tight disjoint block ranges
+            "x": [float(i % 10) for i in range(100)],
+            "g": [f"g{i // 25}" for i in range(100)],  # g0..g3, clustered
+        },
+    )
+
+
+class TestZoneMapIndex:
+    def test_block_layout(self, table):
+        index = build_zone_map_index(table, block_rows=30)
+        assert index.num_blocks == 4
+        assert [(b.row_start, b.row_end) for b in index.blocks] == [
+            (0, 30),
+            (30, 60),
+            (60, 90),
+            (90, 100),
+        ]
+
+    def test_min_max_per_block(self, table):
+        index = build_zone_map_index(table, block_rows=30)
+        zone = index.blocks[1].zones["a"]
+        assert (zone.minimum, zone.maximum) == (30, 59)
+        # String zones are in dictionary-code space; the dictionary is
+        # sorted, so clustered string blocks get tight code ranges.  Rows
+        # [0, 30) hold "g0" and "g1" -> codes [0, 1].
+        g_zone = index.blocks[0].zones["g"]
+        assert (g_zone.minimum, g_zone.maximum) == (0, 1)
+
+    def test_aggregated_column_zones(self, table):
+        index = build_zone_map_index(table, block_rows=30)
+        zone = index.column_zones["a"]
+        assert (zone.minimum, zone.maximum) == (0, 99)
+
+    def test_overlapping_is_index_arithmetic(self, table):
+        index = build_zone_map_index(table, block_rows=30)
+        hits = index.overlapping(35, 65)
+        assert [b.index for b in hits] == [1, 2]
+        assert index.overlapping(0, 0) == ()
+        assert [b.index for b in index.overlapping(99, 100)] == [3]
+
+    def test_distinct_estimate_is_range_bound_for_integers(self, table):
+        index = build_zone_map_index(table, block_rows=30)
+        assert index.blocks[0].zones["a"].distinct_estimate == 30
+
+    def test_nan_blocks_report_nan_bounds_and_null_counts(self):
+        t = Table.from_dict("t", {"x": [1.0, float("nan"), 3.0, 4.0]})
+        index = build_zone_map_index(t, block_rows=2)
+        assert np.isnan(index.blocks[0].zones["x"].minimum)
+        assert index.blocks[0].zones["x"].null_count == 1
+        assert index.blocks[1].zones["x"].null_count == 0
+        assert index.blocks[1].zones["x"].minimum == 3.0
+
+    def test_empty_table_has_no_blocks(self):
+        t = Table.from_dict("t", {"x": []})
+        index = build_zone_map_index(t, block_rows=8)
+        assert index.num_blocks == 0
+
+    def test_table_cache_returns_same_object(self, table):
+        first = table.zone_map_index(30)
+        second = table.zone_map_index(30)
+        assert first is second
+        assert table.has_zone_map_index(30)
+        assert not table.has_zone_map_index(7)
+
+
+class TestBlockSetZones:
+    def test_with_zones_annotates_blocks(self, table):
+        blocks = table.block_set(num_partitions=4, zone_maps=True)
+        assert all(b.zones is not None for b in blocks)
+        first = blocks[0]
+        assert first.zones["a"].minimum == 0
+        assert first.zones["a"].maximum == first.row_end - 1
+
+    def test_partition_exposes_zones(self, table):
+        blocks = table.block_set(num_partitions=4, zone_maps=True)
+        partitions = table.partitions(block_set=blocks)
+        assert partitions[0].zones is not None
+        assert partitions[0].zones["a"].minimum == 0
+
+    def test_zones_excluded_from_block_equality(self, table):
+        bare = table.block_set(num_partitions=4)
+        annotated = table.block_set(num_partitions=4, zone_maps=True)
+        assert list(bare) == list(annotated)
+
+
+class TestStatisticsIntegration:
+    def test_compute_statistics_attaches_zone_index(self, table):
+        stats = compute_statistics(table, with_zone_maps=True, zone_block_rows=30)
+        assert stats.zone_index is not None
+        assert stats.zone_index.num_blocks == 4
+        # Shares the table-level cache.
+        assert stats.zone_index is table.zone_map_index(30)
+
+    def test_compute_statistics_without_zone_maps(self, table):
+        assert compute_statistics(table).zone_index is None
+
+    def test_null_count_counts_nans(self):
+        t = Table.from_dict("t", {"x": [1.0, float("nan"), float("nan")]})
+        stats = compute_statistics(t)
+        assert stats.column("x").null_count == 2
+
+
+class TestZoneDecision:
+    def test_invert(self):
+        assert ZoneDecision.SKIP.invert() is ZoneDecision.TAKE_ALL
+        assert ZoneDecision.TAKE_ALL.invert() is ZoneDecision.SKIP
+        assert ZoneDecision.EVALUATE.invert() is ZoneDecision.EVALUATE
+
+    def test_zone_merge(self):
+        merged = ColumnZone(0, 5, 1, 6).merge(ColumnZone(3, 9, 2, 7))
+        assert (merged.minimum, merged.maximum) == (0, 9)
+        assert merged.null_count == 3
