@@ -37,6 +37,12 @@ class DatasetInfo:
     prefix of another physical dataset (the smaller resolutions of a sample
     family, Fig. 4).  Nested datasets occupy no storage or cache of their own;
     they inherit the parent's caching behaviour.
+
+    ``requested_cache_fraction`` preserves the caller's original cache
+    request; ``cached_fraction`` is what memory admission actually granted.
+    Re-placements (``resize_dataset``) re-request the former — feeding the
+    achieved fraction back would ratchet caching monotonically down under
+    memory pressure.
     """
 
     name: str
@@ -44,6 +50,7 @@ class DatasetInfo:
     row_width_bytes: int
     cached_fraction: float
     parent: str | None = None
+    requested_cache_fraction: float = 0.0
 
     @property
     def size_bytes(self) -> int:
@@ -124,6 +131,7 @@ class ClusterSimulator:
             num_rows=num_rows,
             row_width_bytes=row_width_bytes,
             cached_fraction=cached_fraction,
+            requested_cache_fraction=requested_fraction,
         )
         self._datasets[name] = info
         self._blocks[name] = blocks
@@ -155,6 +163,41 @@ class ClusterSimulator:
         )
         self._datasets[name] = info
         return info
+
+    def resize_dataset(self, name: str, num_rows: int) -> DatasetInfo:
+        """Update a dataset's simulated row count (the streaming-ingest path).
+
+        Root datasets are re-placed with their new size (requesting the cache
+        fraction they had achieved); nested datasets just update their row
+        count, which must not exceed the parent's — callers grow the parent
+        (the family's largest resolution) first.
+        """
+        info = self.dataset(name)
+        if num_rows < 0:
+            raise ValueError("num_rows must be >= 0")
+        if info.parent is not None:
+            parent_info = self.dataset(info.parent)
+            if num_rows > parent_info.num_rows:
+                raise ValueError(
+                    f"nested dataset {name!r} ({num_rows} rows) cannot exceed its "
+                    f"parent {info.parent!r} ({parent_info.num_rows} rows)"
+                )
+            resized = DatasetInfo(
+                name=name,
+                num_rows=num_rows,
+                row_width_bytes=parent_info.row_width_bytes,
+                cached_fraction=parent_info.cached_fraction,
+                parent=info.parent,
+            )
+            self._datasets[name] = resized
+            return resized
+        self.unregister_dataset(name)
+        return self.register_dataset(
+            name,
+            num_rows=num_rows,
+            row_width_bytes=info.row_width_bytes,
+            cache=info.requested_cache_fraction,
+        )
 
     def unregister_dataset(self, name: str) -> None:
         """Remove a dataset (e.g. a discarded sample) from the simulator."""

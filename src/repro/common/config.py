@@ -209,6 +209,19 @@ class BlinkDBConfig:
     # is inflated by up to this fraction (deterministic per partition), so the
     # slowest wave dominates the pipeline's completion time.
     straggler_spread: float = 0.2
+    # -- streaming ingestion -----------------------------------------------------
+    # Per-family staleness budget: the fraction of a table's rows (or of a
+    # stratified family's strata) that may arrive after the last full
+    # build/re-plan before an append escalates to the SampleMaintenance
+    # re-plan/refresh path.
+    ingest_staleness_budget: float = 0.25
+    # When False, appends report staleness_exceeded but never escalate on
+    # their own (the operator drives replan_samples() explicitly).
+    ingest_auto_escalate: bool = True
+    # IngestController defaults: rows per append batch, and the bounded
+    # buffer beyond which submit() blocks (backpressure).
+    ingest_batch_rows: int = 4096
+    ingest_max_pending_rows: int = 65536
     # -- scan acceleration (zone maps + compiled predicate kernels) -------------
     # When True, join-free WHERE clauses are compiled once per (table, plan)
     # into kernels that consult block zone maps to skip provably
@@ -231,3 +244,9 @@ class BlinkDBConfig:
             raise ValueError("straggler_spread must be non-negative")
         if self.zone_block_rows < 1:
             raise ValueError("zone_block_rows must be >= 1")
+        if not 0.0 < self.ingest_staleness_budget:
+            raise ValueError("ingest_staleness_budget must be positive")
+        if self.ingest_batch_rows < 1:
+            raise ValueError("ingest_batch_rows must be >= 1")
+        if self.ingest_max_pending_rows < self.ingest_batch_rows:
+            raise ValueError("ingest_max_pending_rows must be >= ingest_batch_rows")

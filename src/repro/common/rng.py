@@ -46,6 +46,35 @@ def derive_rng(rng: np.random.Generator, *labels: object) -> np.random.Generator
     return np.random.default_rng(child_seed)
 
 
+def _labels_seed(*labels: object) -> int:
+    digest = hashlib.sha256()
+    for label in labels:
+        digest.update(repr(label).encode("utf-8"))
+        digest.update(b"\x00")
+    return int.from_bytes(digest.digest()[:8], "little")
+
+
+def index_uniforms(indices: np.ndarray, *labels: object) -> np.ndarray:
+    """Deterministic uniform [0, 1) tags keyed by (labels, index).
+
+    Counter-based randomness (a SplitMix64 finalizer over ``index + seed``):
+    the tag of row ``i`` depends only on the labels and ``i`` — never on how
+    rows are batched — so any append sequence reaching the same row indices
+    produces bit-identical tags.  This is what makes the streaming sample
+    maintainers' output independent of batch boundaries (split-vs-whole
+    equivalence) while each tag is statistically uniform.
+    """
+    seed = np.uint64(_labels_seed("index-uniforms", *labels))
+    x = np.asarray(indices, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x = x + seed
+        x = (x + np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x = x ^ (x >> np.uint64(31))
+    return (x >> np.uint64(11)).astype(np.float64) * float(2.0**-53)
+
+
 def stable_rng(*labels: object) -> np.random.Generator:
     """A generator keyed purely by labels (no parent stream involvement).
 
@@ -53,9 +82,4 @@ def stable_rng(*labels: object) -> np.random.Generator:
     example the permutation that defines which rows belong to the nested
     sample prefix of a stratum.
     """
-    digest = hashlib.sha256()
-    for label in labels:
-        digest.update(repr(label).encode("utf-8"))
-        digest.update(b"\x00")
-    seed = int.from_bytes(digest.digest()[:8], "little")
-    return np.random.default_rng(seed)
+    return np.random.default_rng(_labels_seed(*labels))

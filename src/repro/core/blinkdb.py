@@ -29,6 +29,8 @@ from repro.common.config import BlinkDBConfig
 from repro.common.errors import CatalogError, PlanningError
 from repro.cluster.simulator import ClusterSimulator
 from repro.engine.result import QueryResult
+from repro.ingest.batch import batch_num_rows, columns_from_rows
+from repro.ingest.ingestion import TableIngest
 from repro.optimizer.planner import SamplePlan, SampleSelectionPlanner
 from repro.planner.physical import ExplainResult, PhysicalPlan
 from repro.runtime.execution import BlinkDBRuntime
@@ -41,6 +43,8 @@ from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - service imports are lazy at runtime
+    from repro.ingest.controller import IngestController
+    from repro.ingest.ingestion import AppendReport
     from repro.service.server import QueryService
     from repro.service.session import ClientSession, SessionDefaults
 
@@ -69,6 +73,9 @@ class BlinkDB:
         self._dimension_tables: dict[str, Table] = {}
         self._templates: dict[str, list[QueryTemplate]] = {}
         self._plans: dict[str, SamplePlan] = {}
+        # Per-table streaming-ingest state (created lazily on first append);
+        # mutated only under the exclusive state lock.
+        self._ingest_states: dict[str, TableIngest] = {}
         self._runtime: BlinkDBRuntime | None = None
         self._runtime_lock = threading.Lock()
         #: Readers (queries) share this lock; sample builds/re-plans hold it
@@ -108,6 +115,9 @@ class BlinkDB:
             scale = simulated_rows / table.num_rows
         with self.state_lock.write_locked():
             self._builder.scale_factor = scale
+            # A (re)load replaces the table wholesale; ingest state anchored
+            # on the old rows is meaningless afterwards.
+            self._ingest_states.pop(table.name, None)
             self._builder.register_base_table(table, cache=cache)
             if self.config.scan_acceleration:
                 # Build the scan-acceleration metadata once, at load time, so
@@ -187,6 +197,9 @@ class BlinkDB:
                 for _, family in self.catalog.iter_families(table_name):
                     for resolution in family.resolutions:
                         resolution.table.zone_map_index(self.config.zone_block_rows)
+            state = self._ingest_states.get(table_name)
+            if state is not None:
+                state.reanchor(recompute_statistics=True)
             self._invalidate_runtime()
         return plan
 
@@ -289,8 +302,130 @@ class BlinkDB:
             if apply:
                 manager.apply_actions(table, actions)
                 self._plans[table_name] = plan
+                state = self._ingest_states.get(table_name)
+                if state is not None:
+                    state.reanchor(recompute_statistics=True)
                 self._invalidate_runtime()
         return plan, actions
+
+    # -- streaming ingestion -----------------------------------------------------------------------
+    def append(self, table_name: str, rows) -> "AppendReport":
+        """Append a batch of rows to a fact table, maintaining its samples.
+
+        ``rows`` is a sequence of row dictionaries or a columnar mapping.
+        The whole step — cache/probe fences, storage append (new immutable
+        blocks, extended zone maps), incremental statistics merge,
+        reservoir-style sample maintenance, and the generation bump — runs
+        under the exclusive state lock, so concurrent queries (read lock)
+        always see one consistent (table, samples, zone maps) generation.
+        When a family's staleness exceeds ``config.ingest_staleness_budget``
+        the append escalates: drifted data triggers the §3.2.3 MILP re-plan,
+        otherwise the families are refreshed at the grown size.
+
+        Only the appended table is fenced: attached services drop that
+        table's cached answers (and refuse in-flight inserts against the old
+        generation) while other tables keep serving from cache, and only that
+        table's memoized probes are discarded.
+        """
+        with self.state_lock.write_locked():
+            table = self.catalog.table(table_name)
+            batch = columns_from_rows(rows, table.schema)
+            state = self._ingest_states.get(table_name)
+            if state is None:
+                state = TableIngest(
+                    self.catalog,
+                    table_name,
+                    simulator=self.simulator,
+                    scale_factor=self._builder.scale_factor,
+                    staleness_budget=self.config.ingest_staleness_budget,
+                )
+                self._ingest_states[table_name] = state
+            if batch_num_rows(batch) == 0:
+                return state.append(batch)  # no-op report; nothing to fence
+            # Fence *before* publishing: a cache lookup racing this append
+            # either sees the old generation's answer (the append has not
+            # completed) or misses and recomputes on the new one — never a
+            # stale answer after the new generation is visible.
+            self._fence_table(table_name)
+            report = state.append(batch)
+            if report.staleness_exceeded and self.config.ingest_auto_escalate:
+                report.escalation = self._escalate_ingest(table_name, state)
+                report.escalated = True
+            self._data_version += 1
+        return report
+
+    def ingest_controller(
+        self,
+        table_name: str,
+        batch_rows: int | None = None,
+        max_pending_rows: int | None = None,
+        background: bool = True,
+    ) -> "IngestController":
+        """A batching, backpressured producer endpoint over :meth:`append`."""
+        from repro.ingest.controller import IngestController
+
+        return IngestController(
+            self,
+            table_name,
+            batch_rows=batch_rows or self.config.ingest_batch_rows,
+            max_pending_rows=max_pending_rows or self.config.ingest_max_pending_rows,
+            background=background,
+        )
+
+    def ingest_stats(self) -> dict[str, dict[str, object]]:
+        """Per-table ingest gauges (rows appended, batches, escalations, staleness)."""
+        return {
+            name: state.counters.describe()
+            for name, state in list(self._ingest_states.items())
+        }
+
+    def table_generation(self, table_name: str) -> int:
+        """The table's data generation (bumped by every append/reload)."""
+        return self.catalog.generation(table_name)
+
+    def _escalate_ingest(self, table_name: str, state: TableIngest) -> str:
+        """Incremental maintenance exceeded its budget: re-plan or refresh.
+
+        Called under the write lock.  Data drift (measured against the
+        family anchor's statistics snapshot, with merged-estimate slack)
+        escalates to the churn-capped MILP re-plan; otherwise the existing
+        families are re-drawn from the grown table.  Either way the uniform
+        family is rebuilt at the new size and the ingest state re-anchored
+        on fresh full-rescan statistics.
+        """
+        table = self.catalog.table(table_name)
+        manager = self.maintenance()
+        templates = self._templates.get(table_name)
+        drifted = manager.detect_data_drift(
+            state.anchor_statistics, self.catalog.statistics(table_name)
+        )
+        if drifted and templates:
+            plan, actions = manager.replan(
+                table, templates, churn_fraction=self.config.maintenance_churn_fraction
+            )
+            manager.apply_actions(table, actions)
+            self._plans[table_name] = plan
+            kind = "replan"
+        else:
+            manager.refresh_families(table)
+            kind = "refresh"
+        if self.catalog.uniform_family(table_name) is not None:
+            self._builder.build_uniform_family(table)
+        state.counters.escalations += 1
+        state.sync_simulator()
+        state.reanchor(recompute_statistics=True)
+        return kind
+
+    def _fence_table(self, table_name: str) -> None:
+        """Per-table invalidation: result caches and memoized probes only."""
+        with self._runtime_lock:
+            runtime = self._runtime
+        if runtime is not None:
+            runtime.selector.invalidate_table(table_name)
+        with self._services_lock:
+            services = list(self._services)
+        for service in services:
+            service.invalidate_cache_table(table_name, reason="table-append")
 
     # -- serving ------------------------------------------------------------------------------------
     def serve(self, num_workers: int = 4, **service_kwargs: object) -> "QueryService":
@@ -360,6 +495,7 @@ class BlinkDB:
             "catalog": self.catalog.describe(),
             "simulator": self.simulator.describe(),
             "data_version": self._data_version,
+            "ingest": self.ingest_stats(),
             "services": services,
             "plans": {
                 name: {

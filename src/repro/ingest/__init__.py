@@ -1,0 +1,45 @@
+"""The streaming ingestion subsystem.
+
+BlinkDB's sample-maintenance story (§4.5) assumes data keeps arriving; this
+package is the live-ingest path that makes the rest of the library handle
+mutating tables:
+
+* :mod:`repro.ingest.batch` — normalising producer rows into schema-typed
+  column arrays.
+* :mod:`repro.ingest.maintainers` — incremental sample maintenance: tag-based
+  Bernoulli membership for uniform families and per-stratum bottom-K
+  reservoirs (with new-stratum admission) for stratified families, both
+  batch-order independent, plus per-family staleness tracking.
+* :mod:`repro.ingest.ingestion` — :class:`TableIngest`, the per-table write
+  path that appends blocks, merges statistics, updates samples, and
+  publishes a new catalog generation atomically (under the facade's write
+  lock).
+* :mod:`repro.ingest.controller` — :class:`IngestController`, producer-facing
+  batching with bounded-buffer backpressure and background flushing.
+
+Entry points: ``BlinkDB.append()`` and ``BlinkDB.ingest_controller()``.
+"""
+
+from repro.ingest.batch import ColumnBatch, batch_num_rows, columns_from_rows
+from repro.ingest.controller import IngestController
+from repro.ingest.ingestion import AppendReport, IngestCounters, TableIngest
+from repro.ingest.maintainers import (
+    FamilyMaintainers,
+    MaintenanceDelta,
+    StratifiedFamilyMaintainer,
+    UniformFamilyMaintainer,
+)
+
+__all__ = [
+    "AppendReport",
+    "ColumnBatch",
+    "FamilyMaintainers",
+    "IngestController",
+    "IngestCounters",
+    "MaintenanceDelta",
+    "StratifiedFamilyMaintainer",
+    "TableIngest",
+    "UniformFamilyMaintainer",
+    "batch_num_rows",
+    "columns_from_rows",
+]

@@ -1,0 +1,84 @@
+"""Batch normalisation for the streaming-ingest path.
+
+Producers hand the ingest layer either a mapping of column name to values or
+a sequence of row dictionaries; both are normalised into schema-aligned NumPy
+arrays once, at the edge, so that everything downstream (storage append,
+statistics merge, sample maintainers) works on typed columns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import SchemaError
+from repro.storage.schema import ColumnType, Schema
+
+#: Normalised batch: schema-ordered column name -> typed value array.
+ColumnBatch = dict[str, np.ndarray]
+
+
+def _typed_array(name: str, values: Sequence, ctype: ColumnType) -> np.ndarray:
+    try:
+        if ctype is ColumnType.STRING:
+            return np.asarray([str(v) for v in values], dtype=object)
+        if ctype is ColumnType.INT:
+            return np.asarray(values, dtype=np.int64)
+        if ctype is ColumnType.FLOAT:
+            return np.asarray(values, dtype=np.float64)
+        if ctype is ColumnType.BOOL:
+            return np.asarray(values, dtype=bool)
+    except (TypeError, ValueError) as error:
+        raise SchemaError(f"column {name!r}: cannot coerce batch values to {ctype.value}") from error
+    raise SchemaError(f"unsupported column type {ctype}")
+
+
+def columns_from_rows(
+    rows: "Sequence[Mapping[str, object]] | Mapping[str, Sequence]",
+    schema: Schema,
+) -> ColumnBatch:
+    """Normalise a batch of rows into schema-typed column arrays.
+
+    Accepts either a columnar mapping (``{"city": [...], "hits": [...]}``)
+    or a sequence of row dictionaries.  Every schema column must be present
+    in every row, no extra columns are allowed, and all columns must have
+    equal length — the same contract :meth:`Table.append_batch` enforces,
+    surfaced here with row-level context.
+    """
+    names = schema.names
+    if isinstance(rows, Mapping):
+        missing = [n for n in names if n not in rows]
+        extra = [n for n in rows if n not in names]
+        if missing or extra:
+            raise SchemaError(
+                f"batch columns must match the schema; missing={missing}, unexpected={extra}"
+            )
+        lengths = {n: len(rows[n]) for n in names}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"batch columns have differing lengths: {lengths}")
+        # Hand the sequences straight to the typed conversion — np.asarray is
+        # near zero-copy for already-typed arrays, and an intermediate list
+        # would just double the boxing work on the ingest hot path.
+        columnar: dict = {n: rows[n] for n in names}
+    else:
+        columnar = {n: [] for n in names}
+        name_set = set(names)
+        for i, row in enumerate(rows):
+            extra = [k for k in row if k not in name_set]
+            if extra:
+                raise SchemaError(f"row {i} has unexpected columns {extra}")
+            for n in names:
+                if n not in row:
+                    raise SchemaError(f"row {i} is missing column {n!r}")
+                columnar[n].append(row[n])
+    return {
+        n: _typed_array(n, columnar[n], schema.column(n).ctype) for n in names
+    }
+
+
+def batch_num_rows(batch: ColumnBatch) -> int:
+    """Row count of a normalised batch (0 for an empty batch)."""
+    for values in batch.values():
+        return int(values.shape[0])
+    return 0

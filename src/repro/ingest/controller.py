@@ -1,0 +1,164 @@
+"""The ingest controller: batching, backpressure, and background flushing.
+
+Producers call :meth:`IngestController.submit` with individual rows (or small
+row lists); the controller accumulates them into batches of ``batch_rows``
+and applies them through ``BlinkDB.append`` — either on a background flusher
+thread (the default) or inline on the submitting thread.  Backpressure is a
+bounded buffer: when more than ``max_pending_rows`` are waiting, ``submit``
+blocks until the flusher drains, so a fast producer cannot outrun sample
+maintenance without feeling it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.common.errors import CatalogError
+from repro.ingest.ingestion import AppendReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports ingest)
+    from repro.core.blinkdb import BlinkDB
+
+
+class IngestController:
+    """Batches rows into appends against one table of a :class:`BlinkDB`."""
+
+    def __init__(
+        self,
+        db: "BlinkDB",
+        table: str,
+        batch_rows: int = 4096,
+        max_pending_rows: int = 65536,
+        background: bool = True,
+    ) -> None:
+        if batch_rows < 1:
+            raise ValueError("batch_rows must be >= 1")
+        if max_pending_rows < batch_rows:
+            raise ValueError("max_pending_rows must be >= batch_rows")
+        self.db = db
+        self.table = table
+        self.batch_rows = batch_rows
+        self.max_pending_rows = max_pending_rows
+        self._pending: list[Mapping[str, object]] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._error: BaseException | None = None
+        self.reports: list[AppendReport] = []
+        self._worker: threading.Thread | None = None
+        if background:
+            self._worker = threading.Thread(
+                target=self._flush_loop, name=f"ingest-{table}", daemon=True
+            )
+            self._worker.start()
+
+    # -- producer side ---------------------------------------------------------------
+    def submit(self, rows: "Mapping[str, object] | Sequence[Mapping[str, object]]") -> None:
+        """Queue one row (or a list of rows), blocking under backpressure.
+
+        Submissions larger than ``max_pending_rows`` are enqueued in
+        buffer-sized chunks — each chunk waits for the flusher to drain, so a
+        giant submit feels the same backpressure as many small ones instead
+        of deadlocking against a buffer it can never fit into.
+        """
+        batch = [rows] if isinstance(rows, Mapping) else list(rows)
+        if not batch:
+            return
+        # The background flusher only drains *full* batches, so pending can
+        # bottom out at batch_rows - 1 (a sub-batch remainder).  Chunks must
+        # fit next to that remainder or the backpressure wait never wakes.
+        chunk_rows = max(1, self.max_pending_rows - self.batch_rows + 1)
+        offset = 0
+        while offset < len(batch):
+            chunk = batch[offset:offset + chunk_rows]
+            offset += len(chunk)
+            with self._cond:
+                if self._closed:
+                    raise CatalogError(f"ingest controller for {self.table!r} is closed")
+                if self._error is not None:
+                    raise self._error
+                while (
+                    len(self._pending) + len(chunk) > self.max_pending_rows
+                    and self._worker is not None
+                    and self._error is None
+                    and not self._closed
+                ):
+                    self._cond.wait(timeout=0.5)
+                if self._error is not None:
+                    raise self._error
+                if self._closed:
+                    raise CatalogError(f"ingest controller for {self.table!r} is closed")
+                self._pending.extend(chunk)
+                self._cond.notify_all()
+                should_flush_inline = (
+                    self._worker is None and len(self._pending) >= self.batch_rows
+                )
+            if should_flush_inline:
+                self.flush(partial=False)
+
+    def flush(self, partial: bool = True) -> list[AppendReport]:
+        """Drain pending rows into appends; ``partial=False`` keeps remainders."""
+        reports: list[AppendReport] = []
+        while True:
+            with self._cond:
+                if self._error is not None:
+                    raise self._error
+                if len(self._pending) >= self.batch_rows:
+                    rows, self._pending = (
+                        self._pending[: self.batch_rows],
+                        self._pending[self.batch_rows:],
+                    )
+                elif partial and self._pending:
+                    rows, self._pending = self._pending, []
+                else:
+                    return reports
+                self._cond.notify_all()
+            report = self.db.append(self.table, rows)
+            with self._cond:
+                self.reports.append(report)
+            reports.append(report)
+
+    @property
+    def pending_rows(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Flush everything and stop the background flusher."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        worker = self._worker
+        if worker is not None:
+            worker.join(timeout)
+        self.flush(partial=True)
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+
+    def __enter__(self) -> "IngestController":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- flusher thread ---------------------------------------------------------------
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                while len(self._pending) < self.batch_rows and not self._closed:
+                    self._cond.wait(timeout=0.1)
+                if self._closed and not self._pending:
+                    return
+            try:
+                self.flush(partial=self._closed)
+            except BaseException as error:  # noqa: BLE001 - surfaced to producers
+                with self._cond:
+                    self._error = error
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                if self._closed and not self._pending:
+                    return

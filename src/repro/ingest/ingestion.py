@@ -1,0 +1,259 @@
+"""Per-table ingest orchestration: append, merge, maintain, publish.
+
+:class:`TableIngest` owns the write path of one fact table: it folds a
+normalised batch into the storage layer (:meth:`Table.append_batch`), merges
+statistics incrementally, updates every sample family through its maintainer,
+republishes everything in the catalog under a new *generation*, and resizes
+the cluster simulator's datasets.  The caller (the facade) runs the whole
+step under the exclusive state lock, so queries — which hold the read lock —
+always observe one generation of (table, samples, zone maps, statistics),
+never a mix.
+
+Escalation policy lives with the caller: :class:`TableIngest` reports the
+families' staleness against the configured budget; the facade decides
+whether to run the §3.2.3 re-plan or a plain refresh and then calls
+:meth:`reanchor`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.errors import CatalogError
+from repro.ingest.batch import ColumnBatch, batch_num_rows
+from repro.ingest.maintainers import (
+    FamilyMaintainers,
+    MaintenanceDelta,
+    StratifiedFamilyMaintainer,
+    UniformFamilyMaintainer,
+)
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
+from repro.storage.catalog import Catalog
+from repro.storage.statistics import extend_statistics
+
+
+@dataclass
+class AppendReport:
+    """What one :meth:`TableIngest.append` call did."""
+
+    table: str
+    batch_rows: int
+    total_rows: int
+    generation: int
+    staleness: float
+    staleness_exceeded: bool
+    deltas: list[MaintenanceDelta] = field(default_factory=list)
+    #: Filled in by the facade when the staleness budget escalated this
+    #: append into a re-plan/refresh of the table's families.
+    escalated: bool = False
+    escalation: str | None = None
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "table": self.table,
+            "batch_rows": self.batch_rows,
+            "total_rows": self.total_rows,
+            "generation": self.generation,
+            "staleness": round(self.staleness, 4),
+            "escalated": self.escalated,
+            "escalation": self.escalation,
+            "families": [
+                {
+                    "family": d.family,
+                    "rows_added": d.rows_added,
+                    "rows_evicted": d.rows_evicted,
+                    "new_strata": d.new_strata,
+                    "staleness": round(d.staleness, 4),
+                }
+                for d in self.deltas
+            ],
+        }
+
+
+@dataclass
+class IngestCounters:
+    """Lifetime ingest gauges of one table (mirrored into service metrics)."""
+
+    rows_appended: int = 0
+    batches: int = 0
+    escalations: int = 0
+    rows_per_second: float = 0.0
+    staleness: float = 0.0
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "rows_appended": self.rows_appended,
+            "batches": self.batches,
+            "escalations": self.escalations,
+            "rows_per_second": round(self.rows_per_second, 1),
+            "staleness": round(self.staleness, 4),
+        }
+
+
+class TableIngest:
+    """The streaming write path of one fact table."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        table_name: str,
+        simulator=None,
+        scale_factor: float = 1.0,
+        staleness_budget: float = 0.25,
+    ) -> None:
+        if not catalog.has_table(table_name):
+            raise CatalogError(f"unknown table {table_name!r}")
+        self.catalog = catalog
+        self.table_name = table_name
+        self.simulator = simulator
+        self.scale_factor = scale_factor
+        self.staleness_budget = staleness_budget
+        self.counters = IngestCounters()
+        #: The statistics snapshot of the last anchor (full build/re-plan);
+        #: drift detection compares the current merged snapshot against it.
+        self.anchor_statistics = catalog.statistics(table_name)
+        self._maintainers = self._build_maintainers()
+
+    # -- anchoring ----------------------------------------------------------------
+    def _build_maintainers(self) -> FamilyMaintainers:
+        maintainers = FamilyMaintainers()
+        table = self.catalog.table(self.table_name)
+        uniform = self.catalog.uniform_family(self.table_name)
+        if isinstance(uniform, UniformSampleFamily):
+            maintainers.uniform = UniformFamilyMaintainer(self.table_name, uniform)
+        for columns, family in self.catalog.stratified_families(self.table_name).items():
+            if isinstance(family, StratifiedSampleFamily):
+                maintainers.stratified[columns] = StratifiedFamilyMaintainer(
+                    self.table_name, family, table
+                )
+        return maintainers
+
+    def reanchor(self, recompute_statistics: bool = False) -> None:
+        """Re-derive maintainer state after the caller rebuilt the families.
+
+        ``recompute_statistics=True`` additionally replaces the accumulated
+        incremental-merge statistics with a fresh full rescan (escalations
+        already pay an O(table) rebuild, so the rescan rides along), which
+        stops merge-estimate error from compounding across anchor epochs.
+        """
+        if recompute_statistics:
+            self.catalog.refresh_statistics(self.table_name)
+        self.anchor_statistics = self.catalog.statistics(self.table_name)
+        self._maintainers = self._build_maintainers()
+        self.counters.staleness = 0.0
+
+    def sync_simulator(self) -> None:
+        """Resize every simulator dataset of this table to the catalog's state."""
+        if self.simulator is None:
+            return
+        self._resize_base_dataset(self.catalog.table(self.table_name))
+        uniform = self.catalog.uniform_family(self.table_name)
+        if uniform is not None:
+            self._resize_family_datasets(uniform)
+        for family in self.catalog.stratified_families(self.table_name).values():
+            self._resize_family_datasets(family)
+
+    @property
+    def staleness(self) -> float:
+        return self._maintainers.staleness()
+
+    # -- the append step -----------------------------------------------------------
+    def append(self, batch: ColumnBatch) -> AppendReport:
+        """Fold one batch in and publish the next generation (caller holds the lock)."""
+        started = time.monotonic()
+        batch_rows = batch_num_rows(batch)
+        table = self.catalog.table(self.table_name)
+        batch_start = table.num_rows
+        if batch_rows == 0:
+            return AppendReport(
+                table=self.table_name,
+                batch_rows=0,
+                total_rows=batch_start,
+                generation=self.catalog.generation(self.table_name),
+                staleness=self.staleness,
+                staleness_exceeded=False,
+            )
+        new_table = table.append_batch(batch)
+        statistics = extend_statistics(
+            self.catalog.statistics(self.table_name), new_table, batch_start
+        )
+
+        # Maintain every family BEFORE publishing anything: the maintainers
+        # only need the grown table, so if one of them raises, the catalog
+        # still holds the old (table, samples) generation consistently —
+        # never a grown table with stale-population families.
+        deltas: list[MaintenanceDelta] = []
+        updated_families: list[tuple[tuple[str, ...] | None, object]] = []
+        maintainers = self._maintainers
+        try:
+            if maintainers.uniform is not None:
+                family, delta = maintainers.uniform.apply(new_table, batch, batch_start)
+                updated_families.append((None, family))
+                deltas.append(delta)
+            for columns, maintainer in maintainers.stratified.items():
+                family, delta = maintainer.apply(new_table, batch, batch_start)
+                updated_families.append((columns, family))
+                deltas.append(delta)
+        except BaseException:
+            # A maintainer died mid-batch: earlier maintainers' internal
+            # state has advanced past the (never published) append.  Rebuild
+            # all maintainer state from the catalog's still-consistent
+            # families so a retry starts clean.
+            self._maintainers = self._build_maintainers()
+            raise
+
+        generation = self.catalog.replace_table(new_table, statistics)
+        for columns, family in updated_families:
+            if columns is None:
+                self.catalog.register_uniform_family(self.table_name, family)
+            else:
+                self.catalog.register_stratified_family(self.table_name, columns, family)
+            self._resize_family_datasets(family)
+        self._resize_base_dataset(new_table)
+
+        staleness = self.staleness
+        elapsed = time.monotonic() - started
+        self.counters.rows_appended += batch_rows
+        self.counters.batches += 1
+        self.counters.staleness = staleness
+        if elapsed > 0:
+            rate = batch_rows / elapsed
+            alpha = 0.3
+            self.counters.rows_per_second = (
+                rate
+                if self.counters.rows_per_second == 0.0
+                else alpha * rate + (1 - alpha) * self.counters.rows_per_second
+            )
+        return AppendReport(
+            table=self.table_name,
+            batch_rows=batch_rows,
+            total_rows=new_table.num_rows,
+            generation=generation,
+            staleness=staleness,
+            staleness_exceeded=staleness > self.staleness_budget,
+            deltas=deltas,
+        )
+
+    # -- simulator bookkeeping --------------------------------------------------------
+    def _resize_base_dataset(self, new_table) -> None:
+        if self.simulator is not None and self.simulator.has_dataset(self.table_name):
+            self.simulator.resize_dataset(
+                self.table_name, int(new_table.num_rows * self.scale_factor)
+            )
+
+    def _resize_family_datasets(self, family) -> None:
+        if self.simulator is None:
+            return
+        largest = family.largest
+        if self.simulator.has_dataset(largest.name):
+            self.simulator.resize_dataset(
+                largest.name, int(largest.num_rows * self.scale_factor)
+            )
+        for resolution in family.resolutions:
+            if resolution.name == largest.name:
+                continue
+            if self.simulator.has_dataset(resolution.name):
+                self.simulator.resize_dataset(
+                    resolution.name, int(resolution.num_rows * self.scale_factor)
+                )

@@ -137,6 +137,10 @@ class BlinkDBRuntime:
         answer).
         """
         logical = LogicalPlan.of(query)
+        # Captured before planning/execution; the caller's read lock keeps it
+        # consistent with every row read below, so the stamped answer is a
+        # single-generation answer by construction.
+        generation = self.catalog.generation(logical.table)
         plan = self.planner.plan(logical, progressive=progress is not None)
 
         if plan.mode is PlanMode.DISJUNCTIVE:
@@ -147,7 +151,9 @@ class BlinkDBRuntime:
                 raise ConstraintUnsatisfiableError(
                     "one or more disjunctive branches cannot satisfy the requested bound"
                 )
-            return self._execute_disjunctive(plan)
+            result = self._execute_disjunctive(plan)
+            result.metadata["generation"] = generation
+            return result
         with self._stats_lock:
             self._queries_executed += 1
 
@@ -203,6 +209,7 @@ class BlinkDBRuntime:
         )
         result.metadata["decision"] = decision
         result.metadata["plan"] = plan
+        result.metadata["generation"] = generation
         return result
 
     def execute_partitioned(
@@ -224,6 +231,7 @@ class BlinkDBRuntime:
         partition-parallel speedup and anytime error/deadline trade-offs.
         """
         logical = LogicalPlan.of(query)
+        generation = self.catalog.generation(logical.table)
         with self._stats_lock:
             self._queries_executed += 1
         plan = self.planner.plan_partitioned(
@@ -249,11 +257,13 @@ class BlinkDBRuntime:
             plan=plan,
         )
         result.metadata["plan"] = plan
+        result.metadata["generation"] = generation
         return result
 
     def execute_exact(self, query: Plannable) -> QueryResult:
         """Answer a query exactly from the base table (the no-sampling baseline)."""
         logical = LogicalPlan.of(query)
+        generation = self.catalog.generation(logical.table)
         plan = self.planner.plan_exact(logical)
         with self._stats_lock:
             self._exact_queries_executed += 1
@@ -266,6 +276,7 @@ class BlinkDBRuntime:
             )
             result = replace(result, simulated_latency_seconds=execution.latency_seconds)
         result.metadata["plan"] = plan
+        result.metadata["generation"] = generation
         return result
 
     @property

@@ -223,6 +223,22 @@ class SampleFamilySelector:
             num_groups=max(1, len(result.groups)),
         )
 
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop memoized probes of one table's resolutions (the ingest fence).
+
+        Streaming appends change a table's data and samples without
+        discarding the runtime, so probes measured on the previous generation
+        must not steer planning afterwards.  Resolution names are namespaced
+        by table (``"<table>/uniform/…"``, ``"<table>/strat(…)"``), which is
+        what the match keys on; other tables' probes survive.
+        """
+        prefix = f"{table_name}/"
+        with self._probe_lock:
+            stale = [key for key in self._probe_cache if key[1].startswith(prefix)]
+            for key in stale:
+                del self._probe_cache[key]
+            return len(stale)
+
     @property
     def probe_cache_stats(self) -> dict[str, int]:
         """Thread-safe snapshot of the probe memo's hit/miss/size counters."""

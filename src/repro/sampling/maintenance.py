@@ -66,6 +66,14 @@ class SampleMaintenance:
         self.workload_drift_threshold = workload_drift_threshold
 
     # -- drift detection ------------------------------------------------------------
+    #: Extra slack applied to the drift threshold when a compared statistic is
+    #: an incremental-merge estimate rather than a full-rescan value: merged
+    #: distinct counts are capped sums (upper bounds) and merged top
+    #: frequencies are aligned-sum bounds, so comparisons against them carry
+    #: up to ~2x relative error.  The staleness budget of the ingest layer is
+    #: the backstop for drift this conservatism might delay.
+    ESTIMATED_SLACK = 2.0
+
     def detect_data_drift(
         self, previous: TableStatistics, current: TableStatistics
     ) -> bool:
@@ -75,20 +83,42 @@ class SampleMaintenance:
         and in the dominant value's frequency share; either exceeding the
         threshold triggers a re-plan.  Row-count growth alone does not (new
         data with the same shape only requires a refresh, not a new plan).
+
+        Either snapshot may be an **incrementally merged** one (the streaming
+        ingest path's :func:`~repro.storage.statistics.extend_statistics`):
+        columns flagged :attr:`~repro.storage.statistics.ColumnStatistics.estimated`
+        carry bound-style distinct counts and top frequencies, so their
+        comparisons use a widened threshold instead of treating the bounds as
+        exact measurements — otherwise every long append sequence would
+        eventually "drift" purely from estimate inflation.
         """
         for name, current_stats in current.columns.items():
             previous_stats = previous.columns.get(name)
             if previous_stats is None:
                 return True
-            if previous_stats.distinct_count > 0:
-                distinct_change = abs(
-                    current_stats.distinct_count - previous_stats.distinct_count
-                ) / previous_stats.distinct_count
+            estimated = previous_stats.estimated or current_stats.estimated
+            # Distinct counts: compare the [low, high] bounds — a merged
+            # snapshot's count is only an upper bound, so drift is reported
+            # only when the intervals are provably apart.  For exact
+            # snapshots both intervals are points and this reduces to the
+            # plain relative-change test.
+            previous_low, previous_high = previous_stats.distinct_bounds
+            current_low, current_high = current_stats.distinct_bounds
+            if previous_high > 0:
+                if current_low > previous_high:
+                    distinct_change = (current_low - previous_high) / previous_high
+                elif current_high < previous_low:
+                    distinct_change = (previous_low - current_high) / previous_low
+                else:
+                    distinct_change = 0.0
                 if distinct_change > self.data_drift_threshold:
                     return True
+            # Dominant-value share: merged tops are aligned-sum bounds, so
+            # estimated comparisons carry the slack factor.
+            threshold = self.data_drift_threshold * (self.ESTIMATED_SLACK if estimated else 1.0)
             previous_share = _top_share(previous_stats.top_frequencies, previous.num_rows)
             current_share = _top_share(current_stats.top_frequencies, current.num_rows)
-            if abs(current_share - previous_share) > self.data_drift_threshold:
+            if abs(current_share - previous_share) > threshold:
                 return True
         return False
 

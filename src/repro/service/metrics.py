@@ -165,6 +165,10 @@ class ServiceMetrics:
         self._template_lock = threading.Lock()
         self._template_counts: dict[str, int] = {}
         self._template_cache_hits: dict[str, int] = {}
+        # Streaming-ingest gauges, mirrored per table from the facade's
+        # ingest counters (rows/s, batches, escalations, sample staleness).
+        self._ingest_lock = threading.Lock()
+        self._ingest: dict[str, dict[str, object]] = {}
 
     @property
     def shed(self) -> int:
@@ -196,6 +200,15 @@ class ServiceMetrics:
         """Mirror the runtime's probe-memo counters (see :class:`Gauge`)."""
         self.probe_cache_hits.set(hits)
         self.probe_cache_misses.set(misses)
+
+    def update_ingest(self, per_table: dict[str, dict[str, object]]) -> None:
+        """Mirror the facade's per-table ingest counters (see :class:`Gauge`)."""
+        with self._ingest_lock:
+            self._ingest = {table: dict(stats) for table, stats in per_table.items()}
+
+    def ingest_summary(self) -> dict[str, dict[str, object]]:
+        with self._ingest_lock:
+            return {table: dict(stats) for table, stats in self._ingest.items()}
 
     def update_scan_counters(
         self,
@@ -238,6 +251,7 @@ class ServiceMetrics:
                 "bytes_scanned": self.scan_bytes_scanned.value,
                 "bytes_skipped": self.scan_bytes_skipped.value,
             },
+            "ingest": self.ingest_summary(),
             "latency": {
                 "queue_wait": self.queue_wait.summary(),
                 "service_time": self.service_time.summary(),

@@ -456,6 +456,20 @@ class QueryService:
         self.metrics.cache_invalidations.increment()
         return dropped
 
+    def invalidate_cache_table(self, table: str, reason: str = "table-append") -> int:
+        """Drop one table's cached results (the streaming-ingest fence).
+
+        Appends only invalidate the appended table: its generation is bumped
+        (dropping its entries and refusing in-flight inserts computed against
+        the previous generation) while every other table's answers keep
+        serving from cache.
+        """
+        if self.cache is None:
+            return 0
+        dropped = self.cache.invalidate_table(table, reason)
+        self.metrics.cache_invalidations.increment()
+        return dropped
+
     # -- worker loop ---------------------------------------------------------------
     def _worker_loop(self) -> None:
         while True:
@@ -566,6 +580,7 @@ class QueryService:
             bytes_skipped=runtime_stats.get("bytes_total", 0)
             - runtime_stats.get("bytes_scanned", 0),
         )
+        self.metrics.update_ingest(self.db.ingest_stats())
         return {
             "name": self.name,
             "num_workers": self.num_workers,

@@ -16,7 +16,13 @@ from repro.storage.block import (
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
 from repro.storage.schema import ColumnType, Schema
-from repro.storage.statistics import ColumnStatistics, TableStatistics, compute_statistics
+from repro.storage.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    compute_statistics,
+    extend_statistics,
+    merge_column_statistics,
+)
 from repro.storage.table import Table
 from repro.storage.zonemaps import (
     DEFAULT_ZONE_BLOCK_ROWS,
@@ -25,6 +31,7 @@ from repro.storage.zonemaps import (
     ZoneDecision,
     ZoneMapIndex,
     build_zone_map_index,
+    extend_zone_map_index,
 )
 
 __all__ = [
@@ -40,6 +47,8 @@ __all__ = [
     "ColumnStatistics",
     "TableStatistics",
     "compute_statistics",
+    "extend_statistics",
+    "merge_column_statistics",
     "Table",
     "DEFAULT_ZONE_BLOCK_ROWS",
     "BlockZones",
@@ -47,4 +56,5 @@ __all__ = [
     "ZoneDecision",
     "ZoneMapIndex",
     "build_zone_map_index",
+    "extend_zone_map_index",
 ]

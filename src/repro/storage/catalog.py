@@ -79,6 +79,10 @@ class Catalog:
         self._statistics: dict[str, TableStatistics] = {}
         self._uniform_families: dict[str, SampleFamilyLike] = {}
         self._stratified_families: dict[tuple[str, tuple[str, ...]], SampleFamilyLike] = {}
+        #: Per-table data generation, bumped whenever a table's rows change
+        #: (streaming appends, reloads).  Queries stamp their answers with the
+        #: generation they read, making single-generation visibility testable.
+        self._generations: dict[str, int] = {}
 
     # -- tables ---------------------------------------------------------------
     def register_table(self, table: Table, overwrite: bool = False) -> None:
@@ -93,6 +97,9 @@ class Catalog:
             stale = [k for k in self._stratified_families if k[0] == table.name]
             for key in stale:
                 del self._stratified_families[key]
+            self._generations[table.name] = self._generations.get(table.name, 0) + 1
+        else:
+            self._generations.setdefault(table.name, 0)
 
     def table(self, name: str) -> Table:
         try:
@@ -112,6 +119,44 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"no statistics for table {name!r}") from None
 
+    def replace_table(self, table: Table, statistics: TableStatistics | None = None) -> int:
+        """Publish a new generation of an existing table, keeping its samples.
+
+        The streaming-ingest path: ``table`` is the grown table (old rows
+        plus appended batch), ``statistics`` the incrementally merged
+        snapshot (computed on the fly when omitted).  Unlike
+        ``register_table(overwrite=True)``, the table's sample families are
+        *kept* — the ingest maintainers update them incrementally and
+        re-register them in the same publish step.  Returns the table's new
+        generation.
+        """
+        if table.name not in self._tables:
+            raise CatalogError(f"unknown table {table.name!r}")
+        self._tables[table.name] = table
+        self._statistics[table.name] = (
+            statistics if statistics is not None else compute_statistics(table)
+        )
+        generation = self._generations.get(table.name, 0) + 1
+        self._generations[table.name] = generation
+        return generation
+
+    def generation(self, name: str) -> int:
+        """The current data generation of a table (0 until first mutation)."""
+        return self._generations.get(name, 0)
+
+    def refresh_statistics(self, name: str, statistics: TableStatistics | None = None) -> None:
+        """Replace a table's statistics without touching rows or generation.
+
+        The ingest escalation path uses this to swap the accumulated
+        incremental-merge estimates for a fresh full-rescan snapshot after a
+        re-plan/refresh, so drift detection restarts from exact ground truth.
+        """
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self._statistics[name] = (
+            statistics if statistics is not None else compute_statistics(self._tables[name])
+        )
+
     def drop_table(self, name: str) -> None:
         if name not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
@@ -121,6 +166,7 @@ class Catalog:
         stale = [k for k in self._stratified_families if k[0] == name]
         for key in stale:
             del self._stratified_families[key]
+        self._generations.pop(name, None)
 
     # -- uniform sample families ---------------------------------------------------
     def register_uniform_family(self, table_name: str, family: SampleFamilyLike) -> None:

@@ -126,6 +126,40 @@ class Column:
     def rename(self, new_name: str) -> "Column":
         return Column(new_name, self.ctype, self._data, self._dictionary)
 
+    def append_values(self, values: Sequence) -> "Column":
+        """A new column with ``values`` appended (the storage ingest path).
+
+        STRING columns remap the new values into the existing dictionary's
+        code space, extending the dictionary with previously unseen labels.
+        Existing codes never move, so zone maps and sampled tables built over
+        the old rows stay valid code-space bounds after an append.
+
+        Already-typed NumPy arrays (what ``columns_from_rows`` produces) are
+        appended without a round trip through Python lists — this runs under
+        the facade's exclusive lock, so per-value conversion is pure stall.
+        """
+        if len(values) == 0:
+            return self
+        if self.ctype is ColumnType.STRING:
+            assert self._dictionary is not None
+            if isinstance(values, np.ndarray) and values.dtype == object:
+                labels = values  # trusted: object arrays hold str labels
+            else:
+                labels = np.asarray([str(v) for v in values], dtype=object)
+            codes, dictionary = _dictionary_extend(self._dictionary, labels)
+            return Column(
+                self.name, self.ctype, np.concatenate([self._data, codes]), dictionary
+            )
+        if self.ctype is ColumnType.INT:
+            batch = np.asarray(values, dtype=np.int64)
+        elif self.ctype is ColumnType.FLOAT:
+            batch = np.asarray(values, dtype=np.float64)
+        elif self.ctype is ColumnType.BOOL:
+            batch = np.asarray(values, dtype=bool)
+        else:  # pragma: no cover - the four types above are exhaustive
+            raise SchemaError(f"unsupported column type {self.ctype}")
+        return Column(self.name, self.ctype, np.concatenate([self._data, batch]))
+
     def encode_lookup(self, value: object) -> object:
         """Translate a literal into the column's internal representation.
 
@@ -184,3 +218,43 @@ def _dictionary_encode(values: list[str]) -> tuple[np.ndarray, np.ndarray]:
     array = np.asarray(values, dtype=object)
     dictionary, codes = np.unique(array, return_inverse=True)
     return codes.astype(np.int64), dictionary.astype(object)
+
+
+def _dictionary_extend(
+    dictionary: np.ndarray, values: "Sequence[str] | np.ndarray"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode ``values`` against an existing dictionary, extending it.
+
+    Known labels keep their existing codes; novel labels are appended (in
+    first-appearance order) so old codes remain stable.  Returns the codes of
+    ``values`` and the (possibly longer) dictionary.
+    """
+    if len(values) == 0:
+        return np.empty(0, dtype=np.int64), dictionary
+    array = np.asarray(values, dtype=object)
+    # Per-unique work instead of per-row: batches repeat labels heavily.
+    uniques, first_index, inverse = np.unique(
+        array, return_index=True, return_inverse=True
+    )
+    code_of = {label: code for code, label in enumerate(dictionary)}
+    unique_codes = np.empty(uniques.shape[0], dtype=np.int64)
+    novel: list[int] = []
+    for i, label in enumerate(uniques):
+        code = code_of.get(label)
+        if code is None:
+            novel.append(i)
+        else:
+            unique_codes[i] = code
+    if novel:
+        # Novel labels take codes in first-appearance order (np.unique sorts,
+        # so re-order by first occurrence): the resulting dictionary is a
+        # pure function of the value sequence, independent of batching.
+        appearance = sorted(novel, key=lambda i: first_index[i])
+        extension = []
+        for offset, i in enumerate(appearance):
+            unique_codes[i] = len(code_of) + offset
+            extension.append(uniques[i])
+        dictionary = np.concatenate(
+            [dictionary, np.asarray(extension, dtype=object)]
+        )
+    return unique_codes[inverse], dictionary

@@ -26,6 +26,9 @@ from repro.storage.zonemaps import (
     DEFAULT_ZONE_BLOCK_ROWS,
     ZoneMapIndex,
     build_zone_map_index,
+    extend_zone_map_index,
+    project_zone_index,
+    replace_zone_column,
 )
 
 
@@ -214,22 +217,82 @@ class Table:
         ]
 
     def project(self, names: Iterable[str], name: str | None = None) -> "Table":
-        """A new table containing only the named columns."""
+        """A new table containing only the named columns.
+
+        Projection keeps every surviving column's rows bit-identical, so any
+        cached zone-map index carries forward (restricted to the projected
+        columns) instead of being rebuilt on first accelerated scan.
+        """
         names = list(names)
         self.schema.validate_columns(names)
-        return Table(
+        projected = Table(
             name or self.name,
             [self._columns[n] for n in names],
             self.schema.project(names),
         )
+        for rows, index in self._zone_indexes.items():
+            projected._zone_indexes[rows] = project_zone_index(index, names, projected.name)
+        return projected
 
     def with_column(self, column: Column) -> "Table":
-        """A new table with ``column`` appended (or replaced if the name exists)."""
+        """A new table with ``column`` appended (or replaced if the name exists).
+
+        Zone-compatible change: the other columns' rows are untouched, so any
+        cached zone-map index carries forward with only the new/replaced
+        column's zones recomputed (one vectorized pass over that column) —
+        never a whole-table rebuild.
+        """
         if len(column) != self._num_rows:
             raise SchemaError("new column length does not match table row count")
         columns = [c for c in self.columns() if c.name != column.name]
         columns.append(column)
-        return Table(self.name, columns)
+        updated = Table(self.name, columns)
+        for rows, index in self._zone_indexes.items():
+            updated._zone_indexes[rows] = replace_zone_column(index, updated, column.name)
+        return updated
+
+    # -- ingestion -------------------------------------------------------------------
+    def append_batch(self, data: Mapping[str, Sequence], name: str | None = None) -> "Table":
+        """A new table with the batch's rows appended (the streaming-ingest path).
+
+        ``data`` maps every column name to an equal-length sequence of new
+        values (use :func:`repro.ingest.batch.columns_from_rows` to normalise
+        row dictionaries).  All *derived metadata* is incremental in the
+        batch size:
+
+        * string columns remap the batch into the existing dictionary's code
+          space, appending novel labels so existing codes never move;
+        * every zone-map index cached on this table is carried forward with
+          only the partial tail block and the new blocks recomputed
+          (:func:`~repro.storage.zonemaps.extend_zone_map_index`).
+
+        The column arrays themselves are concatenated — one raw memcpy of
+        the old data per column (memory-bandwidth-bound, no per-value
+        work).  The original table is never mutated, so readers of the
+        previous generation keep a consistent view while the appended table
+        is published.
+        """
+        missing = [n for n in self.schema.names if n not in data]
+        extra = [n for n in data if n not in self._columns]
+        if missing or extra:
+            raise SchemaError(
+                f"append batch for table {self.name!r} must cover exactly the schema "
+                f"columns; missing={missing}, unexpected={extra}"
+            )
+        lengths = {len(values) for values in data.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"append batch columns have differing lengths: {lengths}")
+        batch_rows = lengths.pop() if lengths else 0
+        if batch_rows == 0:
+            return self
+        appended = Table(
+            name or self.name,
+            [self._columns[n].append_values(data[n]) for n in self.schema.names],
+            self.schema,
+        )
+        for rows, index in self._zone_indexes.items():
+            appended._zone_indexes[rows] = extend_zone_map_index(index, appended, rows)
+        return appended
 
     def sort_by(self, names: Sequence[str]) -> "Table":
         """Rows sorted lexicographically by the given columns.

@@ -259,6 +259,162 @@ def build_zone_map_index(
     )
 
 
+def extend_zone_map_index(
+    index: ZoneMapIndex, table: "Table", block_rows: int | None = None
+) -> ZoneMapIndex:
+    """Extend ``index`` to cover ``table``, recomputing only the new tail.
+
+    ``table`` must be the indexed table plus appended rows (same leading
+    rows, same columns; dictionary codes stable — the append path guarantees
+    both).  Every *complete* block of the old index is reused as-is; only the
+    old partial tail block (whose rows gained neighbours) and the brand-new
+    blocks are recomputed.  This is what makes ingestion O(batch) instead of
+    O(table) for scan-acceleration metadata.
+    """
+    block_rows = int(block_rows) if block_rows else index.block_rows
+    if block_rows != index.block_rows:
+        raise ValueError(
+            f"cannot extend a block_rows={index.block_rows} index at granularity {block_rows}"
+        )
+    num_rows = table.num_rows
+    if num_rows < index.num_rows:
+        raise ValueError("the table shrank; zone-map extension is append-only")
+    if num_rows == index.num_rows:
+        return index
+    # Blocks [0, reused) are complete in the old index and untouched by the
+    # append; everything from row `reused * block_rows` on is (re)computed.
+    reused = index.num_rows // block_rows
+    tail_start = reused * block_rows
+    kept = index.blocks[:reused]
+
+    offsets = _block_offsets(num_rows - tail_start, block_rows)
+    per_column: dict[str, list[ColumnZone]] = {}
+    integral_columns: set[str] = set()
+    for column in table.columns():
+        integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+        if integral:
+            integral_columns.add(column.name)
+        per_column[column.name] = _column_block_zones(
+            column.data[tail_start:], offsets, num_rows - tail_start, block_rows, integral
+        )
+    tail_blocks: list[BlockZones] = []
+    for i, start in enumerate(offsets):
+        row_start = tail_start + int(start)
+        row_end = int(min(num_rows, row_start + block_rows))
+        tail_blocks.append(
+            BlockZones(
+                index=reused + i,
+                row_start=row_start,
+                row_end=row_end,
+                zones={name: zones[i] for name, zones in per_column.items()},
+            )
+        )
+    blocks = tuple(kept) + tuple(tail_blocks)
+    column_zones: dict[str, ColumnZone] = {}
+    for name in per_column:
+        # Re-aggregate over all blocks: the old aggregate already counts the
+        # recomputed partial tail block, so merging with it would double-count
+        # its null/distinct contributions.
+        merged = blocks[0].zones[name]
+        for block in blocks[1:]:
+            merged = merged.merge(block.zones[name])
+        distinct = min(merged.distinct_estimate, num_rows)
+        lo, hi = merged.minimum, merged.maximum
+        if name in integral_columns and lo == lo and hi == hi:  # NaN-safe
+            distinct = min(distinct, int(hi) - int(lo) + 1)
+        column_zones[name] = ColumnZone(
+            minimum=lo,
+            maximum=hi,
+            null_count=merged.null_count,
+            distinct_estimate=max(1, distinct),
+        )
+    return ZoneMapIndex(
+        table_name=table.name,
+        num_rows=num_rows,
+        block_rows=block_rows,
+        blocks=blocks,
+        column_zones=column_zones,
+    )
+
+
+def project_zone_index(
+    index: ZoneMapIndex, names: list[str], table_name: str
+) -> ZoneMapIndex:
+    """Restrict ``index`` to the named columns (pure metadata, no data pass).
+
+    Used by :meth:`~repro.storage.table.Table.project`: a projection keeps
+    every surviving column's rows identical, so its zones carry forward.
+    """
+    blocks = tuple(
+        BlockZones(
+            index=block.index,
+            row_start=block.row_start,
+            row_end=block.row_end,
+            zones={n: block.zones[n] for n in names},
+        )
+        for block in index.blocks
+    )
+    return ZoneMapIndex(
+        table_name=table_name,
+        num_rows=index.num_rows,
+        block_rows=index.block_rows,
+        blocks=blocks,
+        column_zones={n: index.column_zones[n] for n in names if n in index.column_zones},
+    )
+
+
+def replace_zone_column(
+    index: ZoneMapIndex, table: "Table", column_name: str
+) -> ZoneMapIndex:
+    """``index`` with one column's zones recomputed from ``table``.
+
+    Used by :meth:`~repro.storage.table.Table.with_column`: every other
+    column's rows are untouched, so only the new/replaced column pays a
+    zone-computation pass.
+    """
+    num_rows = table.num_rows
+    if num_rows != index.num_rows:
+        raise ValueError("zone-column replacement requires an unchanged row count")
+    if not index.blocks:  # empty table: nothing to recompute
+        return ZoneMapIndex(index.table_name, num_rows, index.block_rows, (), {})
+    column = table.column(column_name)
+    integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+    offsets = _block_offsets(num_rows, index.block_rows)
+    new_zones = _column_block_zones(
+        column.data, offsets, num_rows, index.block_rows, integral
+    )
+    blocks = tuple(
+        BlockZones(
+            index=block.index,
+            row_start=block.row_start,
+            row_end=block.row_end,
+            zones={**dict(block.zones), column_name: new_zones[i]},
+        )
+        for i, block in enumerate(index.blocks)
+    )
+    merged = new_zones[0]
+    for zone in new_zones[1:]:
+        merged = merged.merge(zone)
+    distinct = min(merged.distinct_estimate, num_rows)
+    lo, hi = merged.minimum, merged.maximum
+    if integral and lo == lo and hi == hi:  # NaN-safe
+        distinct = min(distinct, int(hi) - int(lo) + 1)
+    column_zones = dict(index.column_zones)
+    column_zones[column_name] = ColumnZone(
+        minimum=lo,
+        maximum=hi,
+        null_count=merged.null_count,
+        distinct_estimate=max(1, distinct),
+    )
+    return ZoneMapIndex(
+        table_name=index.table_name,
+        num_rows=num_rows,
+        block_rows=index.block_rows,
+        blocks=blocks,
+        column_zones=column_zones,
+    )
+
+
 def zones_for_range(table: "Table", row_start: int, row_end: int) -> Mapping[str, ColumnZone]:
     """The zone maps of one explicit row range (used to annotate ``Block``s).
 

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) of the streaming-ingest subsystem.
+
+Three classes of invariant:
+
+* **Split-vs-whole equivalence** — because sample membership is a pure
+  function of (table, family, global row index), appending the same rows in
+  one batch or any partition into sub-batches yields *bit-identical* samples.
+* **Statistical validity** — appended rows join uniform resolutions with
+  probability equal to the resolution's fraction, and stratified resolutions
+  keep the per-stratum cap/coverage/weight invariants of ``S(φ, K)`` across
+  any append sequence.
+* **End-to-end accuracy** (the PR's acceptance criterion) — after any
+  sequence of appends, approximate answers from the maintained samples stay
+  within their reported error bars of the exact answers on the grown table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.common.rng import index_uniforms, make_rng
+from repro.core.blinkdb import BlinkDB
+from repro.ingest.maintainers import StratifiedFamilyMaintainer, UniformFamilyMaintainer
+from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily, verify_nesting
+from repro.storage.table import Table
+
+
+def make_table(frequencies: list[int], name: str = "prop") -> Table:
+    keys = []
+    values = []
+    for index, frequency in enumerate(frequencies):
+        keys.extend([f"k{index:03d}"] * frequency)
+        values.extend(float(v) for v in range(frequency))
+    return Table.from_dict(name, {"key": keys, "value": values})
+
+
+def make_batch(rng: np.random.Generator, rows: int, num_keys: int) -> dict[str, np.ndarray]:
+    return {
+        "key": np.asarray(
+            [f"k{int(k):03d}" for k in rng.integers(0, num_keys, size=rows)], dtype=object
+        ),
+        "value": rng.normal(50.0, 10.0, size=rows),
+    }
+
+
+def split_batch(batch: dict[str, np.ndarray], cuts: list[int]) -> list[dict[str, np.ndarray]]:
+    rows = len(batch["key"])
+    edges = sorted({0, rows, *[c % (rows + 1) for c in cuts]})
+    return [
+        {name: values[a:b] for name, values in batch.items()}
+        for a, b in zip(edges[:-1], edges[1:])
+        if b > a
+    ]
+
+
+frequency_lists = st.lists(st.integers(min_value=1, max_value=60), min_size=2, max_size=12)
+
+
+class TestSplitVsWholeEquivalence:
+    @given(
+        frequency_lists,
+        st.integers(min_value=1, max_value=200),
+        st.lists(st.integers(min_value=0, max_value=500), max_size=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_family_is_batch_order_independent(self, frequencies, rows, cuts, seed):
+        table = make_table(frequencies)
+        family = UniformSampleFamily.build(
+            table, SamplingConfig(uniform_sample_fraction=0.5), min_rows=1
+        )
+        batch = make_batch(make_rng(seed), rows, len(frequencies))
+
+        whole = UniformFamilyMaintainer("prop", family)
+        whole_family, _ = whole.apply(table.append_batch(batch), batch, table.num_rows)
+
+        split = UniformFamilyMaintainer("prop", family)
+        current = table
+        split_family = family
+        for piece in split_batch(batch, cuts):
+            start = current.num_rows
+            current = current.append_batch(piece)
+            split_family, _ = split.apply(current, piece, start)
+
+        for a, b in zip(whole_family.resolutions, split_family.resolutions):
+            np.testing.assert_array_equal(a.row_indices, b.row_indices)
+            np.testing.assert_allclose(a.weights, b.weights)
+        assert verify_nesting(split_family)
+
+    @given(
+        frequency_lists,
+        st.integers(min_value=1, max_value=200),
+        st.lists(st.integers(min_value=0, max_value=500), max_size=4),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stratified_family_is_batch_order_independent(
+        self, frequencies, rows, cuts, cap, seed
+    ):
+        table = make_table(frequencies)
+        config = SamplingConfig(largest_cap=cap, min_cap=1, resolution_ratio=2.0)
+        family = StratifiedSampleFamily.build(table, ("key",), config)
+        batch = make_batch(make_rng(seed), rows, len(frequencies) + 2)
+
+        whole = StratifiedFamilyMaintainer("prop", family, table)
+        whole_family, _ = whole.apply(table.append_batch(batch), batch, table.num_rows)
+
+        split = StratifiedFamilyMaintainer("prop", family, table)
+        current = table
+        split_family = family
+        for piece in split_batch(batch, cuts):
+            start = current.num_rows
+            current = current.append_batch(piece)
+            split_family, _ = split.apply(current, piece, start)
+
+        for a, b in zip(whole_family.resolutions, split_family.resolutions):
+            assert a.cap == b.cap
+            np.testing.assert_array_equal(a.row_indices, b.row_indices)
+            np.testing.assert_allclose(a.weights, b.weights)
+        assert verify_nesting(split_family)
+
+
+class TestStatisticalValidity:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_inclusion_probability_matches_fraction(self, seed):
+        # Tags are uniform in [0,1): over many rows the inclusion frequency
+        # of `tag < p` concentrates around p (binomial, 6-sigma bound).
+        rows = 20_000
+        indices = np.arange(rows, dtype=np.int64)
+        tags = index_uniforms(indices, f"table-{seed}", "uniform-ingest")
+        for p in (0.05, 0.2, 0.5):
+            included = int(np.count_nonzero(tags < p))
+            sigma = float(np.sqrt(rows * p * (1 - p)))
+            assert abs(included - rows * p) < 6 * sigma
+
+    @given(
+        frequency_lists,
+        st.lists(st.integers(min_value=1, max_value=120), min_size=1, max_size=4),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stratified_cap_invariants_across_appends(
+        self, frequencies, batch_sizes, cap, seed
+    ):
+        table = make_table(frequencies)
+        config = SamplingConfig(largest_cap=cap, min_cap=1, resolution_ratio=2.0)
+        family = StratifiedSampleFamily.build(table, ("key",), config)
+        maintainer = StratifiedFamilyMaintainer("prop", family, table)
+        rng = make_rng(seed)
+        current = table
+        for batch_rows in batch_sizes:
+            batch = make_batch(rng, batch_rows, len(frequencies) + 3)
+            start = current.num_rows
+            current = current.append_batch(batch)
+            family, _ = maintainer.apply(current, batch, start)
+
+        true_frequencies = current.value_frequencies(["key"])
+        for resolution in family.resolutions:
+            sample_frequencies = resolution.table.value_frequencies(["key"])
+            # Cap respected, every stratum covered, sub-cap strata in full.
+            assert all(c <= resolution.cap for c in sample_frequencies.values())
+            assert set(sample_frequencies) == set(true_frequencies)
+            for key, frequency in true_frequencies.items():
+                assert sample_frequencies[key] == min(frequency, resolution.cap)
+            # Weights reconstruct the grown population exactly.
+            assert resolution.represented_rows == pytest.approx(current.num_rows)
+
+
+class TestAnswersStayWithinErrorBars:
+    """Acceptance: approximate answers vs exact answers on the grown table."""
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(st.integers(min_value=50, max_value=400), min_size=1, max_size=3),
+    )
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    def test_maintained_samples_answer_within_reported_bars(self, seed, batch_sizes):
+        config = BlinkDBConfig(
+            sampling=SamplingConfig(largest_cap=150, min_cap=20, uniform_sample_fraction=0.2),
+            cluster=ClusterConfig(num_nodes=10),
+        )
+        db = BlinkDB(config)
+        rng = make_rng(seed)
+        base = Table.from_dict(
+            "events",
+            {
+                "region": [f"r{int(k):02d}" for k in rng.integers(0, 8, size=6_000)],
+                "load_ms": rng.lognormal(3.0, 0.4, size=6_000),
+            },
+        )
+        db.load_table(base)
+        db.register_workload(
+            ["SELECT AVG(load_ms) FROM events WHERE region = 'r01' GROUP BY region"]
+        )
+        db.build_samples(storage_budget_fraction=0.8)
+        for i, rows in enumerate(batch_sizes):
+            db.append(
+                "events",
+                {
+                    "region": [f"r{int(k):02d}" for k in rng.integers(0, 10, size=rows)],
+                    "load_ms": rng.lognormal(3.1, 0.4, size=rows),
+                },
+            )
+        for sql in (
+            "SELECT COUNT(*) FROM events WHERE region = 'r01'",
+            "SELECT SUM(load_ms) FROM events WHERE region = 'r03'",
+            "SELECT AVG(load_ms) FROM events WHERE region = 'r05'",
+        ):
+            approx = db.query(sql).scalar()
+            exact = db.query_exact(sql).scalar().estimate.value
+            bar = approx.error_bar
+            if not np.isfinite(bar):
+                continue
+            assert abs(approx.estimate.value - exact) <= bar + 1e-9, (
+                sql, approx.estimate.value, exact, bar,
+            )

@@ -90,6 +90,51 @@ class TestMaintenance:
         shifted = generate_sessions_table(num_rows=8_000, seed=99, num_cities=8, num_customers=60)
         assert manager.detect_data_drift(stats, compute_statistics(shifted)) is True
 
+    def test_data_drift_accepts_incrementally_merged_snapshots(self, builder, table, config):
+        """The merged-snapshot path (streaming ingest) must not mis-trigger.
+
+        Incremental merges carry bound-style distinct counts / top
+        frequencies (``estimated=True``); appending same-shaped data and
+        comparing the merged snapshot against the anchor must stay quiet,
+        while genuinely different-shaped appends must still trip the
+        detector.
+        """
+        from repro.storage.statistics import extend_statistics
+
+        manager = self._manager(builder, config)
+        # Saturated tail cardinalities: the anchor table covers every label,
+        # so same-distribution batches genuinely add no new distinct values.
+        shape = dict(
+            num_cities=30, num_customers=40, num_objects=50, num_dmas=15,
+            num_countries=10, num_asns=25, num_urls=40,
+        )
+        anchor_table = generate_sessions_table(num_rows=8_000, seed=3, **shape)
+        anchor = compute_statistics(anchor_table)
+
+        # Same-shaped growth: merge several same-distribution batches in.
+        grown = anchor_table
+        merged = anchor
+        for seed in (11, 12, 13):
+            batch_table = generate_sessions_table(num_rows=1_000, seed=seed, **shape)
+            batch = {n: list(batch_table.column(n).values()) for n in batch_table.column_names}
+            start = grown.num_rows
+            grown = grown.append_batch(batch)
+            merged = extend_statistics(merged, grown, start)
+        assert merged.estimated  # this really is the merged-snapshot path
+        assert manager.detect_data_drift(anchor, merged) is False
+
+        # Different-shaped growth: a burst of previously unseen cities (the
+        # classic ingest drift — new keys flooding a stratification column).
+        # String distinct counts stay exact through the merge (dictionary
+        # length), so the detector must trip even on the estimated snapshot.
+        skew_table = generate_sessions_table(num_rows=8_000, seed=77, **shape)
+        skew = {n: list(skew_table.column(n).values()) for n in skew_table.column_names}
+        skew["city"] = [f"burst_city_{i % 50:04d}" for i in range(8_000)]
+        start = grown.num_rows
+        drifted = grown.append_batch(skew)
+        merged_drifted = extend_statistics(merged, drifted, start)
+        assert manager.detect_data_drift(anchor, merged_drifted) is True
+
     def test_workload_drift_detection(self, builder, config):
         manager = self._manager(builder, config)
         before = [QueryTemplate("sessions", ("city",), 0.7), QueryTemplate("sessions", ("os",), 0.3)]

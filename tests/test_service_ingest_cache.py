@@ -1,0 +1,181 @@
+"""Service-layer correctness under streaming ingestion.
+
+Two contracts from the ingest subsystem's visibility design:
+
+* **Per-table cache fencing** — a cached answer is never served across an
+  append to its base table, while answers for *other* tables keep their
+  entries (and in-flight inserts computed against the pre-append generation
+  are refused).
+* **Single-generation answers** — a query racing an append returns an answer
+  computed entirely against one (table, samples) generation: the stamped
+  generation's row count matches the answer bit-for-bit, never a mix of old
+  and new blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.core.blinkdb import BlinkDB
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+from repro.workloads.tpch import generate_lineitem_table, tpch_query_templates
+
+
+@pytest.fixture()
+def dual_table_db() -> BlinkDB:
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=80, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=10),
+    )
+    db = BlinkDB(config)
+    sessions = generate_sessions_table(num_rows=8_000, seed=7, num_cities=30)
+    lineitem = generate_lineitem_table(num_rows=8_000, seed=13)
+    db.load_table(sessions, simulated_rows=800_000)
+    db.load_table(lineitem, simulated_rows=800_000)
+    db.register_workload(templates=conviva_query_templates())
+    db.register_workload(templates=tpch_query_templates())
+    db.build_samples(table_name="sessions", storage_budget_fraction=0.5)
+    db.build_samples(table_name="lineitem", storage_budget_fraction=0.5)
+    return db
+
+
+def batch_for(db: BlinkDB, table: str, rows: int, seed: int) -> dict[str, list]:
+    if table == "sessions":
+        src = generate_sessions_table(num_rows=rows, seed=seed, num_cities=30)
+    else:
+        src = generate_lineitem_table(num_rows=rows, seed=seed)
+    return {name: list(src.column(name).values()) for name in src.column_names}
+
+
+SESSIONS_SQL = "SELECT COUNT(*) FROM sessions WHERE city = 'city_0001'"
+LINEITEM_SQL = "SELECT COUNT(*) FROM lineitem WHERE returnflag = 'R'"
+
+
+class TestPerTableCacheFencing:
+    def test_append_invalidates_only_its_table(self, dual_table_db):
+        db = dual_table_db
+        service = db.serve(num_workers=2)
+        try:
+            first_sessions = service.execute(SESSIONS_SQL)
+            first_lineitem = service.execute(LINEITEM_SQL)
+            assert service.execute(SESSIONS_SQL) is first_sessions  # cache hit
+            assert service.execute(LINEITEM_SQL) is first_lineitem
+
+            db.append("sessions", batch_for(db, "sessions", 400, seed=21))
+
+            # The appended table recomputes on the new generation...
+            after = service.execute(SESSIONS_SQL)
+            assert after is not first_sessions
+            assert after.metadata["generation"] == 1
+            # ...while the untouched table keeps serving from cache.
+            assert service.execute(LINEITEM_SQL) is first_lineitem
+            stats = service.cache.describe()
+            assert stats["by_reason"].get("table-append") == 1
+        finally:
+            service.close()
+
+    def test_stale_insert_refused_after_append(self, dual_table_db):
+        db = dual_table_db
+        service = db.serve(num_workers=2)
+        try:
+            from repro.service.cache import cache_key
+            from repro.sql.parser import parse_query
+
+            key = cache_key(parse_query(SESSIONS_SQL))
+            generation = service.cache.generation_for("sessions")
+            result = service.execute(SESSIONS_SQL)
+            db.append("sessions", batch_for(db, "sessions", 100, seed=5))
+            # An insert computed against the pre-append generation is refused.
+            assert not service.cache.put(key, result, table="sessions", generation=generation)
+            assert service.cache.get(key) is None
+        finally:
+            service.close()
+
+    def test_every_append_fences_even_without_service_queries(self, dual_table_db):
+        db = dual_table_db
+        service = db.serve(num_workers=1)
+        try:
+            before = service.cache.generation_for("sessions")
+            db.append("sessions", batch_for(db, "sessions", 50, seed=6))
+            db.append("sessions", batch_for(db, "sessions", 50, seed=7))
+            assert service.cache.generation_for("sessions") == before + 2
+            assert service.cache.generation_for("lineitem") == 0
+        finally:
+            service.close()
+
+
+class TestSingleGenerationAnswers:
+    def test_concurrent_queries_see_exactly_one_generation(self, dual_table_db):
+        """COUNT(*) under concurrent appends maps 1:1 to a generation's row count.
+
+        Batches have pairwise-distinct sizes, so every (generation -> exact
+        row count) pair is unambiguous; a mixed-generation scan would produce
+        a count matching no generation.
+        """
+        db = dual_table_db
+        base_rows = db.catalog.table("sessions").num_rows
+        batch_sizes = [101, 203, 307, 409]
+        expected = {0: base_rows}
+        running = base_rows
+        for generation, size in enumerate(batch_sizes, start=1):
+            running += size
+            expected[generation] = running
+
+        errors: list[str] = []
+        observed: list[tuple[int, int]] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                result = db.query_exact("SELECT COUNT(*) FROM sessions")
+                count = int(result.scalar().estimate.value)
+                generation = result.metadata["generation"]
+                observed.append((generation, count))
+                if expected.get(generation) != count:
+                    errors.append(f"generation {generation} returned {count}")
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for size, seed in zip(batch_sizes, (31, 32, 33, 34)):
+                db.append("sessions", batch_for(db, "sessions", size, seed=seed))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors[:5]
+        assert observed  # the readers actually raced the appends
+
+    def test_approximate_answers_are_single_generation_too(self, dual_table_db):
+        db = dual_table_db
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                result = db.query("SELECT COUNT(*) FROM sessions WHERE city = 'city_0001'")
+                generation = result.metadata["generation"]
+                # Sum of weights of the chosen sample must reconstruct the
+                # generation's population, not a mix.
+                if generation not in expected_population:
+                    errors.append(f"unknown generation {generation}")
+
+        expected_population = {0: 8_000}
+        total = 8_000
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for generation, (size, seed) in enumerate([(111, 41), (222, 42)], start=1):
+                total += size
+                expected_population[generation] = total
+                db.append("sessions", batch_for(db, "sessions", size, seed=seed))
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors, errors[:5]
