@@ -1,0 +1,111 @@
+"""Observability demo: traces, EXPLAIN ANALYZE, the ledger, and metrics.
+
+Walks the whole observability surface over a Conviva-like table:
+
+1. ``EXPLAIN ANALYZE`` on the serial, partitioned, and exact dispatch
+   paths — the estimated-vs-actual rendering plus the span tree;
+2. a service-side analyze ticket, where the trace additionally shows the
+   admission queue wait;
+3. ``db.audit_accuracy`` runs feeding the accuracy ledger's error-bar
+   coverage track;
+4. the unified metrics registry in both exposition formats.
+
+Run with::
+
+    python examples/observability_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import BlinkDB, BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 74}\n{title}\n{'=' * 74}")
+
+
+def main() -> None:
+    # 1. Build the database as usual: load, register workload, build samples.
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=200, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=20),
+    )
+    db = BlinkDB(config)
+    sessions = generate_sessions_table(num_rows=50_000, seed=7, num_cities=40, num_countries=15)
+    db.load_table(sessions, simulated_rows=50_000_000)
+    db.register_workload(templates=conviva_query_templates())
+    db.build_samples(storage_budget_fraction=0.5)
+
+    # 2. EXPLAIN ANALYZE through the facade: plan + estimated-vs-actual +
+    #    span tree, on each dispatch path.
+    banner("EXPLAIN ANALYZE — serial dispatch")
+    print(
+        db.query(
+            "EXPLAIN ANALYZE SELECT AVG(session_time) FROM sessions "
+            "WHERE city = 'city_0003' ERROR WITHIN 10% AT CONFIDENCE 95%"
+        )
+    )
+
+    banner("EXPLAIN ANALYZE — partition-parallel dispatch")
+    print(
+        db.explain_analyze(
+            "SELECT AVG(session_time) FROM sessions GROUP BY country WITHIN 2 SECONDS",
+            partitioned=True,
+        )
+    )
+
+    banner("EXPLAIN ANALYZE — exact path (the audit baseline)")
+    print(
+        db.explain_analyze(
+            "SELECT COUNT(*) FROM sessions WHERE city = 'city_0003'", exact=True
+        )
+    )
+
+    # 3. The same through a service: the ticket's trace shows the admission
+    #    queue wait in front of execution.
+    banner("Service analyze ticket — trace includes admission-wait")
+    service = db.serve(num_workers=2)
+    try:
+        ticket = service.submit(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM sessions "
+            "WHERE country = 'country_0001' WITHIN 2 SECONDS"
+        )
+        ticket.result(timeout=30)
+        trace = ticket.trace()
+        print(trace.render())
+        wait = trace.find("admission-wait")
+        print(f"\nqueue wait: {wait.duration_s * 1e3:.2f} ms ({wait.attrs['admission']})")
+    finally:
+        service.close()
+
+    # 4. Audit error bars against exact answers; the ledger aggregates
+    #    coverage per query template.
+    banner("Accuracy ledger — error-bar coverage vs configured confidence")
+    audits = [
+        "SELECT COUNT(*) FROM sessions GROUP BY country ERROR WITHIN 10% AT CONFIDENCE 95%",
+        "SELECT AVG(session_time) FROM sessions GROUP BY country ERROR WITHIN 10% AT CONFIDENCE 95%",
+        "SELECT COUNT(*) FROM sessions WHERE city = 'city_0003' ERROR WITHIN 10% AT CONFIDENCE 95%",
+    ]
+    for sql in audits:
+        audit = db.audit_accuracy(sql)
+        print(
+            f"{audit['template']:24s} {audit['covered']:3d}/{audit['audits']:3d} "
+            f"error bars contained the exact answer"
+        )
+    print("\nledger:", json.dumps(db.obs.ledger.describe(), indent=2, default=str)[:800], "…")
+
+    # 5. The unified registry: one namespace over runtime, service, ingest,
+    #    tracer, and ledger surfaces.
+    banner("db.metrics() — JSON exposition (keys)")
+    print(sorted(db.metrics().keys()))
+
+    banner("db.metrics_text() — Prometheus text exposition (excerpt)")
+    text = db.metrics_text()
+    print("\n".join(line for line in text.splitlines() if "accuracy" in line or "queries_total" in line))
+
+
+if __name__ == "__main__":
+    main()

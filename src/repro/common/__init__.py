@@ -7,6 +7,7 @@ dependency-free (NumPy only) so that any other package can import it without
 creating cycles.
 """
 
+from repro.common.clock import CLOCK, Clock, ManualClock, MonotonicClock, monotonic
 from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
 from repro.common.errors import (
     BlinkDBError,
@@ -32,6 +33,11 @@ from repro.common.units import (
 )
 
 __all__ = [
+    "CLOCK",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "monotonic",
     "BlinkDBConfig",
     "ClusterConfig",
     "SamplingConfig",

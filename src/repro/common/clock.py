@@ -1,0 +1,103 @@
+"""An injectable monotonic clock shared by every latency-measuring subsystem.
+
+Five subsystems used to call :func:`time.monotonic` / :func:`time.perf_counter`
+directly (the MILP solvers, streaming ingest, the load generators, the EDF
+scheduler, and the query service), which made any test asserting on measured
+latencies or trace span durations inherently racy.  They now read the process
+clock through this module, so tests can install a :class:`ManualClock` and
+advance simulated time deterministically.
+
+Two injection points exist, used as appropriate per call site:
+
+* **instance injection** — components that already take a ``clock`` argument
+  (:class:`~repro.service.scheduler.DeadlineScheduler`,
+  :class:`~repro.service.server.QueryService`,
+  :class:`~repro.obs.trace.SpanTracer`) default it to :func:`monotonic` below
+  and accept any zero-argument float callable;
+* **process-wide swap** — free functions that cannot thread a parameter
+  (solver timing, load generators) call :func:`monotonic`, which delegates to
+  the swappable :data:`CLOCK`; tests use :meth:`MonotonicClock.patched`.
+
+Durations measured here are *wall-clock* durations: the simulated-cluster
+latency model has its own virtual clocks and never reads this one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: Any zero-argument callable returning monotonic seconds.
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A deterministic clock for tests: advances only when told to.
+
+    Thread-safe; ``advance`` is how a test models time passing between (or
+    during) operations.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+class MonotonicClock:
+    """The process-wide monotonic clock with a swappable source.
+
+    Reading is a single attribute load plus the source call — cheap enough
+    for hot paths.  Swapping the source is meant for tests only; use the
+    :meth:`patched` context manager so the real clock is always restored.
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source: Clock = time.monotonic) -> None:
+        self._source = source
+
+    def now(self) -> float:
+        return self._source()
+
+    __call__ = now
+
+    @property
+    def source(self) -> Clock:
+        return self._source
+
+    def set_source(self, source: Clock) -> Clock:
+        """Install a new source; returns the previous one (for restoring)."""
+        previous, self._source = self._source, source
+        return previous
+
+    @contextmanager
+    def patched(self, source: Clock) -> Iterator[Clock]:
+        """Temporarily swap the source (tests); yields the installed source."""
+        previous = self.set_source(source)
+        try:
+            yield source
+        finally:
+            self.set_source(previous)
+
+
+#: The process-wide clock instance every direct call site reads through.
+CLOCK = MonotonicClock()
+
+
+def monotonic() -> float:
+    """Monotonic seconds from the (possibly test-patched) process clock."""
+    return CLOCK.now()

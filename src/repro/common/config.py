@@ -230,6 +230,19 @@ class BlinkDBConfig:
     scan_acceleration: bool = True
     # Rows per zone-map block (the granularity of skip decisions).
     zone_block_rows: int = 4096
+    # -- observability (query-lifecycle tracing + accuracy ledger) ---------------
+    # When False no query is ever traced (EXPLAIN ANALYZE still forces a
+    # trace for its own execution).
+    tracing_enabled: bool = True
+    # Fraction of executions that get a full span tree attached under
+    # metadata["trace"].  1.0 traces everything; under load an operator drops
+    # this (e.g. 0.01) so the hot path pays only one sampling decision per
+    # query.  Sampling is deterministic (a credit accumulator, not an RNG):
+    # exactly ceil(rate * n) of any n queries are traced.
+    trace_sample_rate: float = 1.0
+    # Rolling window (observations per template) of the accuracy ledger's
+    # latency-prediction ratios and error-bar coverage outcomes.
+    accuracy_ledger_window: int = 512
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.maintenance_churn_fraction <= 1.0:
@@ -250,3 +263,7 @@ class BlinkDBConfig:
             raise ValueError("ingest_batch_rows must be >= 1")
         if self.ingest_max_pending_rows < self.ingest_batch_rows:
             raise ValueError("ingest_max_pending_rows must be >= ingest_batch_rows")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.accuracy_ledger_window < 1:
+            raise ValueError("accuracy_ledger_window must be >= 1")

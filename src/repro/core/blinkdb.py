@@ -21,18 +21,26 @@ Example
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import TYPE_CHECKING, Sequence
 
+from repro.common.clock import monotonic
 from repro.common.concurrency import ReadWriteLock
 from repro.common.config import BlinkDBConfig
 from repro.common.errors import CatalogError, PlanningError
 from repro.cluster.simulator import ClusterSimulator
+from repro.engine.kernels import ScanSink
 from repro.engine.result import QueryResult
 from repro.ingest.batch import batch_num_rows, columns_from_rows
 from repro.ingest.ingestion import TableIngest
+from repro.obs.analyze import AnalyzeResult, analyze_text
+from repro.obs.ledger import template_label_of
+from repro.obs.observability import Observability
 from repro.optimizer.planner import SamplePlan, SampleSelectionPlanner
-from repro.planner.physical import ExplainResult, PhysicalPlan
+from repro.planner.logical import LogicalPlan
+from repro.planner.physical import ExplainResult, PhysicalPlan, ScanEstimate
+from repro.planner.selectivity import estimate_selectivity
 from repro.runtime.execution import BlinkDBRuntime
 from repro.sampling.builder import BuildReport, SampleBuilder
 from repro.sampling.maintenance import MaintenanceAction, SampleMaintenance
@@ -63,6 +71,11 @@ class BlinkDB:
         self.config = config or BlinkDBConfig()
         self.catalog = Catalog()
         self.simulator = ClusterSimulator(self.config.cluster)
+        #: Shared observability spine — tracer, metrics registry, accuracy
+        #: ledger.  Owned by the facade (not the runtime) so traces, metric
+        #: series, and the ledger's calibration history survive runtime
+        #: invalidations (sample rebuilds, data reloads).
+        self.obs = Observability(self.config)
         self._builder = SampleBuilder(
             catalog=self.catalog,
             config=self.config.sampling,
@@ -218,18 +231,25 @@ class BlinkDB:
         return self._plans.get(table_name)
 
     # -- querying -------------------------------------------------------------------------------
-    def query(self, sql: str | Query | ExplainQuery) -> QueryResult | ExplainResult:
+    def query(
+        self, sql: str | Query | ExplainQuery
+    ) -> QueryResult | ExplainResult | AnalyzeResult:
         """Answer a BlinkQL statement approximately using the built samples.
 
         ``EXPLAIN SELECT ...`` statements return an
         :class:`~repro.planner.physical.ExplainResult` (the rendered
-        physical plan) without executing; everything else returns a
+        physical plan) without executing; ``EXPLAIN ANALYZE SELECT ...``
+        executes with tracing forced on and returns an
+        :class:`~repro.obs.analyze.AnalyzeResult` (estimated vs actual plus
+        the span tree); everything else returns a
         :class:`~repro.engine.result.QueryResult`.  Safe to call from many
         threads at once; queries share the state lock with sample builds so
         an in-flight query never sees a half-rebuilt catalog.
         """
         statement = parse_statement(sql) if isinstance(sql, str) else sql
         if isinstance(statement, ExplainQuery):
+            if statement.analyze:
+                return self.explain_analyze(statement.query)
             return self.explain_plan(statement.query)
         with self.state_lock.read_locked():
             return self.runtime.execute(statement)
@@ -268,6 +288,182 @@ class BlinkDB:
             "decision": decision,
             "plan": plan,
             "plan_text": plan.render() if plan is not None else None,
+        }
+
+    # -- observability ---------------------------------------------------------------------------
+    def explain_analyze(
+        self,
+        sql: str | Query,
+        *,
+        exact: bool = False,
+        partitioned: bool = False,
+    ) -> AnalyzeResult:
+        """Execute ``sql`` with tracing forced on; estimated vs actual report.
+
+        ``exact`` runs the no-sampling baseline; ``partitioned`` forces the
+        progressive partition pipeline.  Equivalent to the
+        ``EXPLAIN ANALYZE SELECT ...`` statement (which takes the default
+        approximate path).
+        """
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        with self.state_lock.read_locked():
+            return self._explain_analyze_locked(
+                query, exact=exact, partitioned=partitioned
+            )
+
+    def _explain_analyze_locked(
+        self,
+        query: Query,
+        *,
+        exact: bool = False,
+        partitioned: bool = False,
+        trace=None,
+    ) -> AnalyzeResult:
+        """EXPLAIN ANALYZE body; the caller holds the read side of the state lock.
+
+        Split out so the service layer's workers — which already hold the
+        read lock around every ticket — can run analyze statements without
+        re-acquiring it (they pass their pre-opened ``trace``, which already
+        carries the admission-wait span).
+        """
+        runtime = self.runtime
+        if trace is None:
+            trace = self.obs.tracer.begin(force=True, table=query.table)
+        sink = ScanSink()
+        started = monotonic()
+        if exact:
+            result = runtime.execute_exact(query, trace=trace, scan_sink=sink)
+        elif partitioned:
+            # A progress callback (even a no-op) routes planning through the
+            # partition pipeline, exercising triage/dispatch/merge spans.
+            result = runtime.execute(
+                query, progress=lambda snapshot: None, trace=trace, scan_sink=sink
+            )
+        else:
+            result = runtime.execute(query, trace=trace, scan_sink=sink)
+        measured = monotonic() - started
+        plan: PhysicalPlan = result.metadata["plan"]
+        scan_estimate = plan.scan_estimate
+        if scan_estimate is None and exact:
+            scan_estimate = self._exact_scan_estimate(plan.logical)
+        text = analyze_text(
+            plan,
+            result,
+            sink=sink,
+            trace=trace,
+            measured_seconds=measured,
+            ledger=self.obs.ledger,
+            template=template_label_of(plan.logical),
+            scan_estimate=scan_estimate,
+        )
+        return AnalyzeResult(plan=plan, result=result, trace=trace, text=text)
+
+    def _exact_scan_estimate(self, logical: LogicalPlan) -> ScanEstimate | None:
+        """Zone-map scan estimate against the *base* table (exact path).
+
+        The planner only costs scans of sample resolutions; the exact
+        baseline scans the base table, so EXPLAIN ANALYZE recomputes the
+        block classification there to have an estimate to compare against.
+        """
+        if logical.where is None or logical.joins:
+            return None
+        if not self.config.scan_acceleration:
+            return None
+        try:
+            table = self.catalog.table(logical.table)
+            kernel = self.runtime.executor.predicate_kernel(logical.where, table)
+            counters = kernel.scan_classification()
+            estimated = estimate_selectivity(logical.where, kernel.zone_index)
+        except Exception:
+            return None
+        return ScanEstimate(
+            blocks_total=counters.blocks_total,
+            blocks_skipped=counters.blocks_skipped,
+            blocks_take_all=counters.blocks_take_all,
+            rows_total=counters.rows_total,
+            rows_skipped=counters.rows_skipped,
+            estimated_selectivity=estimated,
+        )
+
+    def metrics(self, collect: bool = True) -> dict[str, object]:
+        """A JSON-friendly snapshot of every registered metric."""
+        self._register_facade_collectors()
+        return self.obs.registry.describe(collect=collect)
+
+    def metrics_text(self, collect: bool = True) -> str:
+        """The metrics in Prometheus text exposition format."""
+        self._register_facade_collectors()
+        return self.obs.registry.render_text(collect=collect)
+
+    def _register_facade_collectors(self) -> None:
+        """Absorb the facade's pull-style stats surfaces into the registry.
+
+        Idempotent: :meth:`Observability.register_stats` replaces a
+        previously registered collector of the same metric name.
+        """
+        self.obs.register_stats(
+            "runtime_counters",
+            "Lifetime runtime execution, probe-cache, and scan counters.",
+            lambda: self.runtime.stats,
+        )
+
+        def ingest_flat() -> dict[str, object]:
+            flat: dict[str, object] = {}
+            for table_name, stats in self.ingest_stats().items():
+                for key, value in stats.items():
+                    flat[f"{table_name}.{key}"] = value
+            return flat
+
+        self.obs.register_stats(
+            "ingest_counters",
+            "Per-table streaming-ingest gauges (rows appended, escalations, staleness).",
+            ingest_flat,
+        )
+
+    def audit_accuracy(self, sql: str | Query) -> dict[str, object]:
+        """Run ``sql`` approximately *and* exactly; score the error bars.
+
+        Both runs happen under one read lock, so they see the same data
+        generation.  For every aggregate in every group the exact value is
+        checked against the approximate answer's confidence interval, and
+        each outcome is recorded in the accuracy ledger's coverage track —
+        over a seeded workload the covered fraction should be at least the
+        queries' configured confidence.
+        """
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        with self.state_lock.read_locked():
+            approx = self.runtime.execute(query)
+            exact = self.runtime.execute_exact(query)
+        template = template_label_of(LogicalPlan.of(query))
+        audits = 0
+        covered = 0
+        for group in approx.groups:
+            try:
+                exact_group = exact.group(group.key)
+            except KeyError:
+                # A group the sample saw but the base table did not (or vice
+                # versa) has no exact reference value to audit against.
+                continue
+            for name, aggregate in group.aggregates.items():
+                reference = exact_group.aggregates.get(name)
+                if reference is None or aggregate.estimate.exact:
+                    continue
+                if not math.isfinite(reference.value):
+                    # An empty selection has no reference value; that is not
+                    # a missed error bar.
+                    continue
+                interval = aggregate.interval
+                is_covered = interval.low <= reference.value <= interval.high
+                self.obs.ledger.record_coverage(template, is_covered)
+                audits += 1
+                covered += 1 if is_covered else 0
+        return {
+            "template": template,
+            "audits": audits,
+            "covered": covered,
+            "coverage": covered / audits if audits else None,
+            "approximate": approx,
+            "exact": exact,
         }
 
     # -- maintenance -------------------------------------------------------------------------------
@@ -484,6 +680,7 @@ class BlinkDB:
                         config=self.config,
                         simulator=self.simulator,
                         dimension_tables=self._dimension_tables,
+                        observability=self.obs,
                     )
         return self._runtime
 

@@ -46,7 +46,7 @@ from repro.engine.accumulators import (
     make_state,
 )
 from repro.engine.expressions import evaluate_predicate
-from repro.engine.kernels import CompiledPredicate, RangeTriage, ScanCounters
+from repro.engine.kernels import CompiledPredicate, RangeTriage, ScanCounters, ScanSink
 from repro.engine.operators import hash_join
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
 from repro.planner.logical import LogicalPlan
@@ -97,6 +97,10 @@ class ExecutionContext:
         the sum of weights (or ``rows_read`` when unweighted).
     sample_name:
         Identifier recorded in the result for provenance.
+    scan_sink:
+        Per-query scan accounting (:class:`~repro.engine.kernels.ScanSink`);
+        the filter stages of this execution tee their counters and observed
+        selectivity into it.  ``None`` records lifetime counters only.
     """
 
     weights: np.ndarray | None = None
@@ -105,6 +109,7 @@ class ExecutionContext:
     rows_read: int | None = None
     population_read: float | None = None
     sample_name: str | None = None
+    scan_sink: ScanSink | None = None
 
 
 class QueryExecutor:
@@ -214,7 +219,9 @@ class QueryExecutor:
             )
         return kernel.triage_range(partition.block.row_start, partition.block.row_end)
 
-    def record_skipped_scan(self, rows: int, blocks: int, row_width: int) -> None:
+    def record_skipped_scan(
+        self, rows: int, blocks: int, row_width: int, sink: ScanSink | None = None
+    ) -> None:
         """Account blocks proven skippable outside the evaluation path."""
         counters = ScanCounters(
             blocks_total=blocks,
@@ -224,6 +231,11 @@ class QueryExecutor:
             bytes_total=rows * row_width,
         )
         self._record_scan(counters)
+        if sink is not None:
+            sink.record_scan(counters)
+            # Zone-skipped rows are provably non-matching: they count toward
+            # observed selectivity the same way the estimate counts them.
+            sink.record_filter(rows, 0)
 
     def _record_scan(self, counters: ScanCounters) -> None:
         with self._scan_lock:
@@ -268,12 +280,13 @@ class QueryExecutor:
         else:
             population_read = float(rows_read)
 
+        sink = context.scan_sink
         if num_partitions is None or num_partitions <= 1:
-            partial = self.partial_aggregate(plan, data, weights)
+            partial = self.partial_aggregate(plan, data, weights, sink=sink)
         else:
             partial = None
             for partition in data.partitions(weights=weights, num_partitions=num_partitions):
-                piece = self.partial_aggregate_partition(plan, partition)
+                piece = self.partial_aggregate_partition(plan, partition, sink=sink)
                 partial = piece if partial is None else partial.merge(piece)
             assert partial is not None
 
@@ -288,11 +301,11 @@ class QueryExecutor:
 
     # -- stage 1: per-partition partial aggregation ------------------------------------
     def partial_aggregate_partition(
-        self, plan: Plannable, partition: TablePartition
+        self, plan: Plannable, partition: TablePartition, sink: ScanSink | None = None
     ) -> PartialAggregation:
         """Partial-aggregate one zero-copy partition (its rows and weights)."""
         return self.partial_aggregate(
-            plan, partition.table, partition.weights, origin=partition
+            plan, partition.table, partition.weights, origin=partition, sink=sink
         )
 
     def partial_aggregate(
@@ -301,6 +314,7 @@ class QueryExecutor:
         data: Table,
         weights: np.ndarray | None = None,
         origin: TablePartition | None = None,
+        sink: ScanSink | None = None,
     ) -> PartialAggregation:
         """Prune -> join -> filter -> group -> fold one partition into states.
 
@@ -330,7 +344,7 @@ class QueryExecutor:
 
         # 2. WHERE: zone-mapped kernel scan when possible, mask fallback else.
         matched, matched_weights = self._filter_stage(
-            plan, working, weights, origin=origin, fallback_source=unpruned
+            plan, working, weights, origin=origin, fallback_source=unpruned, sink=sink
         )
 
         # 3. Group assignment (plan.group_by is already canonical).
@@ -407,6 +421,7 @@ class QueryExecutor:
         weights: np.ndarray | None,
         origin: TablePartition | None,
         fallback_source: Table | None = None,
+        sink: ScanSink | None = None,
     ) -> tuple[Table, np.ndarray | None]:
         """The rows of ``working`` matching the plan's WHERE clause.
 
@@ -444,6 +459,9 @@ class QueryExecutor:
                     pass
                 else:
                     self._record_scan(counters)
+                    if sink is not None:
+                        sink.record_scan(counters)
+                        sink.record_filter(row_end - row_start, selection.size)
                     matched = working.take(selection)
                     matched_weights = (
                         weights[selection] if weights is not None else None
@@ -451,6 +469,8 @@ class QueryExecutor:
                     return matched, matched_weights
         mask = evaluate_predicate(plan.where, working)
         matched = working.filter(mask)
+        if sink is not None:
+            sink.record_filter(working.num_rows, matched.num_rows)
         matched_weights = weights[mask] if weights is not None else None
         return matched, matched_weights
 

@@ -33,6 +33,7 @@ Property tests assert bitwise-identical results between the two paths.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -123,6 +124,65 @@ class ScanCounters:
             "bytes_total": self.bytes_total,
             "bytes_scanned": self.bytes_scanned,
         }
+
+
+class ScanSink:
+    """Thread-safe **per-query** scan accounting.
+
+    The executor's lifetime counters aggregate every scan the process ever
+    ran, which is the wrong granularity for ``EXPLAIN ANALYZE``: partition
+    partials of *other* concurrent queries interleave on the shared pool.
+    A sink is created per execution, threaded through
+    :class:`~repro.engine.executor.ExecutionContext`, and fed from whichever
+    threads run that query's filter stages; afterwards it holds exactly that
+    query's zone-map counters plus the filter selectivity actually observed.
+    """
+
+    __slots__ = ("_lock", "_counters", "_rows_in", "_rows_matched")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = ScanCounters()
+        self._rows_in = 0
+        self._rows_matched = 0
+
+    def record_scan(self, counters: "ScanCounters") -> None:
+        """Merge one filter stage's zone-map block accounting."""
+        with self._lock:
+            self._counters.merge(counters)
+
+    def record_filter(self, rows_in: int, rows_matched: int) -> None:
+        """Record one filter stage's observed selectivity (any path)."""
+        with self._lock:
+            self._rows_in += int(rows_in)
+            self._rows_matched += int(rows_matched)
+
+    @property
+    def counters(self) -> "ScanCounters":
+        """A snapshot copy of the merged zone-map counters."""
+        with self._lock:
+            return ScanCounters(**self._counters.as_dict())
+
+    @property
+    def rows_matched(self) -> int:
+        with self._lock:
+            return self._rows_matched
+
+    @property
+    def selectivity(self) -> float | None:
+        """Matched fraction over filtered rows (``None`` before any filter)."""
+        with self._lock:
+            if self._rows_in == 0:
+                return None
+            return self._rows_matched / self._rows_in
+
+    def as_dict(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                **self._counters.as_dict(),
+                "rows_in": self._rows_in,
+                "rows_matched": self._rows_matched,
+            }
 
 
 @dataclass(frozen=True)

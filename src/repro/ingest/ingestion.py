@@ -17,9 +17,9 @@ whether to run the §3.2.3 re-plan or a plain refresh and then calls
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro.common.clock import monotonic
 from repro.common.errors import CatalogError
 from repro.ingest.batch import ColumnBatch, batch_num_rows
 from repro.ingest.maintainers import (
@@ -161,7 +161,7 @@ class TableIngest:
     # -- the append step -----------------------------------------------------------
     def append(self, batch: ColumnBatch) -> AppendReport:
         """Fold one batch in and publish the next generation (caller holds the lock)."""
-        started = time.monotonic()
+        started = monotonic()
         batch_rows = batch_num_rows(batch)
         table = self.catalog.table(self.table_name)
         batch_start = table.num_rows
@@ -213,7 +213,7 @@ class TableIngest:
         self._resize_base_dataset(new_table)
 
         staleness = self.staleness
-        elapsed = time.monotonic() - started
+        elapsed = monotonic() - started
         self.counters.rows_appended += batch_rows
         self.counters.batches += 1
         self.counters.staleness = staleness

@@ -1,0 +1,368 @@
+"""The unified metrics registry: one namespace over every counter surface.
+
+Before this module, operational counters were scattered — per-service
+:class:`~repro.service.metrics.ServiceMetrics`, the runtime's lifetime
+counters, the executor's zone-map scan counters, the selector's probe memo,
+and per-table ingest gauges — each with its own ``describe()`` shape.
+:class:`MetricsRegistry` absorbs them into one labeled namespace with two
+exposition formats:
+
+* ``db.metrics()`` — a JSON-friendly nested dict (dashboards, tests);
+* ``db.metrics_text()`` — Prometheus-style text exposition
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="value"} 1.23`` samples).
+
+Instruments are **labeled**: one :class:`LabeledCounter` named
+``queries_total`` holds a child per label set (``mode="approximate"``,
+``mode="exact"`` …), exactly like a Prometheus client.  Instruments with no
+label names hold a single anonymous child.
+
+Pre-existing surfaces are absorbed by **collectors** — callbacks registered
+with :meth:`MetricsRegistry.register_collector` that refresh gauges/summaries
+from their owning objects at exposition time.  The owners keep their
+internally-locked counters (and their existing ``describe()`` contracts);
+the registry is the read side, so absorption adds zero cost to the paths
+that increment them.
+
+Everything is thread-safe: creation races resolve to one instrument, and
+each instrument guards its children map with its own lock (hammered by
+``tests/test_obs_metrics.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Iterable, Mapping
+
+LabelValues = tuple[tuple[str, str], ...]
+
+
+def _label_key(labelnames: tuple[str, ...], labels: Mapping[str, object]) -> LabelValues:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+def _render_labels(key: LabelValues) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Instrument:
+    """Shared labeled-children machinery of counters and gauges."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[LabelValues, float] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> LabelValues:
+        return _label_key(self.labelnames, labels)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._children.get(self._key(labels), 0.0)
+
+    def samples(self) -> list[tuple[LabelValues, float]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._children.clear()
+
+    def describe(self) -> dict[str, object]:
+        samples = self.samples()
+        if not self.labelnames:
+            return {"value": samples[0][1] if samples else 0.0}
+        return {
+            "series": [
+                {"labels": dict(key), "value": value} for key, value in samples
+            ]
+        }
+
+    def render(self, prefix: str) -> list[str]:
+        full = f"{prefix}{self.name}"
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {full} {self.help}")
+        lines.append(f"# TYPE {full} {self.kind}")
+        samples = self.samples()
+        if not samples and not self.labelnames:
+            # An unlabeled instrument always has a current value (zero); a
+            # labeled one with no children has no series to expose yet.
+            samples = [((), 0.0)]
+        for key, value in samples:
+            lines.append(f"{full}{_render_labels(key)} {_format_value(value)}")
+        return lines
+
+
+class LabeledCounter(_Instrument):
+    """A monotonically increasing counter with one child per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> float:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        key = self._key(labels)
+        with self._lock:
+            value = self._children.get(key, 0.0) + amount
+            self._children[key] = value
+            return value
+
+
+class LabeledGauge(_Instrument):
+    """A last-value gauge with one child per label set."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            value = self._children.get(key, 0.0) + amount
+            self._children[key] = value
+            return value
+
+
+class SummaryWindow:
+    """Observations with exact quantiles over a sliding window (thread-safe).
+
+    Same summary shape as the service layer's
+    :class:`~repro.service.metrics.LatencyHistogram` — ``count``/``mean_s``
+    are lifetime, the quantiles and ``max_s`` describe the most recent
+    ``window`` observations, and the lifetime maximum is reported separately
+    as ``max_lifetime_s`` — so mirrored and native series render identically.
+    (Kept dependency-free here: :mod:`repro.obs` must not import the service
+    layer, whose package initializer pulls in the runtime.)
+    """
+
+    __slots__ = ("_lock", "_window", "_count", "_total", "_max")
+
+    def __init__(self, window: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._window.append(float(seconds))
+            self._count += 1
+            self._total += float(seconds)
+            self._max = max(self._max, float(seconds))
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            count = self._count
+            mean = self._total / count if count else 0.0
+            lifetime_max = self._max
+            ordered = sorted(self._window)
+
+        def quantile(f: float) -> float:
+            if not ordered:
+                return 0.0
+            return ordered[min(len(ordered) - 1, int(round(f * (len(ordered) - 1))))]
+
+        return {
+            "count": count,
+            "mean_s": mean,
+            "p50_s": quantile(0.50),
+            "p90_s": quantile(0.90),
+            "p95_s": quantile(0.95),
+            "p99_s": quantile(0.99),
+            "max_s": ordered[-1] if ordered else 0.0,
+            "max_lifetime_s": lifetime_max,
+        }
+
+
+class LabeledHistogram:
+    """Windowed quantiles per label set (Prometheus summary shape)."""
+
+    kind = "summary"
+
+    _QUANTILES = (("0.5", "p50_s"), ("0.9", "p90_s"), ("0.95", "p95_s"), ("0.99", "p99_s"))
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        window: int = 8192,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.window = window
+        self._lock = threading.Lock()
+        self._children: dict[LabelValues, SummaryWindow] = {}
+
+    def child(self, **labels: object) -> SummaryWindow:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            histogram = self._children.get(key)
+            if histogram is None:
+                histogram = SummaryWindow(window=self.window)
+                self._children[key] = histogram
+            return histogram
+
+    def observe(self, seconds: float, **labels: object) -> None:
+        self.child(**labels).observe(seconds)
+
+    def summaries(self) -> list[tuple[LabelValues, dict[str, float]]]:
+        with self._lock:
+            children = sorted(self._children.items())
+        return [(key, histogram.summary()) for key, histogram in children]
+
+    def describe(self) -> dict[str, object]:
+        summaries = self.summaries()
+        if not self.labelnames:
+            return summaries[0][1] if summaries else {}
+        return {
+            "series": [
+                {"labels": dict(key), **summary} for key, summary in summaries
+            ]
+        }
+
+    def render(self, prefix: str) -> list[str]:
+        full = f"{prefix}{self.name}"
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {full} {self.help}")
+        lines.append(f"# TYPE {full} summary")
+        for key, summary in self.summaries():
+            for quantile, source in self._QUANTILES:
+                qkey = key + (("quantile", quantile),)
+                lines.append(
+                    f"{full}{_render_labels(qkey)} {_format_value(summary[source])}"
+                )
+            mean = summary["mean_s"]
+            count = int(summary["count"])
+            lines.append(f"{full}_count{_render_labels(key)} {count}")
+            lines.append(
+                f"{full}_sum{_render_labels(key)} {_format_value(mean * count)}"
+            )
+        return lines
+
+
+Collector = Callable[[], None]
+
+
+class MetricsRegistry:
+    """Named, labeled instruments plus pull-collectors, in one namespace."""
+
+    def __init__(self, namespace: str = "blinkdb") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._instruments: dict[str, LabeledCounter | LabeledGauge | LabeledHistogram] = {}
+        self._collectors: dict[object, Collector] = {}
+
+    # -- instrument creation (get-or-create, type-checked) -----------------------
+    def counter(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> LabeledCounter:
+        return self._get_or_create(LabeledCounter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Iterable[str] = ()) -> LabeledGauge:
+        return self._get_or_create(LabeledGauge, name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames: Iterable[str] = (), window: int = 8192
+    ) -> LabeledHistogram:
+        return self._get_or_create(LabeledHistogram, name, help, labelnames, window=window)
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames: Iterable[str], **kwargs):
+        labelnames = tuple(labelnames)
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, help, labelnames, **kwargs)
+                self._instruments[name] = instrument
+                return instrument
+        if not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        if instrument.labelnames != labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered with labels {instrument.labelnames}"
+            )
+        return instrument
+
+    def get(self, name: str):
+        with self._lock:
+            return self._instruments.get(name)
+
+    # -- collectors (absorption of pre-existing surfaces) ------------------------
+    def register_collector(self, collector: Collector, key: object | None = None) -> None:
+        """Add a callback that refreshes mirrored instruments at exposition.
+
+        ``key`` makes registration idempotent: a collector registered under
+        the same key replaces the previous one (re-registering a source is a
+        refresh, not a duplication).
+        """
+        with self._lock:
+            self._collectors[key if key is not None else collector] = collector
+
+    def collect(self) -> None:
+        """Run every collector (collector errors must not break exposition)."""
+        with self._lock:
+            collectors = list(self._collectors.values())
+        for collector in collectors:
+            try:
+                collector()
+            except Exception:  # noqa: BLE001 - a dead source loses its gauges only
+                pass
+
+    # -- exposition ---------------------------------------------------------------
+    def describe(self, collect: bool = True) -> dict[str, object]:
+        """JSON exposition: ``{name: {kind, help, value/series}}``."""
+        if collect:
+            self.collect()
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        return {
+            name: {"kind": instrument.kind, "help": instrument.help, **instrument.describe()}
+            for name, instrument in instruments
+        }
+
+    def render_text(self, collect: bool = True) -> str:
+        """Prometheus-style text exposition (one sample line per child)."""
+        if collect:
+            self.collect()
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        prefix = f"{self.namespace}_" if self.namespace else ""
+        lines: list[str] = []
+        for _, instrument in instruments:
+            lines.extend(instrument.render(prefix))
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -18,11 +18,11 @@ Two solvers are provided:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.clock import monotonic
 from repro.common.errors import OptimizationError
 from repro.optimizer.milp import SampleSelectionProblem
 
@@ -48,7 +48,7 @@ class SolverResult:
 
 def solve_greedy(problem: SampleSelectionProblem) -> SolverResult:
     """Greedy marginal-gain-per-byte selection."""
-    start = time.perf_counter()
+    start = monotonic()
     num_candidates = problem.num_candidates
     selection = np.zeros(num_candidates, dtype=bool)
 
@@ -89,7 +89,7 @@ def solve_greedy(problem: SampleSelectionProblem) -> SolverResult:
             selection[best_candidate] = True
             improved = True
 
-    elapsed = time.perf_counter() - start
+    elapsed = monotonic() - start
     return SolverResult(
         selection=selection,
         objective=problem.objective(selection),
@@ -106,7 +106,7 @@ def solve_branch_and_bound(
     max_nodes: int = 2_000_000,
 ) -> SolverResult:
     """Exact branch-and-bound over the candidate selection vector."""
-    start = time.perf_counter()
+    start = monotonic()
     num_candidates = problem.num_candidates
 
     warm = solve_greedy(problem)
@@ -137,7 +137,7 @@ def solve_branch_and_bound(
     stack: list[tuple[int, np.ndarray]] = [(0, np.zeros(num_candidates, dtype=bool))]
     while stack:
         nodes_explored += 1
-        if nodes_explored > max_nodes or time.perf_counter() - start > time_limit_seconds:
+        if nodes_explored > max_nodes or monotonic() - start > time_limit_seconds:
             timed_out = True
             break
         depth, selection = stack.pop()
@@ -169,7 +169,7 @@ def solve_branch_and_bound(
                 best_selection = include.copy()
             stack.append((depth + 1, include))
 
-    elapsed = time.perf_counter() - start
+    elapsed = monotonic() - start
     return SolverResult(
         selection=best_selection,
         objective=best_objective,

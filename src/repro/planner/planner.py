@@ -37,6 +37,7 @@ import math
 from repro.cluster.simulator import ClusterSimulator
 from repro.common.config import BlinkDBConfig
 from repro.engine.executor import QueryExecutor
+from repro.obs.trace import NULL_SPAN, AnySpan
 from repro.planner.logical import LogicalPlan
 from repro.planner.physical import (
     BranchPlan,
@@ -76,18 +77,32 @@ class QueryPlanner:
         logical: LogicalPlan,
         *,
         progressive: bool = False,
+        span: AnySpan = NULL_SPAN,
     ) -> PhysicalPlan:
-        """Bind a logical plan to concrete execution choices."""
+        """Bind a logical plan to concrete execution choices.
+
+        ``span`` — when the execution is traced — is the trace's planning
+        span; the selection/sizing/estimation phases open children under it.
+        """
         if self.should_split_disjunction(logical):
-            return self._plan_disjunctive(logical)
+            with span.span("plan-disjunctive", branches=len(logical.branches)):
+                return self._plan_disjunctive(logical)
 
         rationale: list[str] = []
-        selection = self.selector.select(logical)
-        rationale.append(_selection_rationale(selection))
-        probe = selection.probe or self.selector.probe(logical, selection.family.smallest)
-        resolution, profile, satisfied = self._choose_resolution(
-            logical, selection, probe
-        )
+        with span.span("select-family") as select_span:
+            selection = self.selector.select(logical)
+            rationale.append(_selection_rationale(selection))
+            probe = selection.probe or self.selector.probe(
+                logical, selection.family.smallest
+            )
+            select_span.annotate(
+                reason=selection.reason, probed=len(selection.probes)
+            )
+        with span.span("size-resolution") as size_span:
+            resolution, profile, satisfied = self._choose_resolution(
+                logical, selection, probe
+            )
+            size_span.annotate(resolution=resolution.name, satisfied=satisfied)
         rationale.append(_resolution_rationale(logical, resolution, profile, satisfied))
 
         anytime = (
@@ -108,7 +123,8 @@ class QueryPlanner:
                     f"{partitioning.num_partitions} partitions"
                 )
 
-        scan_estimate = self.scan_estimate(logical, resolution)
+        with span.span("scan-estimate"):
+            scan_estimate = self.scan_estimate(logical, resolution)
         if scan_estimate is not None and scan_estimate.blocks_skipped > 0:
             rationale.append(
                 f"zone maps: ~{scan_estimate.blocks_skipped}/"

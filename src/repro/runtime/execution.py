@@ -35,17 +35,23 @@ read/write state lock, not by the runtime — the facade discards the runtime
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Mapping
 
+from repro.common.clock import monotonic
 from repro.common.config import BlinkDBConfig
 from repro.common.errors import ConstraintUnsatisfiableError
 from repro.cluster.simulator import ClusterSimulator
 from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
+from repro.engine.kernels import ScanSink
 from repro.engine.result import AggregateValue, GroupResult, QueryResult
 from repro.estimation.propagation import combine_sum
+from repro.obs.ledger import template_label_of
+from repro.obs.observability import Observability
+from repro.obs.trace import NULL_SPAN, NULL_TRACE, AnySpan, AnyTrace
 from repro.planner.logical import LogicalPlan
 from repro.planner.physical import PartitionSpec, PhysicalPlan, PlanMode
 from repro.planner.planner import QueryPlanner
@@ -90,10 +96,14 @@ class BlinkDBRuntime:
         config: BlinkDBConfig | None = None,
         simulator: ClusterSimulator | None = None,
         dimension_tables: Mapping[str, Table] | None = None,
+        observability: Observability | None = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or BlinkDBConfig()
         self.simulator = simulator
+        # Shared with the facade/service when passed in, so traces, metrics,
+        # and the accuracy ledger survive runtime rebuilds (sample refreshes).
+        self.obs = observability or Observability(self.config)
         self.executor = QueryExecutor(
             dimension_tables,
             scan_acceleration=self.config.scan_acceleration,
@@ -126,7 +136,12 @@ class BlinkDBRuntime:
         return self.planner.plan(logical)
 
     def execute(
-        self, query: Plannable, progress: ProgressCallback | None = None
+        self,
+        query: Plannable,
+        progress: ProgressCallback | None = None,
+        *,
+        trace: AnyTrace | None = None,
+        scan_sink: ScanSink | None = None,
     ) -> QueryResult:
         """Answer a query approximately, honouring its error/time bound.
 
@@ -135,13 +150,44 @@ class BlinkDBRuntime:
         :class:`~repro.runtime.partitioned.ProgressiveSnapshot` per partition
         merge (disjunctive queries fall back to a single final snapshot-less
         answer).
+
+        ``trace`` lets a caller (the service layer, EXPLAIN ANALYZE) supply a
+        pre-opened :class:`~repro.obs.trace.QueryTrace` — e.g. one that
+        already carries an admission-wait span; when omitted the runtime's
+        tracer decides sampling.  ``scan_sink`` similarly overrides the
+        per-query scan-actuals accumulator.  A sampled trace is attached to
+        ``result.metadata["trace"]`` and the sink (when present) to
+        ``result.metadata["scan_actuals"]``.
         """
         logical = LogicalPlan.of(query)
+        if trace is None:
+            trace = self.obs.tracer.begin(table=logical.table)
+        sink = scan_sink if scan_sink is not None else (
+            ScanSink() if trace.sampled else None
+        )
+        started = monotonic()
+        try:
+            result = self._execute_traced(logical, progress, trace, sink)
+        finally:
+            trace.finish()
+        self._observe(logical, result, trace, sink, monotonic() - started)
+        return result
+
+    def _execute_traced(
+        self,
+        logical: LogicalPlan,
+        progress: ProgressCallback | None,
+        trace: AnyTrace,
+        sink: ScanSink | None,
+    ) -> QueryResult:
         # Captured before planning/execution; the caller's read lock keeps it
         # consistent with every row read below, so the stamped answer is a
         # single-generation answer by construction.
         generation = self.catalog.generation(logical.table)
-        plan = self.planner.plan(logical, progressive=progress is not None)
+        with trace.span("plan") as plan_span:
+            plan = self.planner.plan(
+                logical, progressive=progress is not None, span=plan_span
+            )
 
         if plan.mode is PlanMode.DISJUNCTIVE:
             with self._stats_lock:
@@ -151,7 +197,7 @@ class BlinkDBRuntime:
                 raise ConstraintUnsatisfiableError(
                     "one or more disjunctive branches cannot satisfy the requested bound"
                 )
-            result = self._execute_disjunctive(plan)
+            result = self._execute_disjunctive(plan, trace=trace, sink=sink)
             result.metadata["generation"] = generation
             return result
         with self._stats_lock:
@@ -167,7 +213,14 @@ class BlinkDBRuntime:
         assert plan.probe is not None and plan.resolution is not None
         anytime = plan.anytime
         if plan.partitioning is not None:
-            result, stats = self._run_pipeline(plan, progress=progress)
+            with trace.span(
+                "partition-dispatch",
+                partitions=plan.partitioning.num_partitions,
+                sample=plan.resolution.name,
+            ) as dispatch:
+                result, stats = self._run_pipeline(
+                    plan, progress=progress, trace_span=dispatch, sink=sink
+                )
             partitions_run = stats.num_partitions
             coverage = stats.coverage_population_fraction
             if anytime and coverage < 1.0:
@@ -176,12 +229,16 @@ class BlinkDBRuntime:
                 with self._stats_lock:
                     self._anytime_queries_executed += 1
         else:
-            result = self._run_on_resolution(
-                plan.logical, plan.selection, plan.resolution
-            )
-            result = self._attach_latency(
-                result, plan.selection, plan.resolution, plan.probe, plan.logical
-            )
+            with trace.span(
+                "dispatch", mode="serial", sample=plan.resolution.name
+            ) as dispatch:
+                result = self._run_on_resolution(
+                    plan.logical, plan.selection, plan.resolution, sink=sink
+                )
+                with dispatch.span("estimate"):
+                    result = self._attach_latency(
+                        result, plan.selection, plan.resolution, plan.probe, plan.logical
+                    )
             partitions_run = 1
             coverage = 1.0
             anytime = False
@@ -212,6 +269,41 @@ class BlinkDBRuntime:
         result.metadata["generation"] = generation
         return result
 
+    def _observe(
+        self,
+        logical: LogicalPlan,
+        result: QueryResult,
+        trace: AnyTrace,
+        sink: ScanSink | None,
+        measured_seconds: float,
+    ) -> None:
+        """Attach trace/scan actuals and feed the unified metrics + ledger."""
+        if trace.sampled:
+            result.metadata["trace"] = trace
+        if sink is not None:
+            result.metadata["scan_actuals"] = sink
+        plan = result.metadata.get("plan")
+        mode = plan.mode.value if plan is not None else "approximate"
+        decision = result.metadata.get("decision")
+        predicted_latency = (
+            decision.predicted_latency_seconds if decision is not None else None
+        )
+        predicted_error = (
+            decision.predicted_relative_error if decision is not None else None
+        )
+        realized = result.max_relative_error()
+        if realized is not None and not math.isfinite(realized):
+            realized = None
+        self.obs.observe_query(
+            template_label_of(logical),
+            mode=mode,
+            predicted_latency_s=predicted_latency,
+            actual_latency_s=result.simulated_latency_seconds,
+            predicted_relative_error=predicted_error,
+            realized_relative_error=realized,
+            measured_seconds=measured_seconds,
+        )
+
     def execute_partitioned(
         self,
         query: Plannable,
@@ -221,6 +313,8 @@ class BlinkDBRuntime:
         reference_workers: int | None = None,
         deadline_seconds: float | None = None,
         progress: ProgressCallback | None = None,
+        trace: AnyTrace | None = None,
+        scan_sink: ScanSink | None = None,
     ) -> QueryResult:
         """Answer a query through the partition pipeline with explicit knobs.
 
@@ -231,18 +325,37 @@ class BlinkDBRuntime:
         partition-parallel speedup and anytime error/deadline trade-offs.
         """
         logical = LogicalPlan.of(query)
+        if trace is None:
+            trace = self.obs.tracer.begin(table=logical.table)
+        sink = scan_sink if scan_sink is not None else (
+            ScanSink() if trace.sampled else None
+        )
+        started = monotonic()
         generation = self.catalog.generation(logical.table)
         with self._stats_lock:
             self._queries_executed += 1
-        plan = self.planner.plan_partitioned(
-            logical,
-            num_partitions=num_partitions,
-            sim_workers=sim_workers,
-            reference_workers=reference_workers,
-            deadline_seconds=deadline_seconds,
-        )
-        assert plan.selection is not None and plan.resolution is not None
-        result, stats = self._run_pipeline(plan, progress=progress)
+        try:
+            with trace.span("plan"):
+                plan = self.planner.plan_partitioned(
+                    logical,
+                    num_partitions=num_partitions,
+                    sim_workers=sim_workers,
+                    reference_workers=reference_workers,
+                    deadline_seconds=deadline_seconds,
+                )
+            assert plan.selection is not None and plan.resolution is not None
+            with trace.span(
+                "partition-dispatch",
+                partitions=plan.partitioning.num_partitions
+                if plan.partitioning is not None
+                else 1,
+                sample=plan.resolution.name,
+            ) as dispatch:
+                result, stats = self._run_pipeline(
+                    plan, progress=progress, trace_span=dispatch, sink=sink
+                )
+        finally:
+            trace.finish()
         result.metadata["decision"] = RuntimeDecision(
             family_key=plan.family_key,
             family_reason=plan.selection.reason,
@@ -258,25 +371,47 @@ class BlinkDBRuntime:
         )
         result.metadata["plan"] = plan
         result.metadata["generation"] = generation
+        self._observe(logical, result, trace, sink, monotonic() - started)
         return result
 
-    def execute_exact(self, query: Plannable) -> QueryResult:
+    def execute_exact(
+        self,
+        query: Plannable,
+        *,
+        trace: AnyTrace | None = None,
+        scan_sink: ScanSink | None = None,
+    ) -> QueryResult:
         """Answer a query exactly from the base table (the no-sampling baseline)."""
         logical = LogicalPlan.of(query)
+        if trace is None:
+            trace = self.obs.tracer.begin(table=logical.table)
+        sink = scan_sink if scan_sink is not None else (
+            ScanSink() if trace.sampled else None
+        )
+        started = monotonic()
         generation = self.catalog.generation(logical.table)
-        plan = self.planner.plan_exact(logical)
-        with self._stats_lock:
-            self._exact_queries_executed += 1
-        table = self.catalog.table(logical.table)
-        context = ExecutionContext(exact=True, sample_name=None)
-        result = self.executor.execute(plan.logical, table, context)
-        if self.simulator is not None and self.simulator.has_dataset(table.name):
-            execution = self.simulator.simulate_scan(
-                table.name, output_groups=max(1, len(result.groups))
-            )
-            result = replace(result, simulated_latency_seconds=execution.latency_seconds)
+        try:
+            with trace.span("plan"):
+                plan = self.planner.plan_exact(logical)
+            with self._stats_lock:
+                self._exact_queries_executed += 1
+            table = self.catalog.table(logical.table)
+            context = ExecutionContext(exact=True, sample_name=None, scan_sink=sink)
+            with trace.span("dispatch", mode="exact", table=table.name) as dispatch:
+                result = self.executor.execute(plan.logical, table, context)
+                if self.simulator is not None and self.simulator.has_dataset(table.name):
+                    with dispatch.span("estimate"):
+                        execution = self.simulator.simulate_scan(
+                            table.name, output_groups=max(1, len(result.groups))
+                        )
+                        result = replace(
+                            result, simulated_latency_seconds=execution.latency_seconds
+                        )
+        finally:
+            trace.finish()
         result.metadata["plan"] = plan
         result.metadata["generation"] = generation
+        self._observe(logical, result, trace, sink, monotonic() - started)
         return result
 
     @property
@@ -304,6 +439,7 @@ class BlinkDBRuntime:
         logical: LogicalPlan,
         selection: FamilySelection,
         resolution: SampleResolution,
+        sink: ScanSink | None = None,
     ) -> QueryResult:
         context = ExecutionContext(
             weights=resolution.weights,
@@ -312,6 +448,7 @@ class BlinkDBRuntime:
             rows_read=resolution.num_rows,
             population_read=resolution.represented_rows,
             sample_name=resolution.name,
+            scan_sink=sink,
         )
         return self.executor.execute(logical, resolution.table, context)
 
@@ -321,6 +458,8 @@ class BlinkDBRuntime:
         plan: PhysicalPlan,
         *,
         progress: ProgressCallback | None,
+        trace_span: AnySpan = NULL_SPAN,
+        sink: ScanSink | None = None,
     ):
         """Run a physical plan's partition layout through the pipeline."""
         assert plan.selection is not None and plan.resolution is not None
@@ -333,6 +472,7 @@ class BlinkDBRuntime:
             rows_read=resolution.num_rows,
             population_read=resolution.represented_rows,
             sample_name=resolution.name,
+            scan_sink=sink,
         )
         result = self.pipeline.run(
             plan.logical,
@@ -346,6 +486,7 @@ class BlinkDBRuntime:
             deadline_seconds=spec.deadline_seconds,
             pool=self._partition_pool(),
             progress=progress,
+            trace_span=trace_span,
         )
         stats = result.metadata["partitions"]
         return result, stats
@@ -397,23 +538,35 @@ class BlinkDBRuntime:
         return replace(result, simulated_latency_seconds=execution.latency_seconds)
 
     # -- internals: disjunctive path (§4.1.2) --------------------------------------------------
-    def _execute_disjunctive(self, plan: PhysicalPlan) -> QueryResult:
+    def _execute_disjunctive(
+        self,
+        plan: PhysicalPlan,
+        *,
+        trace: AnyTrace = NULL_TRACE,
+        sink: ScanSink | None = None,
+    ) -> QueryResult:
         branch_results: list[QueryResult] = []
         total_rows_read = 0
         total_latency = 0.0
         any_latency = False
 
-        for branch_plan in plan.branch_plans:
-            result = self._run_on_resolution(
-                branch_plan.logical, branch_plan.selection, branch_plan.resolution
-            )
-            result = self._attach_latency(
-                result,
-                branch_plan.selection,
-                branch_plan.resolution,
-                branch_plan.probe,
-                branch_plan.logical,
-            )
+        for index, branch_plan in enumerate(plan.branch_plans):
+            with trace.span(
+                "branch", index=index, sample=branch_plan.resolution.name
+            ):
+                result = self._run_on_resolution(
+                    branch_plan.logical,
+                    branch_plan.selection,
+                    branch_plan.resolution,
+                    sink=sink,
+                )
+                result = self._attach_latency(
+                    result,
+                    branch_plan.selection,
+                    branch_plan.resolution,
+                    branch_plan.probe,
+                    branch_plan.logical,
+                )
             branch_results.append(result)
             total_rows_read += result.rows_read
             if result.simulated_latency_seconds is not None:

@@ -43,7 +43,9 @@ import numpy as np
 from repro.common.rng import make_rng
 from repro.engine.accumulators import PartialAggregation
 from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
+from repro.engine.kernels import ScanSink
 from repro.engine.result import QueryResult
+from repro.obs.trace import NULL_SPAN, AnySpan
 from repro.planner.logical import LogicalPlan
 from repro.storage.block import TablePartition
 from repro.storage.table import Table
@@ -144,12 +146,18 @@ class PartitionPipeline:
         confidence: float | None = None,
         pool: Executor | None = None,
         progress: ProgressCallback | None = None,
+        trace_span: AnySpan = NULL_SPAN,
     ) -> QueryResult:
         """Execute ``plan`` partition-parallel; see the module docstring.
 
         The returned result carries the merged estimate, a simulated latency
         equal to the completion time of the last merged partition, and a
         :class:`PartitionRunStats` under ``metadata["partitions"]``.
+
+        ``trace_span`` is the query trace's parent span for this pipeline
+        run; the stages open children under it (the partial-aggregation
+        children are opened *from the pool's worker threads* — the trace's
+        internal lock makes that safe).
         """
         plan = LogicalPlan.of(plan)
         weights = context.weights
@@ -166,8 +174,13 @@ class PartitionPipeline:
         # Zone-map triage: partitions whose blocks are all provably
         # non-matching complete without dispatching work, and partially
         # skippable ones carry proportionally less simulated scan cost.
-        triage = self.executor.partition_triage(plan, partitions)
-        scan_rows = None if triage is None else [t.scan_rows for t in triage]
+        with trace_span.span("kernel-triage", partitions=len(partitions)) as triage_span:
+            triage = self.executor.partition_triage(plan, partitions)
+            scan_rows = None if triage is None else [t.scan_rows for t in triage]
+            triage_span.annotate(
+                applicable=triage is not None,
+                fully_skipped=0 if triage is None else sum(t.all_skipped for t in triage),
+            )
         timings = self._schedule(
             partitions,
             sim_workers=sim_workers,
@@ -208,7 +221,11 @@ class PartitionPipeline:
         # Skipped partitions get a synthetic empty partial carrying their
         # row/weight coverage — no data of theirs is ever read.
         to_aggregate = [partitions[t.index] for t in merged_timings if not t.skipped]
-        real_partials = iter(self._aggregate(plan, to_aggregate, pool))
+        real_partials = iter(
+            self._aggregate(
+                plan, to_aggregate, pool, sink=context.scan_sink, trace_span=trace_span
+            )
+        )
         partials = [
             self._skipped_partial(plan, partitions[t.index])
             if t.skipped
@@ -216,7 +233,9 @@ class PartitionPipeline:
             for t in merged_timings
         ]
         if triage is not None:
-            self._record_skipped(plan, table, partitions, triage, timings)
+            self._record_skipped(
+                plan, table, partitions, triage, timings, sink=context.scan_sink
+            )
 
         rows_total = table.num_rows
         if context.population_read is not None:
@@ -232,42 +251,46 @@ class PartitionPipeline:
         skipped_rows_merged = 0
         skipped_weight_merged = 0.0
         result: QueryResult | None = None
-        for timing, partial in zip(merged_timings, partials):
-            merged = partial if merged is None else merged.merge(partial)
-            merged_count += 1
-            if timing.skipped:
-                skipped_rows_merged += partial.rows_scanned
-                skipped_weight_merged += partial.weight_scanned
-            if progress is None and merged_count < len(merged_timings):
-                continue  # only the final merge needs finalizing
-            result = self._finalize_merged(
-                plan,
-                merged,
-                context,
-                confidence,
-                rows_total=rows_total,
-                rows_read_full=rows_read_full,
-                population_full=population_full,
-                complete=merged_count == num_partitions,
-                skipped_rows=skipped_rows_merged,
-                skipped_weight=skipped_weight_merged,
-            )
-            result = replace(
-                result, simulated_latency_seconds=timing.completion_seconds
-            )
-            if progress is not None:
-                coverage = (
-                    merged.weight_scanned / population_full if population_full > 0 else 1.0
-                )
-                progress(
-                    ProgressiveSnapshot(
-                        partitions_merged=merged_count,
-                        num_partitions=num_partitions,
-                        coverage_fraction=min(1.0, coverage),
-                        simulated_seconds=timing.completion_seconds,
-                        result=result,
+        with trace_span.span("merge", partials=len(merged_timings)) as merge_span:
+            for timing, partial in zip(merged_timings, partials):
+                merged = partial if merged is None else merged.merge(partial)
+                merged_count += 1
+                if timing.skipped:
+                    skipped_rows_merged += partial.rows_scanned
+                    skipped_weight_merged += partial.weight_scanned
+                if progress is None and merged_count < len(merged_timings):
+                    continue  # only the final merge needs finalizing
+                with merge_span.span("estimate", partials_merged=merged_count):
+                    result = self._finalize_merged(
+                        plan,
+                        merged,
+                        context,
+                        confidence,
+                        rows_total=rows_total,
+                        rows_read_full=rows_read_full,
+                        population_full=population_full,
+                        complete=merged_count == num_partitions,
+                        skipped_rows=skipped_rows_merged,
+                        skipped_weight=skipped_weight_merged,
                     )
+                result = replace(
+                    result, simulated_latency_seconds=timing.completion_seconds
                 )
+                if progress is not None:
+                    coverage = (
+                        merged.weight_scanned / population_full
+                        if population_full > 0
+                        else 1.0
+                    )
+                    progress(
+                        ProgressiveSnapshot(
+                            partitions_merged=merged_count,
+                            num_partitions=num_partitions,
+                            coverage_fraction=min(1.0, coverage),
+                            simulated_seconds=timing.completion_seconds,
+                            result=result,
+                        )
+                    )
         assert merged is not None and result is not None
 
         coverage_rows = merged.rows_scanned / rows_total if rows_total else 1.0
@@ -376,11 +399,23 @@ class PartitionPipeline:
         plan: LogicalPlan,
         partitions: Sequence[TablePartition],
         pool: Executor | None,
+        sink: ScanSink | None = None,
+        trace_span: AnySpan = NULL_SPAN,
     ) -> list[PartialAggregation]:
         aggregate = self.executor.partial_aggregate_partition
-        if pool is None or len(partitions) <= 1:
-            return [aggregate(plan, p) for p in partitions]
-        return list(pool.map(lambda p: aggregate(plan, p), partitions))
+        if not partitions:
+            return []
+        with trace_span.span("partial-aggregate", partitions=len(partitions)) as dispatch:
+            # The per-partition child spans are opened from whichever thread
+            # runs the partition — the pool's workers under fan-out — and
+            # joined into this dispatch span across threads.
+            def one(partition: TablePartition) -> PartialAggregation:
+                with dispatch.span("partition", rows=partition.num_rows):
+                    return aggregate(plan, partition, sink)
+
+            if pool is None or len(partitions) <= 1:
+                return [one(p) for p in partitions]
+            return list(pool.map(one, partitions))
 
     @staticmethod
     def _skipped_partial(
@@ -411,6 +446,7 @@ class PartitionPipeline:
         partitions: Sequence[TablePartition],
         triage,
         timings: Sequence[PartitionTiming],
+        sink: ScanSink | None = None,
     ) -> None:
         """Account fully-skipped partitions in the executor's scan counters.
 
@@ -425,7 +461,7 @@ class PartitionPipeline:
         for index in skipped:
             verdict = triage[index]
             self.executor.record_skipped_scan(
-                rows=verdict.rows, blocks=verdict.blocks, row_width=row_width
+                rows=verdict.rows, blocks=verdict.blocks, row_width=row_width, sink=sink
             )
 
     def _finalize_merged(

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.common.clock import monotonic
 from repro.common.rng import make_rng
 from repro.service.metrics import percentile_of
 from repro.service.server import QueryService, QueryTicket
@@ -151,12 +152,12 @@ def run_closed_loop(
         threading.Thread(target=client, args=(i,), name=f"loadgen-client-{i}", daemon=True)
         for i in range(num_clients)
     ]
-    started = time.monotonic()
+    started = monotonic()
     for thread in threads:
         thread.start()
     for thread in threads:
         thread.join(timeout)
-    wall = time.monotonic() - started
+    wall = monotonic() - started
 
     report = LoadReport(discipline="closed-loop", wall_seconds=wall)
     for client_tickets in tickets:
@@ -184,13 +185,13 @@ def run_open_loop(
     rng = make_rng(seed)
     session = service.connect(name="open-loop", defaults=defaults)
     tickets: list[QueryTicket] = []
-    started = time.monotonic()
+    started = monotonic()
     for sql in queries:
         tickets.append(session.submit(sql))
         time.sleep(float(rng.exponential(1.0 / arrival_rate_qps)))
     for ticket in tickets:
         ticket.wait(timeout)
-    wall = time.monotonic() - started
+    wall = monotonic() - started
 
     report = LoadReport(discipline="open-loop", wall_seconds=wall)
     report.submitted = len(tickets)

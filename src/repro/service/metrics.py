@@ -118,13 +118,16 @@ class LatencyHistogram:
         with self._lock:
             count = self._count
             mean = self._total / count if count else 0.0
-            maximum = self._max
+            lifetime_max = self._max
             window = list(self._window)
         ordered = sorted(window)
 
         def quantile(f: float) -> float:
             return _indexed_percentile(ordered, f) if ordered else 0.0
 
+        # ``max_s`` describes the same window as the quantiles; the lifetime
+        # maximum is still available under its own key so a dashboard can
+        # tell "slow lately" apart from "slow once, ever".
         return {
             "count": count,
             "mean_s": mean,
@@ -132,7 +135,8 @@ class LatencyHistogram:
             "p90_s": quantile(0.90),
             "p95_s": quantile(0.95),
             "p99_s": quantile(0.99),
-            "max_s": maximum,
+            "max_s": ordered[-1] if ordered else 0.0,
+            "max_lifetime_s": lifetime_max,
         }
 
 

@@ -34,9 +34,10 @@ import enum
 import heapq
 import math
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.common.clock import monotonic
 
 
 class Admission(enum.Enum):
@@ -64,7 +65,7 @@ class ScheduledItem:
     predicted_seconds: float
     time_bound_seconds: float | None
     payload: object
-    enqueued_at: float = field(default_factory=time.monotonic)
+    enqueued_at: float = field(default_factory=monotonic)
 
     @property
     def sort_key(self) -> tuple[float, int]:
@@ -83,7 +84,7 @@ class DeadlineScheduler:
         num_workers: int = 1,
         max_queue_depth: int | None = 256,
         deadline_slack: float = 0.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -146,12 +147,12 @@ class DeadlineScheduler:
         Returns ``None`` when the scheduler is closed and drained, or when
         the timeout expires.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         with self._cond:
             while not self._heap:
                 if self._closed:
                     return None
-                remaining = None if deadline is None else deadline - time.monotonic()
+                remaining = None if deadline is None else deadline - self._clock()
                 if remaining is not None and remaining <= 0:
                     return None
                 self._cond.wait(remaining)

@@ -32,8 +32,10 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.common.clock import Clock, monotonic
 from repro.common.errors import QueryRejectedError
 from repro.engine.result import QueryResult
+from repro.obs.analyze import AnalyzeResult
 from repro.planner.physical import ExplainResult
 from repro.runtime.partitioned import ProgressiveSnapshot
 from repro.service.cache import ResultCache, cache_key, template_label
@@ -99,16 +101,18 @@ class QueryTicket:
         query: Query,
         session: ClientSession | None,
         progressive: bool = False,
+        clock: Clock = monotonic,
     ) -> None:
         self.ticket_id = next(_ticket_ids)
         self.sql = sql
         self.query = query
         self.session = session
         self.progressive = progressive
-        self.submitted_at = time.monotonic()
+        self.clock = clock
+        self.submitted_at = clock()
         self.metrics = TicketMetrics()
         self._done = threading.Event()
-        self._result: QueryResult | ExplainResult | None = None
+        self._result: QueryResult | ExplainResult | AnalyzeResult | None = None
         self._error: BaseException | None = None
         self._snapshots: list[ProgressiveSnapshot] = []
         self._snapshots_lock = threading.Lock()
@@ -120,12 +124,15 @@ class QueryTicket:
     def wait(self, timeout: float | None = None) -> bool:
         return self._done.wait(timeout)
 
-    def result(self, timeout: float | None = None) -> QueryResult | ExplainResult:
+    def result(
+        self, timeout: float | None = None
+    ) -> QueryResult | ExplainResult | AnalyzeResult:
         """Block until the answer is ready; raises if the query was shed/failed.
 
         EXPLAIN tickets resolve with an
-        :class:`~repro.planner.physical.ExplainResult`; everything else with
-        a :class:`~repro.engine.result.QueryResult`.
+        :class:`~repro.planner.physical.ExplainResult`, EXPLAIN ANALYZE
+        tickets with an :class:`~repro.obs.analyze.AnalyzeResult`; everything
+        else with a :class:`~repro.engine.result.QueryResult`.
         """
         if not self._done.wait(timeout):
             raise TimeoutError(f"ticket {self.ticket_id} not finished within {timeout}s")
@@ -173,15 +180,33 @@ class QueryTicket:
         with self._snapshots_lock:
             self._snapshots.append(snapshot)
 
+    # -- tracing ------------------------------------------------------------------
+    def trace(self):
+        """The span tree of the served query, or ``None``.
+
+        Present once the ticket resolved, when the execution was traced —
+        always for EXPLAIN ANALYZE tickets, by sampling otherwise.  Cache
+        hits carry the trace of the execution that populated the cache.
+        """
+        if not self._done.is_set() or self._error is not None:
+            return None
+        result = self._result
+        if isinstance(result, AnalyzeResult):
+            return result.trace
+        metadata = getattr(result, "metadata", None)
+        if metadata is None:
+            return None
+        return metadata.get("trace")
+
     # -- resolution (service-internal) --------------------------------------------
-    def _resolve(self, result: QueryResult | ExplainResult) -> None:
-        self.metrics.total_seconds = time.monotonic() - self.submitted_at
+    def _resolve(self, result: QueryResult | ExplainResult | AnalyzeResult) -> None:
+        self.metrics.total_seconds = self.clock() - self.submitted_at
         self._result = result
         self._done.set()
         self._record()
 
     def _fail(self, error: BaseException) -> None:
-        self.metrics.total_seconds = time.monotonic() - self.submitted_at
+        self.metrics.total_seconds = self.clock() - self.submitted_at
         self._error = error
         self._done.set()
         self._record()
@@ -224,6 +249,9 @@ class _WorkItem:
     key: str
     label: str
     progressive: bool = False
+    #: EXPLAIN ANALYZE: execute with tracing forced on and resolve with an
+    #: AnalyzeResult; never served from (or inserted into) the result cache.
+    analyze: bool = False
 
 
 class QueryService:
@@ -241,6 +269,7 @@ class QueryService:
         simulate_service_time: float = 0.0,
         name: str | None = None,
         autostart: bool = True,
+        clock: Clock = monotonic,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -250,6 +279,9 @@ class QueryService:
         self.name = name or f"blinkdb-service-{next(_service_ids)}"
         self.num_workers = num_workers
         self.simulate_service_time = simulate_service_time
+        #: Monotonic time source for queue-wait/service-time measurement;
+        #: injectable so tests can drive ticket timing deterministically.
+        self.clock = clock
         if cache is True:
             self.cache: ResultCache | None = ResultCache()
         elif cache is False or cache is None:
@@ -260,6 +292,7 @@ class QueryService:
             num_workers=num_workers,
             max_queue_depth=max_queue_depth,
             deadline_slack=deadline_slack,
+            clock=clock,
         )
         self.metrics = ServiceMetrics()
         self.default_predicted_seconds = default_predicted_seconds
@@ -273,6 +306,9 @@ class QueryService:
         self._closed = False
         self.started_at = time.time()
         db._attach_service(self)
+        # Expose this service's counters/latency summaries through the
+        # facade's unified metrics registry (labeled by service name).
+        db.obs.register_service(self)
         if autostart:
             self.start()
 
@@ -344,23 +380,31 @@ class QueryService:
         updates while it runs.  An ``EXPLAIN SELECT ...`` statement resolves
         synchronously with an
         :class:`~repro.planner.physical.ExplainResult` — the rendered
-        physical plan — without executing or queueing anything.
+        physical plan — without executing or queueing anything.  An
+        ``EXPLAIN ANALYZE SELECT ...`` statement *does* execute: it travels
+        through the queue like a real query (its admission wait lands in the
+        trace), bypasses the result cache, and resolves with an
+        :class:`~repro.obs.analyze.AnalyzeResult`.
         """
         if self._closed:
             raise QueryRejectedError("query service is closed", reason="closed")
         statement = parse_statement(sql) if isinstance(sql, str) else sql
+        analyze = False
         if isinstance(statement, ExplainQuery):
-            return self._explain(sql, statement, session)
+            if not statement.analyze:
+                return self._explain(sql, statement, session)
+            analyze = True
+            statement = statement.query
         query = statement
         if session is not None:
             query = session.apply_defaults(query)
         raw = sql if isinstance(sql, str) else (query.raw_sql or str(query))
-        ticket = QueryTicket(raw, query, session, progressive=progressive)
+        ticket = QueryTicket(raw, query, session, progressive=progressive, clock=self.clock)
         self.metrics.submitted.increment()
 
         key = cache_key(query)
         label = template_label(query)
-        if self.cache is not None:
+        if self.cache is not None and not analyze:
             cached = self.cache.get(key)
             if cached is not None:
                 self.metrics.cache_hits.increment()
@@ -372,7 +416,7 @@ class QueryService:
                 ticket.metrics.service_seconds = 0.0
                 ticket.metrics.sample_name = cached.sample_name
                 ticket.metrics.simulated_latency_seconds = cached.simulated_latency_seconds
-                self.metrics.total_latency.observe(time.monotonic() - ticket.submitted_at)
+                self.metrics.total_latency.observe(self.clock() - ticket.submitted_at)
                 ticket._resolve(cached)
                 return ticket
             self.metrics.cache_misses.increment()
@@ -380,7 +424,9 @@ class QueryService:
         time_bound = query.time_bound.seconds if query.time_bound is not None else None
         predicted = self._predict_seconds(label, time_bound)
         ticket.metrics.predicted_latency_seconds = predicted
-        work = _WorkItem(ticket=ticket, key=key, label=label, progressive=progressive)
+        work = _WorkItem(
+            ticket=ticket, key=key, label=label, progressive=progressive, analyze=analyze
+        )
         try:
             admission, _ = self.scheduler.try_admit(
                 work, predicted_seconds=predicted, time_bound_seconds=time_bound
@@ -421,10 +467,10 @@ class QueryService:
         if session is not None:
             query = session.apply_defaults(query)
         raw = sql if isinstance(sql, str) else (statement.raw_sql or str(statement))
-        ticket = QueryTicket(raw, query, session, progressive=False)
+        ticket = QueryTicket(raw, query, session, progressive=False, clock=self.clock)
         self.metrics.submitted.increment()
         ticket.metrics.admission = "explain"
-        started = time.monotonic()
+        started = self.clock()
         try:
             with self.db.state_lock.read_locked():
                 plan = self.db.runtime.explain(query)
@@ -432,7 +478,7 @@ class QueryService:
             self.metrics.failed.increment()
             ticket._fail(error)
             return ticket
-        ticket.metrics.service_seconds = time.monotonic() - started
+        ticket.metrics.service_seconds = self.clock() - started
         ticket.metrics.queue_wait_seconds = 0.0
         self.metrics.explained.increment()
         ticket._resolve(ExplainResult(plan=plan, text=plan.render()))
@@ -489,20 +535,39 @@ class QueryService:
 
     def _serve(self, work: _WorkItem, item: ScheduledItem) -> None:
         ticket = work.ticket
-        queue_wait = time.monotonic() - item.enqueued_at
+        queue_wait = self.clock() - item.enqueued_at
         ticket.metrics.queue_wait_seconds = queue_wait
         ticket.metrics.worker = threading.current_thread().name
         self.metrics.queue_wait.observe(queue_wait)
         generation = (
             self.cache.generation_for(ticket.query.table) if self.cache is not None else 0
         )
-        started = time.monotonic()
+        started = self.clock()
         progress = ticket._on_progress if work.progressive else None
+        trace = self.db.obs.tracer.begin(force=work.analyze, table=ticket.query.table)
+        if trace.sampled:
+            # The queue wait predates the trace: backdate the root to the
+            # submission instant and attach the measured interval, so the
+            # span tree covers the query's whole service lifecycle.
+            trace.root.start_s = min(trace.root.start_s, ticket.submitted_at)
+            trace.root.record_span(
+                "admission-wait",
+                ticket.submitted_at,
+                started,
+                admission=ticket.metrics.admission,
+            )
+        analyzed: AnalyzeResult | None = None
         try:
             with self.db.state_lock.read_locked():
-                result = self.db.runtime.execute(ticket.query, progress=progress)
+                if work.analyze:
+                    analyzed = self.db._explain_analyze_locked(ticket.query, trace=trace)
+                    result = analyzed.result
+                else:
+                    result = self.db.runtime.execute(
+                        ticket.query, progress=progress, trace=trace
+                    )
         except Exception as error:  # noqa: BLE001 - the ticket transports the error
-            ticket.metrics.service_seconds = time.monotonic() - started
+            ticket.metrics.service_seconds = self.clock() - started
             self.metrics.failed.increment()
             self.metrics.record_template(work.label, cache_hit=False)
             ticket._fail(error)
@@ -515,7 +580,7 @@ class QueryService:
             time.sleep(
                 min(simulated * self.simulate_service_time, _MAX_OCCUPANCY_SLEEP_SECONDS)
             )
-        service_seconds = time.monotonic() - started
+        service_seconds = self.clock() - started
         ticket.metrics.service_seconds = service_seconds
         ticket.metrics.sample_name = result.sample_name
         ticket.metrics.simulated_latency_seconds = simulated
@@ -523,7 +588,7 @@ class QueryService:
         if decision is not None and getattr(decision, "predicted_latency_seconds", None) is not None:
             ticket.metrics.predicted_latency_seconds = decision.predicted_latency_seconds
 
-        if self.cache is not None:
+        if self.cache is not None and not work.analyze:
             self.cache.put(work.key, result, table=ticket.query.table, generation=generation)
         self._observe_service_time(work.label, simulated, service_seconds)
         self.metrics.service_time.observe(service_seconds)
@@ -531,8 +596,8 @@ class QueryService:
             self.metrics.simulated_latency.observe(simulated)
         self.metrics.completed.increment()
         self.metrics.record_template(work.label, cache_hit=False)
-        self.metrics.total_latency.observe(time.monotonic() - ticket.submitted_at)
-        ticket._resolve(result)
+        self.metrics.total_latency.observe(self.clock() - ticket.submitted_at)
+        ticket._resolve(analyzed if analyzed is not None else result)
 
     # -- latency prediction ---------------------------------------------------------
     def _predict_seconds(self, label: str, time_bound: float | None) -> float:

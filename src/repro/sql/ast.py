@@ -212,9 +212,15 @@ class Query:
 
 @dataclass(frozen=True)
 class ExplainQuery:
-    """``EXPLAIN SELECT ...`` — render the physical plan instead of executing."""
+    """``EXPLAIN [ANALYZE] SELECT ...``.
+
+    Plain ``EXPLAIN`` renders the physical plan instead of executing;
+    ``EXPLAIN ANALYZE`` (``analyze=True``) executes the query with tracing
+    forced on and renders the plan's estimates beside the measured actuals.
+    """
 
     query: Query
+    analyze: bool = False
 
     @property
     def raw_sql(self) -> str:

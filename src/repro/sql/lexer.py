@@ -9,6 +9,7 @@ from repro.common.errors import ParseError
 
 KEYWORDS = {
     "EXPLAIN",
+    "ANALYZE",
     "SELECT",
     "FROM",
     "WHERE",

@@ -412,12 +412,16 @@ def parse_statement(text: str) -> Statement:
     """Parse a top-level BlinkQL statement.
 
     ``EXPLAIN SELECT ...`` yields an :class:`~repro.sql.ast.ExplainQuery`
-    wrapping the inner query; anything else parses as a plain
+    wrapping the inner query (``EXPLAIN ANALYZE SELECT ...`` additionally
+    sets its ``analyze`` flag); anything else parses as a plain
     :class:`~repro.sql.ast.Query`.
     """
     tokens = tokenize(text)
     parser = _Parser(tokens, text)
     if parser.peek().is_keyword("EXPLAIN"):
         parser.advance()
-        return ExplainQuery(query=parser.parse())
+        analyze = parser.peek().is_keyword("ANALYZE")
+        if analyze:
+            parser.advance()
+        return ExplainQuery(query=parser.parse(), analyze=analyze)
     return parser.parse()
