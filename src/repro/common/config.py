@@ -230,6 +230,15 @@ class BlinkDBConfig:
     scan_acceleration: bool = True
     # Rows per zone-map block (the granularity of skip decisions).
     zone_block_rows: int = 4096
+    # -- compressed execution (per-block encodings, never-decode kernels) ---------
+    # When True (and scan_acceleration is on), base tables and sample
+    # resolutions are stored block-encoded — RLE runs, frame-of-reference /
+    # bit-packed integers, null suppression — chosen per (column, block)
+    # from the statistics already collected for zone maps.  Compiled kernels
+    # and run-weighted aggregate folds execute on the encoded form without
+    # decoding; answers are identical either way (bitwise for selection
+    # vectors, ≤1e-9 relative for run-folded moments).
+    compressed_storage: bool = True
     # -- observability (query-lifecycle tracing + accuracy ledger) ---------------
     # When False no query is ever traced (EXPLAIN ANALYZE still forces a
     # trace for its own execution).

@@ -48,6 +48,7 @@ from repro.sql.ast import ExplainQuery, Query
 from repro.sql.parser import parse_query, parse_statement
 from repro.sql.templates import QueryTemplate, extract_template, normalize_weights, templates_from_trace
 from repro.storage.catalog import Catalog
+from repro.storage.encodings import describe_encoding_kinds, encode_table
 from repro.storage.table import Table
 
 if TYPE_CHECKING:  # pragma: no cover - service imports are lazy at runtime
@@ -131,11 +132,16 @@ class BlinkDB:
             # A (re)load replaces the table wholesale; ingest state anchored
             # on the old rows is meaningless afterwards.
             self._ingest_states.pop(table.name, None)
-            self._builder.register_base_table(table, cache=cache)
             if self.config.scan_acceleration:
                 # Build the scan-acceleration metadata once, at load time, so
                 # the first query pays only O(num_blocks) triage work.
                 table.zone_map_index(self.config.zone_block_rows)
+                if self.config.compressed_storage:
+                    # Encode per (column, block) using the statistics the
+                    # zone maps just collected; kernels then execute on the
+                    # encoded form without decoding.
+                    table = encode_table(table, self.config.zone_block_rows)
+            self._builder.register_base_table(table, cache=cache)
             self._invalidate_runtime()
 
     def load_dimension_table(self, table: Table) -> None:
@@ -210,6 +216,20 @@ class BlinkDB:
                 for _, family in self.catalog.iter_families(table_name):
                     for resolution in family.resolutions:
                         resolution.table.zone_map_index(self.config.zone_block_rows)
+                        if self.config.compressed_storage:
+                            # Samples are stored sorted by φ, so stratified
+                            # resolutions are maximally RLE-friendly.  The
+                            # resolution is a frozen value type; swapping in
+                            # the encoded table here is safe because the
+                            # exclusive build lock is held and no runtime has
+                            # seen this generation yet.
+                            object.__setattr__(
+                                resolution,
+                                "table",
+                                encode_table(
+                                    resolution.table, self.config.zone_block_rows
+                                ),
+                            )
             state = self._ingest_states.get(table_name)
             if state is not None:
                 state.reanchor(recompute_statistics=True)
@@ -376,6 +396,13 @@ class BlinkDB:
             estimated = estimate_selectivity(logical.where, kernel.zone_index)
         except Exception:
             return None
+        raw_bytes = encoded_bytes = 0
+        encoding_kinds = ""
+        encoding_stats = table.encoding_stats()
+        if encoding_stats is not None:
+            raw_bytes = int(encoding_stats["raw_bytes"])  # type: ignore[arg-type]
+            encoded_bytes = int(encoding_stats["encoded_bytes"])  # type: ignore[arg-type]
+            encoding_kinds = describe_encoding_kinds(encoding_stats["blocks"])  # type: ignore[arg-type]
         return ScanEstimate(
             blocks_total=counters.blocks_total,
             blocks_skipped=counters.blocks_skipped,
@@ -383,6 +410,9 @@ class BlinkDB:
             rows_total=counters.rows_total,
             rows_skipped=counters.rows_skipped,
             estimated_selectivity=estimated,
+            raw_bytes=raw_bytes,
+            encoded_bytes=encoded_bytes,
+            encoding_kinds=encoding_kinds,
         )
 
     def metrics(self, collect: bool = True) -> dict[str, object]:
@@ -418,6 +448,42 @@ class BlinkDB:
             "ingest_counters",
             "Per-table streaming-ingest gauges (rows appended, escalations, staleness).",
             ingest_flat,
+        )
+
+        def storage_flat() -> dict[str, object]:
+            flat: dict[str, object] = {}
+            total_raw = 0
+            total_encoded = 0
+            for name in self.catalog.table_names():
+                stats = self.catalog.table(name).encoding_stats()
+                if stats is None:
+                    continue
+                flat[f"{name}.raw_bytes"] = stats["raw_bytes"]
+                flat[f"{name}.encoded_bytes"] = stats["encoded_bytes"]
+                flat[f"{name}.compression_ratio"] = stats["compression_ratio"]
+                total_raw += int(stats["raw_bytes"])  # type: ignore[arg-type]
+                total_encoded += int(stats["encoded_bytes"])  # type: ignore[arg-type]
+                for _, family in self.catalog.iter_families(name):
+                    for resolution in family.resolutions:
+                        res_stats = resolution.table.encoding_stats()
+                        if res_stats is None:
+                            continue
+                        total_raw += int(res_stats["raw_bytes"])  # type: ignore[arg-type]
+                        total_encoded += int(res_stats["encoded_bytes"])  # type: ignore[arg-type]
+            if total_encoded:
+                flat["total.raw_bytes"] = total_raw
+                flat["total.encoded_bytes"] = total_encoded
+                flat["total.compression_ratio"] = total_raw / total_encoded
+            scan = self.runtime.executor.scan_stats
+            flat["rows_decode_avoided"] = scan.get("rows_decode_avoided", 0)
+            flat["bytes_encoded_scanned"] = scan.get("bytes_encoded", 0)
+            return flat
+
+        self.obs.register_stats(
+            "storage",
+            "Compressed-execution gauges: per-table footprint, compression "
+            "ratios, and rows aggregated without decoding.",
+            storage_flat,
         )
 
     def audit_accuracy(self, sql: str | Query) -> dict[str, object]:

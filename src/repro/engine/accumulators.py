@@ -77,6 +77,21 @@ class ValueMoments:
         m2 = float(np.sum((values - mean) ** 2))
         return cls(n=n, mean=mean, m2=m2)
 
+    @classmethod
+    def from_runs(cls, values: np.ndarray, lengths: np.ndarray) -> "ValueMoments":
+        """Moments of ``values`` repeated ``lengths`` times each, closed form.
+
+        Equal to ``from_array(np.repeat(values, lengths))`` up to the usual
+        reassociation rounding, without materialising the expansion — the
+        RLE fold path of the compressed-execution engine.
+        """
+        n = int(lengths.sum())
+        if n == 0:
+            return cls()
+        mean = float(np.sum(lengths * values)) / n
+        m2 = float(np.sum(lengths * (values - mean) ** 2))
+        return cls(n=n, mean=mean, m2=m2)
+
     def merge(self, other: "ValueMoments") -> None:
         if other.n == 0:
             return
@@ -122,6 +137,29 @@ class _CenteredMoment:
             total=float(np.sum(coeff)),
             linear=float(np.sum(coeff * deviations)),
             square=float(np.sum(coeff * deviations**2)),
+            center=center,
+        )
+
+    @classmethod
+    def from_runs(
+        cls, coeff: np.ndarray, values: np.ndarray, lengths: np.ndarray
+    ) -> "_CenteredMoment":
+        """``from_arrays`` over run-length-encoded rows, closed form.
+
+        Each (coeff, value) pair stands for ``lengths`` identical rows; the
+        center is movable, so the run-weighted mean is as good an anchor as
+        the expanded one.
+        """
+        n = int(lengths.sum())
+        if n == 0:
+            return cls()
+        center = float(np.sum(lengths * values)) / n
+        deviations = values - center
+        weighted = lengths * coeff
+        return cls(
+            total=float(np.sum(weighted)),
+            linear=float(np.sum(weighted * deviations)),
+            square=float(np.sum(weighted * deviations**2)),
             center=center,
         )
 
@@ -191,6 +229,20 @@ class WeightMoments:
             max_w=float(np.max(weights)),
         )
 
+    @classmethod
+    def from_runs(cls, weights: np.ndarray, lengths: np.ndarray) -> "WeightMoments":
+        """Weight moments of per-run weights repeated ``lengths`` times each."""
+        n = int(lengths.sum())
+        if n == 0:
+            return cls()
+        return cls(
+            n=n,
+            sum_w=float(np.sum(lengths * weights)),
+            sum_w2=float(np.sum(lengths * weights * weights)),
+            min_w=float(np.min(weights)),
+            max_w=float(np.max(weights)),
+        )
+
     def merge(self, other: "WeightMoments") -> None:
         self.n += other.n
         self.sum_w += other.sum_w
@@ -217,6 +269,24 @@ class AggregateState:
     def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
         raise NotImplementedError
 
+    def update_runs(
+        self,
+        values: np.ndarray | None,
+        lengths: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Update from run-length-encoded rows: run ``i`` stands for
+        ``lengths[i]`` identical rows of value ``values[i]`` and weight
+        ``weights[i]``.
+
+        The default expands the runs and delegates; states with closed-form
+        run folds override this so RLE blocks aggregate in O(runs) — the
+        compressed-execution contract (SUM over a run is value × length × w).
+        """
+        expanded_w = np.repeat(weights, lengths)
+        expanded_v = None if values is None else np.repeat(values, lengths)
+        self.update(expanded_v, expanded_w)
+
     def merge(self, other: "AggregateState") -> None:
         raise NotImplementedError
 
@@ -238,6 +308,14 @@ class CountState(AggregateState):
 
     def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
         self.weights.merge(WeightMoments.from_array(weights))
+
+    def update_runs(
+        self,
+        values: np.ndarray | None,
+        lengths: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.weights.merge(WeightMoments.from_runs(weights, lengths))
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, CountState)
@@ -292,6 +370,22 @@ class SumState(AggregateState):
         self.values.merge(ValueMoments.from_array(values))
         self.sum_wx += float(np.sum(values * weights))
         x2w = values * values * weights
+        self.sum_x2_w_w1 += float(np.sum(x2w * (weights - 1.0)))
+        self.sum_x2_w_w1_pos += float(np.sum(x2w * np.maximum(weights - 1.0, 0.0)))
+        self.sum_x2_w2 += float(np.sum(x2w * weights))
+        self.sum_x2_w += float(np.sum(x2w))
+
+    def update_runs(
+        self,
+        values: np.ndarray | None,
+        lengths: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        assert values is not None
+        self.weights.merge(WeightMoments.from_runs(weights, lengths))
+        self.values.merge(ValueMoments.from_runs(values, lengths))
+        self.sum_wx += float(np.sum(lengths * values * weights))
+        x2w = lengths * values * values * weights
         self.sum_x2_w_w1 += float(np.sum(x2w * (weights - 1.0)))
         self.sum_x2_w_w1_pos += float(np.sum(x2w * np.maximum(weights - 1.0, 0.0)))
         self.sum_x2_w2 += float(np.sum(x2w * weights))
@@ -365,6 +459,20 @@ class AvgState(AggregateState):
         self.sum_wx += float(np.sum(values * weights))
         self.w2_moment.merge(_CenteredMoment.from_arrays(weights * weights, values))
 
+    def update_runs(
+        self,
+        values: np.ndarray | None,
+        lengths: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        assert values is not None
+        self.weights.merge(WeightMoments.from_runs(weights, lengths))
+        self.values.merge(ValueMoments.from_runs(values, lengths))
+        self.sum_wx += float(np.sum(lengths * values * weights))
+        self.w2_moment.merge(
+            _CenteredMoment.from_runs(weights * weights, values, lengths)
+        )
+
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, AvgState)
         self.weights.merge(other.weights)
@@ -412,6 +520,17 @@ class VarianceState(AggregateState):
         self.sum_wx += float(np.sum(values * weights))
         self.w_moment.merge(_CenteredMoment.from_arrays(weights, values))
 
+    def update_runs(
+        self,
+        values: np.ndarray | None,
+        lengths: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        assert values is not None
+        self.weights.merge(WeightMoments.from_runs(weights, lengths))
+        self.sum_wx += float(np.sum(lengths * values * weights))
+        self.w_moment.merge(_CenteredMoment.from_runs(weights, values, lengths))
+
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, VarianceState)
         self.weights.merge(other.weights)
@@ -447,6 +566,14 @@ class StddevState(AggregateState):
 
     def update(self, values: np.ndarray | None, weights: np.ndarray) -> None:
         self.inner.update(values, weights)
+
+    def update_runs(
+        self,
+        values: np.ndarray | None,
+        lengths: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.inner.update_runs(values, lengths, weights)
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, StddevState)
@@ -510,6 +637,11 @@ class QuantileState(AggregateState):
         self._rows += int(values.shape[0])
         if self._points > self.sketch_size:
             self._compress()
+
+    # QuantileState inherits the expanding ``update_runs``: collapsing a run
+    # into one L-weighted sketch point preserves the quantile's point value
+    # but changes the sketch granularity the variance is derived from, so
+    # the sketch always sees individual rows.
 
     def merge(self, other: "AggregateState") -> None:
         assert isinstance(other, QuantileState)

@@ -52,6 +52,8 @@ from repro.engine.result import AggregateValue, GroupResult, QueryResult
 from repro.planner.logical import LogicalPlan
 from repro.sql.ast import AggregateFunction, Predicate, Query
 from repro.storage.block import TablePartition
+from repro.storage.encodings import EncodedColumn, RleBlock
+from repro.storage.schema import ColumnType
 from repro.storage.table import Table
 from repro.storage.zonemaps import ZoneDecision
 
@@ -130,10 +132,16 @@ class QueryExecutor:
         *,
         scan_acceleration: bool = True,
         zone_block_rows: int | None = None,
+        encoded_fold: bool = True,
     ) -> None:
         self._tables = dict(tables or {})
         self.scan_acceleration = scan_acceleration
         self.zone_block_rows = zone_block_rows
+        #: Fold aggregates run-wise over RLE-encoded columns (see
+        #: :meth:`_encoded_fold_partial`).  Off, encoded columns still scan
+        #: without decoding but the aggregate stage gathers decoded values —
+        #: the bitwise-reference path the property harness compares against.
+        self.encoded_fold = encoded_fold
         # Compiled kernels keyed by (source table -> canonical predicate).
         # Weak table keys fence kernels (and the zone indexes they hold) to
         # the life of the data they were compiled against; kernels hold no
@@ -342,6 +350,23 @@ class QueryExecutor:
         # 1. Joins against dimension tables.
         working, weights = self._apply_joins(plan, data, weights)
 
+        # 1b. Run-weighted fold: a global aggregate over RLE-encoded columns
+        # can skip the gather/decode of the aggregate stage entirely.
+        if self.encoded_fold and not plan.group_by and not plan.joins:
+            folded = self._encoded_fold_partial(
+                plan,
+                working,
+                weights,
+                origin=origin,
+                fallback_source=unpruned,
+                sink=sink,
+                rows_scanned=rows_scanned,
+                weight_scanned=weight_scanned,
+                has_weights=has_weights,
+            )
+            if folded is not None:
+                return folded
+
         # 2. WHERE: zone-mapped kernel scan when possible, mask fallback else.
         matched, matched_weights = self._filter_stage(
             plan, working, weights, origin=origin, fallback_source=unpruned, sink=sink
@@ -396,6 +421,210 @@ class QueryExecutor:
             partial.groups[key] = group
         return partial
 
+    # -- stage 1b: run-weighted encoded fold ---------------------------------------------
+    def _encoded_fold_partial(
+        self,
+        plan: LogicalPlan,
+        working: Table,
+        weights: np.ndarray | None,
+        *,
+        origin: TablePartition | None,
+        fallback_source: Table | None,
+        sink: ScanSink | None,
+        rows_scanned: int,
+        weight_scanned: float,
+        has_weights: bool,
+    ) -> PartialAggregation | None:
+        """Fold a global aggregate directly over encoded columns, or ``None``.
+
+        Applies when the plan is join-free with no GROUP BY and every
+        aggregate input column is an :class:`EncodedColumn` with at least one
+        RLE block among them.  Matching rows inside an RLE block collapse to
+        (value, run_length, weight) triples fed to
+        :meth:`~repro.engine.accumulators.AggregateState.update_runs` —
+        SUM over a run is value × length × weight, so the aggregate stage
+        never expands the runs.  Per-run weights must be constant within
+        each run (true for samples sorted by φ); non-constant runs fall back
+        to a run-value gather, still never decoding a full block.  Returns
+        ``None`` whenever inapplicable so the caller uses the general path.
+        """
+        columns: dict[str, EncodedColumn] = {}
+        any_runs = False
+        for call in plan.aggregates:
+            # Quantile sketches are granularity-sensitive: feeding them
+            # per-block batches shifts when compression triggers, so plans
+            # carrying one stay on the general path end to end.
+            if call.function in (AggregateFunction.QUANTILE, AggregateFunction.MEDIAN):
+                return None
+            if call.function is AggregateFunction.COUNT and call.column is None:
+                continue
+            if call.column is None or call.column.name not in working.schema:
+                return None
+            name = call.column.name
+            column = working.column(name)
+            if not isinstance(column, EncodedColumn):
+                return None
+            if not (column.ctype.is_numeric or column.ctype is ColumnType.BOOL):
+                return None
+            columns[name] = column
+            if any(isinstance(b, RleBlock) for b in column.encoding.blocks):
+                any_runs = True
+        if not columns or not any_runs:
+            return None
+
+        if plan.where is None:
+            selection = np.arange(working.num_rows, dtype=np.int64)
+            if sink is not None:
+                sink.record_filter(working.num_rows, working.num_rows)
+        else:
+            if not self.scan_acceleration:
+                return None
+            if origin is not None:
+                source = origin.source
+                row_start = origin.block.row_start
+                row_end = origin.block.row_end
+            else:
+                source = fallback_source if fallback_source is not None else working
+                row_start, row_end = 0, working.num_rows
+            if row_end - row_start != working.num_rows:
+                return None
+            try:
+                kernel = self.predicate_kernel(plan.where, source)
+                counters = ScanCounters()
+                selection = kernel.select_range(
+                    working,
+                    row_start,
+                    row_end,
+                    counters=counters,
+                    row_width=working.row_width_bytes,
+                )
+            except ExecutionError:
+                return None
+            self._record_scan(counters)
+            if sink is not None:
+                sink.record_scan(counters)
+                sink.record_filter(row_end - row_start, selection.size)
+
+        matched_weights = (
+            weights[selection]
+            if weights is not None
+            else np.ones(selection.shape[0], dtype=np.float64)
+        )
+        group = GroupPartial(key=(), states=self._make_states(plan))
+        group.observe_weights(matched_weights)
+        for call, state in zip(plan.aggregates, group.states):
+            if call.function is AggregateFunction.COUNT and call.column is None:
+                state.update(None, matched_weights)
+                continue
+            assert call.column is not None
+            self._fold_encoded_column(
+                state, columns[call.column.name], selection, weights
+            )
+        partial = PartialAggregation(
+            group_columns=(),
+            rows_scanned=rows_scanned,
+            weight_scanned=weight_scanned,
+            has_weights=has_weights,
+        )
+        partial.groups[()] = group
+        return partial
+
+    @staticmethod
+    def _fold_encoded_column(
+        state: AggregateState,
+        column: EncodedColumn,
+        selection: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> None:
+        """Feed the selected rows of one encoded column into ``state``.
+
+        Walks the selection block by block: RLE blocks collapse consecutive
+        selected rows of the same run into one ``update_runs`` segment;
+        other encodings gather just the selected values (never a whole
+        block).
+        """
+        encoding = column.encoding
+        offset = column.offset
+        idx = selection + offset if offset else selection
+        n = int(idx.shape[0])
+        if n == 0:
+            return
+
+        runs = encoding.run_view()
+        if runs is not None:
+            # All-RLE column: one global searchsorted collapses the whole
+            # selection into run segments — a single update_runs call
+            # instead of a per-block Python walk.
+            values, starts, _ = runs
+            run_ids = np.searchsorted(starts, idx, side="right") - 1
+            change = np.flatnonzero(run_ids[1:] != run_ids[:-1]) + 1
+            seg_starts = np.concatenate(([0], change))
+            lengths = np.diff(np.concatenate((seg_starts, [n])))
+            run_values = values[run_ids[seg_starts]].astype(np.float64)
+            if weights is None:
+                state.update_runs(run_values, lengths, np.ones(seg_starts.shape[0]))
+                return
+            w_sel = weights[selection]
+            w_min = np.minimum.reduceat(w_sel, seg_starts)
+            w_max = np.maximum.reduceat(w_sel, seg_starts)
+            if np.array_equal(w_min, w_max):
+                state.update_runs(run_values, lengths, w_min)
+            else:
+                # Weights vary inside a run: expand via a run-value gather
+                # (O(selected), still no block decode).
+                state.update(values[run_ids].astype(np.float64), w_sel)
+            return
+
+        block_rows = encoding.block_rows
+        # Mixed encodings: walk the blocks but batch the segments, so the
+        # accumulator is fed once per fold rather than once per block.
+        batch_runs: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        batch_rows: list[tuple[np.ndarray, np.ndarray | None]] = []
+        pos = 0
+        while pos < n:
+            b = int(idx[pos]) // block_rows
+            end = int(np.searchsorted(idx, (b + 1) * block_rows, side="left"))
+            local = idx[pos:end] - b * block_rows
+            w_seg = weights[selection[pos:end]] if weights is not None else None
+            block = encoding.blocks[b]
+            if isinstance(block, RleBlock):
+                run_ids = np.searchsorted(block.starts, local, side="right") - 1
+                change = np.flatnonzero(run_ids[1:] != run_ids[:-1]) + 1
+                seg_starts = np.concatenate(([0], change))
+                lengths = np.diff(np.concatenate((seg_starts, [run_ids.shape[0]])))
+                run_values = block.values[run_ids[seg_starts]].astype(np.float64)
+                if w_seg is None:
+                    batch_runs.append(
+                        (run_values, lengths, np.ones(seg_starts.shape[0]))
+                    )
+                else:
+                    w_min = np.minimum.reduceat(w_seg, seg_starts)
+                    w_max = np.maximum.reduceat(w_seg, seg_starts)
+                    if np.array_equal(w_min, w_max):
+                        batch_runs.append((run_values, lengths, w_min))
+                    else:
+                        # Weights vary inside a run: expand via a run-value
+                        # gather (O(selected), still no block decode).
+                        batch_rows.append(
+                            (block.values[run_ids].astype(np.float64), w_seg)
+                        )
+            else:
+                batch_rows.append((block.gather(local).astype(np.float64), w_seg))
+            pos = end
+        if batch_runs:
+            state.update_runs(
+                np.concatenate([p[0] for p in batch_runs]),
+                np.concatenate([p[1] for p in batch_runs]),
+                np.concatenate([p[2] for p in batch_runs]),
+            )
+        if batch_rows:
+            values = np.concatenate([p[0] for p in batch_rows])
+            if weights is None:
+                w_all = np.ones(values.shape[0], dtype=np.float64)
+            else:
+                w_all = np.concatenate([p[1] for p in batch_rows])
+            state.update(values, w_all)
+
     # -- stage 0: column pruning --------------------------------------------------------
     def prune(self, plan: LogicalPlan, data: Table) -> Table:
         """Project ``data`` down to the plan's referenced columns (zero-copy).
@@ -433,6 +662,18 @@ class QueryExecutor:
         """
         if plan.where is None:
             return working, weights
+        # Columns the WHERE clause alone references are dead after this
+        # stage: project them away *before* gathering matched rows so the
+        # take never materialises (or decodes) values nothing will read.
+        survivors = working
+        needed = set(plan.group_by)
+        for call in plan.aggregates:
+            if call.column is not None:
+                needed.add(call.column.name)
+        names = [n for n in working.schema.names if n in needed]
+        if len(names) < len(working.schema.names):
+            # COUNT(*)-only plans keep one carrier column for the row count.
+            survivors = working.project(names or working.schema.names[:1])
         if self._accelerable(plan):
             if origin is not None:
                 source = origin.source
@@ -462,13 +703,13 @@ class QueryExecutor:
                     if sink is not None:
                         sink.record_scan(counters)
                         sink.record_filter(row_end - row_start, selection.size)
-                    matched = working.take(selection)
+                    matched = survivors.take(selection)
                     matched_weights = (
                         weights[selection] if weights is not None else None
                     )
                     return matched, matched_weights
         mask = evaluate_predicate(plan.where, working)
-        matched = working.filter(mask)
+        matched = survivors.filter(mask)
         if sink is not None:
             sink.record_filter(working.num_rows, matched.num_rows)
         matched_weights = weights[mask] if weights is not None else None

@@ -52,6 +52,7 @@ from repro.sql.ast import (
     NotPredicate,
     Predicate,
 )
+from repro.storage.encodings import EncodedColumn, PredicateSpec
 from repro.storage.schema import ColumnType
 from repro.storage.table import Table
 from repro.storage.zonemaps import ColumnZone, ZoneDecision, ZoneMapIndex
@@ -76,6 +77,11 @@ class ScanCounters:
     rows_skipped: int = 0
     bytes_total: int = 0
     bytes_scanned: int = 0
+    # Compressed-execution accounting: predicate row-evaluations answered in
+    # the encoded domain (no block decode), and the encoded bytes those
+    # evaluations touched instead of raw bytes.
+    rows_decode_avoided: int = 0
+    bytes_encoded: int = 0
 
     @property
     def rows_scanned(self) -> int:
@@ -111,6 +117,8 @@ class ScanCounters:
         self.rows_skipped += other.rows_skipped
         self.bytes_total += other.bytes_total
         self.bytes_scanned += other.bytes_scanned
+        self.rows_decode_avoided += other.rows_decode_avoided
+        self.bytes_encoded += other.bytes_encoded
         return self
 
     def as_dict(self) -> dict[str, int]:
@@ -123,6 +131,8 @@ class ScanCounters:
             "rows_skipped": self.rows_skipped,
             "bytes_total": self.bytes_total,
             "bytes_scanned": self.bytes_scanned,
+            "rows_decode_avoided": self.rows_decode_avoided,
+            "bytes_encoded": self.bytes_encoded,
         }
 
 
@@ -225,11 +235,13 @@ def _rows_array(rows) -> np.ndarray:
 class _EvalContext:
     """Per-scan scratch state: column arrays and memoized leaf results."""
 
-    __slots__ = ("view", "_columns", "memo")
+    __slots__ = ("view", "_columns", "_encoded", "memo", "counters")
 
-    def __init__(self, view: Table) -> None:
+    def __init__(self, view: Table, counters: ScanCounters | None = None) -> None:
         self.view = view
+        self.counters = counters
         self._columns: dict[str, np.ndarray] = {}
+        self._encoded: dict[str, EncodedColumn | None] = {}
         # (leaf key, candidate token) -> (candidate ref, result).  The
         # candidate ref pins index arrays so an id() can never be recycled
         # into a stale hit within one scan.
@@ -241,6 +253,40 @@ class _EvalContext:
             data = self.view.column(name).data
             self._columns[name] = data
         return data
+
+    def encoded_select(self, name: str, spec: PredicateSpec, rows) -> np.ndarray | None:
+        """Answer a leaf over the encoded column, or ``None`` if it is raw.
+
+        This is the never-decode path: the predicate runs in the stored
+        domain (run values for RLE, translated literals for FOR/packed,
+        dense values for null suppression) and only matching rows surface.
+        Results are bitwise-identical to evaluating the decoded array — the
+        stored-domain operators are the same ufuncs on the same values.
+        """
+        if name in self._encoded:
+            column = self._encoded[name]
+        else:
+            candidate = self.view.column(name)
+            column = candidate if isinstance(candidate, EncodedColumn) else None
+            self._encoded[name] = column
+        if column is None:
+            return None
+        encoding = column.encoding
+        offset = column.offset
+        if isinstance(rows, tuple):
+            start, stop = rows
+            selected = encoding.select_range(spec, offset + start, offset + stop)
+            if offset:
+                selected = selected - offset
+        else:
+            mask = encoding.mask_at(spec, rows + offset if offset else rows)
+            selected = rows[mask]
+        counters = self.counters
+        if counters is not None and encoding.rows:
+            n = _rows_size(rows)
+            counters.rows_decode_avoided += int(n * encoding.encoded_rows / encoding.rows)
+            counters.bytes_encoded += int(n * encoding.encoded_bytes / encoding.rows)
+        return selected
 
 
 # -- compiled nodes -----------------------------------------------------------------
@@ -299,15 +345,26 @@ class _Always(_Leaf):
         return np.empty(0, dtype=np.int64)
 
 
+_SPEC_OPS = {
+    ComparisonOp.EQ: "eq",
+    ComparisonOp.NE: "ne",
+    ComparisonOp.LT: "lt",
+    ComparisonOp.LE: "le",
+    ComparisonOp.GT: "gt",
+    ComparisonOp.GE: "ge",
+}
+
+
 class _Compare(_Leaf):
     """``column <op> literal`` with the literal pre-encoded at compile time."""
 
-    __slots__ = ("column", "op", "literal")
+    __slots__ = ("column", "op", "literal", "spec")
 
     def __init__(self, column: str, op: ComparisonOp, literal: object, est: float) -> None:
         self.column = column
         self.op = op
         self.literal = literal
+        self.spec = PredicateSpec(kind="cmp", op=_SPEC_OPS[op], literal=literal)
         self.est = est
         self.key = f"{column}{op.value}{literal!r}"
 
@@ -318,6 +375,9 @@ class _Compare(_Leaf):
         return _classify_compare(self.op, self.literal, zone.minimum, zone.maximum)
 
     def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        encoded = ctx.encoded_select(self.column, self.spec, rows)
+        if encoded is not None:
+            return encoded
         data = ctx.column(self.column)
         if isinstance(rows, tuple):
             start, stop = rows
@@ -377,12 +437,13 @@ def _classify_compare(op: ComparisonOp, lit, lo, hi) -> ZoneDecision:
 class _Range(_Leaf):
     """``low <= column <= high`` on the internal representation (BETWEEN)."""
 
-    __slots__ = ("column", "low", "high")
+    __slots__ = ("column", "low", "high", "spec")
 
     def __init__(self, column: str, low: object, high: object, est: float) -> None:
         self.column = column
         self.low = low
         self.high = high
+        self.spec = PredicateSpec(kind="range", low=low, high=high)
         self.est = est
         self.key = f"{column} in[{low!r},{high!r}]"
 
@@ -401,6 +462,9 @@ class _Range(_Leaf):
         return ZoneDecision.EVALUATE
 
     def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        encoded = ctx.encoded_select(self.column, self.spec, rows)
+        if encoded is not None:
+            return encoded
         data = ctx.column(self.column)
         if isinstance(rows, tuple):
             start, stop = rows
@@ -424,11 +488,12 @@ class _CodeLookup(_Leaf):
     zone's ``[min, max]``.
     """
 
-    __slots__ = ("column", "allowed")
+    __slots__ = ("column", "allowed", "spec")
 
     def __init__(self, column: str, allowed: np.ndarray, key: str, est: float) -> None:
         self.column = column
         self.allowed = allowed
+        self.spec = PredicateSpec(kind="lookup", allowed=allowed)
         self.est = est
         self.key = key
 
@@ -450,6 +515,9 @@ class _CodeLookup(_Leaf):
         return ZoneDecision.EVALUATE
 
     def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        encoded = ctx.encoded_select(self.column, self.spec, rows)
+        if encoded is not None:
+            return encoded
         data = ctx.column(self.column)
         if isinstance(rows, tuple):
             start, stop = rows
@@ -462,7 +530,7 @@ class _CodeLookup(_Leaf):
 class _In(_Leaf):
     """``column IN (...)`` with the value list pre-encoded."""
 
-    __slots__ = ("column", "values", "value_set", "integral")
+    __slots__ = ("column", "values", "value_set", "integral", "spec")
 
     def __init__(
         self, column: str, values: Sequence[object], integral: bool, est: float
@@ -471,6 +539,7 @@ class _In(_Leaf):
         self.values = np.asarray(list(values))
         self.value_set = set(values)
         self.integral = integral
+        self.spec = PredicateSpec(kind="in", values=self.values)
         self.est = est
         self.key = f"{column} in{sorted(map(repr, values))}"
 
@@ -498,6 +567,9 @@ class _In(_Leaf):
         return ZoneDecision.EVALUATE
 
     def _select(self, ctx: _EvalContext, rows) -> np.ndarray:
+        encoded = ctx.encoded_select(self.column, self.spec, rows)
+        if encoded is not None:
+            return encoded
         data = ctx.column(self.column)
         if isinstance(rows, tuple):
             start, stop = rows
@@ -691,7 +763,7 @@ def _lower_in(
         literals = [code for code in literals if code != -1]
         if not literals:
             return _Always(False)
-    integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+    integral = column.dtype.kind in ("i", "u", "b") or column.dictionary is not None
     return _In(name, literals, integral, _in_estimate(len(literals), zone))
 
 
@@ -814,7 +886,7 @@ class CompiledPredicate:
         """
         total = row_end - row_start
         width = row_width if row_width is not None else view.row_width_bytes
-        ctx = _EvalContext(view)
+        ctx = _EvalContext(view, counters)
         index = self.zone_index
         if index is None or not index.blocks:
             if counters is not None and total:
@@ -837,7 +909,21 @@ class CompiledPredicate:
             # selection).
             return self.root.select(ctx, (0, total))
         parts: list[np.ndarray] = []
-        for start, stop, decision in triaged:
+        # Coalesce contiguous blocks sharing a decision into one spanning
+        # range: a handful of stray skippable blocks must not de-vectorise
+        # the other two hundred into a per-block Python loop.
+        i = 0
+        count = len(triaged)
+        while i < count:
+            start, stop, decision = triaged[i]
+            j = i + 1
+            while j < count:
+                next_start, next_stop, next_decision = triaged[j]
+                if next_decision is not decision or next_start != stop:
+                    break
+                stop = next_stop
+                j += 1
+            i = j
             if decision is ZoneDecision.SKIP:
                 continue
             if decision is ZoneDecision.TAKE_ALL:

@@ -30,6 +30,7 @@ from repro.ingest.maintainers import (
 )
 from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
 from repro.storage.catalog import Catalog
+from repro.storage.encodings import pin_decoded
 from repro.storage.statistics import extend_statistics
 
 
@@ -186,6 +187,10 @@ class TableIngest:
         deltas: list[MaintenanceDelta] = []
         updated_families: list[tuple[tuple[str, ...] | None, object]] = []
         maintainers = self._maintainers
+        # Each maintainer re-materializes its resolutions by gathering rows
+        # from `new_table`; pin the encoded columns' decodes so the table
+        # decodes once per append instead of once per resolution.
+        pinned = pin_decoded(new_table)
         try:
             if maintainers.uniform is not None:
                 family, delta = maintainers.uniform.apply(new_table, batch, batch_start)
@@ -202,6 +207,7 @@ class TableIngest:
             # families so a retry starts clean.
             self._maintainers = self._build_maintainers()
             raise
+        del pinned  # release the decoded arrays before publishing
 
         generation = self.catalog.replace_table(new_table, statistics)
         for columns, family in updated_families:

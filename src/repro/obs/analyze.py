@@ -121,6 +121,21 @@ def _scan_lines(estimate: ScanEstimate | None, sink: ScanSink | None) -> list[st
         act_sel = f"{sink.selectivity:.4f}"
         matched = f" ({sink.rows_matched:,} rows matched)"
     lines.append(f"  selectivity: est {est_sel}  actual {act_sel}{matched}")
+    encoded = estimate.describe_encoding() if estimate is not None else None
+    decode_avoided = (
+        actual.rows_decode_avoided if actual is not None else 0
+    )
+    if encoded is not None or decode_avoided:
+        parts = []
+        if encoded is not None:
+            parts.append(encoded)
+        if decode_avoided:
+            assert actual is not None
+            parts.append(
+                f"decode avoided {decode_avoided:,} rows"
+                f" ({actual.bytes_encoded:,}B read encoded)"
+            )
+        lines.append(f"  encoding:    {'; '.join(parts)}")
     return lines
 
 

@@ -72,6 +72,12 @@ class ScanEstimate:
     rows_total: int
     rows_skipped: int
     estimated_selectivity: float | None = None
+    #: Compressed-execution footprint of the scanned table: logical bytes,
+    #: resident encoded bytes, and the per-kind block mix (e.g. "rle:12
+    #: raw:3").  Zero/empty when the table is stored raw.
+    raw_bytes: int = 0
+    encoded_bytes: int = 0
+    encoding_kinds: str = ""
 
     @property
     def skip_fraction(self) -> float:
@@ -96,6 +102,24 @@ class ScanEstimate:
         if self.estimated_selectivity is not None:
             parts.append(f"est-selectivity~{self.estimated_selectivity:.3f}")
         return " ".join(parts)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Logical-to-resident size ratio (1.0 when stored raw)."""
+        if self.raw_bytes <= 0 or self.encoded_bytes <= 0:
+            return 1.0
+        return self.raw_bytes / self.encoded_bytes
+
+    def describe_encoding(self) -> str | None:
+        """One-line encoding summary, or ``None`` for raw storage."""
+        if not self.encoding_kinds:
+            return None
+        return (
+            f"{self.encoding_kinds}"
+            f" resident~{self.encoded_bytes:,}B"
+            f" of {self.raw_bytes:,}B"
+            f" ({self.compression_ratio:.1f}x)"
+        )
 
 
 @dataclass(frozen=True)
@@ -203,6 +227,9 @@ class PhysicalPlan:
         lines.append(f"  scan: {scan}; columns: {columns}")
         if self.scan_estimate is not None:
             lines.append(f"  scan-estimate: {self.scan_estimate.describe()}")
+            encoding = self.scan_estimate.describe_encoding()
+            if encoding is not None:
+                lines.append(f"  encoding: {encoding}")
         lines.append(f"  stages: {self._stages()}")
         if self.partitioning is not None:
             spec = self.partitioning

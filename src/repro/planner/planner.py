@@ -52,6 +52,7 @@ from repro.runtime.sizing import ErrorLatencyProfile, SampleSizer
 from repro.sampling.resolution import SampleResolution
 from repro.sql.ast import AggregateFunction, ErrorBound
 from repro.storage.catalog import Catalog
+from repro.storage.encodings import describe_encoding_kinds
 
 
 class QueryPlanner:
@@ -312,6 +313,13 @@ class QueryPlanner:
             return None
         counters = kernel.scan_classification()
         estimated = estimate_selectivity(logical.where, kernel.zone_index)
+        raw_bytes = encoded_bytes = 0
+        encoding_kinds = ""
+        encoding_stats = resolution.table.encoding_stats()
+        if encoding_stats is not None:
+            raw_bytes = int(encoding_stats["raw_bytes"])  # type: ignore[arg-type]
+            encoded_bytes = int(encoding_stats["encoded_bytes"])  # type: ignore[arg-type]
+            encoding_kinds = describe_encoding_kinds(encoding_stats["blocks"])  # type: ignore[arg-type]
         return ScanEstimate(
             blocks_total=counters.blocks_total,
             blocks_skipped=counters.blocks_skipped,
@@ -319,6 +327,9 @@ class QueryPlanner:
             rows_total=counters.rows_total,
             rows_skipped=counters.rows_skipped,
             estimated_selectivity=estimated,
+            raw_bytes=raw_bytes,
+            encoded_bytes=encoded_bytes,
+            encoding_kinds=encoding_kinds,
         )
 
     @staticmethod

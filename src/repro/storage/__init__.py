@@ -15,6 +15,16 @@ from repro.storage.block import (
 )
 from repro.storage.catalog import Catalog
 from repro.storage.column import Column
+from repro.storage.encodings import (
+    ColumnEncoding,
+    EncodedColumn,
+    PredicateSpec,
+    choose_block_encoding,
+    encode_array,
+    encode_column,
+    encode_table,
+    table_encoding_stats,
+)
 from repro.storage.schema import ColumnType, Schema
 from repro.storage.statistics import (
     ColumnStatistics,
@@ -42,6 +52,14 @@ __all__ = [
     "split_into_row_ranges",
     "Catalog",
     "Column",
+    "ColumnEncoding",
+    "EncodedColumn",
+    "PredicateSpec",
+    "choose_block_encoding",
+    "encode_array",
+    "encode_column",
+    "encode_table",
+    "table_encoding_stats",
     "ColumnType",
     "Schema",
     "ColumnStatistics",

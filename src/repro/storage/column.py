@@ -36,6 +36,7 @@ class Column:
         self.ctype = ctype
         self._data = np.asarray(data)
         self._dictionary = dictionary
+        self._values_cache: np.ndarray | None = None
         if ctype is ColumnType.STRING and dictionary is None:
             raise SchemaError("STRING columns require a dictionary")
         if ctype is not ColumnType.STRING and dictionary is not None:
@@ -76,6 +77,20 @@ class Column:
         """The raw backing array (codes for STRING columns)."""
         return self._data
 
+    def data_range(self, start: int, stop: int) -> np.ndarray:
+        """The raw backing array for rows ``[start, stop)``.
+
+        Equivalent to ``data[start:stop]`` here, but encoded columns
+        override it to decode only the requested range — incremental
+        consumers (zone-map extension, tail re-encodes) stay O(range).
+        """
+        return self._data[start:stop]
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The backing array's dtype (available without decoding)."""
+        return self._data.dtype
+
     @property
     def dictionary(self) -> np.ndarray | None:
         """The value dictionary for STRING columns, else ``None``."""
@@ -87,10 +102,19 @@ class Column:
 
     # -- value access ----------------------------------------------------------
     def values(self) -> np.ndarray:
-        """Decoded values as a NumPy array (strings are materialised)."""
+        """Decoded values as a NumPy array (strings are materialised).
+
+        The materialised string array is memoised: hash joins and result
+        rendering hit this repeatedly, and re-gathering ``dictionary[codes]``
+        on every access was pure rework.  Columns are immutable, and every
+        transformation returns a fresh ``Column``, so the cache can never go
+        stale.
+        """
         if self.ctype is ColumnType.STRING:
             assert self._dictionary is not None
-            return self._dictionary[self._data]
+            if self._values_cache is None:
+                self._values_cache = self._dictionary[self._data]
+            return self._values_cache
         return self._data
 
     def value_at(self, index: int) -> object:

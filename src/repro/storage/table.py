@@ -163,6 +163,17 @@ class Table:
         rows = int(block_rows) if block_rows else DEFAULT_ZONE_BLOCK_ROWS
         return rows in self._zone_indexes
 
+    # -- compressed storage ----------------------------------------------------------
+    def encoding_stats(self) -> dict[str, object] | None:
+        """Compression summary over this table's encoded columns.
+
+        ``None`` when no column is block-encoded (see
+        :func:`repro.storage.encodings.table_encoding_stats`).
+        """
+        from repro.storage.encodings import table_encoding_stats
+
+        return table_encoding_stats(self)
+
     # -- partitioning ---------------------------------------------------------------
     def block_set(self, block_bytes: int | None = None,
                   num_partitions: int | None = None,

@@ -214,7 +214,7 @@ def build_zone_map_index(
     per_column: dict[str, list[ColumnZone]] = {}
     integral_columns: set[str] = set()
     for column in table.columns():
-        integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+        integral = column.dtype.kind in ("i", "u", "b") or column.dictionary is not None
         if integral:
             integral_columns.add(column.name)
         per_column[column.name] = _column_block_zones(
@@ -291,11 +291,17 @@ def extend_zone_map_index(
     per_column: dict[str, list[ColumnZone]] = {}
     integral_columns: set[str] = set()
     for column in table.columns():
-        integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+        integral = column.dtype.kind in ("i", "u", "b") or column.dictionary is not None
         if integral:
             integral_columns.add(column.name)
+        # data_range keeps encoded columns O(batch): only the recomputed
+        # tail decodes, never the already-covered prefix.
         per_column[column.name] = _column_block_zones(
-            column.data[tail_start:], offsets, num_rows - tail_start, block_rows, integral
+            column.data_range(tail_start, num_rows),
+            offsets,
+            num_rows - tail_start,
+            block_rows,
+            integral,
         )
     tail_blocks: list[BlockZones] = []
     for i, start in enumerate(offsets):
@@ -378,7 +384,7 @@ def replace_zone_column(
     if not index.blocks:  # empty table: nothing to recompute
         return ZoneMapIndex(index.table_name, num_rows, index.block_rows, (), {})
     column = table.column(column_name)
-    integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+    integral = column.dtype.kind in ("i", "u", "b") or column.dictionary is not None
     offsets = _block_offsets(num_rows, index.block_rows)
     new_zones = _column_block_zones(
         column.data, offsets, num_rows, index.block_rows, integral
@@ -428,8 +434,8 @@ def zones_for_range(table: "Table", row_start: int, row_end: int) -> Mapping[str
     rows = row_end - row_start
     offsets = np.zeros(1, dtype=np.int64)
     for column in table.columns():
-        integral = column.data.dtype.kind in ("i", "u", "b") or column.dictionary is not None
+        integral = column.dtype.kind in ("i", "u", "b") or column.dictionary is not None
         zones[column.name] = _column_block_zones(
-            column.data[row_start:row_end], offsets, rows, rows, integral
+            column.data_range(row_start, row_end), offsets, rows, rows, integral
         )[0]
     return zones
