@@ -13,6 +13,8 @@ Three dataclasses describe the tunables of the system:
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.common.units import GB, MB
@@ -209,6 +211,16 @@ class BlinkDBConfig:
     # is inflated by up to this fraction (deterministic per partition), so the
     # slowest wave dominates the pipeline's completion time.
     straggler_spread: float = 0.2
+    # Which pool executes the partial-aggregation stage: "threads" shares one
+    # GIL-bound thread pool (cheap, no spawn cost — wall-clock speedup is
+    # accounting only); "processes" fans partitions over a persistent
+    # spawn-based worker pool reading shared-memory table exports
+    # (runtime/procpool.py) for real multicore speedup, falling back to
+    # threads whenever shared memory or the pool is unavailable.  The
+    # simulated straggler/anytime/coverage behaviour is identical on both.
+    execution_backend: str = "threads"
+    # Worker processes in the process backend; 0 means os.cpu_count().
+    procpool_workers: int = 0
     # -- streaming ingestion -----------------------------------------------------
     # Per-family staleness budget: the fraction of a table's rows (or of a
     # stratified family's strata) that may arrive after the last full
@@ -256,8 +268,25 @@ class BlinkDBConfig:
     def __post_init__(self) -> None:
         if not 0.0 <= self.maintenance_churn_fraction <= 1.0:
             raise ValueError("maintenance_churn_fraction must be in [0, 1]")
+        if self.partition_workers < 1:
+            raise ValueError("partition_workers must be >= 1 (1 runs inline)")
         if self.max_partitions < 1:
             raise ValueError("max_partitions must be >= 1")
+        if self.execution_backend not in ("threads", "processes"):
+            raise ValueError(
+                "execution_backend must be 'threads' or 'processes', "
+                f"got {self.execution_backend!r}"
+            )
+        if self.procpool_workers < 0:
+            raise ValueError("procpool_workers must be >= 0 (0 means cpu count)")
+        cpu = os.cpu_count() or 1
+        if self.procpool_workers > cpu:
+            warnings.warn(
+                f"procpool_workers={self.procpool_workers} exceeds "
+                f"os.cpu_count()={cpu}; extra workers only add spawn and "
+                "scheduling overhead",
+                stacklevel=2,
+            )
         if self.max_anytime_partitions < 1:
             raise ValueError("max_anytime_partitions must be >= 1")
         if self.min_partition_rows < 1:

@@ -42,6 +42,7 @@ from repro.planner.logical import LogicalPlan
 from repro.planner.physical import ExplainResult, PhysicalPlan, ScanEstimate
 from repro.planner.selectivity import estimate_selectivity
 from repro.runtime.execution import BlinkDBRuntime
+from repro.runtime.procpool import ProcessPartitionPool
 from repro.sampling.builder import BuildReport, SampleBuilder
 from repro.sampling.maintenance import MaintenanceAction, SampleMaintenance
 from repro.sql.ast import ExplainQuery, Query
@@ -77,12 +78,20 @@ class BlinkDB:
         #: series, and the ledger's calibration history survive runtime
         #: invalidations (sample rebuilds, data reloads).
         self.obs = Observability(self.config)
+        #: Facade-owned process-parallel worker pool (lazy; only when
+        #: ``execution_backend="processes"``).  One pool outlives every
+        #: runtime rebuild: runtimes rent shm-export *epochs* from it, and
+        #: sample builds + ingest maintenance fan out on the same workers.
+        self._procpool: ProcessPartitionPool | None = None
+        self._procpool_lock = threading.Lock()
+        self._closed = False
         self._builder = SampleBuilder(
             catalog=self.catalog,
             config=self.config.sampling,
             simulator=self.simulator,
             scale_factor=1.0,
             cluster_config=self.config.cluster,
+            procpool_provider=self._partition_procpool,
         )
         self._dimension_tables: dict[str, Table] = {}
         self._templates: dict[str, list[QueryTemplate]] = {}
@@ -486,6 +495,19 @@ class BlinkDB:
             storage_flat,
         )
 
+        def procpool_stats() -> dict[str, object]:
+            procpool = self._procpool  # never *create* the pool for a scrape
+            if procpool is None:
+                return {"workers": 0, "started": 0, "available": 0}
+            return dict(procpool.stats())
+
+        self.obs.register_stats(
+            "procpool",
+            "Process-parallel backend gauges: worker pool state, shm segments "
+            "exported, and partial-state bytes shipped across the IPC boundary.",
+            procpool_stats,
+        )
+
     def audit_accuracy(self, sql: str | Query) -> dict[str, object]:
         """Run ``sql`` approximately *and* exactly; score the error bars.
 
@@ -600,6 +622,7 @@ class BlinkDB:
                     simulator=self.simulator,
                     scale_factor=self._builder.scale_factor,
                     staleness_budget=self.config.ingest_staleness_budget,
+                    procpool_provider=self._partition_procpool,
                 )
                 self._ingest_states[table_name] = state
             if batch_num_rows(batch) == 0:
@@ -747,8 +770,55 @@ class BlinkDB:
                         simulator=self.simulator,
                         dimension_tables=self._dimension_tables,
                         observability=self.obs,
+                        procpool=self._partition_procpool(),
                     )
         return self._runtime
+
+    def _partition_procpool(self) -> ProcessPartitionPool | None:
+        """The facade-owned process pool (lazy; ``None`` on the threads backend)."""
+        if self.config.execution_backend != "processes" or self._closed:
+            return None
+        if self._procpool is None:
+            with self._procpool_lock:
+                if self._procpool is None:
+                    self._procpool = ProcessPartitionPool(
+                        self.config.procpool_workers or None,
+                        scan_acceleration=self.config.scan_acceleration,
+                        zone_block_rows=self.config.zone_block_rows,
+                    )
+        return self._procpool
+
+    def close(self) -> None:
+        """Tear down services, pools, and shared-memory segments (idempotent).
+
+        Closes attached services (their worker threads), the cached runtime
+        (its partition thread pool and its epoch of shm exports), and the
+        process pool itself (worker processes plus any remaining segments).
+        The facade stays queryable afterwards — a fresh runtime falls back
+        to the thread backend — but the intended use is terminal, typically
+        via ``with BlinkDB(...) as db:``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._services_lock:
+            services = list(self._services)
+        for service in services:
+            service.close()
+        with self._runtime_lock:
+            runtime, self._runtime = self._runtime, None
+        if runtime is not None:
+            runtime.close()
+        with self._procpool_lock:
+            procpool, self._procpool = self._procpool, None
+        if procpool is not None:
+            procpool.close()
+
+    def __enter__(self) -> "BlinkDB":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def describe(self) -> dict[str, object]:
         """A JSON-friendly snapshot of tables, samples, and simulator state."""

@@ -34,6 +34,8 @@ exactly as the closed forms dictate.
 from __future__ import annotations
 
 import math
+import pickle
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -50,6 +52,20 @@ from repro.estimation.estimators import (
 #: exact (it simply keeps every point); above it, merged states are
 #: compressed to weighted centroids on the value axis.
 QUANTILE_SKETCH_SIZE = 8192
+
+#: Struct layouts of the wire format (``to_bytes``/``from_bytes``).  Every
+#: float travels as its exact little-endian IEEE-754 bit pattern — never a
+#: repr/format round-trip — so a state shipped across a process boundary
+#: merges and finalizes bitwise-identically to the in-process original.
+_WIRE_VALUE_MOMENTS = struct.Struct("<qdd")
+_WIRE_CENTERED = struct.Struct("<dddd")
+_WIRE_WEIGHT_MOMENTS = struct.Struct("<qdddd")
+_WIRE_SUM_TAIL = struct.Struct("<ddddd")
+_WIRE_DOUBLE = struct.Struct("<d")
+_WIRE_QUANTILE_HEAD = struct.Struct("<dqqqB")
+_WIRE_GROUP_HEAD = struct.Struct("<qdd")
+_WIRE_PARTIAL_HEAD = struct.Struct("<qdqB")
+_WIRE_LEN = struct.Struct("<q")
 
 
 # -- numerically stable building blocks -------------------------------------------
@@ -110,6 +126,14 @@ class ValueMoments:
         if self.n < 2:
             return math.inf
         return self.m2 / (self.n - 1)
+
+    def to_bytes(self) -> bytes:
+        return _WIRE_VALUE_MOMENTS.pack(self.n, self.mean, self.m2)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ValueMoments":
+        n, mean, m2 = _WIRE_VALUE_MOMENTS.unpack(data)
+        return cls(n=n, mean=mean, m2=m2)
 
 
 @dataclass
@@ -200,6 +224,14 @@ class _CenteredMoment:
         _, square = self._rebased(at)
         return max(0.0, square)
 
+    def to_bytes(self) -> bytes:
+        return _WIRE_CENTERED.pack(self.total, self.linear, self.square, self.center)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "_CenteredMoment":
+        total, linear, square, center = _WIRE_CENTERED.unpack(data)
+        return cls(total=total, linear=linear, square=square, center=center)
+
 
 @dataclass
 class WeightMoments:
@@ -259,6 +291,16 @@ class WeightMoments:
         """``Σ (cw)(cw - 1)`` for the scaled weights."""
         return scale * scale * self.sum_w2 - scale * self.sum_w
 
+    def to_bytes(self) -> bytes:
+        return _WIRE_WEIGHT_MOMENTS.pack(
+            self.n, self.sum_w, self.sum_w2, self.min_w, self.max_w
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WeightMoments":
+        n, sum_w, sum_w2, min_w, max_w = _WIRE_WEIGHT_MOMENTS.unpack(data)
+        return cls(n=n, sum_w=sum_w, sum_w2=sum_w2, min_w=min_w, max_w=max_w)
+
 
 # -- aggregate states --------------------------------------------------------------
 
@@ -297,6 +339,14 @@ class AggregateState:
         exact: bool = False,
         weight_scale: float = 1.0,
     ) -> Estimate:
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        """The state's wire payload (bit-exact; see :func:`state_to_bytes`)."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AggregateState":
         raise NotImplementedError
 
 
@@ -346,6 +396,15 @@ class CountState(AggregateState):
             selectivity = min(1.0, n / rows_read) if rows_read > 0 else 0.0
             variance = w.sum_w_w_minus_1(c) * max(0.0, 1.0 - selectivity)
         return Estimate(value, variance, n, rows_read, value, exact=False)
+
+    def to_bytes(self) -> bytes:
+        return self.weights.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CountState":
+        state = cls()
+        state.weights = WeightMoments.from_bytes(data)
+        return state
 
 
 class SumState(AggregateState):
@@ -441,6 +500,37 @@ class SumState(AggregateState):
                 variance = ht_pos
         return Estimate(value, variance, n, rows_read, population_rows)
 
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                self.weights.to_bytes(),
+                self.values.to_bytes(),
+                _WIRE_SUM_TAIL.pack(
+                    self.sum_wx,
+                    self.sum_x2_w_w1,
+                    self.sum_x2_w_w1_pos,
+                    self.sum_x2_w2,
+                    self.sum_x2_w,
+                ),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SumState":
+        state = cls()
+        w_end = _WIRE_WEIGHT_MOMENTS.size
+        v_end = w_end + _WIRE_VALUE_MOMENTS.size
+        state.weights = WeightMoments.from_bytes(data[:w_end])
+        state.values = ValueMoments.from_bytes(data[w_end:v_end])
+        (
+            state.sum_wx,
+            state.sum_x2_w_w1,
+            state.sum_x2_w_w1_pos,
+            state.sum_x2_w2,
+            state.sum_x2_w,
+        ) = _WIRE_SUM_TAIL.unpack(data[v_end:])
+        return state
+
 
 class AvgState(AggregateState):
     """Mergeable state of ``AVG(x)`` (mirrors ``estimate_avg``)."""
@@ -504,6 +594,28 @@ class AvgState(AggregateState):
             variance = self.w2_moment.shifted_square(value) / (w.sum_w**2)
         return Estimate(value, variance, n, rows_read, weight_total)
 
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                self.weights.to_bytes(),
+                self.values.to_bytes(),
+                _WIRE_DOUBLE.pack(self.sum_wx),
+                self.w2_moment.to_bytes(),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "AvgState":
+        state = cls()
+        w_end = _WIRE_WEIGHT_MOMENTS.size
+        v_end = w_end + _WIRE_VALUE_MOMENTS.size
+        x_end = v_end + _WIRE_DOUBLE.size
+        state.weights = WeightMoments.from_bytes(data[:w_end])
+        state.values = ValueMoments.from_bytes(data[w_end:v_end])
+        (state.sum_wx,) = _WIRE_DOUBLE.unpack(data[v_end:x_end])
+        state.w2_moment = _CenteredMoment.from_bytes(data[x_end:])
+        return state
+
 
 class VarianceState(AggregateState):
     """Mergeable state of ``VARIANCE(x)`` (mirrors ``estimate_variance``)."""
@@ -557,6 +669,25 @@ class VarianceState(AggregateState):
         variance = closed_form.variance_of_sample_variance(value, n)
         return Estimate(value, variance, n, rows_read, weight_total)
 
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                self.weights.to_bytes(),
+                _WIRE_DOUBLE.pack(self.sum_wx),
+                self.w_moment.to_bytes(),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "VarianceState":
+        state = cls()
+        w_end = _WIRE_WEIGHT_MOMENTS.size
+        x_end = w_end + _WIRE_DOUBLE.size
+        state.weights = WeightMoments.from_bytes(data[:w_end])
+        (state.sum_wx,) = _WIRE_DOUBLE.unpack(data[w_end:x_end])
+        state.w_moment = _CenteredMoment.from_bytes(data[x_end:])
+        return state
+
 
 class StddevState(AggregateState):
     """Mergeable state of ``STDDEV(x)`` (derived from :class:`VarianceState`)."""
@@ -598,6 +729,15 @@ class StddevState(AggregateState):
         variance = closed_form.stddev_variance(var_estimate.value, var_estimate.sample_rows)
         return Estimate(value, variance, var_estimate.sample_rows, rows_read,
                         var_estimate.population_rows)
+
+    def to_bytes(self) -> bytes:
+        return self.inner.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "StddevState":
+        state = cls()
+        state.inner = VarianceState.from_bytes(data)
+        return state
 
 
 class QuantileState(AggregateState):
@@ -701,6 +841,45 @@ class QuantileState(AggregateState):
             sample_rows=self._rows,
         )
 
+    def to_bytes(self) -> bytes:
+        # Materializing sorts by (value, weight); every later consumer
+        # (merge → _compress → finalize) re-sorts the concatenation anyway,
+        # so collapsing the chunk list here changes no downstream bit.
+        values, weights = self._materialize()
+        return b"".join(
+            (
+                _WIRE_QUANTILE_HEAD.pack(
+                    self.p,
+                    self.sketch_size,
+                    self._points,
+                    self._rows,
+                    1 if self.compressed else 0,
+                ),
+                _WIRE_LEN.pack(int(values.shape[0])),
+                np.ascontiguousarray(values, dtype=np.float64).tobytes(),
+                np.ascontiguousarray(weights, dtype=np.float64).tobytes(),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "QuantileState":
+        raw = bytes(data)
+        p, sketch_size, points, rows, compressed = _WIRE_QUANTILE_HEAD.unpack_from(raw, 0)
+        offset = _WIRE_QUANTILE_HEAD.size
+        (count,) = _WIRE_LEN.unpack_from(raw, offset)
+        offset += _WIRE_LEN.size
+        values = np.frombuffer(raw, dtype=np.float64, count=count, offset=offset).copy()
+        offset += count * 8
+        weights = np.frombuffer(raw, dtype=np.float64, count=count, offset=offset).copy()
+        state = cls(p, sketch_size)
+        if count:
+            state._values = [values]
+            state._weights = [weights]
+        state._points = points
+        state._rows = rows
+        state.compressed = bool(compressed)
+        return state
+
 
 # -- factory -------------------------------------------------------------------------
 
@@ -721,6 +900,37 @@ def make_state(function: str, quantile: float | None = None) -> AggregateState:
     if name == "variance":
         return VarianceState()
     raise ValueError(f"unknown aggregate function {function!r}")
+
+
+# -- wire helpers ---------------------------------------------------------------------
+
+_STATE_WIRE_TAGS: dict[type, int] = {
+    CountState: 0,
+    SumState: 1,
+    AvgState: 2,
+    VarianceState: 3,
+    StddevState: 4,
+    QuantileState: 5,
+}
+_STATE_WIRE_LOADERS = {tag: kind.from_bytes for kind, tag in _STATE_WIRE_TAGS.items()}
+
+
+def state_to_bytes(state: AggregateState) -> bytes:
+    """One aggregate state as a self-describing (tag + payload) byte string."""
+    return bytes((_STATE_WIRE_TAGS[type(state)],)) + state.to_bytes()
+
+
+def state_from_bytes(data: bytes) -> AggregateState:
+    """Inverse of :func:`state_to_bytes`."""
+    data = bytes(data)
+    return _STATE_WIRE_LOADERS[data[0]](data[1:])
+
+
+def _read_frame(data: bytes, offset: int) -> tuple[bytes, int]:
+    """Read one length-prefixed frame, returning (payload, next offset)."""
+    (length,) = _WIRE_LEN.unpack_from(data, offset)
+    offset += _WIRE_LEN.size
+    return data[offset : offset + length], offset + length
 
 
 @dataclass
@@ -755,6 +965,44 @@ class GroupPartial:
             self.max_weight * scale
         )
 
+    def to_bytes(self) -> bytes:
+        # The key tuple holds heterogeneous numpy scalars (np.str_ from
+        # dictionary decode, np.int64/np.float64 from .item()-free paths);
+        # pickling the tuple round-trips their exact types so dict lookups
+        # and the finalize sort order behave identically after shipping.
+        key_bytes = pickle.dumps(self.key, protocol=pickle.HIGHEST_PROTOCOL)
+        parts = [
+            _WIRE_LEN.pack(len(key_bytes)),
+            key_bytes,
+            _WIRE_GROUP_HEAD.pack(self.rows, self.min_weight, self.max_weight),
+            _WIRE_LEN.pack(len(self.states)),
+        ]
+        for state in self.states:
+            payload = state_to_bytes(state)
+            parts.append(_WIRE_LEN.pack(len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GroupPartial":
+        raw = bytes(data)
+        key, offset = _read_frame(raw, 0)
+        rows, min_weight, max_weight = _WIRE_GROUP_HEAD.unpack_from(raw, offset)
+        offset += _WIRE_GROUP_HEAD.size
+        (num_states,) = _WIRE_LEN.unpack_from(raw, offset)
+        offset += _WIRE_LEN.size
+        states: list[AggregateState] = []
+        for _ in range(num_states):
+            payload, offset = _read_frame(raw, offset)
+            states.append(state_from_bytes(payload))
+        return cls(
+            key=pickle.loads(key),
+            states=states,
+            rows=rows,
+            min_weight=min_weight,
+            max_weight=max_weight,
+        )
+
 
 @dataclass
 class PartialAggregation:
@@ -787,3 +1035,54 @@ class PartialAggregation:
         self.partitions += other.partitions
         self.has_weights = self.has_weights or other.has_weights
         return self
+
+    def to_bytes(self) -> bytes:
+        """The partial's compact wire form — O(groups × aggregates), never O(rows)."""
+        parts = [
+            _WIRE_PARTIAL_HEAD.pack(
+                self.rows_scanned,
+                self.weight_scanned,
+                self.partitions,
+                1 if self.has_weights else 0,
+            ),
+            _WIRE_LEN.pack(len(self.group_columns)),
+        ]
+        for name in self.group_columns:
+            raw = name.encode("utf-8")
+            parts.append(_WIRE_LEN.pack(len(raw)))
+            parts.append(raw)
+        parts.append(_WIRE_LEN.pack(len(self.groups)))
+        for group in self.groups.values():
+            blob = group.to_bytes()
+            parts.append(_WIRE_LEN.pack(len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PartialAggregation":
+        raw = bytes(data)
+        rows_scanned, weight_scanned, partitions, has_weights = (
+            _WIRE_PARTIAL_HEAD.unpack_from(raw, 0)
+        )
+        offset = _WIRE_PARTIAL_HEAD.size
+        (num_columns,) = _WIRE_LEN.unpack_from(raw, offset)
+        offset += _WIRE_LEN.size
+        columns: list[str] = []
+        for _ in range(num_columns):
+            name, offset = _read_frame(raw, offset)
+            columns.append(name.decode("utf-8"))
+        (num_groups,) = _WIRE_LEN.unpack_from(raw, offset)
+        offset += _WIRE_LEN.size
+        groups: dict[tuple, GroupPartial] = {}
+        for _ in range(num_groups):
+            blob, offset = _read_frame(raw, offset)
+            group = GroupPartial.from_bytes(blob)
+            groups[group.key] = group
+        return cls(
+            group_columns=tuple(columns),
+            groups=groups,
+            rows_scanned=rows_scanned,
+            weight_scanned=weight_scanned,
+            partitions=partitions,
+            has_weights=bool(has_weights),
+        )

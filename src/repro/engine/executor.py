@@ -249,6 +249,15 @@ class QueryExecutor:
         with self._scan_lock:
             self._scan_totals.merge(counters)
 
+    def absorb_scan(self, counters: ScanCounters) -> None:
+        """Merge scan counters computed elsewhere (process-backend workers).
+
+        Worker processes accumulate scan work in their own executors; the
+        parent merges their shipped snapshots here so lifetime totals match
+        what the thread path would have recorded.
+        """
+        self._record_scan(counters)
+
     @property
     def scan_stats(self) -> dict[str, int]:
         """Lifetime zone-mapped scan counters (thread-safe snapshot)."""

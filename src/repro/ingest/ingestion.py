@@ -27,6 +27,7 @@ from repro.ingest.maintainers import (
     MaintenanceDelta,
     StratifiedFamilyMaintainer,
     UniformFamilyMaintainer,
+    stratified_prepare_task,
 )
 from repro.sampling.family import StratifiedSampleFamily, UniformSampleFamily
 from repro.storage.catalog import Catalog
@@ -102,6 +103,7 @@ class TableIngest:
         simulator=None,
         scale_factor: float = 1.0,
         staleness_budget: float = 0.25,
+        procpool_provider=None,
     ) -> None:
         if not catalog.has_table(table_name):
             raise CatalogError(f"unknown table {table_name!r}")
@@ -110,6 +112,9 @@ class TableIngest:
         self.simulator = simulator
         self.scale_factor = scale_factor
         self.staleness_budget = staleness_budget
+        #: Zero-arg callable yielding the facade's process pool (or ``None``);
+        #: appends fan the per-family stratum-grouping prepare stage over it.
+        self._procpool_provider = procpool_provider
         self.counters = IngestCounters()
         #: The statistics snapshot of the last anchor (full build/re-plan);
         #: drift detection compares the current merged snapshot against it.
@@ -117,6 +122,31 @@ class TableIngest:
         self._maintainers = self._build_maintainers()
 
     # -- anchoring ----------------------------------------------------------------
+    def _parallel_prepare(
+        self, batch: ColumnBatch, maintainers: FamilyMaintainers
+    ) -> dict[tuple[str, ...], dict]:
+        """Per-family stratum grouping of the batch, computed on the pool.
+
+        Only the φ-columns of the batch cross the process boundary — O(batch)
+        both ways, while the reservoir state never leaves the parent.  Empty
+        dict when no pool is available (or anything fails): each maintainer
+        then groups inline, with identical results.
+        """
+        if self._procpool_provider is None or len(maintainers.stratified) <= 1:
+            return {}
+        pool = self._procpool_provider()
+        if pool is None or not pool.available:
+            return {}
+        column_sets = list(maintainers.stratified)
+        argses = [
+            ({name: batch[name] for name in columns}, columns)
+            for columns in column_sets
+        ]
+        results = pool.map_calls(stratified_prepare_task, argses)
+        if results is None:
+            return {}
+        return dict(zip(column_sets, results))
+
     def _build_maintainers(self) -> FamilyMaintainers:
         maintainers = FamilyMaintainers()
         table = self.catalog.table(self.table_name)
@@ -192,12 +222,15 @@ class TableIngest:
         # decodes once per append instead of once per resolution.
         pinned = pin_decoded(new_table)
         try:
+            pregrouped = self._parallel_prepare(batch, maintainers)
             if maintainers.uniform is not None:
                 family, delta = maintainers.uniform.apply(new_table, batch, batch_start)
                 updated_families.append((None, family))
                 deltas.append(delta)
             for columns, maintainer in maintainers.stratified.items():
-                family, delta = maintainer.apply(new_table, batch, batch_start)
+                family, delta = maintainer.apply(
+                    new_table, batch, batch_start, pregrouped=pregrouped.get(columns)
+                )
                 updated_families.append((columns, family))
                 deltas.append(delta)
         except BaseException:

@@ -208,8 +208,19 @@ class StratifiedFamilyMaintainer:
 
     # -- appends -----------------------------------------------------------------
     def apply(
-        self, new_table: Table, batch: ColumnBatch, batch_start: int
+        self,
+        new_table: Table,
+        batch: ColumnBatch,
+        batch_start: int,
+        pregrouped: dict[tuple, np.ndarray] | None = None,
     ) -> tuple[StratifiedSampleFamily, MaintenanceDelta]:
+        """Fold one appended batch into the family's reservoirs.
+
+        ``pregrouped`` may carry :func:`stratified_prepare_task` output for
+        this batch and column set (computed on the process pool); the prepare
+        stage is a pure function of the batch's φ-columns, so the result is
+        identical either way.
+        """
         batch_rows = batch_num_rows(batch)
         total = new_table.num_rows
         indices = np.arange(batch_start, batch_start + batch_rows, dtype=np.int64)
@@ -218,7 +229,12 @@ class StratifiedFamilyMaintainer:
         cap_max = max(caps)
         delta = MaintenanceDelta(family=f"{self.table_name}/strat({','.join(self.columns)})")
 
-        for key, positions_arr in _group_batch_by_stratum(batch, self.columns).items():
+        grouped = (
+            pregrouped
+            if pregrouped is not None
+            else _group_batch_by_stratum(batch, self.columns)
+        )
+        for key, positions_arr in grouped.items():
             state = self._strata.get(key)
             if state is None:
                 state = _StratumState(
@@ -327,6 +343,19 @@ def _group_batch_by_stratum(
         )
         grouped[key] = order[bounds[g]:bounds[g + 1]]
     return grouped
+
+
+def stratified_prepare_task(
+    phi_batch: ColumnBatch, columns: tuple[str, ...]
+) -> dict[tuple, np.ndarray]:
+    """Process-pool task: the pure prepare stage of one family's append.
+
+    Takes only the batch's φ-columns (O(batch) shipped in, O(batch) stratum
+    positions shipped back) and no maintainer state — the reservoir merges
+    stay in the parent.  Identical to the inline
+    :func:`_group_batch_by_stratum` by construction.
+    """
+    return _group_batch_by_stratum(phi_batch, columns)
 
 
 @dataclass

@@ -56,6 +56,7 @@ from repro.planner.logical import LogicalPlan
 from repro.planner.physical import PartitionSpec, PhysicalPlan, PlanMode
 from repro.planner.planner import QueryPlanner
 from repro.runtime.partitioned import PartitionPipeline, ProgressCallback
+from repro.runtime.procpool import ProcessBackend, ProcessPartitionPool
 from repro.runtime.selection import FamilySelection, ProbeResult
 from repro.runtime.sizing import ErrorLatencyProfile
 from repro.sampling.resolution import SampleResolution
@@ -97,6 +98,7 @@ class BlinkDBRuntime:
         simulator: ClusterSimulator | None = None,
         dimension_tables: Mapping[str, Table] | None = None,
         observability: Observability | None = None,
+        procpool: ProcessPartitionPool | None = None,
     ) -> None:
         self.catalog = catalog
         self.config = config or BlinkDBConfig()
@@ -123,6 +125,12 @@ class BlinkDBRuntime:
         )
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        # Facade-owned process pool (shared across runtime rebuilds); this
+        # runtime's shm exports live under its own epoch, released on close()
+        # — the facade closes the runtime on every append/load/build, which
+        # is exactly the generation fence the segments need.
+        self._procpool = procpool
+        self._procpool_epoch = procpool.new_epoch() if procpool is not None else None
         self._stats_lock = threading.Lock()
         self._queries_executed = 0
         self._exact_queries_executed = 0
@@ -474,6 +482,8 @@ class BlinkDBRuntime:
             sample_name=resolution.name,
             scan_sink=sink,
         )
+        pool = self._partition_pool()
+        backend = self._process_backend(plan.logical, resolution, fallback=pool)
         result = self.pipeline.run(
             plan.logical,
             resolution.table,
@@ -484,12 +494,46 @@ class BlinkDBRuntime:
             scan_latency_seconds=spec.scan_latency_seconds,
             task_overhead_seconds=spec.task_overhead_seconds,
             deadline_seconds=spec.deadline_seconds,
-            pool=self._partition_pool(),
+            pool=backend if backend is not None else pool,
             progress=progress,
             trace_span=trace_span,
         )
         stats = result.metadata["partitions"]
         return result, stats
+
+    def _process_backend(
+        self,
+        logical: LogicalPlan,
+        resolution: SampleResolution,
+        fallback: ThreadPoolExecutor | None,
+    ) -> ProcessBackend | None:
+        """The process-pool binding for this resolution, or ``None``.
+
+        ``None`` — plans with joins, ``execution_backend="threads"``, no
+        pool, shm unavailable, or export failure — means the pipeline uses
+        the thread/inline path; a constructed backend still carries
+        ``fallback`` so it can decline per query without losing the pool.
+        """
+        procpool = self._procpool
+        if (
+            procpool is None
+            or self._procpool_epoch is None
+            or self.config.execution_backend != "processes"
+            or logical.joins
+            or not procpool.available
+        ):
+            return None
+        handle = procpool.ensure_export(
+            self._procpool_epoch,
+            f"{logical.table}:{resolution.name}",
+            resolution.table,
+            resolution.weights,
+        )
+        if handle is None:
+            return None
+        return ProcessBackend(
+            procpool, handle, executor=self.executor, fallback=fallback
+        )
 
     def _partition_pool(self) -> ThreadPoolExecutor | None:
         """The shared partial-aggregation pool (None when configured inline)."""
@@ -509,12 +553,18 @@ class BlinkDBRuntime:
 
         The facade calls this whenever it discards a runtime (sample
         rebuilds, data reloads) so partition worker threads never outlive
-        the runtime that started them.
+        the runtime that started them.  The process pool itself is
+        facade-owned and survives; only this runtime's epoch of shm exports
+        is released — that is the generation fence that keeps appends and
+        ``load_table`` from leaking segments.
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False)
+        procpool, epoch = self._procpool, self._procpool_epoch
+        if procpool is not None and epoch is not None:
+            procpool.release_epoch(epoch)
 
     def _attach_latency(
         self,

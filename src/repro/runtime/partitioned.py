@@ -406,6 +406,21 @@ class PartitionPipeline:
         if not partitions:
             return []
         with trace_span.span("partial-aggregate", partitions=len(partitions)) as dispatch:
+            # Backend seam: a process backend (duck-typed on
+            # ``map_partitions``) runs the partials in worker processes over
+            # shared memory and ships back serialized states; any ``None``
+            # return (no shm, joins, worker death) falls through to its
+            # thread-pool fallback with identical semantics.
+            if hasattr(pool, "map_partitions"):
+                if len(partitions) > 1:
+                    shipped = pool.map_partitions(
+                        plan, partitions, sink=sink, trace_span=dispatch
+                    )
+                    if shipped is not None:
+                        dispatch.annotate(backend="processes")
+                        return shipped
+                pool = getattr(pool, "fallback", None)
+
             # The per-partition child spans are opened from whichever thread
             # runs the partition — the pool's workers under fan-out — and
             # joined into this dispatch span across threads.

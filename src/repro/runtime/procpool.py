@@ -1,0 +1,544 @@
+"""Process-parallel partition execution over shared-memory blocks.
+
+The partition pipeline's thread pool keeps the *schedule* honest but not the
+wall clock: CPython threads share one GIL, so fanning CPU-bound partial
+aggregation over threads buys nothing.  This module is the escape hatch —
+a persistent spawn-based :class:`ProcessPartitionPool` whose workers
+
+* **attach** exported tables by shared-memory handle
+  (:mod:`repro.storage.shm`): the O(rows) column data never crosses the
+  process boundary, only the small picklable handle does;
+* **execute** the filter + partial-aggregation stage with their own
+  :class:`~repro.engine.executor.QueryExecutor` (zone maps and kernels
+  included — the exporter ships its zone-map metadata in the handle);
+* **ship back** only the compact serialized
+  :class:`~repro.engine.accumulators.PartialAggregation` states —
+  O(groups × aggregates) bytes per partition, never O(rows).
+
+The pool is deliberately dumb about *what* it runs: the pipeline seam in
+:mod:`repro.runtime.partitioned` duck-types on
+:meth:`ProcessBackend.map_partitions`, and every failure path (no
+``/dev/shm``, spawn refused, a worker dying mid-query) returns ``None`` so
+the caller falls back to the thread/inline path — the process backend can
+degrade, never break, a query.
+
+Segment lifecycle is *epoch*-fenced: each runtime generation takes an epoch
+(:meth:`ProcessPartitionPool.new_epoch`), registers its table exports under
+it, and releases the whole epoch when the facade invalidates the runtime
+(append / ``load_table`` / sample rebuild).  Workers only ever close their
+attach-side mappings; the parent owns every unlink, so no segment outlives
+the generation that exported it.
+
+Beyond queries, :meth:`ProcessPartitionPool.map_calls` runs arbitrary
+module-level functions on the same workers — sample builds fan per-stratum
+permutation work out through it, and ingest maintenance fans its per-family
+batch preparation — so writes scale on the same pool as reads.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.clock import monotonic
+from repro.engine.accumulators import PartialAggregation
+from repro.engine.executor import QueryExecutor
+from repro.engine.kernels import ScanCounters, ScanSink
+from repro.obs.trace import NULL_SPAN, AnySpan
+from repro.planner.logical import LogicalPlan
+from repro.storage import shm
+from repro.storage.block import Block, TablePartition
+
+#: How many attached segments each worker keeps mapped (LRU).  A segment is
+#: attached once per worker and reused across every query of its generation;
+#: the cache only matters when many tables/resolutions rotate through.
+_DEFAULT_SEGMENT_CACHE = 8
+
+
+# -- worker side --------------------------------------------------------------------
+#
+# Workers are spawned (never forked: fork would snapshot the parent's locks,
+# kernel caches, and numpy state) with `_worker_init` as the initializer.
+# All worker state lives in this module-global dict, keyed per process.
+
+_WORKER: dict[str, Any] = {}
+
+
+def _worker_init(executor_options: dict[str, Any], cache_segments: int) -> None:
+    """Per-process initializer: a private executor + an attach cache."""
+    _WORKER["executor"] = QueryExecutor(**executor_options)
+    _WORKER["segments"] = OrderedDict()
+    _WORKER["cache_segments"] = max(1, int(cache_segments))
+
+
+def _attached(handle: shm.SharedTableHandle) -> shm.AttachedTable:
+    """Attach ``handle``'s segment (cached per worker, LRU-evicted)."""
+    segments: OrderedDict[str, shm.AttachedTable] = _WORKER["segments"]
+    cached = segments.get(handle.segment)
+    if cached is not None:
+        segments.move_to_end(handle.segment)
+        return cached
+    attached = shm.attach_table(handle)
+    segments[handle.segment] = attached
+    while len(segments) > _WORKER["cache_segments"]:
+        _, evicted = segments.popitem(last=False)
+        evicted.close()
+    return attached
+
+
+def _warm() -> int:
+    """No-op task used to force worker spawn + import cost up front."""
+    return os.getpid()
+
+
+def _run_partition_chunk(
+    handle: shm.SharedTableHandle,
+    plan_blob: bytes,
+    ranges: Sequence[tuple[int, int, int, int, int]],
+) -> dict[str, Any]:
+    """Partial-aggregate a chunk of row-range partitions of one shared table.
+
+    ``ranges`` holds ``(position, block_index, row_start, row_end,
+    size_bytes)`` tuples — ``position`` is the caller's slot for the partial,
+    the rest rebuild the zero-copy :class:`TablePartition` over the attached
+    table exactly as the parent's ``table.partitions()`` would.
+
+    Returns a small dict: serialized partials, span records relative to the
+    task's own clock (the parent re-anchors them into the query trace), the
+    worker's scan-counter snapshot, and its pid.
+    """
+    t0 = time.monotonic()
+    executor: QueryExecutor = _WORKER["executor"]
+    attached = _attached(handle)
+    plan = pickle.loads(plan_blob)
+    sink = ScanSink()
+    partials: list[tuple[int, bytes]] = []
+    spans: list[tuple[str, float, float, dict[str, Any]]] = []
+    for position, block_index, row_start, row_end, size_bytes in ranges:
+        started = time.monotonic() - t0
+        block = Block(handle.name, block_index, row_start, row_end, size_bytes)
+        weights = (
+            attached.weights[row_start:row_end]
+            if attached.weights is not None
+            else None
+        )
+        partition = TablePartition(source=attached.table, block=block, weights=weights)
+        partial = executor.partial_aggregate_partition(plan, partition, sink=sink)
+        spans.append(
+            (
+                "partition",
+                started,
+                time.monotonic() - t0,
+                {"rows": row_end - row_start, "backend": "process"},
+            )
+        )
+        partials.append((position, partial.to_bytes()))
+    return {
+        "partials": partials,
+        "spans": spans,
+        "elapsed": time.monotonic() - t0,
+        "scan": sink.as_dict(),
+        "pid": os.getpid(),
+    }
+
+
+def stratum_permutations_task(
+    handle: shm.SharedTableHandle, columns: tuple[str, ...]
+) -> tuple:
+    """Worker task: per-stratum permutations of one shared table.
+
+    :func:`~repro.sampling.stratified.stratum_permutations` is deterministic
+    in (table name, column set) — ``stable_rng``-seeded — so the result is
+    bit-identical to the parent computing it; only the O(rows) group-and-sort
+    work moves off the parent.  Imported lazily: the sampling layer is not a
+    dependency of the pool itself.
+    """
+    from repro.sampling.stratified import stratum_permutations
+
+    attached = _attached(handle)
+    return stratum_permutations(attached.table, tuple(columns))
+
+
+# -- parent side --------------------------------------------------------------------
+
+
+class ProcessPartitionPool:
+    """A persistent spawn-based worker pool over shared-memory table exports.
+
+    Owned by the facade (one pool for the process, surviving runtime
+    rebuilds); runtimes rent *epochs* from it and register their table
+    exports under the epoch, so releasing the epoch unlinks exactly the
+    segments of that generation.  All entry points degrade by returning
+    ``None``/``False`` instead of raising — the caller always has a
+    same-semantics thread or inline path to fall back to.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        scan_acceleration: bool = True,
+        zone_block_rows: int | None = None,
+        encoded_fold: bool = True,
+        cache_segments: int = _DEFAULT_SEGMENT_CACHE,
+    ) -> None:
+        cpu = os.cpu_count() or 1
+        self.max_workers = max(1, int(max_workers) if max_workers else cpu)
+        self._executor_options = {
+            "scan_acceleration": scan_acceleration,
+            "zone_block_rows": zone_block_rows,
+            "encoded_fold": encoded_fold,
+        }
+        self._cache_segments = cache_segments
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._failure: str | None = None
+        self._epoch_counter = 0
+        self._exports: dict[tuple[int, str], shm.TableExport] = {}
+        # Lifetime counters (exposed as db.metrics()["procpool"] gauges).
+        self._queries = 0
+        self._tasks = 0
+        self._partials_shipped = 0
+        self._bytes_shipped_total = 0
+        self._bytes_shipped_last = 0
+        self._segments_exported = 0
+        self._bytes_exported = 0
+
+    # -- availability --------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether the process backend can run here (or has permanently failed)."""
+        return (
+            not self._closed
+            and self._failure is None
+            and shm.shared_memory_available()
+        )
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Why the backend is unavailable, or ``None`` when it is usable."""
+        if self._closed:
+            return "pool closed"
+        if self._failure is not None:
+            return self._failure
+        if not shm.shared_memory_available():
+            return "shared memory unavailable"
+        return None
+
+    def _mark_failed(self, exc: BaseException) -> None:
+        """Record a permanent failure and retire the pool (threads take over)."""
+        with self._lock:
+            if self._failure is None:
+                self._failure = f"{type(exc).__name__}: {exc}"
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        with self._lock:
+            if self._closed or self._failure is not None:
+                return None
+            if self._pool is None:
+                try:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.max_workers,
+                        mp_context=get_context("spawn"),
+                        initializer=_worker_init,
+                        initargs=(dict(self._executor_options), self._cache_segments),
+                    )
+                except Exception as exc:  # pragma: no cover - platform-specific
+                    self._failure = f"{type(exc).__name__}: {exc}"
+                    return None
+            return self._pool
+
+    def warm(self, timeout: float | None = 60.0) -> bool:
+        """Spawn all workers now (spawn + import cost off the first query)."""
+        if not self.available:
+            return False
+        pool = self._ensure_pool()
+        if pool is None:
+            return False
+        try:
+            futures = [pool.submit(_warm) for _ in range(self.max_workers)]
+            for future in futures:
+                future.result(timeout=timeout)
+        except Exception as exc:
+            self._mark_failed(exc)
+            return False
+        return True
+
+    # -- epoch-fenced exports ------------------------------------------------------
+    def new_epoch(self) -> int:
+        """A fresh export epoch (one per runtime generation)."""
+        with self._lock:
+            self._epoch_counter += 1
+            return self._epoch_counter
+
+    def ensure_export(
+        self, epoch: int, key: str, table, weights=None
+    ) -> shm.SharedTableHandle | None:
+        """Export ``table`` under ``(epoch, key)`` once; return its handle.
+
+        Idempotent per key: repeated calls for the same resolution reuse the
+        first export.  Returns ``None`` when exporting is impossible (shm
+        unavailable / pool closed) or fails — the query then falls back.
+        """
+        if not self.available:
+            return None
+        with self._lock:
+            existing = self._exports.get((epoch, key))
+            if existing is not None and not existing.closed:
+                return existing.handle
+        try:
+            export = shm.export_table(table, weights)
+        except Exception as exc:
+            self._mark_failed(exc)
+            return None
+        with self._lock:
+            if self._closed:
+                export.close()
+                return None
+            raced = self._exports.get((epoch, key))
+            if raced is not None and not raced.closed:
+                export.close()
+                return raced.handle
+            self._exports[(epoch, key)] = export
+            self._segments_exported += 1
+            self._bytes_exported += export.nbytes
+        return export.handle
+
+    def release_epoch(self, epoch: int) -> None:
+        """Close + unlink every segment exported under ``epoch`` (idempotent)."""
+        with self._lock:
+            keys = [k for k in self._exports if k[0] == epoch]
+            exports = [self._exports.pop(k) for k in keys]
+        for export in exports:
+            export.close()
+
+    def release_export(self, epoch: int, key: str) -> None:
+        """Close + unlink one export (transient uses: sample builds)."""
+        with self._lock:
+            export = self._exports.pop((epoch, key), None)
+        if export is not None:
+            export.close()
+
+    # -- execution -----------------------------------------------------------------
+    def map_partitions(
+        self,
+        plan: LogicalPlan,
+        handle: shm.SharedTableHandle,
+        partitions: Sequence[TablePartition],
+        *,
+        sink: ScanSink | None = None,
+        executor: QueryExecutor | None = None,
+        trace_span: AnySpan = NULL_SPAN,
+    ) -> list[PartialAggregation] | None:
+        """Partial-aggregate ``partitions`` of the exported table in workers.
+
+        Partitions are split into at most ``max_workers`` contiguous chunks
+        (one task each: partitions are equal row ranges, so chunks are
+        balanced); the plan is pickled once per query.  Results come back as
+        serialized partial states, reassembled into input order.  Worker
+        span records are re-anchored onto this process's monotonic clock
+        (``gather_end - worker_elapsed``) and attached under ``trace_span``;
+        worker scan counters merge into ``sink`` and ``executor``'s lifetime
+        totals exactly as the thread path would have recorded them.
+
+        Returns ``None`` on any failure — the caller falls back to threads.
+        """
+        if not self.available:
+            return None
+        if not partitions:
+            return []
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        plan_blob = pickle.dumps(plan)
+        total = len(partitions)
+        num_chunks = min(total, self.max_workers)
+        base, extra = divmod(total, num_chunks)
+        chunks: list[list[tuple[int, int, int, int, int]]] = []
+        position = 0
+        for i in range(num_chunks):
+            size = base + (1 if i < extra else 0)
+            chunk = []
+            for pos in range(position, position + size):
+                block = partitions[pos].block
+                chunk.append(
+                    (pos, block.index, block.row_start, block.row_end, block.size_bytes)
+                )
+            chunks.append(chunk)
+            position += size
+        try:
+            futures = [
+                pool.submit(_run_partition_chunk, handle, plan_blob, chunk)
+                for chunk in chunks
+            ]
+            results = [future.result() for future in futures]
+        except Exception as exc:
+            self._mark_failed(exc)
+            return None
+
+        gather_end = monotonic()
+        partials: list[PartialAggregation | None] = [None] * total
+        shipped = 0
+        for result in results:
+            for pos, blob in result["partials"]:
+                shipped += len(blob)
+                partials[pos] = PartialAggregation.from_bytes(blob)
+            # Worker clocks are not our clock: anchor each task's relative
+            # span records so the task *ends* at its gather time here.
+            anchor = gather_end - result["elapsed"]
+            for name, rel_start, rel_end, attrs in result["spans"]:
+                trace_span.record_span(
+                    name, anchor + rel_start, anchor + rel_end,
+                    pid=result["pid"], **attrs,
+                )
+            scan = dict(result["scan"])
+            rows_in = scan.pop("rows_in", 0)
+            rows_matched = scan.pop("rows_matched", 0)
+            counters = ScanCounters(**scan)
+            if executor is not None:
+                executor.absorb_scan(counters)
+            if sink is not None:
+                sink.record_scan(counters)
+                if rows_in:
+                    sink.record_filter(rows_in, rows_matched)
+        assert all(p is not None for p in partials)
+        with self._lock:
+            self._queries += 1
+            self._tasks += len(chunks)
+            self._partials_shipped += total
+            self._bytes_shipped_total += shipped
+            self._bytes_shipped_last = shipped
+        return partials  # type: ignore[return-value]
+
+    def map_calls(
+        self,
+        fn: Callable[..., Any],
+        argses: Iterable[tuple],
+        *,
+        timeout: float | None = None,
+    ) -> list[Any] | None:
+        """Run ``fn(*args)`` per tuple on the pool; ``None`` → run inline.
+
+        ``fn`` must be a module-level function (pickled by reference); its
+        arguments typically include a :class:`SharedTableHandle` so the
+        worker reads its O(rows) input from shared memory.  Used by sample
+        builds and ingest maintenance.
+        """
+        calls = list(argses)
+        if not calls:
+            return []
+        if not self.available:
+            return None
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        try:
+            futures = [pool.submit(fn, *args) for args in calls]
+            out = [future.result(timeout=timeout) for future in futures]
+        except Exception as exc:
+            self._mark_failed(exc)
+            return None
+        with self._lock:
+            self._tasks += len(calls)
+        return out
+
+    # -- observability / lifecycle -------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Pool/IPC gauges (``db.metrics()["procpool"]``); all numeric."""
+        with self._lock:
+            return {
+                "workers": self.max_workers,
+                "started": int(self._pool is not None),
+                "available": int(
+                    not self._closed
+                    and self._failure is None
+                    and shm.shared_memory_available()
+                ),
+                "queries": self._queries,
+                "tasks": self._tasks,
+                "partials_shipped": self._partials_shipped,
+                "bytes_shipped_total": self._bytes_shipped_total,
+                "bytes_shipped_last_query": self._bytes_shipped_last,
+                "segments_exported": self._segments_exported,
+                "segments_active": sum(
+                    1 for e in self._exports.values() if not e.closed
+                ),
+                "bytes_exported": self._bytes_exported,
+            }
+
+    def close(self) -> None:
+        """Shut down workers and unlink every live segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            exports = list(self._exports.values())
+            self._exports.clear()
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        for export in exports:
+            export.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ProcessBackend:
+    """One query-path binding of (pool, exported table) for the pipeline seam.
+
+    The pipeline duck-types on :meth:`map_partitions`; a ``None`` return
+    means "use my ``fallback``" (the runtime's thread pool, or inline).
+    Plans with dimension joins always decline — workers hold no dimension
+    tables, and broadcast-joining them per query would break the zero-copy
+    contract.
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        pool: ProcessPartitionPool,
+        handle: shm.SharedTableHandle,
+        *,
+        executor: QueryExecutor | None = None,
+        fallback: Executor | None = None,
+    ) -> None:
+        self.pool = pool
+        self.handle = handle
+        self.executor = executor
+        self.fallback = fallback
+
+    def map_partitions(
+        self,
+        plan: LogicalPlan,
+        partitions: Sequence[TablePartition],
+        *,
+        sink: ScanSink | None = None,
+        trace_span: AnySpan = NULL_SPAN,
+    ) -> list[PartialAggregation] | None:
+        if plan.joins:
+            return None
+        if partitions and partitions[0].source.num_rows != self.handle.num_rows:
+            return None  # stale handle: table changed under us — fall back
+        return self.pool.map_partitions(
+            plan,
+            self.handle,
+            partitions,
+            sink=sink,
+            executor=self.executor,
+            trace_span=trace_span,
+        )

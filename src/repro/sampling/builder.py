@@ -51,6 +51,7 @@ class SampleBuilder:
         simulator: ClusterSimulator | None = None,
         scale_factor: float = 1.0,
         cluster_config: ClusterConfig | None = None,
+        procpool_provider=None,
     ) -> None:
         """
         Parameters
@@ -72,6 +73,10 @@ class SampleBuilder:
         self.simulator = simulator
         self.scale_factor = scale_factor
         self.cluster_config = cluster_config or (simulator.config if simulator else ClusterConfig())
+        #: Zero-arg callable yielding the facade's process pool (or ``None``);
+        #: a callable rather than the pool itself because the pool is lazy
+        #: and may be torn down/recreated across the builder's lifetime.
+        self._procpool_provider = procpool_provider
 
     # -- base tables ----------------------------------------------------------------
     def register_base_table(self, table: Table, cache: bool | float = False) -> None:
@@ -102,10 +107,13 @@ class SampleBuilder:
         columns: Sequence[str],
         largest_cap: int | None = None,
         cache: bool | float = True,
+        precomputed: tuple | None = None,
     ) -> StratifiedSampleFamily:
         """Build and register ``SFam(φ)`` for ``φ = columns``."""
         self.register_base_table(table)
-        family = StratifiedSampleFamily.build(table, columns, self.config, largest_cap)
+        family = StratifiedSampleFamily.build(
+            table, columns, self.config, largest_cap, precomputed=precomputed
+        )
         self.catalog.register_stratified_family(table.name, family.key, family)
         self._register_family_datasets(family, cache)
         return family
@@ -129,16 +137,58 @@ class SampleBuilder:
         include_uniform: bool = True,
         cache: bool | float = True,
     ) -> BuildReport:
-        """Build the uniform family plus one stratified family per column set."""
+        """Build the uniform family plus one stratified family per column set.
+
+        With a process pool available, the per-stratum permutation pass of
+        every column set — the O(rows) heart of each family build — fans out
+        over workers reading one shared-memory export of the base table; the
+        permutations are deterministic, so the families are identical to the
+        serial build's.
+        """
         report = BuildReport(table_name=table.name)
         if include_uniform:
             uniform = self.build_uniform_family(table, cache=cache)
             report.uniform_rows = uniform.largest.num_rows
             report.uniform_storage_bytes = uniform.storage_bytes
-        for columns in column_sets:
-            family = self.build_stratified_family(table, columns, cache=cache)
+        sets = [tuple(columns) for columns in column_sets]
+        permutations = self._parallel_permutations(table, sets)
+        for columns in sets:
+            family = self.build_stratified_family(
+                table, columns, cache=cache, precomputed=permutations.get(columns)
+            )
             report.stratified[family.key] = family.storage_bytes
         return report
+
+    def _parallel_permutations(
+        self, table: Table, column_sets: list[tuple[str, ...]]
+    ) -> dict[tuple[str, ...], tuple]:
+        """Per-stratum permutations of every column set, computed on the pool.
+
+        Empty dict when no pool is available (or anything fails): the caller
+        computes each permutation inline — same answers, one process.
+        """
+        if self._procpool_provider is None or len(column_sets) <= 1:
+            return {}
+        pool = self._procpool_provider()
+        if pool is None or not pool.available:
+            return {}
+        from repro.runtime.procpool import stratum_permutations_task
+
+        epoch = pool.new_epoch()
+        try:
+            handle = pool.ensure_export(epoch, f"build:{table.name}", table)
+            if handle is None:
+                return {}
+            results = pool.map_calls(
+                stratum_permutations_task,
+                [(handle, columns) for columns in column_sets],
+            )
+            if results is None:
+                return {}
+            return dict(zip(column_sets, results))
+        finally:
+            # Transient export: the build is the segment's whole lifetime.
+            pool.release_epoch(epoch)
 
     def layout_for(self, family: UniformSampleFamily | StratifiedSampleFamily) -> FamilyLayout:
         """The Fig. 4 block layout of a family on this builder's cluster."""

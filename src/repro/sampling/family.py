@@ -164,13 +164,22 @@ class StratifiedSampleFamily(_FamilyBase):
         columns: Sequence[str],
         config: SamplingConfig,
         largest_cap: int | None = None,
+        precomputed: tuple | None = None,
     ) -> "StratifiedSampleFamily":
-        """Build ``SFam(φ)`` with the geometric cap ladder of ``config``."""
+        """Build ``SFam(φ)`` with the geometric cap ladder of ``config``.
+
+        ``precomputed`` may carry :func:`stratum_permutations` output computed
+        elsewhere (a process-pool worker over a shared-memory export); the
+        permutation is deterministic in (table name, columns), so the result
+        is identical to computing it here.
+        """
         columns = tuple(columns)
         if largest_cap is None:
             largest_cap = config.effective_cap(table.num_rows)
         caps = config.resolution_caps(largest_cap)
-        shared = stratum_permutations(table, columns)
+        shared = (
+            precomputed if precomputed is not None else stratum_permutations(table, columns)
+        )
         resolutions = [
             build_stratified_resolution(table, columns, cap, precomputed=shared)
             for cap in sorted(set(caps))

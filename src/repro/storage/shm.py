@@ -1,0 +1,427 @@
+"""Shared-memory export/attach of columnar tables.
+
+The process-parallel backend (:mod:`repro.runtime.procpool`) escapes the GIL
+by running filter + partial-aggregation stages in worker *processes*.  That
+only pays off if the table never crosses the process boundary: this module
+exports every backing array of a :class:`~repro.storage.table.Table` — plain
+column data, string dictionaries (as fixed-width unicode arrays), per-row
+sample weights, and the storage arrays of PR-7 encoded blocks — into one
+``multiprocessing.shared_memory`` segment, and rebuilds an equivalent table
+in the worker as zero-copy, read-only views over the attached buffer.
+
+What is shared vs shipped:
+
+* **Shared (by buffer handle, never pickled):** all O(rows) data — column
+  arrays, dictionary-code arrays, RLE run values/lengths, FOR/bit-packed
+  stored ints, null-suppressed dense values and NaN positions, weights.
+* **Shipped (in the picklable :class:`SharedTableHandle`):** O(columns +
+  blocks) metadata — the array layout table, column reconstruction specs,
+  the schema, and the table's cached zone-map indexes (per-block min/max
+  summaries, metadata-scale by construction), so worker-side kernels triage
+  blocks without an O(rows) rebuild pass.
+
+Lifecycle: the exporting side owns the segment through :class:`TableExport`
+and must :meth:`~TableExport.close` it (close + unlink) when the table's
+generation is invalidated — the runtime hooks this into its own close path,
+which the facade triggers on every append/load/build.  Workers attach
+read-only and merely close their mapping; the kernel frees the memory once
+the creator has unlinked and the last mapping is gone.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.encodings import (
+    BlockEncoding,
+    ColumnEncoding,
+    EncodedColumn,
+    ForBlock,
+    NullSuppressedBlock,
+    RawBlock,
+    RleBlock,
+)
+from repro.storage.schema import ColumnType
+from repro.storage.table import Table
+
+#: Byte alignment of every array inside the segment (cache-line sized, and
+#: comfortably above numpy's strictest dtype alignment requirement).
+_ALIGNMENT = 64
+
+_available: bool | None = None
+
+#: Serializes the attach-side resource-tracker registration suppression.
+_attach_lock = threading.Lock()
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory works here (probed once, cached).
+
+    Containers without ``/dev/shm`` (or with it mounted noexec/0-sized) make
+    ``SharedMemory(create=True)`` raise; the execution backend uses this to
+    fall back to threads instead of failing queries.
+    """
+    global _available
+    if _available is None:
+        try:
+            probe = shared_memory.SharedMemory(create=True, size=_ALIGNMENT)
+        except Exception:
+            _available = False
+        else:
+            probe.close()
+            probe.unlink()
+            _available = True
+    return _available
+
+
+# -- picklable handle metadata ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Layout of one array inside the segment."""
+
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Reconstruction recipe of one encoded block (arrays live in the segment)."""
+
+    kind: str  # raw | rle | for | packed | null
+    array_keys: tuple[str, ...]
+    reference: int = 0
+    rows: int = 0
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Reconstruction recipe of one column."""
+
+    name: str
+    ctype: ColumnType
+    data_key: str | None = None  # plain columns
+    dictionary_key: str | None = None  # STRING columns
+    blocks: tuple[BlockSpec, ...] = ()  # encoded columns
+    block_rows: int = 0
+    encoding_dtype: str = ""
+    offset: int = 0
+    rows: int = 0
+
+
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """Everything a worker needs to attach one exported table.
+
+    Small and picklable: names, layout specs, and pickled zone-map metadata.
+    The O(rows) payload stays in the named segment.
+    """
+
+    segment: str
+    name: str
+    num_rows: int
+    nbytes: int
+    arrays: Mapping[str, ArraySpec]
+    columns: tuple[ColumnSpec, ...]
+    has_weights: bool
+    zone_blob: bytes
+
+
+# -- export (parent side) -----------------------------------------------------------
+
+
+class TableExport:
+    """Parent-side ownership of one exported table's shm segment."""
+
+    def __init__(self, handle: SharedTableHandle, segment: shared_memory.SharedMemory):
+        self.handle = handle
+        self._segment: shared_memory.SharedMemory | None = segment
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    @property
+    def closed(self) -> bool:
+        return self._segment is None
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class _SegmentBuilder:
+    """Accumulates arrays, then lays them out contiguously in one segment."""
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def add(self, key: str, array: np.ndarray) -> str:
+        self._arrays[key] = np.ascontiguousarray(array)
+        return key
+
+    def build(self) -> tuple[dict[str, ArraySpec], shared_memory.SharedMemory]:
+        specs: dict[str, ArraySpec] = {}
+        offset = 0
+        for key, array in self._arrays.items():
+            offset = -(-offset // _ALIGNMENT) * _ALIGNMENT
+            specs[key] = ArraySpec(dtype=array.dtype.str, shape=array.shape, offset=offset)
+            offset += array.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, _ALIGNMENT))
+        for key, array in self._arrays.items():
+            spec = specs[key]
+            if array.size == 0:
+                continue
+            view = np.ndarray(
+                spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset
+            )
+            view[...] = array
+        return specs, segment
+
+
+def _export_blocks(
+    builder: _SegmentBuilder, prefix: str, blocks: tuple[BlockEncoding, ...]
+) -> tuple[BlockSpec, ...]:
+    specs: list[BlockSpec] = []
+    for j, block in enumerate(blocks):
+        key = f"{prefix}b{j}"
+        if isinstance(block, RleBlock):
+            specs.append(
+                BlockSpec(
+                    kind="rle",
+                    array_keys=(
+                        builder.add(f"{key}.values", block.values),
+                        builder.add(f"{key}.lengths", block.lengths),
+                    ),
+                )
+            )
+        elif isinstance(block, ForBlock):
+            specs.append(
+                BlockSpec(
+                    kind=block.kind,
+                    array_keys=(builder.add(f"{key}.stored", block.stored),),
+                    reference=block.reference,
+                )
+            )
+        elif isinstance(block, NullSuppressedBlock):
+            specs.append(
+                BlockSpec(
+                    kind="null",
+                    array_keys=(
+                        builder.add(f"{key}.dense", block.dense),
+                        builder.add(f"{key}.nan_pos", block.nan_pos),
+                    ),
+                    rows=block.rows,
+                )
+            )
+        elif isinstance(block, RawBlock):
+            specs.append(
+                BlockSpec(kind="raw", array_keys=(builder.add(f"{key}.values", block.values),))
+            )
+        else:  # pragma: no cover - new block kinds must be taught to export
+            raise TypeError(f"unknown block encoding {type(block).__name__}")
+    return tuple(specs)
+
+
+def export_table(table: Table, weights: np.ndarray | None = None) -> TableExport:
+    """Export ``table`` (and optional aligned ``weights``) into one shm segment.
+
+    Dictionaries are exported as fixed-width ``<U`` unicode arrays (object
+    arrays cannot live in a flat buffer); decoding through them yields
+    ``np.str_`` values, which compare, hash, and sort exactly like the
+    parent's ``str`` labels, so group keys match bit-for-bit across backends.
+    """
+    builder = _SegmentBuilder()
+    column_specs: list[ColumnSpec] = []
+    for i, column in enumerate(table.columns()):
+        prefix = f"c{i}."
+        dictionary_key = None
+        if column.dictionary is not None:
+            dictionary_key = builder.add(
+                f"{prefix}dict", np.asarray(column.dictionary).astype(str)
+            )
+        if isinstance(column, EncodedColumn):
+            encoding = column.encoding
+            column_specs.append(
+                ColumnSpec(
+                    name=column.name,
+                    ctype=column.ctype,
+                    dictionary_key=dictionary_key,
+                    blocks=_export_blocks(builder, prefix, tuple(encoding.blocks)),
+                    block_rows=encoding.block_rows,
+                    encoding_dtype=np.dtype(encoding.dtype).str,
+                    offset=column.offset,
+                    rows=len(column),
+                )
+            )
+        else:
+            column_specs.append(
+                ColumnSpec(
+                    name=column.name,
+                    ctype=column.ctype,
+                    data_key=builder.add(f"{prefix}data", column.data),
+                    dictionary_key=dictionary_key,
+                )
+            )
+    if weights is not None:
+        builder.add("weights", np.asarray(weights, dtype=np.float64))
+    specs, segment = builder.build()
+    handle = SharedTableHandle(
+        segment=segment.name,
+        name=table.name,
+        num_rows=table.num_rows,
+        nbytes=segment.size,
+        arrays=specs,
+        columns=tuple(column_specs),
+        has_weights=weights is not None,
+        zone_blob=pickle.dumps(dict(table._zone_indexes)),
+    )
+    return TableExport(handle, segment)
+
+
+# -- attach (worker side) -----------------------------------------------------------
+
+
+class AttachedTable:
+    """A worker's read-only view of one exported table.
+
+    Holds the segment mapping open for as long as the table is in use; the
+    arrays are views over ``segment.buf`` and become invalid once this is
+    closed.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        table: Table,
+        weights: np.ndarray | None,
+    ) -> None:
+        self._segment: shared_memory.SharedMemory | None = segment
+        self.table = table
+        self.weights = weights
+
+    def close(self) -> None:
+        """Drop the table and close the mapping (idempotent, never unlinks)."""
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        self.table = None  # type: ignore[assignment]
+        self.weights = None
+        segment.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    # Attaching would register the segment with the resource tracker, which
+    # (a) unlinks it — yanking the data out from under every other worker —
+    # when any single attaching process exits, and (b) collapses with the
+    # exporter's registration in the tracker's set-based cache, so the
+    # exporter's unlink-time unregister then fails (cpython#82300).  Only
+    # the exporting side owns the segment's lifetime: suppress the attach
+    # registration entirely (python 3.12's ``track=False``, backported).
+    from multiprocessing import resource_tracker
+
+    with _attach_lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _view(segment: shared_memory.SharedMemory, spec: ArraySpec) -> np.ndarray:
+    array = np.ndarray(spec.shape, dtype=spec.dtype, buffer=segment.buf, offset=spec.offset)
+    array.flags.writeable = False
+    return array
+
+
+def _rebuild_block(
+    spec: BlockSpec, arrays: list[np.ndarray]
+) -> BlockEncoding:
+    if spec.kind == "rle":
+        return RleBlock(arrays[0], arrays[1])
+    if spec.kind in ("for", "packed"):
+        return ForBlock(arrays[0], spec.reference, kind=spec.kind)
+    if spec.kind == "null":
+        return NullSuppressedBlock(arrays[0], arrays[1], spec.rows)
+    if spec.kind == "raw":
+        return RawBlock(arrays[0])
+    raise TypeError(f"unknown block spec kind {spec.kind!r}")
+
+
+def attach_table(handle: SharedTableHandle) -> AttachedTable:
+    """Rebuild the exported table over the attached segment (zero-copy)."""
+    segment = _attach_segment(handle.segment)
+    columns: list[Column] = []
+    for spec in handle.columns:
+        dictionary = (
+            _view(segment, handle.arrays[spec.dictionary_key])
+            if spec.dictionary_key is not None
+            else None
+        )
+        if spec.blocks:
+            blocks = [
+                _rebuild_block(
+                    block, [_view(segment, handle.arrays[key]) for key in block.array_keys]
+                )
+                for block in spec.blocks
+            ]
+            encoding = ColumnEncoding(blocks, spec.block_rows, np.dtype(spec.encoding_dtype))
+            columns.append(
+                EncodedColumn(
+                    spec.name,
+                    spec.ctype,
+                    encoding,
+                    dictionary=dictionary,
+                    offset=spec.offset,
+                    rows=spec.rows,
+                )
+            )
+        else:
+            assert spec.data_key is not None
+            columns.append(
+                Column(
+                    spec.name,
+                    spec.ctype,
+                    _view(segment, handle.arrays[spec.data_key]),
+                    dictionary=dictionary,
+                )
+            )
+    table = Table(handle.name, columns)
+    # The exporter's zone maps are authoritative for this generation; kernels
+    # triage blocks in the worker without an O(rows) rebuild pass.
+    table._zone_indexes.update(pickle.loads(handle.zone_blob))
+    weights = (
+        _view(segment, handle.arrays["weights"]) if handle.has_weights else None
+    )
+    return AttachedTable(segment, table, weights)

@@ -1,0 +1,218 @@
+"""Property-based tests for the partial-state wire format.
+
+The process backend ships only serialized partial-aggregation states across
+the IPC boundary, so the wire format must be *bit-exact*: a state that
+crosses the boundary and merges on the other side has to behave identically
+to one that never left the process — same estimates, same error bars, down
+to the last bit.  Three invariant families, hypothesis-driven:
+
+* **Round-trip identity** — ``from_bytes(to_bytes(state))`` finalizes to
+  bit-identical estimates for every aggregate kind, over unweighted,
+  weighted, exact, and anytime (``weight_scale != 1``) finalize paths.
+* **Merge transparency** — merging round-tripped states is bit-identical
+  to merging the originals, in any order.
+* **Canonical encoding** — re-serializing a decoded state (or a whole
+  :class:`PartialAggregation` produced by the executor) reproduces the
+  original byte string exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common.rng import make_rng
+from repro.engine.accumulators import (
+    QUANTILE_SKETCH_SIZE,
+    PartialAggregation,
+    make_state,
+    state_from_bytes,
+    state_to_bytes,
+)
+from repro.engine.executor import QueryExecutor
+from repro.sql.parser import parse_query
+from repro.storage.table import Table
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_weights = st.floats(
+    min_value=1.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+AGGREGATES = ["count", "sum", "avg", "variance", "stddev", "quantile"]
+
+
+def chunked_data(min_chunks=1, max_chunks=4):
+    """(chunk list) strategy: a few (values, weights) vectors to feed a state."""
+
+    def one_chunk(n):
+        return st.tuples(
+            arrays(np.float64, n, elements=finite_floats),
+            arrays(np.float64, n, elements=positive_weights),
+        )
+
+    return st.lists(
+        st.integers(min_value=0, max_value=30).flatmap(one_chunk),
+        min_size=min_chunks,
+        max_size=max_chunks,
+    )
+
+
+def _build(name, chunks):
+    state = make_state(name, 0.5)
+    for values, weights in chunks:
+        state.update(values, weights)
+    return state
+
+
+def _bits(x: float) -> bytes:
+    """The exact bit pattern of a float (NaN-safe equality)."""
+    return np.float64(x).tobytes()
+
+
+def _assert_estimates_bitwise(a, b, context=()):
+    assert _bits(a.value) == _bits(b.value), (*context, "value", a.value, b.value)
+    assert _bits(a.variance) == _bits(b.variance), (
+        *context,
+        "variance",
+        a.variance,
+        b.variance,
+    )
+    assert a.exact == b.exact, context
+
+
+FINALIZE_PATHS = [
+    # (label, population_read, exact, weight_scale) — the unweighted,
+    # weighted-population, exact, and anytime (coverage-scaled) paths.
+    ("plain", None, False, 1.0),
+    ("population", 5_000.0, False, 1.0),
+    ("exact", None, True, 1.0),
+    ("anytime", None, False, 2.5),
+]
+
+
+class TestStateRoundTrip:
+    @pytest.mark.parametrize("name", AGGREGATES)
+    @given(chunks=chunked_data())
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_finalizes_bitwise_identical(self, name, chunks):
+        state = _build(name, chunks)
+        clone = state_from_bytes(state_to_bytes(state))
+        assert type(clone) is type(state)
+        rows_read = sum(len(v) for v, _ in chunks) * 2 + 1
+        for label, population, exact, scale in FINALIZE_PATHS:
+            # Finalize consumes no state, so one clone covers every path.
+            _assert_estimates_bitwise(
+                state.finalize(rows_read, population, exact=exact, weight_scale=scale),
+                clone.finalize(rows_read, population, exact=exact, weight_scale=scale),
+                context=(name, label),
+            )
+
+    @pytest.mark.parametrize("name", AGGREGATES)
+    @given(chunks=chunked_data(min_chunks=2, max_chunks=4))
+    @settings(max_examples=40, deadline=None)
+    def test_round_tripped_states_merge_bitwise_identical(self, name, chunks):
+        direct = _build(name, [chunks[0]])
+        shipped = state_from_bytes(state_to_bytes(_build(name, [chunks[0]])))
+        for chunk in chunks[1:]:
+            direct.merge(_build(name, [chunk]))
+            shipped.merge(state_from_bytes(state_to_bytes(_build(name, [chunk]))))
+        rows_read = sum(len(v) for v, _ in chunks) * 2 + 1
+        for label, population, exact, scale in FINALIZE_PATHS:
+            _assert_estimates_bitwise(
+                direct.finalize(rows_read, population, exact=exact, weight_scale=scale),
+                shipped.finalize(rows_read, population, exact=exact, weight_scale=scale),
+                context=(name, label),
+            )
+
+    @pytest.mark.parametrize("name", AGGREGATES)
+    @given(chunks=chunked_data())
+    @settings(max_examples=40, deadline=None)
+    def test_encoding_is_canonical(self, name, chunks):
+        blob = state_to_bytes(_build(name, chunks))
+        assert state_to_bytes(state_from_bytes(blob)) == blob
+
+
+WIRE_SQL = (
+    "SELECT COUNT(*), SUM(x), AVG(x), VARIANCE(x), STDDEV(x), QUANTILE(x, 0.8) "
+    "FROM t WHERE f < 6 GROUP BY g"
+)
+
+
+def _random_table(seed, rows=2_000):
+    rng = make_rng(seed)
+    table = Table.from_dict(
+        "t",
+        {
+            "g": [f"g{i}" for i in rng.integers(0, 5, rows)],
+            "x": rng.lognormal(2.0, 0.8, rows).tolist(),
+            "f": rng.integers(0, 10, rows).tolist(),
+        },
+    )
+    weights = np.where(rng.random(rows) < 0.3, 1.0, rng.uniform(2.0, 40.0, rows))
+    return table, weights
+
+
+class TestPartialAggregationWire:
+    """The exact objects the process backend ships: executor-produced partials."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 59])
+    def test_shipped_partials_finalize_bitwise_identical(self, seed):
+        table, weights = _random_table(seed)
+        executor = QueryExecutor()
+        query = parse_query(WIRE_SQL)
+        partitions = table.partitions(weights=weights, num_partitions=5)
+
+        def finalize(merged):
+            return executor.finalize(
+                query,
+                merged,
+                None,
+                rows_read=table.num_rows,
+                population_read=float(np.sum(weights)),
+            )
+
+        partials = [
+            executor.partial_aggregate_partition(query, p) for p in partitions
+        ]
+        shipped = [PartialAggregation.from_bytes(p.to_bytes()) for p in partials]
+        direct = partials[0]
+        via_wire = shipped[0]
+        for p, s in zip(partials[1:], shipped[1:]):
+            direct = direct.merge(p)
+            via_wire = via_wire.merge(s)
+        for g_direct, g_wire in zip(finalize(direct), finalize(via_wire)):
+            assert g_direct.key == g_wire.key
+            for fn in g_direct.aggregates:
+                a, b = g_direct[fn], g_wire[fn]
+                assert _bits(a.value) == _bits(b.value), (seed, fn)
+                assert _bits(a.interval.half_width) == _bits(
+                    b.interval.half_width
+                ), (seed, fn)
+
+    @pytest.mark.parametrize("seed", [13, 41])
+    def test_partial_encoding_is_canonical_and_compact(self, seed):
+        executor = QueryExecutor()
+        query = parse_query(WIRE_SQL)
+
+        def blob_for(rows):
+            table, weights = _random_table(seed, rows=rows)
+            (partition,) = table.partitions(weights=weights, num_partitions=1)
+            partial = executor.partial_aggregate_partition(query, partition)
+            blob = partial.to_bytes()
+            assert PartialAggregation.from_bytes(blob).to_bytes() == blob
+            assert len(partial.groups) > 0
+            return len(blob), len(partial.groups)
+
+        # O(groups × aggregates), never O(rows): once every group's quantile
+        # sketch has hit its cap, doubling the rows must not meaningfully
+        # grow the wire size, and the total stays within the per-group
+        # budget (sketch cap dominates; the five scalar states are tiny).
+        small, groups_small = blob_for(80_000)
+        large, groups_large = blob_for(160_000)
+        assert groups_small == groups_large
+        assert large < small * 1.5
+        per_group_budget = QUANTILE_SKETCH_SIZE * 16 + 6 * 1024
+        assert large < groups_large * per_group_budget
