@@ -1,0 +1,155 @@
+"""Fault-injection overhead: the disabled path must be free on the hot path.
+
+Not a figure from the paper — this guards PR 9's zero-overhead contract.
+Every instrumented layer (shm export/attach, procpool chunk dispatch, the
+ingest write path, the service worker loop) consults the process-global
+injector through one module-global read plus an ``is None`` test; with no
+plan installed that is the *entire* cost, so the disabled path is within
+measurement noise of the pre-instrumentation hot path (the ≤2% p50 budget
+is spent on a handful of pointer reads per query).
+
+What can actually be measured at runtime is the next rung up: an installed
+but *inert* plan (rules that can never fire) pays the full arrival-counting
+path on every process-backend chunk dispatch.  The sweep times the
+partition-parallel query hot path in both modes, interleaved round-robin so
+drift hits both equally, and asserts the inert-plan p50 stays within a
+generous 10% of the disabled p50 — if counting arrivals is nearly free,
+the is-None fast path below it certainly is.
+
+Run directly for the full sweep; ``REPRO_BENCH_QUICK=1`` (the CI smoke job
+does) shrinks it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import pytest
+
+from benchmarks._report import print_header, print_table
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.core.blinkdb import BlinkDB
+from repro.faults import FaultPlan
+from repro.faults import injector as injector_mod
+from repro.service.metrics import percentile_of
+from repro.storage import shm
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 30 if QUICK else 120
+
+#: Timer granularity / scheduler-jitter allowance.
+EPSILON_S = 50e-6
+
+#: Generous sanity ceiling for the *inert-plan* path (the disabled path is
+#: strictly cheaper: one global read and an ``is None`` test per layer).
+MAX_INERT_OVERHEAD = 0.10
+
+#: Rules at every procpool-dispatch point that can never fire (nth is far
+#: beyond any arrival this sweep produces), so the arrival-counting cost is
+#: paid on every chunk without perturbing a single query.
+INERT_PLAN = (
+    "procpool.worker_crash:nth=1000000000;"
+    " procpool.worker_hang:nth=1000000000;"
+    " shm.attach_fail:nth=1000000000"
+)
+
+SQL = "SELECT COUNT(*), AVG(session_time) FROM sessions GROUP BY city"
+
+
+def _build_db() -> BlinkDB:
+    from repro.workloads.conviva import conviva_query_templates, generate_sessions_table
+
+    table = generate_sessions_table(num_rows=20_000, seed=11, num_cities=12)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        config = BlinkDBConfig(
+            sampling=SamplingConfig(
+                largest_cap=300, min_cap=25, uniform_sample_fraction=0.1
+            ),
+            cluster=ClusterConfig(num_nodes=8),
+            execution_backend="processes",
+            procpool_workers=2,
+        )
+        db = BlinkDB(config)
+    db.load_table(table, simulated_rows=100_000_000)
+    db.register_workload(templates=conviva_query_templates())
+    db.build_samples(storage_budget_fraction=0.5)
+    return db
+
+
+def run_overhead_sweep(db):
+    injector_mod.uninstall()
+    inert = injector_mod.FaultInjector(FaultPlan.parse(INERT_PLAN))
+    timings: dict[str, list[float]] = {"disabled": [], "inert-plan": []}
+
+    def once() -> float:
+        start = time.perf_counter()
+        result = db.runtime.execute_partitioned(SQL, num_partitions=8, sim_workers=4)
+        elapsed = time.perf_counter() - start
+        assert result.groups
+        return elapsed
+
+    once()  # warm: spawn workers, export the table, compile kernels
+    for _ in range(REPEATS):
+        timings["disabled"].append(once())
+        # Re-install the same injector each pass so arrivals accumulate.
+        with injector_mod.installed(inert):
+            timings["inert-plan"].append(once())
+
+    arrivals = sum(
+        value for key, value in inert.stats().items() if key.endswith(".arrivals")
+    )
+    rows = []
+    for mode, samples in timings.items():
+        rows.append(
+            {
+                "mode": mode,
+                "queries": len(samples),
+                "p50_ms": round(1e3 * percentile_of(samples, 0.50), 3),
+                "p90_ms": round(1e3 * percentile_of(samples, 0.90), 3),
+                "mean_ms": round(1e3 * sum(samples) / len(samples), 3),
+            }
+        )
+    return rows, timings, arrivals
+
+
+@pytest.mark.benchmark(group="fault-overhead")
+@pytest.mark.skipif(
+    not shm.shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+def test_fault_injection_overhead(benchmark):
+    db = _build_db()
+    try:
+        rows, timings, arrivals = benchmark.pedantic(
+            lambda: run_overhead_sweep(db), rounds=1, iterations=1
+        )
+    finally:
+        db.close()
+        injector_mod.uninstall()
+
+    disabled_p50 = percentile_of(timings["disabled"], 0.50)
+    inert_p50 = percentile_of(timings["inert-plan"], 0.50)
+    overhead = (inert_p50 - disabled_p50) / disabled_p50
+
+    print_header(
+        "Fault-injection overhead on the partition-parallel hot path "
+        f"({REPEATS} interleaved queries per mode; process backend). "
+        "The disabled path is one module-global read per instrumented "
+        "layer (≤2% p50 by construction); 'inert-plan' pays full arrival "
+        f"counting ({arrivals:,} arrivals recorded) and measured "
+        f"{100 * overhead:+.2f}% p50 here."
+    )
+    print_table(rows)
+
+    # A slow host can make either mode jitter; the assertion uses the
+    # generous ceiling plus a timer-granularity epsilon.
+    assert inert_p50 <= disabled_p50 * (1.0 + MAX_INERT_OVERHEAD) + EPSILON_S, (
+        f"inert-plan p50 {1e3 * inert_p50:.3f}ms vs disabled "
+        f"{1e3 * disabled_p50:.3f}ms ({100 * overhead:+.1f}%)"
+    )
+
+    # The injector actually saw the dispatch points — the sweep measured the
+    # arrival-counting path, not a silent no-op.
+    assert arrivals > 0, "inert plan was never consulted; sweep measured nothing"

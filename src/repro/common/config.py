@@ -221,6 +221,36 @@ class BlinkDBConfig:
     execution_backend: str = "threads"
     # Worker processes in the process backend; 0 means os.cpu_count().
     procpool_workers: int = 0
+    # -- self-healing process backend (PR 9) -------------------------------------
+    # Wall-clock deadline per dispatched chunk before a worker is declared
+    # hung and its chunk hedged to the thread path; None disables detection.
+    procpool_task_timeout_seconds: float | None = 30.0
+    # Failed chunks are re-dispatched to a recycled pool up to this many
+    # extra rounds (0 = no process-side retry, straight to threads).
+    procpool_retry_attempts: int = 2
+    # Base of the capped exponential backoff (with seeded jitter) between
+    # retry rounds.
+    procpool_retry_backoff_seconds: float = 0.05
+    # Circuit breaker: after this many consecutive faulted process-backend
+    # queries, trip to threads; probe the pool again after the cooldown.
+    procpool_breaker_threshold: int = 3
+    procpool_breaker_cooldown_seconds: float = 5.0
+    # -- service retry policy ----------------------------------------------------
+    # Queries are read-only, hence idempotent: the service re-submits a
+    # failed execution up to this many times with exponential backoff before
+    # failing the ticket.  Admission rejections are never retried.
+    service_retries: int = 1
+    service_retry_backoff_seconds: float = 0.05
+    # IngestController.flush() retries a failed append this many times
+    # before re-queuing the rows and surfacing the error.
+    ingest_flush_retries: int = 2
+    # -- fault injection ---------------------------------------------------------
+    # A scriptable fault plan (see repro.faults.FaultPlan.parse), installed
+    # process-globally when the facade is constructed.  None (the default)
+    # leaves injection disabled; the instrumented layers then pay only a
+    # module-global is-None check.
+    fault_plan: str | None = None
+    fault_seed: int = 0
     # -- streaming ingestion -----------------------------------------------------
     # Per-family staleness budget: the fraction of a table's rows (or of a
     # stratified family's strata) that may arrive after the last full
@@ -287,6 +317,27 @@ class BlinkDBConfig:
                 "scheduling overhead",
                 stacklevel=2,
             )
+        if (
+            self.procpool_task_timeout_seconds is not None
+            and self.procpool_task_timeout_seconds <= 0.0
+        ):
+            raise ValueError(
+                "procpool_task_timeout_seconds must be positive (or None)"
+            )
+        if self.procpool_retry_attempts < 0:
+            raise ValueError("procpool_retry_attempts must be >= 0")
+        if self.procpool_retry_backoff_seconds < 0.0:
+            raise ValueError("procpool_retry_backoff_seconds must be non-negative")
+        if self.procpool_breaker_threshold < 1:
+            raise ValueError("procpool_breaker_threshold must be >= 1")
+        if self.procpool_breaker_cooldown_seconds < 0.0:
+            raise ValueError("procpool_breaker_cooldown_seconds must be non-negative")
+        if self.service_retries < 0:
+            raise ValueError("service_retries must be >= 0")
+        if self.service_retry_backoff_seconds < 0.0:
+            raise ValueError("service_retry_backoff_seconds must be non-negative")
+        if self.ingest_flush_retries < 0:
+            raise ValueError("ingest_flush_retries must be >= 0")
         if self.max_anytime_partitions < 1:
             raise ValueError("max_anytime_partitions must be >= 1")
         if self.min_partition_rows < 1:

@@ -32,6 +32,7 @@ from repro.common.errors import CatalogError, PlanningError
 from repro.cluster.simulator import ClusterSimulator
 from repro.engine.kernels import ScanSink
 from repro.engine.result import QueryResult
+from repro import faults
 from repro.ingest.batch import batch_num_rows, columns_from_rows
 from repro.ingest.ingestion import TableIngest
 from repro.obs.analyze import AnalyzeResult, analyze_text
@@ -71,6 +72,13 @@ class BlinkDB:
 
     def __init__(self, config: BlinkDBConfig | None = None) -> None:
         self.config = config or BlinkDBConfig()
+        if self.config.fault_plan:
+            # Scriptable chaos: install the configured fault plan process-
+            # globally so every instrumented layer consults it.  Disabled
+            # (the default) costs each layer one module-global None check.
+            faults.install(
+                faults.FaultPlan.parse(self.config.fault_plan, seed=self.config.fault_seed)
+            )
         self.catalog = Catalog()
         self.simulator = ClusterSimulator(self.config.cluster)
         #: Shared observability spine — tracer, metrics registry, accuracy
@@ -508,6 +516,43 @@ class BlinkDB:
             procpool_stats,
         )
 
+        def faults_stats() -> dict[str, object]:
+            flat: dict[str, object] = {}
+            injector = faults.active()
+            if injector is not None:
+                flat.update(injector.stats())
+            procpool = self._procpool  # never *create* the pool for a scrape
+            if procpool is not None:
+                stats = procpool.stats()
+                for key in (
+                    "retries",
+                    "respawns",
+                    "hedges",
+                    "surrendered",
+                    "thread_redispatches",
+                    "breaker_state",
+                    "breaker_trips",
+                    "breaker_half_opens",
+                    "breaker_consecutive_failures",
+                ):
+                    flat[f"procpool.{key}"] = stats.get(key, 0)
+                for key, value in stats.items():
+                    if key.startswith("fallbacks."):
+                        flat[f"procpool.{key}"] = value
+            with self._services_lock:
+                services = list(self._services)
+            for service in services:
+                flat[f"service.{service.name}.retries"] = service.metrics.retries.value
+            return flat
+
+        self.obs.register_stats(
+            "faults",
+            "Fault injection and self-healing: injector arrivals/fires per "
+            "point, procpool retry/respawn/hedge/surrender counters, circuit "
+            "breaker state and trips, and per-service query retries.",
+            faults_stats,
+        )
+
     def audit_accuracy(self, sql: str | Query) -> dict[str, object]:
         """Run ``sql`` approximately *and* exactly; score the error bars.
 
@@ -655,6 +700,7 @@ class BlinkDB:
             batch_rows=batch_rows or self.config.ingest_batch_rows,
             max_pending_rows=max_pending_rows or self.config.ingest_max_pending_rows,
             background=background,
+            flush_retries=self.config.ingest_flush_retries,
         )
 
     def ingest_stats(self) -> dict[str, dict[str, object]]:
@@ -785,6 +831,11 @@ class BlinkDB:
                         self.config.procpool_workers or None,
                         scan_acceleration=self.config.scan_acceleration,
                         zone_block_rows=self.config.zone_block_rows,
+                        task_timeout_seconds=self.config.procpool_task_timeout_seconds,
+                        retry_attempts=self.config.procpool_retry_attempts,
+                        retry_backoff_seconds=self.config.procpool_retry_backoff_seconds,
+                        breaker_threshold=self.config.procpool_breaker_threshold,
+                        breaker_cooldown_seconds=self.config.procpool_breaker_cooldown_seconds,
                     )
         return self._procpool
 

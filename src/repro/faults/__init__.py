@@ -1,0 +1,26 @@
+"""Seeded fault injection and the self-healing primitives built on it."""
+
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import (
+    FaultDecision,
+    FaultInjector,
+    active,
+    install,
+    installed,
+    uninstall,
+)
+from repro.faults.plan import KNOWN_POINTS, FaultInjectedError, FaultPlan, FaultRule
+
+__all__ = [
+    "KNOWN_POINTS",
+    "CircuitBreaker",
+    "FaultDecision",
+    "FaultInjectedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "active",
+    "install",
+    "installed",
+    "uninstall",
+]

@@ -1,0 +1,119 @@
+"""A circuit breaker for the processes→threads degradation ladder.
+
+Closed (normal) → open after ``failure_threshold`` *consecutive* faulted
+queries (callers stop offering work to the faulty backend) → half-open after
+``cooldown_seconds`` (exactly one probe query is let through) → closed again
+on probe success, re-open on probe failure.
+
+``allow()`` is the mutating gate — it consumes the half-open probe slot — so
+metric scrapes must use the non-mutating :attr:`state` property instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+from typing import Callable
+
+STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_seconds < 0.0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._open = False
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._probe_started = 0.0
+        self._consecutive_failures = 0
+        self._trips = 0
+        self._half_opens = 0
+
+    def allow(self) -> bool:
+        """May a request proceed?  Consumes the half-open probe slot."""
+        now = self._clock()
+        with self._lock:
+            if not self._open:
+                return True
+            if self._probe_in_flight:
+                # A probe that never reported back (the admitted query
+                # declined the backend before exercising it) must not wedge
+                # the breaker open forever: reclaim the slot after a full
+                # cooldown.
+                if now - self._probe_started < self.cooldown_seconds:
+                    return False
+            elif now - self._opened_at < self.cooldown_seconds:
+                return False
+            self._probe_in_flight = True
+            self._probe_started = now
+            self._half_opens += 1
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._open and self._probe_in_flight:
+                self._open = False
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._open:
+                if self._probe_in_flight:
+                    # Failed probe: restart the cooldown.
+                    self._probe_in_flight = False
+                    self._opened_at = self._clock()
+                return
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open = True
+                self._opened_at = self._clock()
+                self._trips += 1
+
+    @property
+    def state(self) -> str:
+        """Non-mutating view: "closed", "open", or "half-open"."""
+        with self._lock:
+            if not self._open:
+                return "closed"
+            if (
+                not self._probe_in_flight
+                and self._clock() - self._opened_at >= self.cooldown_seconds
+            ):
+                return "half-open"
+            return "open"
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    @property
+    def half_opens(self) -> int:
+        with self._lock:
+            return self._half_opens
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "breaker_state": STATE_CODES[self.state],
+            "breaker_trips": self.trips,
+            "breaker_half_opens": self.half_opens,
+            "breaker_consecutive_failures": self.consecutive_failures,
+        }

@@ -1,0 +1,145 @@
+"""The runtime side of fault injection: arrival counting and decisions.
+
+One :class:`FaultInjector` wraps a :class:`~repro.faults.plan.FaultPlan` and
+answers the only question the instrumented layers ask: *"a request just
+arrived at point X — does a fault fire, and with what latency?"*.  Decisions
+are deterministic: the n-th arrival at a point always gets the same answer
+for the same plan seed, regardless of thread interleaving, because
+probability draws are counter-based (``index_uniforms`` over the arrival
+number) rather than drawn from shared mutable RNG state.
+
+Layers consult the process-global injector through :func:`active`, which is
+``None`` unless a plan was installed — so the disabled path costs a single
+module-global read and ``is None`` test.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.rng import index_uniforms
+from repro.faults.plan import FaultInjectedError, FaultPlan, FaultRule
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """A fault that fired: which point, which rule, and any injected delay."""
+
+    point: str
+    rule_index: int
+    arrival: int
+    latency_seconds: float = 0.0
+
+    def error(self, detail: str = "") -> FaultInjectedError:
+        suffix = f" ({detail})" if detail else ""
+        return FaultInjectedError(
+            f"injected fault at {self.point} "
+            f"(rule {self.rule_index}, arrival {self.arrival}){suffix}"
+        )
+
+
+class FaultInjector:
+    """Evaluates a plan's rules against per-point arrival streams."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._arrivals: dict[str, int] = {}
+        self._fires: dict[str, int] = {}
+        self._rule_fires: dict[int, int] = {}
+
+    def check(self, point: str) -> FaultDecision | None:
+        """Record an arrival at ``point`` and return the fault, if one fires.
+
+        Rules are evaluated in plan order; the first rule that fires wins.
+        """
+        rules = self.plan.rules_for(point)
+        with self._lock:
+            arrival = self._arrivals.get(point, 0) + 1
+            self._arrivals[point] = arrival
+            for rule_index, rule in rules:
+                if not self._rule_fires_on(rule_index, rule, point, arrival):
+                    continue
+                self._rule_fires[rule_index] = self._rule_fires.get(rule_index, 0) + 1
+                self._fires[point] = self._fires.get(point, 0) + 1
+                return FaultDecision(
+                    point=point,
+                    rule_index=rule_index,
+                    arrival=arrival,
+                    latency_seconds=rule.latency_seconds,
+                )
+        return None
+
+    def _rule_fires_on(
+        self, rule_index: int, rule: FaultRule, point: str, arrival: int
+    ) -> bool:
+        if rule.limit is not None and self._rule_fires.get(rule_index, 0) >= rule.limit:
+            return False
+        if rule.nth:
+            return arrival == rule.nth
+        if rule.probability:
+            draw = index_uniforms(
+                np.array([arrival], dtype=np.int64),
+                "fault",
+                self.plan.seed,
+                point,
+                rule_index,
+            )[0]
+            return bool(draw < rule.probability)
+        return True
+
+    def stats(self) -> dict[str, int]:
+        """Flat numeric counters, suitable for the metrics registry."""
+        with self._lock:
+            out: dict[str, int] = {}
+            for point in sorted(set(self._arrivals) | set(self._fires)):
+                out[f"{point}.arrivals"] = self._arrivals.get(point, 0)
+                out[f"{point}.fires"] = self._fires.get(point, 0)
+            return out
+
+
+_LOCK = threading.Lock()
+ACTIVE: FaultInjector | None = None
+
+
+def install(plan_or_injector: FaultPlan | FaultInjector) -> FaultInjector:
+    """Make a plan the process-global injector (replacing any previous one)."""
+    global ACTIVE
+    injector = (
+        plan_or_injector
+        if isinstance(plan_or_injector, FaultInjector)
+        else FaultInjector(plan_or_injector)
+    )
+    with _LOCK:
+        ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    global ACTIVE
+    with _LOCK:
+        ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    """The installed injector, or ``None`` — the zero-overhead fast path."""
+    return ACTIVE
+
+
+@contextmanager
+def installed(plan_or_injector: FaultPlan | FaultInjector) -> Iterator[FaultInjector]:
+    """Scope an injector to a ``with`` block (restores the previous one)."""
+    global ACTIVE
+    with _LOCK:
+        previous = ACTIVE
+    injector = install(plan_or_injector)
+    try:
+        yield injector
+    finally:
+        with _LOCK:
+            ACTIVE = previous

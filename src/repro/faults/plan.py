@@ -1,0 +1,144 @@
+"""Seeded, scriptable fault plans.
+
+A :class:`FaultPlan` names *where* faults strike (injection points such as
+``procpool.worker_crash``) and *when* (crash-on-Nth-arrival, probability-p
+per arrival, one-shot, bounded totals, latency injection) — all
+deterministic per seed, so a chaos run is exactly reproducible.
+
+Plans are scriptable from a single string so CI jobs, benchmarks, and
+``BlinkDBConfig(fault_plan=...)`` can describe a whole campaign without
+code::
+
+    procpool.worker_crash:nth=2; shm.attach_fail:p=0.3; service.slow_worker:latency=0.05,once
+
+Each ``;``-separated clause is ``point[:option,option,...]`` with options
+
+* ``nth=N``     — fire on exactly the N-th arrival at the point (1-based);
+* ``p=F``       — fire with probability ``F`` per arrival (seeded,
+  counter-based — the decision for arrival ``i`` depends only on
+  ``(seed, point, rule, i)``, never on thread interleaving);
+* ``once``      — shorthand for ``limit=1``;
+* ``limit=N``   — stop firing after N total fires;
+* ``latency=F`` — attach ``F`` seconds of injected delay to the decision
+  (hang/slow-worker points; ignored by fail-fast points).
+
+A clause with neither ``nth`` nor ``p`` fires on *every* arrival (subject to
+``limit``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ExecutionError
+
+#: The injection points the library's layers consult.  Plans may only name
+#: these, so a typo'd point fails at parse time instead of silently never
+#: firing.
+KNOWN_POINTS = frozenset(
+    {
+        "procpool.worker_crash",
+        "procpool.worker_hang",
+        "shm.attach_fail",
+        "shm.alloc_fail",
+        "ingest.batch_fail",
+        "service.slow_worker",
+    }
+)
+
+
+class FaultInjectedError(ExecutionError):
+    """An error raised *on purpose* by the fault-injection harness.
+
+    Constructed with a single message so it pickles cleanly across the
+    process-pool boundary (workers raise it, the parent re-raises it).
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger condition at one injection point."""
+
+    point: str
+    #: Fire on exactly this arrival number (1-based); 0 disables nth-mode.
+    nth: int = 0
+    #: Fire with this probability per arrival; 0.0 disables probability-mode.
+    probability: float = 0.0
+    #: Stop firing after this many fires; ``None`` is unbounded.
+    limit: int | None = None
+    #: Injected delay (seconds) carried by the decision; hang/slow points
+    #: sleep for it, fail-fast points ignore it.
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.point not in KNOWN_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; known: {sorted(KNOWN_POINTS)}"
+            )
+        if self.nth < 0:
+            raise ValueError("nth must be >= 0")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.nth and self.probability:
+            raise ValueError("a rule is either nth-based or probability-based, not both")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be >= 1")
+        if self.latency_seconds < 0.0:
+            raise ValueError("latency_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the rule set it makes deterministic."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the scriptable clause syntax (see the module docstring)."""
+        rules: list[FaultRule] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            point, _, options = clause.partition(":")
+            point = point.strip()
+            kwargs: dict[str, object] = {}
+            for option in options.split(",") if options else []:
+                option = option.strip()
+                if not option:
+                    continue
+                if option == "once":
+                    kwargs["limit"] = 1
+                    continue
+                key, eq, value = option.partition("=")
+                if not eq:
+                    raise ValueError(
+                        f"bad fault option {option!r} in clause {clause!r}"
+                        " (expected key=value or 'once')"
+                    )
+                key = key.strip()
+                value = value.strip()
+                if key == "nth":
+                    kwargs["nth"] = int(value)
+                elif key == "p":
+                    kwargs["probability"] = float(value)
+                elif key == "limit":
+                    kwargs["limit"] = int(value)
+                elif key == "latency":
+                    kwargs["latency_seconds"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault option {key!r} in clause {clause!r}")
+            rules.append(FaultRule(point, **kwargs))  # type: ignore[arg-type]
+        return cls(seed=seed, rules=tuple(rules))
+
+    def rules_for(self, point: str) -> tuple[tuple[int, FaultRule], ...]:
+        """The (plan-index, rule) pairs registered at ``point``."""
+        return tuple(
+            (index, rule) for index, rule in enumerate(self.rules) if rule.point == point
+        )
+
+    @property
+    def points(self) -> frozenset[str]:
+        return frozenset(rule.point for rule in self.rules)

@@ -12,6 +12,7 @@ maintenance without feeling it.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.common.errors import CatalogError
@@ -31,15 +32,23 @@ class IngestController:
         batch_rows: int = 4096,
         max_pending_rows: int = 65536,
         background: bool = True,
+        flush_retries: int = 0,
+        retry_backoff_seconds: float = 0.05,
     ) -> None:
         if batch_rows < 1:
             raise ValueError("batch_rows must be >= 1")
         if max_pending_rows < batch_rows:
             raise ValueError("max_pending_rows must be >= batch_rows")
+        if flush_retries < 0:
+            raise ValueError("flush_retries must be >= 0")
         self.db = db
         self.table = table
         self.batch_rows = batch_rows
         self.max_pending_rows = max_pending_rows
+        self.flush_retries = flush_retries
+        self.retry_backoff_seconds = max(0.0, retry_backoff_seconds)
+        #: Lifetime count of append retries that healed a transient failure.
+        self.retries_total = 0
         self._pending: list[Mapping[str, object]] = []
         self._cond = threading.Condition()
         self._closed = False
@@ -97,7 +106,15 @@ class IngestController:
                 self.flush(partial=False)
 
     def flush(self, partial: bool = True) -> list[AppendReport]:
-        """Drain pending rows into appends; ``partial=False`` keeps remainders."""
+        """Drain pending rows into appends; ``partial=False`` keeps remainders.
+
+        A failed append is retried up to ``flush_retries`` times with
+        exponential backoff — :meth:`TableIngest.append` publishes nothing
+        on failure, so the identical batch is safe to re-submit.  When every
+        retry fails, the drained rows are re-queued at the *front* of the
+        pending buffer (nothing is lost, order is preserved) and the error
+        surfaces to the caller / producers.
+        """
         reports: list[AppendReport] = []
         while True:
             with self._cond:
@@ -113,7 +130,21 @@ class IngestController:
                 else:
                     return reports
                 self._cond.notify_all()
-            report = self.db.append(self.table, rows)
+            report = None
+            for attempt in range(self.flush_retries + 1):
+                try:
+                    report = self.db.append(self.table, rows)
+                    break
+                except Exception:
+                    if attempt >= self.flush_retries:
+                        with self._cond:
+                            self._pending[:0] = rows
+                            self._cond.notify_all()
+                        raise
+                    with self._cond:
+                        self.retries_total += 1
+                    time.sleep(self.retry_backoff_seconds * (2.0 ** attempt))
+            assert report is not None
             with self._cond:
                 self.reports.append(report)
             reports.append(report)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.common.clock import monotonic
 from repro.common.errors import CatalogError
+from repro.faults.injector import active as _fault_active
 from repro.ingest.batch import ColumnBatch, batch_num_rows
 from repro.ingest.maintainers import (
     FamilyMaintainers,
@@ -205,6 +206,13 @@ class TableIngest:
                 staleness=self.staleness,
                 staleness_exceeded=False,
             )
+        injector = _fault_active()
+        if injector is not None:
+            decision = injector.check("ingest.batch_fail")
+            if decision is not None:
+                # Fires before anything is built or published: the catalog
+                # is untouched, so the same batch is safe to retry.
+                raise decision.error(f"append of {batch_rows} rows to {self.table_name!r}")
         new_table = table.append_batch(batch)
         statistics = extend_statistics(
             self.catalog.statistics(self.table_name), new_table, batch_start

@@ -74,6 +74,7 @@ def analyze_text(
     lines.extend(_latency_lines(plan, result, measured_seconds))
     lines.extend(_error_lines(plan, result))
     lines.extend(_partition_lines(result))
+    lines.extend(_backend_lines(result))
     if ledger is not None and template is not None:
         footnote = ledger.footnote(template)
         if footnote is not None:
@@ -203,6 +204,31 @@ def _partition_lines(result: QueryResult) -> list[str]:
     if merged_s is not None and makespan is not None:
         parts.append(f"merged at {merged_s:.3f}s of {makespan:.3f}s makespan")
     return [f"  partitions:  {', '.join(parts)}"]
+
+
+def _backend_lines(result: QueryResult) -> list[str]:
+    info = result.metadata.get("backend_info")
+    lines: list[str] = []
+    if isinstance(info, dict):
+        parts = [str(info.get("backend", "unknown"))]
+        reason = info.get("fallback_reason")
+        if reason is not None:
+            parts.append(f"fallback: {reason}")
+        for key in ("retries", "hedges", "respawns", "thread_redispatches"):
+            value = info.get(key)
+            if value:
+                parts.append(f"{key} {value}")
+        lines.append(f"  backend:     {', '.join(parts)}")
+    degraded = result.metadata.get("degraded")
+    if isinstance(degraded, dict):
+        surrendered = degraded.get("surrendered_partitions", 0)
+        fault = degraded.get("fault")
+        detail = f" ({fault})" if fault else ""
+        lines.append(
+            f"  degraded:    {surrendered} partition(s) surrendered to faults;"
+            f" answer covers survivors only, error bars widened{detail}"
+        )
+    return lines
 
 
 # -- helpers --------------------------------------------------------------------------

@@ -150,6 +150,7 @@ class BlinkDBRuntime:
         *,
         trace: AnyTrace | None = None,
         scan_sink: ScanSink | None = None,
+        wall_timeout_seconds: float | None = None,
     ) -> QueryResult:
         """Answer a query approximately, honouring its error/time bound.
 
@@ -166,6 +167,12 @@ class BlinkDBRuntime:
         per-query scan-actuals accumulator.  A sampled trace is attached to
         ``result.metadata["trace"]`` and the sink (when present) to
         ``result.metadata["scan_actuals"]``.
+
+        ``wall_timeout_seconds`` bounds the *wall-clock* time the process
+        backend may spend on this query (the service layer passes the
+        query's admission deadline here), so a hung worker cannot hold a
+        ``WITHIN``-bounded query past its bound; the thread path is
+        unaffected.
         """
         logical = LogicalPlan.of(query)
         if trace is None:
@@ -175,7 +182,10 @@ class BlinkDBRuntime:
         )
         started = monotonic()
         try:
-            result = self._execute_traced(logical, progress, trace, sink)
+            result = self._execute_traced(
+                logical, progress, trace, sink,
+                wall_timeout_seconds=wall_timeout_seconds,
+            )
         finally:
             trace.finish()
         self._observe(logical, result, trace, sink, monotonic() - started)
@@ -187,6 +197,7 @@ class BlinkDBRuntime:
         progress: ProgressCallback | None,
         trace: AnyTrace,
         sink: ScanSink | None,
+        wall_timeout_seconds: float | None = None,
     ) -> QueryResult:
         # Captured before planning/execution; the caller's read lock keeps it
         # consistent with every row read below, so the stamped answer is a
@@ -227,7 +238,11 @@ class BlinkDBRuntime:
                 sample=plan.resolution.name,
             ) as dispatch:
                 result, stats = self._run_pipeline(
-                    plan, progress=progress, trace_span=dispatch, sink=sink
+                    plan,
+                    progress=progress,
+                    trace_span=dispatch,
+                    sink=sink,
+                    wall_timeout_seconds=wall_timeout_seconds,
                 )
             partitions_run = stats.num_partitions
             coverage = stats.coverage_population_fraction
@@ -468,6 +483,7 @@ class BlinkDBRuntime:
         progress: ProgressCallback | None,
         trace_span: AnySpan = NULL_SPAN,
         sink: ScanSink | None = None,
+        wall_timeout_seconds: float | None = None,
     ):
         """Run a physical plan's partition layout through the pipeline."""
         assert plan.selection is not None and plan.resolution is not None
@@ -483,7 +499,11 @@ class BlinkDBRuntime:
             scan_sink=sink,
         )
         pool = self._partition_pool()
-        backend = self._process_backend(plan.logical, resolution, fallback=pool)
+        backend, decline_reason = self._process_backend(
+            plan.logical, resolution, fallback=pool
+        )
+        if backend is not None and wall_timeout_seconds is not None:
+            backend.deadline = monotonic() + wall_timeout_seconds
         result = self.pipeline.run(
             plan.logical,
             resolution.table,
@@ -498,6 +518,13 @@ class BlinkDBRuntime:
             progress=progress,
             trace_span=trace_span,
         )
+        # A pre-pipeline decline (breaker open, export failure, joins) never
+        # reaches the backend seam, so surface its reason here — silent
+        # thread fallback must stay visible in EXPLAIN ANALYZE and metrics.
+        if backend is None and decline_reason is not None:
+            info = result.metadata.get("backend_info")
+            if info is not None:
+                info.setdefault("fallback_reason", decline_reason)
         stats = result.metadata["partitions"]
         return result, stats
 
@@ -506,23 +533,28 @@ class BlinkDBRuntime:
         logical: LogicalPlan,
         resolution: SampleResolution,
         fallback: ThreadPoolExecutor | None,
-    ) -> ProcessBackend | None:
-        """The process-pool binding for this resolution, or ``None``.
+    ) -> tuple[ProcessBackend | None, str | None]:
+        """The process-pool binding for this resolution, or ``(None, why)``.
 
         ``None`` — plans with joins, ``execution_backend="threads"``, no
-        pool, shm unavailable, or export failure — means the pipeline uses
-        the thread/inline path; a constructed backend still carries
-        ``fallback`` so it can decline per query without losing the pool.
+        pool, shm unavailable, breaker open, or export failure — means the
+        pipeline uses the thread/inline path; a constructed backend still
+        carries ``fallback`` so it can decline per query without losing the
+        pool.  The second element names the decline reason whenever the
+        configuration *wanted* processes but this query can't use them.
         """
         procpool = self._procpool
         if (
             procpool is None
             or self._procpool_epoch is None
             or self.config.execution_backend != "processes"
-            or logical.joins
-            or not procpool.available
         ):
-            return None
+            return None, None
+        if logical.joins:
+            procpool.record_fallback("joins")
+            return None, "joins"
+        if not procpool.admit():
+            return None, procpool.last_fallback_reason or procpool.fallback_reason
         handle = procpool.ensure_export(
             self._procpool_epoch,
             f"{logical.table}:{resolution.name}",
@@ -530,10 +562,11 @@ class BlinkDBRuntime:
             resolution.weights,
         )
         if handle is None:
-            return None
-        return ProcessBackend(
+            return None, procpool.last_fallback_reason or "export failed"
+        backend = ProcessBackend(
             procpool, handle, executor=self.executor, fallback=fallback
         )
+        return backend, None
 
     def _partition_pool(self) -> ThreadPoolExecutor | None:
         """The shared partial-aggregation pool (None when configured inline)."""

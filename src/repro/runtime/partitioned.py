@@ -36,10 +36,11 @@ from __future__ import annotations
 
 from concurrent.futures import Executor
 from dataclasses import dataclass, replace
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.common.errors import ExecutionError
 from repro.common.rng import make_rng
 from repro.engine.accumulators import PartialAggregation
 from repro.engine.executor import ExecutionContext, Plannable, QueryExecutor
@@ -221,17 +222,32 @@ class PartitionPipeline:
         # Skipped partitions get a synthetic empty partial carrying their
         # row/weight coverage — no data of theirs is ever read.
         to_aggregate = [partitions[t.index] for t in merged_timings if not t.skipped]
-        real_partials = iter(
-            self._aggregate(
-                plan, to_aggregate, pool, sink=context.scan_sink, trace_span=trace_span
-            )
+        aggregated, backend_info = self._aggregate(
+            plan, to_aggregate, pool, sink=context.scan_sink, trace_span=trace_span
         )
+        real_partials = iter(aggregated)
         partials = [
             self._skipped_partial(plan, partitions[t.index])
             if t.skipped
             else next(real_partials)
             for t in merged_timings
         ]
+        # Surrendered partitions (a fault exhausted every retry) come back as
+        # ``None`` holes: drop them from the merge so the anytime/coverage
+        # machinery scales the answer and widens the bars around the rows
+        # that were never seen — explicitly degraded, never silently wrong.
+        surrendered = sum(1 for p in partials if p is None)
+        if surrendered:
+            kept = [(t, p) for t, p in zip(merged_timings, partials) if p is not None]
+            if not any(not t.skipped for t, _ in kept):
+                raise ExecutionError(
+                    "every evaluated partition was surrendered to faults: "
+                    f"{backend_info.get('fault', 'unknown fault')}"
+                )
+            merged_timings = [t for t, _ in kept]
+            partials = [p for _, p in kept]
+            merged_set = {t.index for t in merged_timings}
+            timings = tuple(replace(t, merged=t.index in merged_set) for t in timings)
         if triage is not None:
             self._record_skipped(
                 plan, table, partitions, triage, timings, sink=context.scan_sink
@@ -312,6 +328,12 @@ class PartitionPipeline:
             rows_skipped=sum(t.rows for t in timings if t.skipped),
         )
         result.metadata["partitions"] = stats
+        result.metadata["backend_info"] = backend_info
+        if surrendered:
+            result.metadata["degraded"] = {
+                "surrendered_partitions": surrendered,
+                "fault": backend_info.get("fault"),
+            }
         return result
 
     # -- internals -----------------------------------------------------------------
@@ -401,24 +423,41 @@ class PartitionPipeline:
         pool: Executor | None,
         sink: ScanSink | None = None,
         trace_span: AnySpan = NULL_SPAN,
-    ) -> list[PartialAggregation]:
+    ) -> tuple[list[PartialAggregation | None], dict[str, Any]]:
+        """Partial-aggregate ``partitions``; also report which backend ran.
+
+        The second element is the ``backend_info`` dict surfaced under
+        ``result.metadata``: the backend actually used ("processes",
+        "threads", or "inline"), the fallback reason when a process backend
+        declined or failed, and — on the process path — the call's healing
+        accounting (retries / hedges / respawns / surrendered counts).
+        """
         aggregate = self.executor.partial_aggregate_partition
         if not partitions:
-            return []
+            return [], {"backend": "inline"}
         with trace_span.span("partial-aggregate", partitions=len(partitions)) as dispatch:
             # Backend seam: a process backend (duck-typed on
             # ``map_partitions``) runs the partials in worker processes over
             # shared memory and ships back serialized states; any ``None``
             # return (no shm, joins, worker death) falls through to its
             # thread-pool fallback with identical semantics.
-            if hasattr(pool, "map_partitions"):
+            fallback_reason: str | None = None
+            tried_processes = hasattr(pool, "map_partitions")
+            if tried_processes:
                 if len(partitions) > 1:
                     shipped = pool.map_partitions(
                         plan, partitions, sink=sink, trace_span=dispatch
                     )
                     if shipped is not None:
                         dispatch.annotate(backend="processes")
-                        return shipped
+                        info: dict[str, Any] = {"backend": "processes"}
+                        info.update(getattr(pool, "last_health", None) or {})
+                        return shipped, info
+                    fallback_reason = (
+                        getattr(pool, "last_fallback_reason", None) or "pool declined"
+                    )
+                else:
+                    fallback_reason = "single_partition"
                 pool = getattr(pool, "fallback", None)
 
             # The per-partition child spans are opened from whichever thread
@@ -429,8 +468,16 @@ class PartitionPipeline:
                     return aggregate(plan, partition, sink)
 
             if pool is None or len(partitions) <= 1:
-                return [one(p) for p in partitions]
-            return list(pool.map(one, partitions))
+                results: list[PartialAggregation | None] = [one(p) for p in partitions]
+                backend = "inline"
+            else:
+                results = list(pool.map(one, partitions))
+                backend = "threads"
+            info = {"backend": backend}
+            if fallback_reason is not None:
+                info["fallback_reason"] = fallback_reason
+                dispatch.annotate(backend=backend, fallback_reason=fallback_reason)
+            return results, info
 
     @staticmethod
     def _skipped_partial(

@@ -18,16 +18,31 @@ a persistent spawn-based :class:`ProcessPartitionPool` whose workers
 The pool is deliberately dumb about *what* it runs: the pipeline seam in
 :mod:`repro.runtime.partitioned` duck-types on
 :meth:`ProcessBackend.map_partitions`, and every failure path (no
-``/dev/shm``, spawn refused, a worker dying mid-query) returns ``None`` so
-the caller falls back to the thread/inline path — the process backend can
-degrade, never break, a query.
+``/dev/shm``, spawn refused) returns ``None`` so the caller falls back to
+the thread/inline path — the process backend can degrade, never break, a
+query.
+
+Failure model (PR 9): worker faults are *expected*, not terminal.  A dead
+worker breaks the round's futures; the pool recycles itself (respawn) and
+re-dispatches the failed chunks with capped exponential backoff + seeded
+jitter for a bounded number of rounds.  A hung worker is detected by a
+per-task deadline and its chunk *hedged* to the calling thread instead of
+waiting.  Chunks that exhaust every retry are re-dispatched on the parent
+thread one partition at a time; a partition that still cannot be computed is
+**surrendered** — returned as a ``None`` hole for the pipeline's
+anytime/coverage machinery to scale around, never silently wrong.  A
+:class:`~repro.faults.breaker.CircuitBreaker` sits in front of admission:
+repeated faulted queries trip the backend to threads entirely, with a
+half-open probe after a cooldown.  Only spawn-time platform failures retire
+the pool permanently.
 
 Segment lifecycle is *epoch*-fenced: each runtime generation takes an epoch
 (:meth:`ProcessPartitionPool.new_epoch`), registers its table exports under
 it, and releases the whole epoch when the facade invalidates the runtime
 (append / ``load_table`` / sample rebuild).  Workers only ever close their
 attach-side mappings; the parent owns every unlink, so no segment outlives
-the generation that exported it.
+the generation that exported it — even when workers died uncleanly,
+``close()`` unlinks first and only then tears the pool down.
 
 Beyond queries, :meth:`ProcessPartitionPool.map_calls` runs arbitrary
 module-level functions on the same workers — sample builds fan per-stratum
@@ -42,14 +57,23 @@ import pickle
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import Executor, ProcessPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
+import numpy as np
+
 from repro.common.clock import monotonic
+from repro.common.rng import index_uniforms
 from repro.engine.accumulators import PartialAggregation
 from repro.engine.executor import QueryExecutor
 from repro.engine.kernels import ScanCounters, ScanSink
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.injector import active as _fault_active
+from repro.faults.plan import FaultInjectedError
 from repro.obs.trace import NULL_SPAN, AnySpan
 from repro.planner.logical import LogicalPlan
 from repro.storage import shm
@@ -59,6 +83,9 @@ from repro.storage.block import Block, TablePartition
 #: attached once per worker and reused across every query of its generation;
 #: the cache only matters when many tables/resolutions rotate through.
 _DEFAULT_SEGMENT_CACHE = 8
+
+#: Ceiling of the retry backoff between re-dispatch rounds.
+_MAX_BACKOFF_SECONDS = 1.0
 
 
 # -- worker side --------------------------------------------------------------------
@@ -101,6 +128,7 @@ def _run_partition_chunk(
     handle: shm.SharedTableHandle,
     plan_blob: bytes,
     ranges: Sequence[tuple[int, int, int, int, int]],
+    fault: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Partial-aggregate a chunk of row-range partitions of one shared table.
 
@@ -109,10 +137,25 @@ def _run_partition_chunk(
     the rest rebuild the zero-copy :class:`TablePartition` over the attached
     table exactly as the parent's ``table.partitions()`` would.
 
+    ``fault`` is a directive evaluated by the *parent's* fault injector at
+    submit time (workers carry no injector): ``crash`` hard-exits the
+    process, ``hang`` sleeps past the parent's task deadline, and
+    ``attach_fail`` raises a picklable :class:`FaultInjectedError`.
+
     Returns a small dict: serialized partials, span records relative to the
     task's own clock (the parent re-anchors them into the query trace), the
     worker's scan-counter snapshot, and its pid.
     """
+    if fault is not None:
+        kind = fault.get("kind")
+        if kind == "crash":
+            os._exit(1)
+        elif kind == "hang":
+            time.sleep(float(fault.get("seconds", 1.0)))
+        elif kind == "attach_fail":
+            raise FaultInjectedError(
+                f"injected fault at shm.attach_fail (worker attach of {handle.segment!r})"
+            )
     t0 = time.monotonic()
     executor: QueryExecutor = _WORKER["executor"]
     attached = _attached(handle)
@@ -176,7 +219,9 @@ class ProcessPartitionPool:
     exports under the epoch, so releasing the epoch unlinks exactly the
     segments of that generation.  All entry points degrade by returning
     ``None``/``False`` instead of raising — the caller always has a
-    same-semantics thread or inline path to fall back to.
+    same-semantics thread or inline path to fall back to.  Worker faults
+    heal in place (respawn + retry + hedge); only spawn-time platform
+    failures retire the pool.
     """
 
     def __init__(
@@ -187,6 +232,12 @@ class ProcessPartitionPool:
         zone_block_rows: int | None = None,
         encoded_fold: bool = True,
         cache_segments: int = _DEFAULT_SEGMENT_CACHE,
+        task_timeout_seconds: float | None = 30.0,
+        retry_attempts: int = 2,
+        retry_backoff_seconds: float = 0.05,
+        breaker_threshold: int = 3,
+        breaker_cooldown_seconds: float = 5.0,
+        thread_redispatch: bool = True,
     ) -> None:
         cpu = os.cpu_count() or 1
         self.max_workers = max(1, int(max_workers) if max_workers else cpu)
@@ -196,6 +247,14 @@ class ProcessPartitionPool:
             "encoded_fold": encoded_fold,
         }
         self._cache_segments = cache_segments
+        self.task_timeout_seconds = task_timeout_seconds
+        self.retry_attempts = max(0, int(retry_attempts))
+        self.retry_backoff_seconds = max(0.0, retry_backoff_seconds)
+        self.thread_redispatch = thread_redispatch
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
+        )
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
@@ -210,6 +269,14 @@ class ProcessPartitionPool:
         self._bytes_shipped_last = 0
         self._segments_exported = 0
         self._bytes_exported = 0
+        # Healing counters (PR 9).
+        self._retries = 0
+        self._respawns = 0
+        self._hedges = 0
+        self._surrendered = 0
+        self._thread_redispatches = 0
+        self._fallbacks: dict[str, int] = {}
+        self._last_fallback_reason: str | None = None
 
     # -- availability --------------------------------------------------------------
     @property
@@ -232,8 +299,40 @@ class ProcessPartitionPool:
             return "shared memory unavailable"
         return None
 
+    @property
+    def last_fallback_reason(self) -> str | None:
+        """The most recent reason a query declined/left the process path."""
+        with self._lock:
+            return self._last_fallback_reason
+
+    def record_fallback(self, reason: str) -> None:
+        """Count one thread-fallback event under a short reason slug."""
+        slug = reason.strip().lower().replace(" ", "_")[:64] or "unknown"
+        with self._lock:
+            self._fallbacks[slug] = self._fallbacks.get(slug, 0) + 1
+            self._last_fallback_reason = reason
+
+    def admit(self) -> bool:
+        """Gate a query into the process path (consults the circuit breaker).
+
+        Mutating — an ``open`` breaker past its cooldown admits exactly one
+        probe query here.  Callers that are refused must take the thread
+        path for this query.
+        """
+        if not self.available:
+            return False
+        if not self.breaker.allow():
+            self.record_fallback("breaker_open")
+            return False
+        return True
+
     def _mark_failed(self, exc: BaseException) -> None:
-        """Record a permanent failure and retire the pool (threads take over)."""
+        """Record a *permanent* platform failure and retire the pool.
+
+        Reserved for spawn-time problems (no fork support, resource limits).
+        Worker deaths and task faults go through :meth:`_recycle_pool`
+        instead — those heal.
+        """
         with self._lock:
             if self._failure is None:
                 self._failure = f"{type(exc).__name__}: {exc}"
@@ -257,6 +356,41 @@ class ProcessPartitionPool:
                     self._failure = f"{type(exc).__name__}: {exc}"
                     return None
             return self._pool
+
+    def _recycle_pool(self) -> None:
+        """Tear down a broken/hung pool so the next round respawns fresh.
+
+        Unlike :meth:`_mark_failed` this keeps the backend available:
+        ``_ensure_pool`` spawns a new executor on the next use.  Lingering
+        worker processes (a hung worker sleeps through ``shutdown``) are
+        terminated so they can't pin attach-side segment mappings.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                self._respawns += 1
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                if proc.is_alive():
+                    proc.terminate()
+            except Exception:  # pragma: no cover - raced process exit
+                pass
+
+    def worker_pids(self) -> list[int]:
+        """Pids of the currently spawned workers (for chaos tests)."""
+        with self._lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        return [
+            proc.pid
+            for proc in getattr(pool, "_processes", {}).values()
+            if proc.pid is not None
+        ]
 
     def warm(self, timeout: float | None = 60.0) -> bool:
         """Spawn all workers now (spawn + import cost off the first query)."""
@@ -288,7 +422,10 @@ class ProcessPartitionPool:
 
         Idempotent per key: repeated calls for the same resolution reuse the
         first export.  Returns ``None`` when exporting is impossible (shm
-        unavailable / pool closed) or fails — the query then falls back.
+        unavailable / pool closed) or fails — the query then falls back.  An
+        export failure (e.g. memory pressure on ``/dev/shm``) counts against
+        the breaker but does not retire the pool: the segment may well fit
+        next time.
         """
         if not self.available:
             return None
@@ -299,7 +436,8 @@ class ProcessPartitionPool:
         try:
             export = shm.export_table(table, weights)
         except Exception as exc:
-            self._mark_failed(exc)
+            self.record_fallback(f"export_failed: {type(exc).__name__}")
+            self.breaker.record_failure()
             return None
         with self._lock:
             if self._closed:
@@ -330,6 +468,40 @@ class ProcessPartitionPool:
             export.close()
 
     # -- execution -----------------------------------------------------------------
+    def _chunk_fault_directive(
+        self, injector: FaultInjector | None
+    ) -> dict[str, Any] | None:
+        """Evaluate worker-directed fault points for one chunk submission.
+
+        Workers have no injector installed (they are spawned fresh), so the
+        parent draws the verdict here — one arrival per point per chunk, in
+        a fixed order, keeping the fault schedule deterministic — and ships
+        the directive with the task.
+        """
+        if injector is None:
+            return None
+        decision = injector.check("procpool.worker_crash")
+        if decision is not None:
+            return {"kind": "crash"}
+        decision = injector.check("procpool.worker_hang")
+        if decision is not None:
+            return {"kind": "hang", "seconds": decision.latency_seconds or 1.0}
+        decision = injector.check("shm.attach_fail")
+        if decision is not None:
+            return {"kind": "attach_fail"}
+        return None
+
+    def _retry_delay(self, round_number: int, salt: int) -> float:
+        """Capped exponential backoff with deterministic jitter in [0.5, 1.5)."""
+        base = min(
+            self.retry_backoff_seconds * (2.0 ** (round_number - 1)),
+            _MAX_BACKOFF_SECONDS,
+        )
+        jitter = index_uniforms(
+            np.array([round_number], dtype=np.int64), "procpool", "backoff", salt
+        )[0]
+        return base * (0.5 + float(jitter))
+
     def map_partitions(
         self,
         plan: LogicalPlan,
@@ -339,7 +511,9 @@ class ProcessPartitionPool:
         sink: ScanSink | None = None,
         executor: QueryExecutor | None = None,
         trace_span: AnySpan = NULL_SPAN,
-    ) -> list[PartialAggregation] | None:
+        timeout: float | None = None,
+        health: dict[str, Any] | None = None,
+    ) -> list[PartialAggregation | None] | None:
         """Partial-aggregate ``partitions`` of the exported table in workers.
 
         Partitions are split into at most ``max_workers`` contiguous chunks
@@ -351,15 +525,25 @@ class ProcessPartitionPool:
         worker scan counters merge into ``sink`` and ``executor``'s lifetime
         totals exactly as the thread path would have recorded them.
 
-        Returns ``None`` on any failure — the caller falls back to threads.
+        Faults heal in place: a broken round cancels its still-pending
+        futures immediately, recycles the pool, and re-dispatches the failed
+        chunks (bounded rounds, capped backoff + jitter); a chunk whose task
+        deadline expires is hedged to the calling thread.  Chunks that
+        exhaust process-side retries are recomputed on the parent thread via
+        ``executor``; positions that still can't be computed come back as
+        ``None`` holes for the caller's coverage machinery.  ``timeout``
+        bounds the *whole* call in wall seconds (the service's admission
+        deadline lands here); ``health``, if given, is filled with this
+        call's retry/hedge/surrender accounting.
+
+        Returns ``None`` only when *nothing* could be computed — the caller
+        then falls back to threads wholesale.
         """
+        report: dict[str, Any] = health if health is not None else {}
         if not self.available:
             return None
         if not partitions:
             return []
-        pool = self._ensure_pool()
-        if pool is None:
-            return None
         plan_blob = pickle.dumps(plan)
         total = len(partitions)
         num_chunks = min(total, self.max_workers)
@@ -376,15 +560,139 @@ class ProcessPartitionPool:
                 )
             chunks.append(chunk)
             position += size
-        try:
-            futures = [
-                pool.submit(_run_partition_chunk, handle, plan_blob, chunk)
-                for chunk in chunks
-            ]
-            results = [future.result() for future in futures]
-        except Exception as exc:
-            self._mark_failed(exc)
-            return None
+
+        deadline = monotonic() + timeout if timeout is not None else None
+        injector = _fault_active()
+        pending = list(range(len(chunks)))
+        hedged: list[int] = []
+        results: list[dict[str, Any]] = []
+        fault_note: str | None = None
+        retries_used = 0
+        hedges = 0
+        tasks_submitted = 0
+        with self._lock:
+            respawns_before = self._respawns
+        round_number = 0
+
+        while pending and round_number <= self.retry_attempts:
+            if deadline is not None and monotonic() >= deadline:
+                break
+            round_number += 1
+            pool = self._ensure_pool()
+            if pool is None:
+                fault_note = fault_note or self._failure or "pool unavailable"
+                break
+
+            submitted: list[tuple[int, Future]] = []
+            for chunk_index in pending:
+                directive = self._chunk_fault_directive(injector)
+                try:
+                    future = pool.submit(
+                        _run_partition_chunk,
+                        handle,
+                        plan_blob,
+                        chunks[chunk_index],
+                        directive,
+                    )
+                except Exception as exc:
+                    # Pool broke between rounds; unsubmitted chunks stay
+                    # pending for the next round.
+                    fault_note = fault_note or f"{type(exc).__name__}: {exc}"
+                    break
+                submitted.append((chunk_index, future))
+            tasks_submitted += len(submitted)
+            submitted_ids = {chunk_index for chunk_index, _ in submitted}
+            next_pending = [ci for ci in pending if ci not in submitted_ids]
+
+            broken = False
+            hung = False
+            for slot, (chunk_index, future) in enumerate(submitted):
+                wait: float | None = self.task_timeout_seconds
+                if deadline is not None:
+                    remaining = deadline - monotonic()
+                    wait = remaining if wait is None else min(wait, remaining)
+                try:
+                    if wait is not None and wait <= 0.0:
+                        raise FuturesTimeoutError()
+                    results.append(future.result(timeout=wait))
+                except FuturesTimeoutError:
+                    # Hung (or deadline-starved) task: don't wait, hedge the
+                    # chunk to the thread path and recycle the pool after
+                    # this round.
+                    future.cancel()
+                    hung = True
+                    hedges += 1
+                    fault_note = fault_note or "worker hang: task deadline exceeded"
+                    hedged.append(chunk_index)
+                except BrokenProcessPool as exc:
+                    # First failure: cancel everything still pending instead
+                    # of awaiting the whole batch (satellite fix), salvage
+                    # any already-completed siblings, re-pend the rest.
+                    fault_note = fault_note or f"{type(exc).__name__}: {exc}"
+                    broken = True
+                    next_pending.append(chunk_index)
+                    for other_index, other in submitted[slot + 1 :]:
+                        other.cancel()
+                        salvaged = False
+                        if other.done() and not other.cancelled():
+                            try:
+                                results.append(other.result(timeout=0))
+                                salvaged = True
+                            except Exception:
+                                salvaged = False
+                        if not salvaged:
+                            next_pending.append(other_index)
+                    break
+                except Exception as exc:
+                    # Worker-raised (picklable) failure: only this chunk
+                    # failed, the pool survives.
+                    fault_note = fault_note or f"{type(exc).__name__}: {exc}"
+                    next_pending.append(chunk_index)
+
+            pending = next_pending
+            if broken or hung:
+                self._recycle_pool()
+            if pending and round_number <= self.retry_attempts:
+                retries_used += len(pending)
+                delay = self._retry_delay(round_number, salt=len(pending))
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - monotonic()))
+                if delay > 0.0:
+                    time.sleep(delay)
+
+        # Process-side rounds are over; whatever is left goes to the calling
+        # thread (hedged hung chunks first, then retry-exhausted ones).
+        leftover_positions = [
+            entry[0] for ci in hedged + pending for entry in chunks[ci]
+        ]
+        redispatched: list[tuple[int, PartialAggregation]] = []
+        surrendered_positions: list[int] = []
+        if leftover_positions:
+            if self.thread_redispatch and executor is not None:
+                for pos in leftover_positions:
+                    if deadline is not None and monotonic() >= deadline:
+                        surrendered_positions.append(pos)
+                        continue
+                    started = monotonic()
+                    try:
+                        partial = executor.partial_aggregate_partition(
+                            plan, partitions[pos], sink=sink
+                        )
+                    except Exception as exc:
+                        fault_note = fault_note or f"{type(exc).__name__}: {exc}"
+                        surrendered_positions.append(pos)
+                        continue
+                    block = partitions[pos].block
+                    trace_span.record_span(
+                        "partition",
+                        started,
+                        monotonic(),
+                        rows=block.row_end - block.row_start,
+                        backend="thread-redispatch",
+                    )
+                    redispatched.append((pos, partial))
+            else:
+                surrendered_positions = list(leftover_positions)
 
         gather_end = monotonic()
         partials: list[PartialAggregation | None] = [None] * total
@@ -411,14 +719,42 @@ class ProcessPartitionPool:
                 sink.record_scan(counters)
                 if rows_in:
                     sink.record_filter(rows_in, rows_matched)
-        assert all(p is not None for p in partials)
+        for pos, partial in redispatched:
+            partials[pos] = partial
+        surrendered = sum(1 for p in partials if p is None)
+
         with self._lock:
             self._queries += 1
-            self._tasks += len(chunks)
-            self._partials_shipped += total
+            self._tasks += tasks_submitted
+            self._partials_shipped += total - surrendered
             self._bytes_shipped_total += shipped
             self._bytes_shipped_last = shipped
-        return partials  # type: ignore[return-value]
+            self._retries += retries_used
+            self._hedges += hedges
+            self._surrendered += surrendered
+            self._thread_redispatches += len(redispatched)
+            respawns_delta = self._respawns - respawns_before
+
+        report.update(
+            {
+                "retries": retries_used,
+                "hedges": hedges,
+                "respawns": respawns_delta,
+                "thread_redispatches": len(redispatched),
+                "surrendered": surrendered,
+            }
+        )
+        if fault_note is not None:
+            report["fault"] = fault_note
+            self.breaker.record_failure()
+        else:
+            self.breaker.record_success()
+        if surrendered == total:
+            # Nothing computed at all — wholesale fallback is strictly
+            # better than an all-holes answer.
+            self.record_fallback(fault_note or "no partitions computed")
+            return None
+        return partials
 
     def map_calls(
         self,
@@ -432,7 +768,9 @@ class ProcessPartitionPool:
         ``fn`` must be a module-level function (pickled by reference); its
         arguments typically include a :class:`SharedTableHandle` so the
         worker reads its O(rows) input from shared memory.  Used by sample
-        builds and ingest maintenance.
+        builds and ingest maintenance.  A broken pool is recycled, not
+        retired — the caller recomputes inline this time, the next call
+        respawns.
         """
         calls = list(argses)
         if not calls:
@@ -442,11 +780,16 @@ class ProcessPartitionPool:
         pool = self._ensure_pool()
         if pool is None:
             return None
+        futures: list[Future] = []
         try:
             futures = [pool.submit(fn, *args) for args in calls]
             out = [future.result(timeout=timeout) for future in futures]
         except Exception as exc:
-            self._mark_failed(exc)
+            for future in futures:
+                future.cancel()
+            if isinstance(exc, (BrokenProcessPool, FuturesTimeoutError)):
+                self._recycle_pool()
+            self.record_fallback(f"map_calls: {type(exc).__name__}")
             return None
         with self._lock:
             self._tasks += len(calls)
@@ -455,8 +798,9 @@ class ProcessPartitionPool:
     # -- observability / lifecycle -------------------------------------------------
     def stats(self) -> dict[str, int]:
         """Pool/IPC gauges (``db.metrics()["procpool"]``); all numeric."""
+        breaker_stats = self.breaker.stats()
         with self._lock:
-            return {
+            out = {
                 "workers": self.max_workers,
                 "started": int(self._pool is not None),
                 "available": int(
@@ -474,10 +818,30 @@ class ProcessPartitionPool:
                     1 for e in self._exports.values() if not e.closed
                 ),
                 "bytes_exported": self._bytes_exported,
+                "retries": self._retries,
+                "respawns": self._respawns,
+                "hedges": self._hedges,
+                "surrendered": self._surrendered,
+                "thread_redispatches": self._thread_redispatches,
             }
+            for slug, count in self._fallbacks.items():
+                out[f"fallbacks.{slug}"] = count
+        out.update(breaker_stats)
+        return out
 
     def close(self) -> None:
-        """Shut down workers and unlink every live segment (idempotent)."""
+        """Unlink every live segment, then shut the workers down (idempotent).
+
+        Unlink-first matters: a SIGKILLed worker can leave the executor's
+        management thread wedged, and a ``wait=True`` shutdown before the
+        unlink loop would leak every ``/dev/shm`` segment if teardown never
+        returned.  POSIX unlink leaves existing worker mappings valid, so
+        the order is safe; surviving workers are then terminated rather than
+        waited on, and the executor's manager thread gets a *bounded* join —
+        it holds the executor's queue semaphores, so reaping it here frees
+        their ``/dev/shm`` entries now instead of at interpreter exit, while
+        the timeout keeps a wedged manager from hanging ``close()``.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -485,10 +849,20 @@ class ProcessPartitionPool:
             pool, self._pool = self._pool, None
             exports = list(self._exports.values())
             self._exports.clear()
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
         for export in exports:
             export.close()
+        if pool is not None:
+            procs = list(getattr(pool, "_processes", {}).values())
+            manager = getattr(pool, "_executor_manager_thread", None)
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    if proc.is_alive():
+                        proc.terminate()
+                except Exception:  # pragma: no cover - raced process exit
+                    pass
+            if manager is not None:
+                manager.join(timeout=5.0)
 
     def __del__(self) -> None:  # pragma: no cover - GC backstop
         try:
@@ -504,7 +878,9 @@ class ProcessBackend:
     means "use my ``fallback``" (the runtime's thread pool, or inline).
     Plans with dimension joins always decline — workers hold no dimension
     tables, and broadcast-joining them per query would break the zero-copy
-    contract.
+    contract.  Every decline records *why* (``last_fallback_reason``, pool
+    fallback counters), and the per-call healing accounting lands in
+    ``last_health`` for the pipeline to surface in ``metadata``.
     """
 
     name = "processes"
@@ -521,6 +897,13 @@ class ProcessBackend:
         self.handle = handle
         self.executor = executor
         self.fallback = fallback
+        #: Wall-clock deadline (``monotonic()`` scale) set by the service /
+        #: runtime from the query's admission deadline; converted into
+        #: ``map_partitions(timeout=...)`` so a hung worker can't hold a
+        #: WITHIN-bounded query past its bound.
+        self.deadline: float | None = None
+        self.last_fallback_reason: str | None = None
+        self.last_health: dict[str, Any] = {}
 
     def map_partitions(
         self,
@@ -529,16 +912,36 @@ class ProcessBackend:
         *,
         sink: ScanSink | None = None,
         trace_span: AnySpan = NULL_SPAN,
-    ) -> list[PartialAggregation] | None:
+    ) -> list[PartialAggregation | None] | None:
+        self.last_health = {}
         if plan.joins:
+            self.last_fallback_reason = "joins"
+            self.pool.record_fallback("joins")
             return None
         if partitions and partitions[0].source.num_rows != self.handle.num_rows:
-            return None  # stale handle: table changed under us — fall back
-        return self.pool.map_partitions(
+            # Stale handle: table changed under us — fall back.
+            self.last_fallback_reason = "stale_handle"
+            self.pool.record_fallback("stale_handle")
+            return None
+        timeout = None
+        if self.deadline is not None:
+            timeout = max(0.0, self.deadline - monotonic())
+        health: dict[str, Any] = {}
+        shipped = self.pool.map_partitions(
             plan,
             self.handle,
             partitions,
             sink=sink,
             executor=self.executor,
             trace_span=trace_span,
+            timeout=timeout,
+            health=health,
         )
+        self.last_health = health
+        if shipped is None:
+            self.last_fallback_reason = (
+                health.get("fault") or self.pool.fallback_reason or "pool declined"
+            )
+        else:
+            self.last_fallback_reason = None
+        return shipped

@@ -150,6 +150,7 @@ class ServiceMetrics:
         self.shed_queue_full = Counter()
         self.completed = Counter()
         self.failed = Counter()
+        self.retries = Counter()
         self.cache_hits = Counter()
         self.cache_misses = Counter()
         self.cache_invalidations = Counter()
@@ -235,6 +236,7 @@ class ServiceMetrics:
                 "admitted": self.admitted.value,
                 "completed": self.completed.value,
                 "failed": self.failed.value,
+                "retries": self.retries.value,
                 "explained": self.explained.value,
                 "shed_deadline": self.shed_deadline.value,
                 "shed_queue_full": self.shed_queue_full.value,

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 from repro.common.clock import Clock, monotonic
 from repro.common.errors import QueryRejectedError
 from repro.engine.result import QueryResult
+from repro.faults.injector import active as _fault_active
 from repro.obs.analyze import AnalyzeResult
 from repro.planner.physical import ExplainResult
 from repro.runtime.partitioned import ProgressiveSnapshot
@@ -270,12 +271,23 @@ class QueryService:
         name: str | None = None,
         autostart: bool = True,
         clock: Clock = monotonic,
+        retries: int | None = None,
+        retry_backoff_seconds: float | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError("ewma_alpha must be in (0, 1]")
         self.db = db
+        # Queries are read-only, hence idempotent: a failed execution may be
+        # re-submitted verbatim.  Defaults come from the facade config;
+        # admission rejections are never retried.
+        self.retries = db.config.service_retries if retries is None else max(0, retries)
+        self.retry_backoff_seconds = (
+            db.config.service_retry_backoff_seconds
+            if retry_backoff_seconds is None
+            else max(0.0, retry_backoff_seconds)
+        )
         self.name = name or f"blinkdb-service-{next(_service_ids)}"
         self.num_workers = num_workers
         self.simulate_service_time = simulate_service_time
@@ -557,21 +569,60 @@ class QueryService:
                 admission=ticket.metrics.admission,
             )
         analyzed: AnalyzeResult | None = None
-        try:
-            with self.db.state_lock.read_locked():
-                if work.analyze:
-                    analyzed = self.db._explain_analyze_locked(ticket.query, trace=trace)
-                    result = analyzed.result
-                else:
-                    result = self.db.runtime.execute(
-                        ticket.query, progress=progress, trace=trace
+        # Queries are read-only, so a failed execution is safe to re-submit
+        # verbatim (progressive snapshots simply restart).  Admission
+        # rejections are final — re-running cannot change the verdict.
+        attempt = 0
+        while True:
+            injector = _fault_active()
+            if injector is not None:
+                decision = injector.check("service.slow_worker")
+                if decision is not None and decision.latency_seconds > 0.0:
+                    time.sleep(decision.latency_seconds)
+            try:
+                with self.db.state_lock.read_locked():
+                    if work.analyze:
+                        analyzed = self.db._explain_analyze_locked(ticket.query, trace=trace)
+                        result = analyzed.result
+                    else:
+                        result = self.db.runtime.execute(
+                            ticket.query,
+                            progress=progress,
+                            trace=trace,
+                            # The admitted time bound caps how long the
+                            # process backend may hold this query (a hung
+                            # worker must not push a WITHIN bound).
+                            wall_timeout_seconds=item.time_bound_seconds,
+                        )
+                break
+            except QueryRejectedError as error:
+                ticket.metrics.service_seconds = self.clock() - started
+                self.metrics.failed.increment()
+                self.metrics.record_template(work.label, cache_hit=False)
+                ticket._fail(error)
+                return
+            except Exception as error:  # noqa: BLE001 - the ticket transports the error
+                if attempt < self.retries:
+                    attempt += 1
+                    self.metrics.retries.increment()
+                    if trace.sampled:
+                        now = self.clock()
+                        trace.root.record_span(
+                            "retry",
+                            now,
+                            now,
+                            attempt=attempt,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    time.sleep(
+                        self.retry_backoff_seconds * (2.0 ** (attempt - 1))
                     )
-        except Exception as error:  # noqa: BLE001 - the ticket transports the error
-            ticket.metrics.service_seconds = self.clock() - started
-            self.metrics.failed.increment()
-            self.metrics.record_template(work.label, cache_hit=False)
-            ticket._fail(error)
-            return
+                    continue
+                ticket.metrics.service_seconds = self.clock() - started
+                self.metrics.failed.increment()
+                self.metrics.record_template(work.label, cache_hit=False)
+                ticket._fail(error)
+                return
 
         simulated = result.simulated_latency_seconds
         if self.simulate_service_time > 0.0 and simulated is not None:

@@ -38,6 +38,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.faults.injector import active as _fault_active
 from repro.storage.column import Column
 from repro.storage.encodings import (
     BlockEncoding,
@@ -254,6 +255,11 @@ def export_table(table: Table, weights: np.ndarray | None = None) -> TableExport
     ``np.str_`` values, which compare, hash, and sort exactly like the
     parent's ``str`` labels, so group keys match bit-for-bit across backends.
     """
+    injector = _fault_active()
+    if injector is not None:
+        decision = injector.check("shm.alloc_fail")
+        if decision is not None:
+            raise decision.error(f"export of {table.name!r}")
     builder = _SegmentBuilder()
     column_specs: list[ColumnSpec] = []
     for i, column in enumerate(table.columns()):
@@ -380,7 +386,17 @@ def _rebuild_block(
 
 
 def attach_table(handle: SharedTableHandle) -> AttachedTable:
-    """Rebuild the exported table over the attached segment (zero-copy)."""
+    """Rebuild the exported table over the attached segment (zero-copy).
+
+    The ``shm.attach_fail`` point fires here for in-process attaches; worker
+    processes have no injector installed, so the procpool parent evaluates
+    the same point at chunk-submit time and ships the verdict instead.
+    """
+    injector = _fault_active()
+    if injector is not None:
+        decision = injector.check("shm.attach_fail")
+        if decision is not None:
+            raise decision.error(f"attach of {handle.segment!r}")
     segment = _attach_segment(handle.segment)
     columns: list[Column] = []
     for spec in handle.columns:
