@@ -1,0 +1,95 @@
+"""Wire-protocol front-door throughput: multi-process closed-loop load.
+
+Not a figure from the paper — this measures the network subsystem this
+reproduction adds (ROADMAP: serving "heavy traffic from millions of users"
+over a real socket rather than in-process calls).  The load harness spawns
+one OS process per (tenant, connection) pair, each driving a closed loop of
+sync queries through :class:`repro.client.Client` against a
+:class:`repro.net.server.NetworkServer`; the server runs a tenant-aware
+:class:`QueryService` with deficit-round-robin fair-share scheduling.
+
+Reported: aggregate qps, p50/p95 latency, shed and retry rates, and Jain's
+fairness index over connection-normalised per-tenant completions.  The run
+fails if any socket error goes unhandled (transport errors must be zero on a
+healthy loopback), if throughput falls under the floor, or if fair-share
+drops Jain below 0.9 across the three tenants.
+
+Run directly for the full sweep; ``REPRO_BENCH_QUICK=1`` (the CI smoke job
+does) shrinks the duration and connection counts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks._report import print_header, print_table
+from repro.net.loadharness import run_load
+from repro.workloads.conviva import conviva_query_templates
+from repro.workloads.tracegen import generate_trace
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+DURATION_SECONDS = 2.5 if QUICK else 6.0
+CONNECTIONS_PER_TENANT = 1 if QUICK else 2
+TENANTS = ("gold", "silver", "bronze")
+QPS_FLOOR = 200.0
+JAIN_FLOOR = 0.9
+POOL_QUERIES = 12
+
+
+def _sql_pool(table) -> list[str]:
+    return generate_trace(
+        conviva_query_templates(),
+        table,
+        num_queries=POOL_QUERIES,
+        seed=83,
+        measure_columns=("session_time",),
+    )
+
+
+@pytest.mark.benchmark(group="network-throughput")
+def test_network_throughput(benchmark, conviva_db, conviva_table):
+    server = conviva_db.serve_network(num_workers=4)
+    sql_pool = _sql_pool(conviva_table)
+    tenants = {tenant: CONNECTIONS_PER_TENANT for tenant in TENANTS}
+
+    def run():
+        return run_load(
+            server.host,
+            server.port,
+            tenants=tenants,
+            sql_pool=sql_pool,
+            duration_seconds=DURATION_SECONDS,
+            request_timeout_seconds=30.0,
+        )
+
+    try:
+        report = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        server.close()
+
+    print_header(
+        "Network front door — closed loop, "
+        f"{len(TENANTS)} tenants x {CONNECTIONS_PER_TENANT} connections, "
+        f"{DURATION_SECONDS:g}s"
+    )
+    print_table([report.describe()])
+
+    # Every connection reported back and no socket error went unhandled.
+    assert report.num_workers == len(TENANTS) * CONNECTIONS_PER_TENANT
+    assert report.transport_errors == 0, "loopback wire must be loss-free"
+    assert report.failed == 0
+    assert report.completed > 0
+
+    # Throughput floor: the stdlib HTTP stack plus the service layer must
+    # sustain interactive rates even in the quick configuration.
+    assert report.qps >= QPS_FLOOR, report.describe()
+    assert report.p95_seconds < 1.0
+
+    # Fair share: equal-weight tenants with equal connection counts finish
+    # within Jain >= 0.9 of one another.
+    assert report.jain_fairness >= JAIN_FLOOR, report.per_tenant_completed
+    for tenant in TENANTS:
+        assert report.per_tenant_completed[tenant] > 0

@@ -1,0 +1,10 @@
+"""Public wire-client entry point: ``from repro.client import Client``.
+
+The implementation lives in :mod:`repro.net.client`; this module is the
+stable import path mirroring middleware layouts (server/client split) such
+as VerdictDB's.
+"""
+
+from repro.net.client import Client, NetTicket, TransportError
+
+__all__ = ["Client", "NetTicket", "TransportError"]

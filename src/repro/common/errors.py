@@ -66,12 +66,21 @@ class QueryRejectedError(BlinkDBError):
     ----------
     reason:
         Machine-readable shed reason (e.g. ``"shed-deadline"``,
-        ``"shed-queue-full"``).
+        ``"shed-queue-full"``, ``"shed-quota"``, ``"cancelled"``).
+    retry_after_seconds:
+        When set (quota rejections), how long the client should wait before
+        re-submitting; carried over the wire as HTTP ``Retry-After``.
     """
 
-    def __init__(self, message: str, reason: str = "rejected") -> None:
+    def __init__(
+        self,
+        message: str,
+        reason: str = "rejected",
+        retry_after_seconds: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
 
 
 class ConstraintUnsatisfiableError(BlinkDBError):

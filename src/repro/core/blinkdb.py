@@ -119,6 +119,9 @@ class BlinkDB:
         # Serialises default-service creation in connect(); separate from
         # _services_lock because serve() re-enters the latter via attach.
         self._connect_lock = threading.Lock()
+        #: Network front doors started via serve_network(); closed with the
+        #: facade (socket first, then their owned services).
+        self._network_servers: list[object] = []
 
     # -- data loading ------------------------------------------------------------------
     def load_table(
@@ -503,6 +506,27 @@ class BlinkDB:
             storage_flat,
         )
 
+        def tenants_flat() -> dict[str, object]:
+            flat: dict[str, object] = {}
+            with self._services_lock:
+                services = list(self._services)
+            for service in services:
+                registry = getattr(service, "tenants", None)
+                if registry is None:
+                    continue
+                for key, value in registry.stats().items():
+                    # Sum across services: one tenant may talk to several.
+                    flat[key] = float(flat.get(key, 0.0)) + value  # type: ignore[arg-type]
+            return flat
+
+        self.obs.register_stats(
+            "tenants",
+            "Per-tenant admission counters: submitted/completed/shed-quota, "
+            "in-flight slots, rows charged to the rows/s bucket, fair-share "
+            "weight.",
+            tenants_flat,
+        )
+
         def procpool_stats() -> dict[str, object]:
             procpool = self._procpool  # never *create* the pool for a scrape
             if procpool is None:
@@ -772,6 +796,29 @@ class BlinkDB:
 
         return QueryService(self, num_workers=num_workers, **service_kwargs)  # type: ignore[arg-type]
 
+    def serve_network(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **server_kwargs: object,
+    ):
+        """Start the wire-protocol front door (HTTP/JSON over a real socket).
+
+        Returns a :class:`~repro.net.server.NetworkServer` bound to
+        ``host:port`` (``port=0`` picks an ephemeral port — read
+        ``server.port``).  The server creates its own tenant-aware
+        :class:`~repro.service.server.QueryService` unless one is passed via
+        ``service=``; both the socket and an owned service are shut down by
+        ``server.close()`` or :meth:`close`.  Talk to it with
+        :class:`repro.client.Client`.
+        """
+        from repro.net.server import NetworkServer
+
+        server = NetworkServer(self, host=host, port=port, **server_kwargs)  # type: ignore[arg-type]
+        with self._services_lock:
+            self._network_servers.append(server)
+        return server
+
     def connect(
         self,
         name: str | None = None,
@@ -852,6 +899,11 @@ class BlinkDB:
         if self._closed:
             return
         self._closed = True
+        with self._services_lock:
+            network_servers = list(self._network_servers)
+            self._network_servers.clear()
+        for server in network_servers:
+            server.close()  # type: ignore[attr-defined]
         with self._services_lock:
             services = list(self._services)
         for service in services:

@@ -43,6 +43,8 @@ KNOWN_POINTS = frozenset(
         "shm.alloc_fail",
         "ingest.batch_fail",
         "service.slow_worker",
+        "net.request_drop",
+        "net.slow_response",
     }
 )
 

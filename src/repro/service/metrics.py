@@ -148,6 +148,8 @@ class ServiceMetrics:
         self.admitted = Counter()
         self.shed_deadline = Counter()
         self.shed_queue_full = Counter()
+        self.shed_quota = Counter()
+        self.cancelled = Counter()
         self.completed = Counter()
         self.failed = Counter()
         self.retries = Counter()
@@ -178,7 +180,11 @@ class ServiceMetrics:
     @property
     def shed(self) -> int:
         """Total queries rejected by admission control (all reasons)."""
-        return self.shed_deadline.value + self.shed_queue_full.value
+        return (
+            self.shed_deadline.value
+            + self.shed_queue_full.value
+            + self.shed_quota.value
+        )
 
     def record_template(self, label: str, cache_hit: bool) -> None:
         with self._template_lock:
@@ -240,6 +246,8 @@ class ServiceMetrics:
                 "explained": self.explained.value,
                 "shed_deadline": self.shed_deadline.value,
                 "shed_queue_full": self.shed_queue_full.value,
+                "shed_quota": self.shed_quota.value,
+                "cancelled": self.cancelled.value,
             },
             "cache": {
                 "hits": self.cache_hits.value,

@@ -41,8 +41,15 @@ from repro.planner.physical import ExplainResult
 from repro.runtime.partitioned import ProgressiveSnapshot
 from repro.service.cache import ResultCache, cache_key, template_label
 from repro.service.metrics import ServiceMetrics
-from repro.service.scheduler import Admission, DeadlineScheduler, ScheduledItem, SchedulerClosed
+from repro.service.scheduler import (
+    Admission,
+    DeadlineScheduler,
+    FairShareScheduler,
+    ScheduledItem,
+    SchedulerClosed,
+)
 from repro.service.session import ClientSession, QueryRecord, SessionDefaults
+from repro.service.tenancy import DEFAULT_TENANT, TenantRegistry
 from repro.sql.ast import ExplainQuery, Query
 from repro.sql.parser import parse_statement
 
@@ -69,6 +76,7 @@ class TicketMetrics:
     simulated_latency_seconds: float | None = None
     sample_name: str | None = None
     worker: str | None = None
+    tenant: str | None = None
 
     def describe(self) -> dict[str, object]:
         return {
@@ -81,6 +89,7 @@ class TicketMetrics:
             "simulated_latency_s": self.simulated_latency_seconds,
             "sample": self.sample_name,
             "worker": self.worker,
+            "tenant": self.tenant,
         }
 
 
@@ -103,6 +112,8 @@ class QueryTicket:
         session: ClientSession | None,
         progressive: bool = False,
         clock: Clock = monotonic,
+        tenant: str | None = None,
+        request_id: str | None = None,
     ) -> None:
         self.ticket_id = next(_ticket_ids)
         self.sql = sql
@@ -111,12 +122,20 @@ class QueryTicket:
         self.progressive = progressive
         self.clock = clock
         self.submitted_at = clock()
-        self.metrics = TicketMetrics()
+        self.tenant = tenant
+        #: Wire-level request id (propagated into the trace root by _serve).
+        self.request_id = request_id
+        self.metrics = TicketMetrics(tenant=tenant)
         self._done = threading.Event()
         self._result: QueryResult | ExplainResult | AnalyzeResult | None = None
         self._error: BaseException | None = None
         self._snapshots: list[ProgressiveSnapshot] = []
         self._snapshots_lock = threading.Lock()
+        # Set by QueryService.submit for queued tickets; what cancel() removes.
+        self._service: "QueryService | None" = None
+        self._scheduled_item: ScheduledItem | None = None
+        #: True while the ticket holds one of its tenant's in-flight slots.
+        self._quota_held = False
 
     # -- future API --------------------------------------------------------------
     def done(self) -> bool:
@@ -152,7 +171,22 @@ class QueryTicket:
             return "pending"
         if self._error is None:
             return "completed"
-        return "shed" if isinstance(self._error, QueryRejectedError) else "failed"
+        if isinstance(self._error, QueryRejectedError):
+            return "cancelled" if self._error.reason == "cancelled" else "shed"
+        return "failed"
+
+    def cancel(self) -> bool:
+        """Remove this ticket from the queue if it has not started executing.
+
+        Returns ``True`` when the ticket was cancelled (it then resolves with
+        a :class:`~repro.common.errors.QueryRejectedError` whose reason is
+        ``"cancelled"``), ``False`` when it already finished or a worker
+        already picked it up — a running query is never interrupted.
+        """
+        service = self._service
+        if service is None:
+            return False
+        return service.cancel_ticket(self)
 
     # -- progressive snapshots ------------------------------------------------------
     def snapshots(self) -> list[ProgressiveSnapshot]:
@@ -273,6 +307,8 @@ class QueryService:
         clock: Clock = monotonic,
         retries: int | None = None,
         retry_backoff_seconds: float | None = None,
+        tenants: TenantRegistry | bool | None = None,
+        fair_share_quantum: float = 0.25,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -300,12 +336,28 @@ class QueryService:
             self.cache = None
         else:
             self.cache = cache
-        self.scheduler = DeadlineScheduler(
-            num_workers=num_workers,
-            max_queue_depth=max_queue_depth,
-            deadline_slack=deadline_slack,
-            clock=clock,
-        )
+        # Tenancy: ``True`` (or a TenantRegistry) turns on per-tenant quotas
+        # and deficit-round-robin fair share; ``None``/``False`` keeps the
+        # plain single-queue EDF scheduler with zero overhead.
+        if tenants is True:
+            tenants = TenantRegistry(clock=clock)
+        self.tenants: TenantRegistry | None = tenants or None
+        if self.tenants is not None:
+            self.scheduler: DeadlineScheduler = FairShareScheduler(
+                num_workers=num_workers,
+                max_queue_depth=max_queue_depth,
+                deadline_slack=deadline_slack,
+                clock=clock,
+                tenants=self.tenants,
+                quantum_seconds=fair_share_quantum,
+            )
+        else:
+            self.scheduler = DeadlineScheduler(
+                num_workers=num_workers,
+                max_queue_depth=max_queue_depth,
+                deadline_slack=deadline_slack,
+                clock=clock,
+            )
         self.metrics = ServiceMetrics()
         self.default_predicted_seconds = default_predicted_seconds
         self._ewma_alpha = ewma_alpha
@@ -340,14 +392,42 @@ class QueryService:
             worker.start()
 
     def close(self, timeout: float | None = 30.0) -> None:
-        """Stop accepting queries, drain the queue, and join the workers."""
+        """Stop accepting queries and join the workers — deterministically.
+
+        Graceful drain: running workers finish everything already queued
+        before stopping.  Tickets that can never run — the service was never
+        started, or work is still queued after the join timeout — resolve
+        immediately with a :class:`~repro.common.errors.QueryRejectedError`
+        (reason ``"closed"``), so no ticket ever outlives the facade
+        unresolved.
+        """
         if self._closed:
             return
         self._closed = True
         self.scheduler.close()
+        if not self._workers:
+            self._fail_queued(self.scheduler.drain())
         for worker in self._workers:
             worker.join(timeout)
+        # Anything still queued after the join (e.g. workers timed out) is
+        # failed rather than silently dropped.
+        self._fail_queued(self.scheduler.drain())
         self.db._detach_service(self)
+
+    def _fail_queued(self, items: list[ScheduledItem]) -> None:
+        for item in items:
+            work = item.payload
+            if not isinstance(work, _WorkItem):
+                continue
+            ticket = work.ticket
+            self._release_ticket_quota(ticket, completed=False)
+            self.metrics.failed.increment()
+            ticket._fail(
+                QueryRejectedError(
+                    "query service closed before this query started",
+                    reason="closed",
+                )
+            )
 
     def __enter__(self) -> "QueryService":
         self.start()
@@ -361,12 +441,17 @@ class QueryService:
         self,
         name: str | None = None,
         defaults: SessionDefaults | None = None,
+        tenant: str | None = None,
         **default_kwargs: object,
     ) -> ClientSession:
-        """Open a client session; ``default_kwargs`` build :class:`SessionDefaults`."""
+        """Open a client session; ``default_kwargs`` build :class:`SessionDefaults`.
+
+        ``tenant`` pins every query submitted through the session to that
+        tenant's quotas and fair-share weight (when tenancy is enabled).
+        """
         if defaults is None and default_kwargs:
             defaults = SessionDefaults(**default_kwargs)  # type: ignore[arg-type]
-        session = ClientSession(self, name=name, defaults=defaults)
+        session = ClientSession(self, name=name, defaults=defaults, tenant=tenant)
         with self._sessions_lock:
             self._sessions.append(session)
         return session
@@ -381,6 +466,8 @@ class QueryService:
         sql: "str | Query | ExplainQuery",
         session: ClientSession | None = None,
         progressive: bool = False,
+        tenant: str | None = None,
+        request_id: str | None = None,
     ) -> QueryTicket:
         """Parse, admit, and enqueue one statement; returns its ticket immediately.
 
@@ -410,8 +497,21 @@ class QueryService:
         query = statement
         if session is not None:
             query = session.apply_defaults(query)
+        if tenant is None:
+            tenant = session.tenant if session is not None else None
+        if tenant is None:
+            tenant = DEFAULT_TENANT
         raw = sql if isinstance(sql, str) else (query.raw_sql or str(query))
-        ticket = QueryTicket(raw, query, session, progressive=progressive, clock=self.clock)
+        ticket = QueryTicket(
+            raw,
+            query,
+            session,
+            progressive=progressive,
+            clock=self.clock,
+            tenant=tenant,
+            request_id=request_id,
+        )
+        ticket._service = self
         self.metrics.submitted.increment()
 
         key = cache_key(query)
@@ -436,18 +536,43 @@ class QueryService:
         time_bound = query.time_bound.seconds if query.time_bound is not None else None
         predicted = self._predict_seconds(label, time_bound)
         ticket.metrics.predicted_latency_seconds = predicted
+
+        # Per-tenant quota gate (in-flight cap + rows/s bucket) ahead of the
+        # global EDF admission check: quota sheds are the tenant's own fault
+        # and carry a retry-after hint, scheduler sheds are global pressure.
+        if self.tenants is not None:
+            verdict = self.tenants.try_acquire(tenant)
+            if not verdict.admitted:
+                self.metrics.shed_quota.increment()
+                self.metrics.record_template(label, cache_hit=False)
+                ticket.metrics.admission = Admission.SHED_QUOTA.value
+                ticket._fail(
+                    QueryRejectedError(
+                        f"query shed: {verdict.reason}",
+                        reason=Admission.SHED_QUOTA.value,
+                        retry_after_seconds=verdict.retry_after_seconds,
+                    )
+                )
+                return ticket
+            ticket._quota_held = True
+
         work = _WorkItem(
             ticket=ticket, key=key, label=label, progressive=progressive, analyze=analyze
         )
         try:
-            admission, _ = self.scheduler.try_admit(
-                work, predicted_seconds=predicted, time_bound_seconds=time_bound
+            admission, item = self.scheduler.try_admit(
+                work,
+                predicted_seconds=predicted,
+                time_bound_seconds=time_bound,
+                tenant=tenant,
             )
         except SchedulerClosed:
             # close() raced this submission past the _closed check above.
+            self._release_ticket_quota(ticket, completed=False)
             raise QueryRejectedError("query service is closed", reason="closed") from None
         ticket.metrics.admission = admission.value
         if not admission.admitted:
+            self._release_ticket_quota(ticket, completed=False)
             if admission is Admission.SHED_DEADLINE:
                 self.metrics.shed_deadline.increment()
                 reason = (
@@ -460,8 +585,37 @@ class QueryService:
             self.metrics.record_template(label, cache_hit=False)
             ticket._fail(QueryRejectedError(f"query shed: {reason}", reason=admission.value))
             return ticket
+        ticket._scheduled_item = item
         self.metrics.admitted.increment()
         return ticket
+
+    def _release_ticket_quota(self, ticket: QueryTicket, *, completed: bool, rows_read: int = 0) -> None:
+        """Return the ticket's tenant slot (idempotent) and charge rows read."""
+        if not ticket._quota_held:
+            return
+        ticket._quota_held = False
+        if self.tenants is not None and ticket.tenant is not None:
+            self.tenants.release(ticket.tenant, rows_read=rows_read, completed=completed)
+
+    # -- cancellation -------------------------------------------------------------
+    def cancel_ticket(self, ticket: QueryTicket) -> bool:
+        """Remove a queued ticket from the EDF queue (see :meth:`QueryTicket.cancel`)."""
+        if ticket.done():
+            return False
+        item = ticket._scheduled_item
+        if item is None or not self.scheduler.cancel(item):
+            return False
+        self._release_ticket_quota(ticket, completed=False)
+        if self.tenants is not None and ticket.tenant is not None:
+            self.tenants.record_cancelled(ticket.tenant)
+        self.metrics.cancelled.increment()
+        self.metrics.record_template(
+            template_label(ticket.query), cache_hit=False
+        )
+        ticket._fail(
+            QueryRejectedError("query cancelled before execution", reason="cancelled")
+        )
+        return True
 
     def _explain(
         self,
@@ -556,7 +710,12 @@ class QueryService:
         )
         started = self.clock()
         progress = ticket._on_progress if work.progressive else None
-        trace = self.db.obs.tracer.begin(force=work.analyze, table=ticket.query.table)
+        trace_attrs: dict[str, object] = {"table": ticket.query.table}
+        if ticket.request_id is not None:
+            # Wire-level request id: ties the server's span tree back to the
+            # client's X-Request-Id header for cross-process correlation.
+            trace_attrs["request_id"] = ticket.request_id
+        trace = self.db.obs.tracer.begin(force=work.analyze, **trace_attrs)
         if trace.sampled:
             # The queue wait predates the trace: backdate the root to the
             # submission instant and attach the measured interval, so the
@@ -567,6 +726,7 @@ class QueryService:
                 ticket.submitted_at,
                 started,
                 admission=ticket.metrics.admission,
+                tenant=ticket.tenant,
             )
         analyzed: AnalyzeResult | None = None
         # Queries are read-only, so a failed execution is safe to re-submit
@@ -599,6 +759,7 @@ class QueryService:
                 ticket.metrics.service_seconds = self.clock() - started
                 self.metrics.failed.increment()
                 self.metrics.record_template(work.label, cache_hit=False)
+                self._release_ticket_quota(ticket, completed=False)
                 ticket._fail(error)
                 return
             except Exception as error:  # noqa: BLE001 - the ticket transports the error
@@ -621,6 +782,7 @@ class QueryService:
                 ticket.metrics.service_seconds = self.clock() - started
                 self.metrics.failed.increment()
                 self.metrics.record_template(work.label, cache_hit=False)
+                self._release_ticket_quota(ticket, completed=False)
                 ticket._fail(error)
                 return
 
@@ -648,6 +810,9 @@ class QueryService:
         self.metrics.completed.increment()
         self.metrics.record_template(work.label, cache_hit=False)
         self.metrics.total_latency.observe(self.clock() - ticket.submitted_at)
+        self._release_ticket_quota(
+            ticket, completed=True, rows_read=int(result.rows_read or 0)
+        )
         ticket._resolve(analyzed if analyzed is not None else result)
 
     # -- latency prediction ---------------------------------------------------------
@@ -706,4 +871,5 @@ class QueryService:
             "scheduler": self.scheduler.describe(),
             "cache": self.cache.describe() if self.cache is not None else None,
             "metrics": self.metrics.describe(),
+            "tenants": self.tenants.describe() if self.tenants is not None else None,
         }

@@ -92,11 +92,15 @@ class ClientSession:
         name: str | None = None,
         defaults: SessionDefaults | None = None,
         history_limit: int = 256,
+        tenant: str | None = None,
     ) -> None:
         self.session_id = next(_session_ids)
         self.name = name or f"session-{self.session_id}"
         self.service = service
         self.defaults = defaults or SessionDefaults()
+        #: Tenant whose quotas and fair-share weight govern this session's
+        #: queries (``None`` submits as the default public tenant).
+        self.tenant = tenant
         self.created_at = time.time()
         self._lock = threading.Lock()
         self._history: deque[QueryRecord] = deque(maxlen=history_limit)
@@ -135,6 +139,7 @@ class ClientSession:
         return {
             "session_id": self.session_id,
             "name": self.name,
+            "tenant": self.tenant,
             "defaults": {
                 "error_percent": self.defaults.error_percent,
                 "time_bound_seconds": self.defaults.time_bound_seconds,

@@ -449,3 +449,65 @@ class TestChaosCampaigns:
             pool = chaos_db._partition_procpool()
             assert pool is not None and pool.available
         assert _shm_entries() == before, "chaos campaign must not leak /dev/shm"
+
+
+# -- wire-level chaos ----------------------------------------------------------------
+
+WIRE_CHAOS_PLAN = (
+    "net.request_drop:p=0.3;"
+    " net.slow_response:p=0.3,latency=0.02;"
+    " service.slow_worker:p=0.2,latency=0.01"
+)
+
+
+class TestWireChaos:
+    @pytest.mark.parametrize("seed", [7, 31])
+    def test_lossy_wire_campaign_still_answers_bit_identically(self, seed):
+        """Dropped sockets and slowed responses never corrupt an answer.
+
+        The retrying client re-submits idempotent queries through a fault
+        plan that severs ~30% of requests mid-flight and delays another
+        ~30%; every answer that does come back must be bit-identical to the
+        clean in-process result — a transport fault may cost latency or a
+        retry, never correctness.
+        """
+        from repro.net.client import Client, TransportError
+
+        with _build_db("threads") as db:
+            expected = {sql: db.query(sql) for sql in CHAOS_QUERIES}
+            server = db.serve_network(num_workers=2)
+            answered = 0
+            transport_failures = 0
+            with injector_mod.installed(FaultPlan.parse(WIRE_CHAOS_PLAN, seed=seed)):
+                with Client(
+                    server.host,
+                    server.port,
+                    retries=8,
+                    retry_backoff_seconds=0.01,
+                    retry_backoff_cap_seconds=0.05,
+                ) as client:
+                    for _ in range(3):
+                        for sql in CHAOS_QUERIES:
+                            try:
+                                wire = client.query(sql, timeout=30)
+                            except TransportError:
+                                # Statistically possible (8 straight drops)
+                                # but it must stay an *explicit* failure.
+                                transport_failures += 1
+                                continue
+                            answered += 1
+                            _assert_bit_identical(
+                                wire.groups, expected[sql].groups
+                            )
+                    retries_seen = client.stats["retries"] + client.stats[
+                        "transport_errors"
+                    ]
+            assert answered > 0, "campaign must land at least one answer"
+            assert retries_seen > 0, (
+                "a p=0.3 drop plan over 9 queries should exercise the retry path"
+            )
+            # Faults cleared: the wire is healthy again, no residual latency
+            # injection, and the server still answers bit-identically.
+            with Client(server.host, server.port, retries=0) as client:
+                after = client.query(CHAOS_QUERIES[0], timeout=30)
+            _assert_bit_identical(after.groups, expected[CHAOS_QUERIES[0]].groups)

@@ -87,6 +87,8 @@ class TestFaultPlan:
             "shm.alloc_fail",
             "ingest.batch_fail",
             "service.slow_worker",
+            "net.request_drop",
+            "net.slow_response",
         }
 
 

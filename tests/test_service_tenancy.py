@@ -1,0 +1,342 @@
+"""Unit tests for per-tenant quotas, fair-share scheduling, and cancellation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BlinkDBConfig, ClusterConfig, SamplingConfig
+from repro.common.errors import QueryRejectedError
+from repro.core.blinkdb import BlinkDB
+from repro.service.scheduler import Admission, DeadlineScheduler, FairShareScheduler
+from repro.service.tenancy import DEFAULT_TENANT, TenantQuota, TenantRegistry
+from repro.workloads.conviva import conviva_query_templates
+
+
+class ManualClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- quotas ---------------------------------------------------------------------------
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(max_in_flight=0)
+        with pytest.raises(ValueError):
+            TenantQuota(rows_per_second=0.0)
+        with pytest.raises(ValueError):
+            TenantQuota(weight=0.0)
+        with pytest.raises(ValueError):
+            TenantQuota(burst_seconds=0.0)
+
+    def test_unlimited_quota_admits_everything(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_in_flight=None))
+        for _ in range(100):
+            assert registry.try_acquire("anyone").admitted
+
+
+class TestInFlightCap:
+    def test_cap_enforced_and_released(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_in_flight=2))
+        assert registry.try_acquire("t").admitted
+        assert registry.try_acquire("t").admitted
+        verdict = registry.try_acquire("t")
+        assert not verdict.admitted
+        assert "max_in_flight" in (verdict.reason or "")
+        assert verdict.retry_after_seconds is not None
+        registry.release("t", completed=True)
+        assert registry.try_acquire("t").admitted
+
+    def test_caps_are_per_tenant(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_in_flight=1))
+        assert registry.try_acquire("a").admitted
+        assert not registry.try_acquire("a").admitted
+        # A different tenant has its own slot budget.
+        assert registry.try_acquire("b").admitted
+
+
+class TestRowsPerSecondBucket:
+    def test_post_paid_debt_and_refill(self):
+        clock = ManualClock()
+        registry = TenantRegistry(
+            quotas={"t": TenantQuota(rows_per_second=100.0, burst_seconds=1.0)},
+            clock=clock,
+        )
+        assert registry.try_acquire("t").admitted
+        # Charge 250 rows against a 100-token bucket: 150 rows of debt.
+        registry.release("t", rows_read=250, completed=True)
+        verdict = registry.try_acquire("t")
+        assert not verdict.admitted
+        # Debt drains at 100 rows/s: the server names a 1.5 s wait.
+        assert verdict.retry_after_seconds == pytest.approx(1.5)
+        clock.advance(1.6)
+        assert registry.try_acquire("t").admitted
+
+    def test_bucket_caps_at_burst(self):
+        clock = ManualClock()
+        registry = TenantRegistry(
+            quotas={"t": TenantQuota(rows_per_second=10.0, burst_seconds=2.0)},
+            clock=clock,
+        )
+        clock.advance(1000.0)  # idle time never banks more than the burst
+        assert registry.describe()["t"] if registry.try_acquire("t").admitted else None
+        registry.release("t", rows_read=20, completed=True)  # exactly the burst
+        verdict = registry.try_acquire("t")
+        assert verdict.admitted  # tokens hit 0.0, not negative
+
+    def test_describe_and_stats_surface_counters(self):
+        registry = TenantRegistry(default_quota=TenantQuota(max_in_flight=1))
+        registry.try_acquire("acme")
+        registry.try_acquire("acme")  # shed
+        described = registry.describe()["acme"]
+        assert described["submitted"] == 2
+        assert described["shed_quota"] == 1
+        assert described["in_flight"] == 1
+        flat = registry.stats()
+        assert flat["acme.shed_quota"] == 1.0
+
+
+# -- fair-share scheduling ------------------------------------------------------------
+
+
+class TestFairShareScheduler:
+    def _scheduler(self, quotas=None, quantum=0.25, workers=1):
+        registry = TenantRegistry(quotas=quotas or {})
+        return FairShareScheduler(
+            num_workers=workers,
+            tenants=registry,
+            quantum_seconds=quantum,
+        )
+
+    def test_single_tenant_degrades_to_edf(self):
+        scheduler = self._scheduler()
+        scheduler.try_admit("loose", 0.1, time_bound_seconds=50.0, tenant="a")
+        scheduler.try_admit("tight", 0.1, time_bound_seconds=1.0, tenant="a")
+        scheduler.try_admit("medium", 0.1, time_bound_seconds=10.0, tenant="a")
+        order = [scheduler.pop(timeout=1).payload for _ in range(3)]
+        assert order == ["tight", "medium", "loose"]
+
+    def test_no_starvation_under_hot_tenant(self):
+        scheduler = self._scheduler(quantum=0.25)
+        # Hot tenant floods 20 items before the quiet tenant's single item.
+        for i in range(20):
+            scheduler.try_admit(("hot", i), 1.0, tenant="hot")
+        scheduler.try_admit(("quiet", 0), 1.0, tenant="quiet")
+        order = [scheduler.pop(timeout=1).payload for _ in range(21)]
+        position = order.index(("quiet", 0))
+        # DRR grants each backlogged tenant quantum*weight per rotation, so
+        # the quiet item is served after at most ceil(1.0/0.25) = 4 hot
+        # dispatches plus rotation slack — not after all 20.
+        assert position <= 8, order
+
+    def test_service_seconds_shared_by_weight(self):
+        scheduler = self._scheduler(
+            quotas={
+                "gold": TenantQuota(weight=2.0),
+                "bronze": TenantQuota(weight=1.0),
+            },
+            quantum=0.5,
+        )
+        for i in range(30):
+            scheduler.try_admit(("gold", i), 1.0, tenant="gold")
+            scheduler.try_admit(("bronze", i), 1.0, tenant="bronze")
+        first_12 = [scheduler.pop(timeout=1).payload[0] for _ in range(12)]
+        gold = first_12.count("gold")
+        bronze = first_12.count("bronze")
+        # Weight 2 should get roughly twice the dispatches of weight 1.
+        assert gold > bronze, first_12
+        assert gold / max(1, bronze) == pytest.approx(2.0, rel=0.5)
+
+    def test_fairness_is_in_seconds_not_query_counts(self):
+        scheduler = self._scheduler(quantum=0.5)
+        # Tenant "cheap" sends 10x more queries, each 10x cheaper: equal
+        # service seconds means cheap gets ~10 dispatches per expensive one.
+        for i in range(40):
+            scheduler.try_admit(("cheap", i), 0.1, tenant="cheap")
+        for i in range(4):
+            scheduler.try_admit(("expensive", i), 1.0, tenant="expensive")
+        first_22 = [scheduler.pop(timeout=1).payload[0] for _ in range(22)]
+        cheap_seconds = 0.1 * first_22.count("cheap")
+        expensive_seconds = 1.0 * first_22.count("expensive")
+        assert cheap_seconds == pytest.approx(expensive_seconds, rel=0.6), first_22
+
+    def test_cancelled_items_are_skipped(self):
+        scheduler = self._scheduler()
+        _, first = scheduler.try_admit("first", 0.1, tenant="a")
+        _, second = scheduler.try_admit("second", 0.1, tenant="a")
+        assert scheduler.cancel(first) is True
+        assert scheduler.cancel(first) is False  # idempotent
+        assert scheduler.depth() == 1
+        assert scheduler.pop(timeout=1).payload == "second"
+
+    def test_drain_empties_every_tenant_queue(self):
+        scheduler = self._scheduler()
+        scheduler.try_admit("a1", 0.1, tenant="a")
+        scheduler.try_admit("b1", 0.1, tenant="b")
+        scheduler.try_admit("b2", 0.1, tenant="b")
+        drained = scheduler.drain()
+        assert sorted(item.payload for item in drained) == ["a1", "b1", "b2"]
+        assert scheduler.depth() == 0
+        assert scheduler.predicted_backlog_seconds() == 0.0
+
+    def test_describe_reports_fair_share_state(self):
+        scheduler = self._scheduler()
+        scheduler.try_admit("x", 0.5, tenant="acme")
+        described = scheduler.describe()
+        assert described["fair_share"]["tenants_queued"] == {"acme": 1}
+
+
+class TestDeadlineSchedulerCancellation:
+    def test_cancel_releases_backlog_charge(self):
+        scheduler = DeadlineScheduler(num_workers=1)
+        _, item = scheduler.try_admit("work", predicted_seconds=5.0)
+        assert scheduler.predicted_backlog_seconds() == pytest.approx(5.0)
+        assert scheduler.cancel(item)
+        assert scheduler.predicted_backlog_seconds() == 0.0
+        assert scheduler.depth() == 0
+
+    def test_popped_item_cannot_be_cancelled(self):
+        scheduler = DeadlineScheduler(num_workers=1)
+        _, item = scheduler.try_admit("work", predicted_seconds=1.0)
+        assert scheduler.pop(timeout=1) is item
+        assert scheduler.cancel(item) is False
+
+
+# -- the service layer wired to tenancy ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tenancy_db(sessions_table):
+    config = BlinkDBConfig(
+        sampling=SamplingConfig(largest_cap=80, min_cap=10, uniform_sample_fraction=0.1),
+        cluster=ClusterConfig(num_nodes=20),
+    )
+    db = BlinkDB(config)
+    db.load_table(sessions_table, simulated_rows=20_000_000)
+    db.register_workload(templates=conviva_query_templates())
+    db.build_samples(storage_budget_fraction=0.5)
+    yield db
+    db.close()
+
+
+SQL = "SELECT COUNT(*) FROM sessions GROUP BY os"
+
+
+class TestTenantAwareService:
+    def test_quota_shed_carries_structured_error(self, tenancy_db):
+        registry = TenantRegistry(quotas={"acme": TenantQuota(max_in_flight=1)})
+        service = tenancy_db.serve(
+            num_workers=1, autostart=False, cache=False, tenants=registry
+        )
+        try:
+            admitted = service.submit(SQL, tenant="acme")
+            assert admitted.metrics.admission == "admitted"
+            shed = service.submit(SQL, tenant="acme")
+            assert shed.done() and shed.status == "shed"
+            with pytest.raises(QueryRejectedError) as excinfo:
+                shed.result(timeout=0)
+            assert excinfo.value.reason == "shed-quota"
+            assert excinfo.value.retry_after_seconds is not None
+            assert service.metrics.shed_quota.value == 1
+            assert shed.metrics.admission == Admission.SHED_QUOTA.value
+            # Another tenant is unaffected by acme's cap.
+            other = service.submit(SQL, tenant="other")
+            assert other.metrics.admission == "admitted"
+        finally:
+            service.close()
+
+    def test_sessions_pin_their_tenant(self, tenancy_db):
+        service = tenancy_db.serve(num_workers=1, autostart=False, tenants=True)
+        try:
+            session = service.connect(name="dash", tenant="acme")
+            ticket = session.submit(SQL)
+            assert ticket.tenant == "acme"
+            assert service.tenants.in_flight("acme") == 1
+        finally:
+            service.close()
+
+    def test_default_tenant_when_none_named(self, tenancy_db):
+        service = tenancy_db.serve(num_workers=1, autostart=False, tenants=True)
+        try:
+            ticket = service.submit(SQL)
+            assert ticket.tenant == DEFAULT_TENANT
+        finally:
+            service.close()
+
+    def test_ticket_cancel_removes_queued_query(self, tenancy_db):
+        service = tenancy_db.serve(
+            num_workers=1, autostart=False, cache=False, tenants=True
+        )
+        try:
+            first = service.submit(SQL, tenant="acme")
+            second = service.submit(SQL, tenant="acme")
+            assert second.cancel() is True
+            assert second.cancel() is False  # already resolved
+            assert second.status == "cancelled"
+            with pytest.raises(QueryRejectedError) as excinfo:
+                second.result(timeout=0)
+            assert excinfo.value.reason == "cancelled"
+            assert service.metrics.cancelled.value == 1
+            # The quota slot was returned and the registry counted it.
+            assert service.tenants.in_flight("acme") == 1
+            assert service.tenants.describe()["acme"]["cancelled"] == 1
+            assert not first.done()
+            # Start the pool: only the live ticket executes.
+            service.start()
+            first.result(timeout=30)
+        finally:
+            service.close()
+
+    def test_close_drains_queued_tickets_deterministically(self, tenancy_db):
+        service = tenancy_db.serve(num_workers=1, autostart=False, cache=False)
+        tickets = [service.submit(SQL) for _ in range(3)]
+        service.close()
+        for ticket in tickets:
+            assert ticket.done()
+            with pytest.raises(QueryRejectedError) as excinfo:
+                ticket.result(timeout=0)
+            assert excinfo.value.reason == "closed"
+
+    def test_completed_queries_charge_rows_to_the_bucket(self, tenancy_db):
+        service = tenancy_db.serve(num_workers=1, cache=False, tenants=True)
+        try:
+            result = service.submit(SQL, tenant="acme").result(timeout=30)
+            described = service.tenants.describe()["acme"]
+            assert described["completed"] == 1
+            assert described["in_flight"] == 0
+            assert described["rows_charged"] == result.rows_read
+        finally:
+            service.close()
+
+    def test_tenants_surface_in_facade_metrics(self, tenancy_db):
+        service = tenancy_db.serve(num_workers=1, cache=False, tenants=True)
+        try:
+            service.submit(SQL, tenant="acme").result(timeout=30)
+            tenants_metrics = tenancy_db.metrics()["tenants"]
+            flat = {
+                series["labels"]["name"]: series["value"]
+                for series in tenants_metrics["series"]
+            }
+            assert flat["acme.completed"] == 1.0
+            assert flat["acme.in_flight"] == 0.0
+        finally:
+            service.close()
+
+    def test_admission_wait_span_carries_tenant(self, tenancy_db):
+        service = tenancy_db.serve(num_workers=1, cache=False, tenants=True)
+        try:
+            ticket = service.submit(f"EXPLAIN ANALYZE {SQL}", tenant="acme")
+            analyzed = ticket.result(timeout=30)
+            span = analyzed.trace.find("admission-wait")
+            assert span is not None
+            assert span.attrs["tenant"] == "acme"
+        finally:
+            service.close()
